@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Every figure/table of the paper's evaluation has a bench here.  Runs are
+deterministic (seeded); pytest-benchmark measures the harness runtime
+while the assertions check that the *shape* of the paper's results holds
+(who wins, by roughly what factor).  The printed rows are the series the
+paper plots — run with ``-s`` to see them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive deterministic run exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,60 @@
+"""Step-response bench: the transient behind the Figure 7 averages.
+
+After the abrupt jump to point A, fine-grained scaling provisions the
+~2x requirement within one burst interval or two (invisible at 10-minute
+sampling), while ±1-per-period threshold scaling spends the better part
+of an hour short by around ten members — the lag that shows up as the
+CloudWatch agility spikes in Figure 7c.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.dynamics import step_response_comparison
+
+
+def test_step_response_ordering(once):
+    responses = once(step_response_comparison, "marketcetera")
+    print("\nstep response to the point-A jump (marketcetera):")
+    for name, r in responses.items():
+        lag = "never" if r.lag_min is None else f"{r.lag_min:5.1f} min"
+        print(
+            f"  {name:<20} requirement {r.requirement:>3}  "
+            f"lag {lag}  worst shortage {r.worst_shortage:.0f}"
+        )
+
+    ermi = responses["elasticrmi"]
+    cloud = responses["cloudwatch"]
+    cpumem = responses["elasticrmi-cpumem"]
+    oracle = responses["overprovisioning"]
+
+    # ElasticRMI converges within one sampling interval and is never
+    # caught short at 10-minute granularity.
+    assert ermi.lag_min is not None and ermi.lag_min <= 10.0
+    assert ermi.worst_shortage == 0.0
+    # The oracle is by construction never short.
+    assert oracle.worst_shortage == 0.0
+    # Threshold systems lag by tens of minutes with a deep deficit.
+    for slow in (cloud, cpumem):
+        assert slow.lag_min is None or slow.lag_min >= 30.0
+        assert slow.worst_shortage >= 5
+    # And the fine-grained system is at least 3x faster to converge.
+    if cloud.lag_min is not None:
+        assert cloud.lag_min >= 3 * ermi.lag_min
+
+
+def test_step_response_across_apps(once):
+    """The convergence-speed gap holds for every application."""
+
+    def run_all():
+        return {
+            app: step_response_comparison(app)
+            for app in ("marketcetera", "paxos", "dcs")
+        }
+
+    by_app = once(run_all)
+    for app, responses in by_app.items():
+        ermi = responses["elasticrmi"]
+        cloud = responses["cloudwatch"]
+        assert ermi.worst_shortage <= cloud.worst_shortage, app
+        if ermi.lag_min is not None and cloud.lag_min is not None:
+            assert ermi.lag_min <= cloud.lag_min, app

@@ -1,0 +1,144 @@
+"""Figures 7c-7j: agility of the four deployments on each application
+and workload.
+
+Each bench runs the full 450/500-minute trace for all four deployments
+(ElasticRMI, ElasticRMI-CPUMem, CloudWatch, Overprovisioning) and checks
+the orderings and rough factors the paper reports:
+
+- ElasticRMI has the lowest average agility and oscillates back to zero;
+- ElasticRMI-CPUMem is approximately equal to CloudWatch ("the same
+  conditions are used to decide on elastic scaling");
+- CloudWatch is several times worse than ElasticRMI (3.4x / 4.5x /
+  6.6x / 7.2x for the four apps on abrupt workloads in the paper);
+- Overprovisioning is the worst of all, up to ~24x ElasticRMI, and its
+  agility reaches zero only near the peak workload.
+
+Exact values are recorded in EXPERIMENTS.md; run with ``-s`` to see the
+series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURE7_PANELS,
+    figure7_agility,
+    print_agility_panel,
+)
+
+
+def check_panel_shape(panel, cw_ratio_min=1.8, cw_ratio_max=20.0, zero_check=True):
+    averages = panel.averages()
+    ermi = averages["elasticrmi"]
+    cpumem = averages["elasticrmi-cpumem"]
+    cloudwatch = averages["cloudwatch"]
+    overprovision = averages["overprovisioning"]
+
+    # Who wins: ElasticRMI strictly best, overprovisioning strictly worst.
+    assert ermi < cpumem
+    assert ermi < cloudwatch
+    assert cloudwatch < overprovision
+    assert cpumem < overprovision
+
+    # CPUMem ~= CloudWatch (section 5.5: approximately equal).
+    assert cpumem == pytest.approx(cloudwatch, rel=0.35)
+
+    # By roughly what factor: CloudWatch is several times worse.
+    ratio = panel.ratio_to_elasticrmi("cloudwatch")
+    assert cw_ratio_min <= ratio <= cw_ratio_max
+
+    if zero_check:
+        # ElasticRMI "reacts aggressively by trying to push agility to
+        # zero": on abrupt workloads a solid fraction of its samples sit
+        # exactly at the ideal, and overprovisioning manages that only
+        # at the peak.  (Cyclic traces park every deployment at the
+        # minimum between cycles, so the comparison is abrupt-only.)
+        ermi_zero = panel.results["elasticrmi"].zero_fraction
+        assert ermi_zero >= 0.10
+        assert ermi_zero >= panel.results["overprovisioning"].zero_fraction
+
+
+def run_panel(once, figure):
+    panel = once(figure7_agility, figure)
+    print("\n" + print_agility_panel(panel))
+    return panel
+
+
+def test_fig7c(once):
+    """Marketcetera, abrupt: the paper's headline panel (ElasticRMI avg
+    ~1.37, CloudWatch ~3.4x, overprovisioning avg 24.1 / up to 24x)."""
+    panel = run_panel(once, "7c")
+    check_panel_shape(panel)
+    ermi = panel.results["elasticrmi"]
+    # Average agility close to 1, spiking at abrupt transitions.
+    assert 0.5 <= ermi.average_agility <= 2.5
+    assert ermi.max_agility <= 10
+    # Overprovisioning optimizes for the peak: its agility reaches zero
+    # somewhere (at peak) but rarely.
+    op = panel.results["overprovisioning"]
+    assert op.average_agility > 10
+
+
+def test_fig7d(once):
+    panel = run_panel(once, "7d")
+    check_panel_shape(panel, zero_check=False)
+    # Cyclic: overprovisioning oscillates down toward zero at each peak.
+    op = panel.results["overprovisioning"]
+    assert op.zero_fraction > 0
+
+
+def test_fig7e(once):
+    panel = run_panel(once, "7e")
+    check_panel_shape(panel)
+
+
+def test_fig7f(once):
+    panel = run_panel(once, "7f")
+    check_panel_shape(panel, zero_check=False)
+
+
+def test_fig7g(once):
+    """Paxos, abrupt: the largest CloudWatch/ElasticRMI gap family
+    (paper: 6.6x)."""
+    panel = run_panel(once, "7g")
+    check_panel_shape(panel, cw_ratio_min=3.0)
+
+
+def test_fig7h(once):
+    panel = run_panel(once, "7h")
+    check_panel_shape(panel, zero_check=False)
+
+
+def test_fig7i(once):
+    panel = run_panel(once, "7i")
+    check_panel_shape(panel, cw_ratio_min=2.5)
+
+
+def test_fig7j(once):
+    panel = run_panel(once, "7j")
+    check_panel_shape(panel, zero_check=False)
+
+
+def test_fig7_cross_panel_summary(once):
+    """The cross-cutting claims of section 5.5, checked over all panels:
+    relying solely on externally observable metrics decreases elasticity
+    (CloudWatch/CPUMem always worse than ElasticRMI), and abrupt
+    workloads hurt overprovisioning the most."""
+
+    def run_all():
+        return {fig: figure7_agility(fig) for fig in FIGURE7_PANELS}
+
+    panels = once(run_all)
+    for fig, panel in panels.items():
+        averages = panel.averages()
+        assert averages["elasticrmi"] == min(averages.values()), fig
+        assert averages["overprovisioning"] == max(averages.values()), fig
+    # Overprovisioning suffers more under abrupt than cyclic workloads
+    # for every app (paper: 24.1 abrupt vs 17.2 cyclic for Marketcetera).
+    for app_figs in (("7c", "7d"), ("7e", "7f"), ("7g", "7h"), ("7i", "7j")):
+        abrupt, cyclic = app_figs
+        assert (
+            panels[abrupt].results["overprovisioning"].average_agility
+            > panels[cyclic].results["overprovisioning"].average_agility
+        )

@@ -1,0 +1,72 @@
+"""Figures 7a and 7b: the workload patterns driving every experiment.
+
+The bench regenerates the traces and checks the properties the paper
+describes: the abrupt pattern covers gradual increase/decrease and rapid
+increase/decrease with peak at point A; the cyclic pattern repeats three
+times, peaking at point B = 1.2 * A.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7a_workload, figure7b_workload
+from repro.workloads.patterns import POINT_A
+
+
+def test_fig7a_abrupt_pattern(once):
+    trace = once(figure7a_workload, "marketcetera")
+    rates = [rate for _, rate in trace]
+    minutes = [minute for minute, _ in trace]
+
+    assert minutes[-1] == 450  # the paper's 450-minute trace
+    assert max(rates) == POINT_A["marketcetera"]  # peak touches point A
+    assert min(rates) >= 0
+
+    # Rapid increase and decrease exist (> half the magnitude in 5 min).
+    jumps = [b - a for a, b in zip(rates, rates[1:])]
+    assert max(jumps) > 0.4 * POINT_A["marketcetera"]
+    assert min(jumps) < -0.4 * POINT_A["marketcetera"]
+
+    print("\nFigure 7a (marketcetera): minute -> orders/s")
+    for minute, rate in trace[:: max(1, len(trace) // 15)]:
+        print(f"  {minute:6.0f} min  {rate:10.0f}")
+
+
+def test_fig7b_cyclic_pattern(once):
+    trace = once(figure7b_workload, "marketcetera")
+    rates = [rate for _, rate in trace]
+    minutes = [minute for minute, _ in trace]
+    point_b = POINT_A["marketcetera"] * 1.2
+
+    assert minutes[-1] == 500  # the paper's 500-minute trace
+    assert max(rates) >= 0.99 * point_b  # peak touches point B
+
+    # Three cycles: three local maxima near the peak.
+    peaks = sum(
+        1
+        for i in range(1, len(rates) - 1)
+        if rates[i] >= rates[i - 1]
+        and rates[i] >= rates[i + 1]
+        and rates[i] > 0.95 * point_b
+    )
+    assert peaks == 3
+
+    print("\nFigure 7b (marketcetera): minute -> orders/s")
+    for minute, rate in trace[:: max(1, len(trace) // 15)]:
+        print(f"  {minute:6.0f} min  {rate:10.0f}")
+
+
+def test_fig7_magnitudes_per_app(once):
+    """Point A differs per system (50k/75k/24k/30k); the shape is shared."""
+
+    def collect():
+        return {app: figure7a_workload(app) for app in POINT_A}
+
+    traces = once(collect)
+    for app, trace in traces.items():
+        assert max(rate for _, rate in trace) == POINT_A[app]
+    # Shared shape: normalized traces are identical.
+    norm = {
+        app: tuple(round(rate / POINT_A[app], 9) for _, rate in trace)
+        for app, trace in traces.items()
+    }
+    assert len(set(norm.values())) == 1

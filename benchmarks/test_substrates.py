@@ -1,0 +1,108 @@
+"""Substrate microbenchmarks: the building blocks under the middleware.
+
+These are genuine pytest-benchmark measurements (many rounds, statistics
+in the table): RMI invocation overhead, store operation throughput,
+distributed lock handoff, group broadcast, and marshalling — the costs
+section 4.1 of the paper discusses when it warns that shared state and
+synchronization reduce the parallelism elastic pools can extract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.balancer import FirstFitRebalancer
+from repro.kvstore.locks import LockManager
+from repro.kvstore.store import HyperStore
+from repro.groupcomm.channel import Channel
+from repro.rmi.marshal import marshal_value, unmarshal_value
+from repro.rmi.remote import Remote, RemoteRef, Skeleton, Stub
+from repro.rmi.transport import DirectTransport
+
+
+class Echo(Remote):
+    def echo(self, value):
+        return value
+
+
+@pytest.fixture
+def rmi_pair():
+    transport = DirectTransport()
+    endpoint = transport.add_endpoint("server")
+    skeleton = Skeleton(Echo(), transport, endpoint.endpoint_id)
+    return Stub(transport, skeleton.ref())
+
+
+def test_bench_rmi_invocation(benchmark, rmi_pair):
+    """One full RMI round trip: marshal args, dispatch, marshal result."""
+    result = benchmark(rmi_pair.echo, {"key": "value", "n": 42})
+    assert result == {"key": "value", "n": 42}
+
+
+def test_bench_store_put_get(benchmark):
+    store = HyperStore(nodes=4)
+
+    def put_get():
+        store.put("bench-key", {"payload": 123})
+        return store.get("bench-key")
+
+    assert benchmark(put_get) == {"payload": 123}
+
+
+def test_bench_store_atomic_update(benchmark):
+    store = HyperStore(nodes=4)
+    store.put("counter", 0)
+    benchmark(store.update, "counter", lambda v: v + 1)
+    assert store.get("counter") > 0
+
+
+def test_bench_lock_acquire_release(benchmark):
+    locks = LockManager()
+
+    def cycle():
+        locks.lock("bench", "owner")
+        locks.unlock("bench", "owner")
+
+    benchmark(cycle)
+    assert locks.holder("bench") is None
+
+
+def test_bench_group_broadcast(benchmark):
+    channel = Channel("bench")
+    sink = lambda sender, msg: None
+    for i in range(8):
+        channel.join(f"member-{i}", sink)
+    count = benchmark(channel.broadcast, "member-0", {"kind": "bench"})
+    assert count == 8
+
+
+def test_bench_marshalling(benchmark):
+    payload = {
+        "orders": [
+            {"id": i, "symbol": "AAPL", "qty": 100, "price": 150.25}
+            for i in range(20)
+        ]
+    }
+
+    def roundtrip():
+        return unmarshal_value(marshal_value(payload))
+
+    assert benchmark(roundtrip) == payload
+
+
+def test_bench_first_fit_plan(benchmark):
+    pending = {uid: (uid * 37) % 100 for uid in range(1, 33)}
+    refs = {uid: RemoteRef(f"ep-{uid}", f"o-{uid}", uid) for uid in pending}
+    rebalancer = FirstFitRebalancer()
+    decision = benchmark(rebalancer.plan, pending, refs)
+    assert set(decision.plan) == set(pending)
+
+
+def test_bench_consistent_hash_lookup(benchmark):
+    from repro.kvstore.ring import HashRing
+
+    ring = HashRing(vnodes=64)
+    for i in range(16):
+        ring.add_node(f"node-{i}")
+    owner = benchmark(ring.owner, "some/hot/key")
+    assert owner.startswith("node-")

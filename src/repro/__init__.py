@@ -1,0 +1,52 @@
+"""ElasticRMI — elastic remote methods middleware.
+
+A from-scratch Python reproduction of *"Elastic Remote Methods"*
+(K. R. Jayaram, MIDDLEWARE 2013).  The package provides:
+
+- :mod:`repro.core` — the paper's contribution: elastic classes whose
+  instances form a pool that looks like one remote object, with implicit,
+  coarse-grained, fine-grained, and application-level scaling policies;
+- :mod:`repro.cluster` — a Mesos-like cluster manager (slices, offers,
+  partial grants, provisioning-latency models);
+- :mod:`repro.kvstore` — a HyperDex-like strongly consistent in-memory
+  store with distributed locks for shared pool state;
+- :mod:`repro.rmi` — the stub/skeleton RMI substrate;
+- :mod:`repro.groupcomm` — JGroups-like broadcast and leader election;
+- :mod:`repro.apps` — the four evaluation applications (Marketcetera
+  order routing, Hedwig pub/sub, Paxos, DCS coordination service);
+- :mod:`repro.baselines` — Overprovisioning, CloudWatch+AutoScaling, and
+  the ElasticRMI-CPUMem variant;
+- :mod:`repro.metrics` / :mod:`repro.workloads` /
+  :mod:`repro.experiments` — SPEC elasticity metrics, the paper's workload
+  patterns, and the drivers that regenerate every evaluation figure.
+
+Quickstart::
+
+    from repro import ElasticRuntime, ElasticObject, elastic_field
+
+    class Cache(ElasticObject):
+        hits = elastic_field(default=0)
+
+        def get(self, key): ...
+
+    runtime = ElasticRuntime.local(nodes=8)
+    pool = runtime.new_pool(Cache, min_size=2, max_size=8)
+    stub = pool.stub()
+    stub.get("hot-key")   # load-balanced across the pool
+"""
+
+from repro.core.api import Decider, Elastic, ElasticObject
+from repro.core.fields import elastic_field, synchronized
+from repro.core.runtime import ElasticRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Decider",
+    "Elastic",
+    "ElasticObject",
+    "ElasticRuntime",
+    "elastic_field",
+    "synchronized",
+    "__version__",
+]

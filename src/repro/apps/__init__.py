@@ -1,0 +1,21 @@
+"""The four evaluation applications (paper section 5.2).
+
+Each application is re-implemented on the ElasticRMI API, exactly as the
+paper re-implemented the originals to add elasticity management:
+
+- :mod:`repro.apps.marketcetera` — financial order routing (accepts
+  orders from traders and routes them to markets/brokers, persisting each
+  order on two nodes for fault tolerance);
+- :mod:`repro.apps.hedwig` — topic-based publish/subscribe with hubs
+  partitioning topic ownership and at-most-once delivery;
+- :mod:`repro.apps.paxos` — multi-Paxos consensus (Kirsch & Amir's
+  "Paxos for Systems Builders" structure: an elected leader, prepare/
+  promise and accept/accepted phases, a replicated log);
+- :mod:`repro.apps.dcs` — a hierarchical coordination service in the
+  spirit of Chubby/ZooKeeper: a znode tree, totally ordered updates,
+  ephemeral nodes, and watches.
+
+All four override ``change_pool_size`` with application-specific logic —
+the fine-grained elasticity the paper's evaluation credits for the
+agility win over CPU/memory-threshold scaling.
+"""

@@ -1,0 +1,80 @@
+"""Shared scaling machinery for the evaluation applications.
+
+Every application scales on the same principle the paper's Figure 5
+illustrates: *compute the capacity the observed workload actually needs
+from application-level measurements*, instead of creeping ±1 on a CPU
+threshold.  :class:`ThroughputScaledService` implements the common part —
+measure the offered rate, divide by the per-member QoS capacity, vote the
+difference — and exposes a guard hook each application overrides with its
+own domain logic (lock contention for the order router, quorum parity for
+Paxos, backlog growth for Hedwig, ...).
+
+The offered rate comes from two sources, checked in order:
+
+1. the shared store key ``<pool>$offered_rate`` — written by workload
+   drivers (and by the simulation experiments, where no real invocations
+   flow);
+2. the pool's method-call statistics over the last burst interval — the
+   live-mode measurement (Figure 3's ``getMethodCallStats``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.api import ElasticObject
+
+
+class ThroughputScaledService(ElasticObject):
+    """Base class for rate-targeting fine-grained scaling.
+
+    Subclasses set :attr:`CAPACITY_PER_MEMBER` (operations/second one
+    member sustains at QoS) and may override :meth:`scaling_guard`.
+    """
+
+    #: Operations per second one member can serve while meeting QoS.
+    CAPACITY_PER_MEMBER: float = 1000.0
+    #: Aim to run members at this fraction of capacity (headroom for
+    #: bursts within a burst interval).
+    TARGET_UTILIZATION: float = 0.85
+    #: Largest single-vote change — fine-grained scaling can jump several
+    #: members at once (Figure 5 returns 2), but not unboundedly.
+    MAX_STEP: int = 8
+
+    # -- rate measurement ---------------------------------------------------
+
+    def observed_rate(self) -> float:
+        """Offered operations/second, from the driver hint or live stats."""
+        ctx = self._ermi_ctx
+        if ctx is not None:
+            hint = ctx.store.get(f"{ctx.pool.name}$offered_rate", default=None)
+            if hint is not None:
+                return float(hint)
+        stats = self.get_method_call_stats()
+        return sum(s.rate for s in stats.values())
+
+    def desired_members(self, rate: float) -> int:
+        """Members needed to serve ``rate`` at the target utilization."""
+        effective = self.CAPACITY_PER_MEMBER * self.TARGET_UTILIZATION
+        if effective <= 0:
+            raise ValueError("capacity per member must be positive")
+        return max(1, math.ceil(rate / effective))
+
+    # -- the fine-grained vote ------------------------------------------------
+
+    def change_pool_size(self) -> int:
+        rate = self.observed_rate()
+        target = self.desired_members(rate)
+        delta = target - self.get_pool_size()
+        delta = max(-self.MAX_STEP, min(self.MAX_STEP, delta))
+        return self.scaling_guard(delta)
+
+    def scaling_guard(self, delta: int) -> int:
+        """Application-specific veto/adjustment of the vote.
+
+        The default lets the rate-based vote through unchanged.
+        Subclasses override this with domain logic — e.g. Figure 5's
+        order cache refuses to grow under write-lock contention because
+        more members would only contend harder.
+        """
+        return delta

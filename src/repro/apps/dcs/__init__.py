@@ -1,0 +1,44 @@
+"""DCS: a distributed coordination service (paper section 5.2).
+
+DCS is a coordination service for datacenter applications in the spirit
+of Chubby and Apache ZooKeeper: a hierarchical name space usable for
+distributed configuration and synchronization, with **totally ordered
+updates**.  This implementation provides:
+
+- a znode tree (create/get/set/delete/children/exists) with per-node
+  versions and create/modify transaction ids (zxids);
+- total ordering of all updates through a global zxid sequencer;
+- sessions with ephemeral nodes, cleaned up when the session closes;
+- watches: clients register interest in a path and poll an ordered event
+  feed (one-shot, ZooKeeper-style).
+"""
+
+from repro.apps.dcs.recipes import (
+    Barrier,
+    Counter,
+    DistributedLock,
+    LeaderElector,
+)
+from repro.apps.dcs.service import (
+    BadVersionError,
+    CoordinationService,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    SessionExpiredError,
+    WatchEvent,
+)
+
+__all__ = [
+    "BadVersionError",
+    "Barrier",
+    "CoordinationService",
+    "Counter",
+    "DistributedLock",
+    "LeaderElector",
+    "NoNodeError",
+    "NodeExistsError",
+    "NotEmptyError",
+    "SessionExpiredError",
+    "WatchEvent",
+]

@@ -1,0 +1,213 @@
+"""Coordination recipes built on DCS primitives.
+
+The paper motivates DCS as a Chubby/ZooKeeper-class service "for
+distributed configuration and synchronization"; these are the classic
+synchronization patterns applications actually build on such services,
+implemented purely against the public DCS surface (so they work through
+a client stub against the elastic pool):
+
+- :class:`DistributedLock` — ephemeral-sequential lock queue: fair FIFO
+  locking where a crashed holder's session releases the lock;
+- :class:`LeaderElector` — lowest-sequence-node election with observable
+  leadership;
+- :class:`Barrier` — N-party rendezvous;
+- :class:`Counter` — an atomic counter on versioned ``set_data``.
+
+Each recipe takes the DCS client (stub or direct instance) and a
+session, mirroring how ZooKeeper recipes take a client handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.dcs.service import NoNodeError, NodeExistsError
+from repro.errors import ApplicationError
+
+
+def _unwrap(exc: Exception) -> Exception:
+    """Recipes run against stubs (errors arrive wrapped) and direct
+    instances (errors arrive raw); normalize to the raw cause."""
+    cause = getattr(exc, "cause", None)
+    return cause if cause is not None else exc
+
+
+def _ensure_path(dcs: Any, path: str) -> None:
+    """Create ``path`` and any missing ancestors (mkdir -p)."""
+    parts = [p for p in path.split("/") if p]
+    current = ""
+    for part in parts:
+        current += f"/{part}"
+        try:
+            dcs.create(current)
+        except (ApplicationError, NodeExistsError) as exc:
+            if not isinstance(_unwrap(exc), NodeExistsError):
+                raise
+
+
+class DistributedLock:
+    """Fair distributed lock: ephemeral sequential nodes under a parent.
+
+    The contender with the lowest sequence holds the lock; releasing (or
+    the holder's session dying) admits the next in line.
+    """
+
+    def __init__(self, dcs: Any, path: str, session_id: str) -> None:
+        self.dcs = dcs
+        self.path = path
+        self.session_id = session_id
+        self._my_node: str | None = None
+        self._ensure_parent()
+
+    def _ensure_parent(self) -> None:
+        _ensure_path(self.dcs, self.path)
+
+    def try_acquire(self) -> bool:
+        """Join the queue (if not already in it) and report whether we
+        are at its head."""
+        if self._my_node is None:
+            self._my_node = self.dcs.create_sequential(
+                f"{self.path}/lock-",
+                data=self.session_id,
+                ephemeral=True,
+                session_id=self.session_id,
+            )
+        return self.is_held()
+
+    def is_held(self) -> bool:
+        if self._my_node is None:
+            return False
+        children = sorted(self.dcs.get_children(self.path))
+        if not children:
+            return False
+        return self._my_node.rsplit("/", 1)[1] == children[0]
+
+    def queue_position(self) -> int | None:
+        """0 = holding; None = not queued."""
+        if self._my_node is None:
+            return None
+        children = sorted(self.dcs.get_children(self.path))
+        name = self._my_node.rsplit("/", 1)[1]
+        return children.index(name) if name in children else None
+
+    def release(self) -> None:
+        if self._my_node is None:
+            return
+        try:
+            self.dcs.delete(self._my_node)
+        except (ApplicationError, NoNodeError) as exc:
+            if not isinstance(_unwrap(exc), NoNodeError):
+                raise
+        self._my_node = None
+
+
+class LeaderElector:
+    """Lowest-sequence-node election (the ZooKeeper leader recipe)."""
+
+    def __init__(self, dcs: Any, path: str, session_id: str, name: str) -> None:
+        self.dcs = dcs
+        self.path = path
+        self.session_id = session_id
+        self.name = name
+        self._my_node: str | None = None
+        _ensure_path(self.dcs, self.path)
+
+    def volunteer(self) -> None:
+        if self._my_node is None:
+            self._my_node = self.dcs.create_sequential(
+                f"{self.path}/candidate-",
+                data=self.name,
+                ephemeral=True,
+                session_id=self.session_id,
+            )
+
+    def is_leader(self) -> bool:
+        if self._my_node is None:
+            return False
+        children = sorted(self.dcs.get_children(self.path))
+        return bool(children) and (
+            self._my_node.rsplit("/", 1)[1] == children[0]
+        )
+
+    def current_leader(self) -> str | None:
+        """Name of whoever currently leads (None with no candidates)."""
+        children = sorted(self.dcs.get_children(self.path))
+        if not children:
+            return None
+        record = self.dcs.get(f"{self.path}/{children[0]}")
+        return record["data"]
+
+    def withdraw(self) -> None:
+        if self._my_node is not None:
+            try:
+                self.dcs.delete(self._my_node)
+            except (ApplicationError, NoNodeError) as exc:
+                if not isinstance(_unwrap(exc), NoNodeError):
+                    raise
+            self._my_node = None
+
+
+class Barrier:
+    """N-party rendezvous: enter() until ``parties`` arrived."""
+
+    def __init__(self, dcs: Any, path: str, parties: int) -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1: {parties}")
+        self.dcs = dcs
+        self.path = path
+        self.parties = parties
+        if "/" in path.strip("/"):
+            _ensure_path(self.dcs, path.rsplit("/", 1)[0])
+        try:
+            self.dcs.create(self.path, data=parties)
+        except (ApplicationError, NodeExistsError) as exc:
+            if not isinstance(_unwrap(exc), NodeExistsError):
+                raise
+
+    def enter(self, participant: str) -> bool:
+        """Register arrival; True once the barrier is full."""
+        try:
+            self.dcs.create(f"{self.path}/{participant}")
+        except (ApplicationError, NodeExistsError) as exc:
+            if not isinstance(_unwrap(exc), NodeExistsError):
+                raise  # double-enter is idempotent
+        return self.is_open()
+
+    def is_open(self) -> bool:
+        return len(self.dcs.get_children(self.path)) >= self.parties
+
+    def arrived(self) -> int:
+        return len(self.dcs.get_children(self.path))
+
+
+class Counter:
+    """Atomic counter via conditional set_data (optimistic retry)."""
+
+    def __init__(self, dcs: Any, path: str) -> None:
+        self.dcs = dcs
+        self.path = path
+        if "/" in path.strip("/"):
+            _ensure_path(self.dcs, path.rsplit("/", 1)[0])
+        try:
+            self.dcs.create(self.path, data=0)
+        except (ApplicationError, NodeExistsError) as exc:
+            if not isinstance(_unwrap(exc), NodeExistsError):
+                raise
+
+    def value(self) -> int:
+        return self.dcs.get(self.path)["data"]
+
+    def increment(self, by: int = 1, max_retries: int = 50) -> int:
+        from repro.apps.dcs.service import BadVersionError
+
+        for _ in range(max_retries):
+            record = self.dcs.get(self.path)
+            try:
+                self.dcs.set_data(
+                    self.path, record["data"] + by, version=record["version"]
+                )
+                return record["data"] + by
+            except (ApplicationError, BadVersionError) as exc:
+                if not isinstance(_unwrap(exc), BadVersionError):
+                    raise
+        raise RuntimeError(f"counter {self.path}: contention too high")

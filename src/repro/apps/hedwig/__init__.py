@@ -1,0 +1,24 @@
+"""Hedwig-style topic-based publish/subscribe (paper section 5.2).
+
+Hedwig is a topic-based pub/sub system for reliable, guaranteed
+at-most-once delivery from publishers to subscribers.  A region consists
+of *hubs*; the hubs partition topic ownership among themselves, and all
+publishes/subscribes for a topic go to its owning hub.
+
+In this reproduction the hub pool is one elastic class: topic ownership
+is partitioned over the live members by consistent hashing on the member
+uid list, publishes append to per-topic logs in the shared store, and
+subscribers consume with cursors that advance *before* delivery — which
+is precisely what makes delivery at-most-once.
+"""
+
+from repro.apps.hedwig.federation import Envelope, HedwigFederation
+from repro.apps.hedwig.hub import Hub, Message, TopicOwnershipError
+
+__all__ = [
+    "Envelope",
+    "HedwigFederation",
+    "Hub",
+    "Message",
+    "TopicOwnershipError",
+]

@@ -1,0 +1,194 @@
+"""The elastic hub pool: topic ownership, publish, subscribe, consume.
+
+Data layout in the shared store (all under the ``hw/`` prefix):
+
+- ``hw/topics/<topic>/seq`` — the topic's message sequence counter;
+- ``hw/topics/<topic>/log`` — the retained message window (list);
+- ``hw/topics/<topic>/subs`` — subscriber id -> cursor (last consumed
+  seq).  Cursors advance before messages are handed out, giving the
+  at-most-once guarantee Hedwig provides;
+- ``hw/stats/backlog`` — total undelivered messages, the app-specific
+  metric scaling keys on alongside throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.common import ThroughputScaledService
+from repro.core.fields import elastic_field
+
+
+class TopicOwnershipError(Exception):
+    """Operation routed to a hub that does not own the topic (only
+    raised when strict ownership checking is enabled)."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published message."""
+
+    topic: str
+    seq: int
+    payload: object
+    publisher: str
+
+
+#: Retained messages per topic; older entries are trimmed (subscribers
+#: that lag farther than this lose messages — at-most-once, not at-least).
+RETENTION = 10_000
+
+
+class Hub(ThroughputScaledService):
+    """One member of the hub pool."""
+
+    #: A hub sustains ~1,500 msgs/s at QoS; peak A = 30,000 msgs/s needs
+    #: about 24 hubs at the target utilization.
+    CAPACITY_PER_MEMBER = 1_500.0
+    #: Moderate headroom: delivery can lag briefly (backlog absorbs it).
+    TARGET_UTILIZATION = 0.75
+
+    published_total = elastic_field(default=0)
+    delivered_total = elastic_field(default=0)
+
+    def __init__(self, strict_ownership: bool = False) -> None:
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(32)
+        self.strict_ownership = strict_ownership
+
+    # ------------------------------------------------------------------
+    # topic ownership (hubs partition topics among themselves)
+    # ------------------------------------------------------------------
+
+    def owner_uid(self, topic: str) -> int:
+        """The pool member uid owning ``topic``: stable hash over the
+        current membership."""
+        ctx = self._ctx()
+        uids = sorted(m.uid for m in ctx.pool.active_members())
+        if not uids:
+            raise RuntimeError("hub pool has no active members")
+        return uids[hash(topic) % len(uids)]
+
+    def owns(self, topic: str) -> bool:
+        ctx = self._ctx()
+        return self.owner_uid(topic) == ctx.member.uid
+
+    def _check_ownership(self, topic: str) -> None:
+        if self.strict_ownership and not self.owns(topic):
+            raise TopicOwnershipError(
+                f"topic {topic!r} is owned by hub {self.owner_uid(topic)}"
+            )
+
+    # ------------------------------------------------------------------
+    # publish / subscribe / consume
+    # ------------------------------------------------------------------
+
+    def publish(self, topic: str, payload: object, publisher: str = "?") -> int:
+        """Append a message to the topic; returns its sequence number."""
+        self._check_ownership(topic)
+        store = self._ctx().store
+        seq = store.incr(f"hw/topics/{topic}/seq")
+        message = Message(topic=topic, seq=seq, payload=payload, publisher=publisher)
+
+        def append(log):
+            log = list(log or [])
+            log.append(message)
+            if len(log) > RETENTION:
+                log = log[-RETENTION:]
+            return log
+
+        store.update(f"hw/topics/{topic}/log", append, default=[])
+        type(self).published_total.update(self, lambda v: v + 1)
+        return seq
+
+    def subscribe(self, topic: str, subscriber: str) -> int:
+        """Register a subscriber; consumption starts after the current
+        head (existing messages are not replayed).  Returns the cursor."""
+        self._check_ownership(topic)
+        store = self._ctx().store
+        head = store.get(f"hw/topics/{topic}/seq", default=0)
+
+        def register(subs):
+            subs = dict(subs or {})
+            subs.setdefault(subscriber, head)
+            return subs
+
+        subs = store.update(f"hw/topics/{topic}/subs", register, default={})
+        return subs[subscriber]
+
+    def unsubscribe(self, topic: str, subscriber: str) -> bool:
+        store = self._ctx().store
+
+        def remove(subs):
+            subs = dict(subs or {})
+            subs.pop(subscriber, None)
+            return subs
+
+        before = store.get(f"hw/topics/{topic}/subs", default={})
+        store.update(f"hw/topics/{topic}/subs", remove, default={})
+        return subscriber in before
+
+    def consume(self, topic: str, subscriber: str, max_messages: int = 100) -> list[Message]:
+        """Hand the subscriber its next messages, **advancing the cursor
+        first** — a crash after this call loses the batch, which is the
+        at-most-once contract (never a duplicate delivery)."""
+        self._check_ownership(topic)
+        store = self._ctx().store
+        subs_key = f"hw/topics/{topic}/subs"
+        subs = store.get(subs_key, default={})
+        if subscriber not in subs:
+            raise KeyError(f"{subscriber!r} is not subscribed to {topic!r}")
+        cursor = subs[subscriber]
+        head = store.get(f"hw/topics/{topic}/seq", default=0)
+        upto = min(head, cursor + max_messages)
+        if upto <= cursor:
+            return []
+
+        def advance(current):
+            current = dict(current or {})
+            # Another consumer instance may have advanced concurrently;
+            # never move the cursor backwards.
+            current[subscriber] = max(current.get(subscriber, 0), upto)
+            return current
+
+        store.update(subs_key, advance, default={})
+        log = store.get(f"hw/topics/{topic}/log", default=[])
+        batch = [m for m in log if cursor < m.seq <= upto]
+        type(self).delivered_total.update(self, lambda v: v + len(batch))
+        return batch
+
+    def backlog(self, topic: str) -> int:
+        """Messages published but not yet consumed by the laggiest
+        subscriber (0 with no subscribers)."""
+        store = self._ctx().store
+        head = store.get(f"hw/topics/{topic}/seq", default=0)
+        subs = store.get(f"hw/topics/{topic}/subs", default={})
+        if not subs:
+            return 0
+        return head - min(subs.values())
+
+    def topic_stats(self, topic: str) -> dict:
+        store = self._ctx().store
+        return {
+            "seq": store.get(f"hw/topics/{topic}/seq", default=0),
+            "subscribers": len(store.get(f"hw/topics/{topic}/subs", default={})),
+            "backlog": self.backlog(topic),
+            "owner": self.owner_uid(topic),
+        }
+
+    # ------------------------------------------------------------------
+    # fine-grained scaling
+    # ------------------------------------------------------------------
+
+    def scaling_guard(self, delta: int) -> int:
+        """Grow eagerly when delivery backlog is building: a rising
+        backlog means subscribers fall behind even if the publish rate
+        alone does not justify more hubs yet."""
+        ctx = self._ermi_ctx
+        if ctx is None or delta < 0:
+            return delta
+        backlog = ctx.store.get("hw/stats/backlog", default=0)
+        if backlog > 5_000 and delta < self.MAX_STEP:
+            return delta + 1
+        return delta

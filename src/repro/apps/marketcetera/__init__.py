@@ -1,0 +1,46 @@
+"""Marketcetera-style order routing (paper section 5.2).
+
+The order routing system accepts orders from traders and automated
+strategy engines and routes them to markets, brokers, and other financial
+intermediaries.  For fault tolerance every order is persisted on two
+nodes before the routing acknowledgement is returned.
+
+Public surface:
+
+- :class:`Order`, :class:`OrderAck`, :class:`Side`, :class:`OrderType` —
+  the order model;
+- :class:`OrderRouter` — the elastic class: ``submit_order``,
+  ``cancel_order``, ``order_status``, with fine-grained scaling driven by
+  routing throughput and write-lock contention (Figure 5's logic);
+- :class:`OrderGenerator` — the trading-order simulator used as the
+  workload (the community-edition simulator stand-in).
+"""
+
+from repro.apps.marketcetera.orders import (
+    Order,
+    OrderAck,
+    OrderGenerator,
+    OrderType,
+    Side,
+)
+from repro.apps.marketcetera.execution import (
+    ExecutionReport,
+    Fill,
+    MarketSimulator,
+    TradingSession,
+)
+from repro.apps.marketcetera.router import OrderRouter, RejectedOrderError
+
+__all__ = [
+    "ExecutionReport",
+    "Fill",
+    "MarketSimulator",
+    "Order",
+    "OrderAck",
+    "OrderGenerator",
+    "OrderRouter",
+    "OrderType",
+    "RejectedOrderError",
+    "Side",
+    "TradingSession",
+]

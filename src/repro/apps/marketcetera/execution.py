@@ -1,0 +1,164 @@
+"""Order execution: simulated market venues and the fill lifecycle.
+
+The order router's job ends at the destination market; this module
+models what happens next, so the application has the full lifecycle the
+Marketcetera platform manages (routed → working → partially filled →
+filled / cancelled):
+
+- :class:`MarketSimulator` — deterministic per-symbol price model and
+  execution rules: market orders fill immediately at the simulated
+  price; limit orders fill only when their limit crosses it; large
+  orders fill partially per round;
+- :class:`Fill` / :class:`ExecutionReport` — the FIX-ish result types;
+- :class:`TradingSession` — glue: submit through the elastic router,
+  execute at the simulated venue, report fills back into the persisted
+  order record (so ``order_status`` shows live lifecycle state).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.marketcetera.orders import Order, OrderType, Side
+
+_exec_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Fill:
+    """One execution: quantity at a price."""
+
+    exec_id: str
+    order_id: str
+    quantity: int
+    price: float
+    venue: str
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Venue response for one execution attempt."""
+
+    order_id: str
+    status: str                # "filled" | "partial" | "working"
+    fills: tuple[Fill, ...]
+    leaves_quantity: int       # remaining unfilled quantity
+
+
+def reference_price(symbol: str) -> float:
+    """Deterministic per-symbol base price (stable across runs)."""
+    digest = hashlib.sha256(symbol.encode()).digest()
+    return 20.0 + (int.from_bytes(digest[:4], "big") % 48_000) / 100.0
+
+
+class MarketSimulator:
+    """A venue with deterministic prices and size-limited liquidity.
+
+    ``liquidity_per_round`` caps how much quantity one execution round
+    absorbs — larger orders fill partially and stay working.
+    """
+
+    def __init__(self, venue: str, liquidity_per_round: int = 500) -> None:
+        if liquidity_per_round < 1:
+            raise ValueError("liquidity must be positive")
+        self.venue = venue
+        self.liquidity_per_round = liquidity_per_round
+        self._tick = 0
+
+    def market_price(self, symbol: str) -> float:
+        """Reference price with a small deterministic oscillation."""
+        base = reference_price(symbol)
+        wiggle = ((self._tick * 7919) % 200 - 100) / 100.0  # -1 .. +1
+        return round(base * (1 + 0.001 * wiggle), 2)
+
+    def advance(self) -> None:
+        """Move the simulated market one tick forward."""
+        self._tick += 1
+
+    def execute(self, order: Order, leaves_quantity: int | None = None) -> ExecutionReport:
+        """Run one execution round for the order."""
+        order.validate()
+        leaves = order.quantity if leaves_quantity is None else leaves_quantity
+        if leaves <= 0:
+            return ExecutionReport(order.order_id, "filled", (), 0)
+        price = self.market_price(order.symbol)
+        if order.order_type is OrderType.LIMIT:
+            crosses = (
+                order.side is Side.BUY and order.price >= price
+            ) or (order.side is Side.SELL and order.price <= price)
+            if not crosses:
+                return ExecutionReport(order.order_id, "working", (), leaves)
+            price = order.price  # limit orders execute at their limit
+        filled = min(leaves, self.liquidity_per_round)
+        fill = Fill(
+            exec_id=f"exec-{next(_exec_ids)}",
+            order_id=order.order_id,
+            quantity=filled,
+            price=price,
+            venue=self.venue,
+        )
+        remaining = leaves - filled
+        status = "filled" if remaining == 0 else "partial"
+        return ExecutionReport(order.order_id, status, (fill,), remaining)
+
+
+class TradingSession:
+    """Submit → execute → report, against the elastic router pool.
+
+    ``router`` is any client of the OrderRouter pool (stub or instance);
+    venues are created lazily per destination.
+    """
+
+    def __init__(self, router: Any, liquidity_per_round: int = 500) -> None:
+        self.router = router
+        self.liquidity_per_round = liquidity_per_round
+        self._venues: dict[str, MarketSimulator] = {}
+        self._working: dict[str, tuple[Order, int]] = {}  # id -> (order, leaves)
+        self.fills: list[Fill] = []
+
+    def venue(self, destination: str) -> MarketSimulator:
+        if destination not in self._venues:
+            self._venues[destination] = MarketSimulator(
+                destination, self.liquidity_per_round
+            )
+        return self._venues[destination]
+
+    def trade(self, order: Order) -> ExecutionReport:
+        """Submit the order and run its first execution round."""
+        ack = self.router.submit_order(order)
+        report = self.venue(ack.destination).execute(order)
+        self._record(order, report)
+        return report
+
+    def work_open_orders(self) -> list[ExecutionReport]:
+        """One market tick: retry every working order."""
+        reports = []
+        for order_id, (order, leaves) in list(self._working.items()):
+            destination = self.router.route_for(order.symbol)
+            venue = self.venue(destination)
+            venue.advance()
+            report = venue.execute(order, leaves_quantity=leaves)
+            self._record(order, report)
+            reports.append(report)
+        return reports
+
+    def open_order_count(self) -> int:
+        return len(self._working)
+
+    def _record(self, order: Order, report: ExecutionReport) -> None:
+        self.fills.extend(report.fills)
+        if report.status == "filled":
+            self._working.pop(order.order_id, None)
+        else:
+            self._working[order.order_id] = (order, report.leaves_quantity)
+        self.router.report_execution(
+            order.order_id,
+            report.status,
+            [
+                {"exec_id": f.exec_id, "qty": f.quantity, "price": f.price}
+                for f in report.fills
+            ],
+        )

@@ -1,0 +1,103 @@
+"""The order model and the trading-order simulator.
+
+Orders follow the essentials of FIX: symbol, side, type, quantity, and —
+for limit orders — a price.  The generator plays the role of the
+simulator included in the Marketcetera community edition: deterministic
+streams of plausible orders at a configurable rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Side(Enum):
+    BUY = "buy"
+    SELL = "sell"
+
+
+class OrderType(Enum):
+    MARKET = "market"
+    LIMIT = "limit"
+
+
+_order_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Order:
+    """One trading order as submitted by a trader or strategy engine."""
+
+    order_id: str
+    trader: str
+    symbol: str
+    side: Side
+    order_type: OrderType
+    quantity: int
+    price: float | None = None  # required for LIMIT orders
+
+    def validate(self) -> None:
+        """Raise ValueError on malformed orders (pre-routing check)."""
+        if not self.symbol or not self.symbol.isalpha():
+            raise ValueError(f"invalid symbol: {self.symbol!r}")
+        if self.quantity <= 0:
+            raise ValueError(f"quantity must be positive: {self.quantity}")
+        if self.order_type is OrderType.LIMIT:
+            if self.price is None or self.price <= 0:
+                raise ValueError(f"limit order needs a positive price")
+        if self.order_type is OrderType.MARKET and self.price is not None:
+            raise ValueError("market orders must not carry a price")
+
+
+@dataclass(frozen=True)
+class OrderAck:
+    """The routing acknowledgement returned to the submitter."""
+
+    order_id: str
+    destination: str
+    replicas: tuple[str, str]  # the two nodes the order was persisted on
+    status: str = "routed"
+
+
+#: A plausible set of liquid symbols for the simulator.
+SYMBOLS = (
+    "AAPL", "MSFT", "GOOG", "AMZN", "TSLA", "NVDA", "META", "JPM",
+    "GS", "XOM", "WMT", "JNJ", "V", "PG", "UNH", "HD",
+)
+
+
+@dataclass
+class OrderGenerator:
+    """Deterministic stream of orders (the included simulator's role)."""
+
+    rng: random.Random
+    traders: tuple[str, ...] = ("trader-1", "trader-2", "strategy-A", "strategy-B")
+    symbols: tuple[str, ...] = SYMBOLS
+    hot_symbol_bias: float = 0.0  # fraction of orders pinned to symbols[0]
+
+    def next_order(self) -> Order:
+        if self.hot_symbol_bias > 0 and self.rng.random() < self.hot_symbol_bias:
+            symbol = self.symbols[0]
+        else:
+            symbol = self.rng.choice(self.symbols)
+        order_type = (
+            OrderType.LIMIT if self.rng.random() < 0.6 else OrderType.MARKET
+        )
+        price = None
+        if order_type is OrderType.LIMIT:
+            price = round(self.rng.uniform(10.0, 500.0), 2)
+        return Order(
+            order_id=f"ord-{next(_order_counter)}",
+            trader=self.rng.choice(self.traders),
+            symbol=symbol,
+            side=self.rng.choice((Side.BUY, Side.SELL)),
+            order_type=order_type,
+            quantity=self.rng.choice((100, 200, 500, 1000)),
+            price=price,
+        )
+
+    def batch(self, count: int) -> list[Order]:
+        return [self.next_order() for _ in range(count)]

@@ -1,0 +1,172 @@
+"""The elastic order router.
+
+``submit_order`` validates, picks the destination market for the symbol,
+persists the order on **two** replica keys (the paper's two-node
+persistence for fault tolerance), and acknowledges.  Cancel and status
+queries read the persisted record.
+
+Scaling (fine-grained, Figure 5's structure): the rate-based target from
+:class:`ThroughputScaledService` is vetoed when write-lock contention is
+the bottleneck — if lock acquisition failures exceed 50% or lock latency
+dominates the put latency, adding members would only increase contention,
+so the router declines to grow.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import ThroughputScaledService
+from repro.apps.marketcetera.orders import Order, OrderAck
+from repro.core.fields import elastic_field
+
+
+class RejectedOrderError(Exception):
+    """The order failed validation or referenced an unknown order id."""
+
+
+#: Destination markets by first letter band — a stand-in for the routing
+#: table real deployments configure per symbol/venue.
+DESTINATIONS = ("NYSE", "NASDAQ", "ARCA", "BATS")
+
+
+class OrderRouter(ThroughputScaledService):
+    """Marketcetera-style order routing as one elastic object pool."""
+
+    #: One member routes ~2,000 orders/s at QoS; peak A = 50,000 orders/s
+    #: therefore needs about 30 members at the target utilization.
+    CAPACITY_PER_MEMBER = 2_000.0
+    #: Order routing keeps generous headroom: routing bursts within a
+    #: burst interval must not queue orders (latency QoS dominates).
+    TARGET_UTILIZATION = 0.81
+
+    orders_routed = elastic_field(default=0)
+    orders_rejected = elastic_field(default=0)
+    lock_acq_failures = elastic_field(default=0.0)  # percent, 0-100
+    lock_acq_latency = elastic_field(default=0.0)   # seconds
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(40)
+
+    # ------------------------------------------------------------------
+    # remote methods
+    # ------------------------------------------------------------------
+
+    def submit_order(self, order: Order) -> OrderAck:
+        """Validate, persist on two nodes, and route."""
+        try:
+            order.validate()
+        except ValueError as exc:
+            type(self).orders_rejected.update(self, lambda v: v + 1)
+            raise RejectedOrderError(str(exc)) from exc
+        destination = self.route_for(order.symbol)
+        replicas = self._persist(order, destination)
+        type(self).orders_routed.update(self, lambda v: v + 1)
+        return OrderAck(
+            order_id=order.order_id,
+            destination=destination,
+            replicas=replicas,
+        )
+
+    def order_status(self, order_id: str) -> dict:
+        """Read back the persisted order record."""
+        record = self._store().get(f"mkt/orders/{order_id}/r0", default=None)
+        if record is None:
+            raise RejectedOrderError(f"unknown order: {order_id}")
+        return record
+
+    def cancel_order(self, order_id: str) -> bool:
+        """Cancel a routed order; idempotent (False when already gone)."""
+        store = self._store()
+        existed = store.delete(f"mkt/orders/{order_id}/r0")
+        store.delete(f"mkt/orders/{order_id}/r1")
+        return existed
+
+    def report_execution(
+        self, order_id: str, status: str, fills: list[dict]
+    ) -> dict:
+        """Record an execution report against the persisted order.
+
+        Updates both replicas (the same two-node persistence as the
+        original routing) and returns the updated record.  Unknown
+        orders raise, matching FIX's reject for an unknown ClOrdID.
+        """
+        store = self._store()
+        if not store.exists(f"mkt/orders/{order_id}/r0"):
+            raise RejectedOrderError(f"unknown order: {order_id}")
+        updated: dict = {}
+
+        def apply(record):
+            record = dict(record)
+            record["status"] = status
+            record["fills"] = list(record.get("fills", [])) + list(fills)
+            record["filled_quantity"] = sum(f["qty"] for f in record["fills"])
+            updated.update(record)
+            return record
+
+        for replica in ("r0", "r1"):
+            store.update(f"mkt/orders/{order_id}/{replica}", apply)
+        return updated
+
+    def routed_count(self) -> int:
+        return self.orders_routed
+
+    def route_for(self, symbol: str) -> str:
+        """Deterministic symbol -> market routing."""
+        return DESTINATIONS[hash(symbol) % len(DESTINATIONS)]
+
+    # ------------------------------------------------------------------
+    # persistence (two nodes, paper section 5.2)
+    # ------------------------------------------------------------------
+
+    def _persist(self, order: Order, destination: str) -> tuple[str, str]:
+        store = self._store()
+        record = {
+            "order_id": order.order_id,
+            "trader": order.trader,
+            "symbol": order.symbol,
+            "side": order.side.value,
+            "type": order.order_type.value,
+            "quantity": order.quantity,
+            "price": order.price,
+            "destination": destination,
+            "status": "routed",
+        }
+        replicas = (
+            f"mkt/orders/{order.order_id}/r0",
+            f"mkt/orders/{order.order_id}/r1",
+        )
+        for key in replicas:
+            store.put(key, record)
+        return replicas
+
+    def _store(self):
+        ctx = self._ermi_ctx
+        if ctx is None:
+            raise RuntimeError(
+                "OrderRouter must be instantiated through "
+                "ElasticRuntime.new_pool(...)"
+            )
+        return ctx.store
+
+    # ------------------------------------------------------------------
+    # fine-grained scaling (Figure 5's contention guard)
+    # ------------------------------------------------------------------
+
+    def scaling_guard(self, delta: int) -> int:
+        """Do not add members when write-lock contention dominates.
+
+        Mirrors Figure 5: if the failure rate for acquiring write locks
+        exceeds 50%, or lock-acquisition latency is at least 80% of the
+        put latency, additional members only raise contention — return 0.
+        """
+        if delta <= 0:
+            return delta
+        if self.lock_acq_failures > 50.0:
+            return 0
+        stats = self.get_method_call_stats()
+        put = stats.get("submit_order")
+        if put is not None and put.latency() > 0:
+            if self.lock_acq_latency >= 0.8 * put.latency():
+                return 0
+        return delta

@@ -1,0 +1,37 @@
+"""Multi-Paxos consensus (paper section 5.2).
+
+A working implementation of multi-Paxos structured after Kirsch & Amir's
+"Paxos for Systems Builders": an elected leader (ElasticRMI's sentinel —
+the lowest-uid member — doubles as the Paxos leader), a prepare/promise
+phase establishing the leader's ballot, accept/accepted rounds filling a
+replicated log of slots, and learners applying chosen commands to a
+replicated state machine in slot order.
+
+Messages travel over the pool's group channel; every pool member is
+proposer-forwarder, acceptor, and learner at once, as in practical
+deployments.  Quorum is a majority of the pool's active members, so the
+protocol keeps working across elastic scaling.
+"""
+
+from repro.apps.paxos.messages import (
+    Accept,
+    Accepted,
+    Ballot,
+    Learn,
+    Nack,
+    Prepare,
+    Promise,
+)
+from repro.apps.paxos.replica import NoQuorumError, PaxosReplica
+
+__all__ = [
+    "Accept",
+    "Accepted",
+    "Ballot",
+    "Learn",
+    "Nack",
+    "NoQuorumError",
+    "PaxosReplica",
+    "Prepare",
+    "Promise",
+]

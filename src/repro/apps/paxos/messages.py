@@ -1,0 +1,87 @@
+"""Paxos wire messages.
+
+Ballots order as (round, proposer uid) so competing proposers never tie.
+The messages carry exactly the classic fields; everything else (reply
+collection) is transport framing added by the replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import total_ordering
+from typing import Any
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Ballot:
+    """A proposal number: globally ordered, proposer-unique."""
+
+    number: int
+    proposer_uid: int
+
+    def _key(self) -> tuple[int, int]:
+        return (self.number, self.proposer_uid)
+
+    def __lt__(self, other: "Ballot") -> bool:
+        return self._key() < other._key()
+
+    def next(self, proposer_uid: int) -> "Ballot":
+        """The smallest ballot of ``proposer_uid`` larger than this one."""
+        return Ballot(self.number + 1, proposer_uid)
+
+
+ZERO = Ballot(0, 0)
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a: leader asks acceptors to promise ballot ``ballot`` and
+    report anything accepted at or after ``from_slot``."""
+
+    ballot: Ballot
+    from_slot: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: acceptor promises; ``accepted`` maps slot -> (ballot,
+    value) for previously accepted proposals the leader must honour."""
+
+    ballot: Ballot
+    acceptor_uid: int
+    accepted: dict[int, tuple[Ballot, Any]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a: leader asks acceptors to accept ``value`` at ``slot``."""
+
+    ballot: Ballot
+    slot: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b: acceptor accepted the proposal."""
+
+    ballot: Ballot
+    slot: int
+    acceptor_uid: int
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Rejection: the acceptor has promised a higher ballot."""
+
+    promised: Ballot
+    acceptor_uid: int
+
+
+@dataclass(frozen=True)
+class Learn:
+    """Commit notification: ``value`` is chosen at ``slot``."""
+
+    slot: int
+    value: Any

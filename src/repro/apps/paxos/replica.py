@@ -1,0 +1,401 @@
+"""The Paxos replica: proposer-forwarder, acceptor, and learner in one.
+
+Every pool member holds acceptor state (promised ballot, accepted
+proposals) and a learner log; the member co-located with the pool's
+sentinel acts as the leader.  ``propose`` on any member forwards to the
+leader over the group channel; the leader establishes its ballot with a
+prepare/promise round (once per leadership term), then drives one
+accept/accepted round per command.
+
+Safety notes:
+
+- acceptor state is per-member and in memory, as Paxos requires — the
+  shared store is *not* used to shortcut consensus;
+- a new leader re-proposes any values it learns about in promises before
+  assigning new slots, preserving the Paxos invariant;
+- quorum is a strict majority of active members at round time, so
+  elastic scaling changes the quorum size but never breaks safety
+  (intersecting majorities).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.apps.common import ThroughputScaledService
+from repro.apps.paxos.messages import (
+    ZERO,
+    Accept,
+    Accepted,
+    Ballot,
+    Learn,
+    Nack,
+    Prepare,
+    Promise,
+)
+from repro.core.fields import elastic_field
+
+
+class NoQuorumError(Exception):
+    """A round could not assemble a majority of acceptors."""
+
+
+class PaxosReplica(ThroughputScaledService):
+    """One member of the elastic Paxos pool."""
+
+    #: Consensus rounds/s one replica sustains at QoS (each round is
+    #: two message phases plus log application); peak A = 24,000
+    #: rounds/s needs ~23 replicas at the target utilization.
+    #: Tight headroom: rounds are short and the pool tracks demand closely.
+    CAPACITY_PER_MEMBER = 1_200.0
+
+    TARGET_UTILIZATION = 0.88
+
+    rounds_completed = elastic_field(default=0)
+    rounds_aborted = elastic_field(default=0)
+
+    MAX_ROUND_RETRIES = 5
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.set_min_pool_size(3)
+        self.set_max_pool_size(25)
+        # Acceptor state (volatile, per member — as Paxos prescribes).
+        self._promised: Ballot = ZERO
+        self._accepted: dict[int, tuple[Ballot, Any]] = {}
+        # Learner state.
+        self._chosen: dict[int, Any] = {}
+        self._applied_upto = 0
+        self._state: dict[str, Any] = {}  # the replicated state machine
+        # Proposer state (meaningful only while leading).
+        self._ballot: Ballot | None = None
+        self._ballot_established = False
+        self._next_slot = 1
+        # Live mode runs remote calls on dispatch threads: the leader
+        # serializes rounds, and acceptor/learner state updates are
+        # guarded (single-threaded in simulation, contended in live).
+        self._proposer_lock = threading.RLock()
+        self._acceptor_lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # public remote methods
+    # ------------------------------------------------------------------
+
+    def propose(self, command: dict) -> dict:
+        """Run one consensus round for ``command``; returns the slot and
+        the state-machine result.  Callable on any member."""
+        leader = self._leader_member()
+        if leader.uid == self._me().uid:
+            return self._lead(command)
+        # Forward to the leader over the channel; the reply slot is
+        # filled synchronously (in-process group channel).
+        reply: list[dict] = []
+        self._channel().send(
+            self._address(),
+            leader.address(),
+            {"kind": "paxos-forward", "command": command, "reply": reply},
+        )
+        if not reply:
+            raise NoQuorumError("leader did not answer the forwarded proposal")
+        result = reply[0]
+        if "error" in result:
+            raise NoQuorumError(result["error"])
+        return result
+
+    def read(self, key: str) -> Any:
+        """Read from the local state machine replica.
+
+        Reads are served locally (possibly slightly stale on followers),
+        which is the usual Paxos deployment trade-off for read load.
+        """
+        return self._state.get(key)
+
+    def chosen_log(self) -> dict[int, Any]:
+        """The learner's view of the chosen log (for tests/inspection)."""
+        return dict(self._chosen)
+
+    def applied_upto(self) -> int:
+        return self._applied_upto
+
+    # ------------------------------------------------------------------
+    # leadership and rounds
+    # ------------------------------------------------------------------
+
+    def _lead(self, command: dict) -> dict:
+        with self._proposer_lock:
+            return self._lead_locked(command)
+
+    def _lead_locked(self, command: dict) -> dict:
+        for attempt in range(self.MAX_ROUND_RETRIES):
+            try:
+                if not self._ballot_established:
+                    self._establish_leadership()
+                slot = self._next_slot
+                self._accept_round(slot, command)
+                # Consume the slot only after the round succeeded, so a
+                # failed round never leaves an unfillable log gap.
+                self._next_slot = slot + 1
+                type(self).rounds_completed.update(self, lambda v: v + 1)
+                # Deliver the state-machine result from our own replica.
+                return {"slot": slot, "result": self._apply_result(slot)}
+            except NoQuorumError:
+                type(self).rounds_aborted.update(self, lambda v: v + 1)
+                self._ballot_established = False  # re-prepare with higher ballot
+        raise NoQuorumError(
+            f"round failed after {self.MAX_ROUND_RETRIES} attempts"
+        )
+
+    def _establish_leadership(self) -> None:
+        """Phase 1 for all open slots: pick a ballot above everything we
+        have seen and collect a majority of promises."""
+        me = self._me().uid
+        base = max(self._promised, self._ballot or ZERO)
+        self._ballot = base.next(me)
+        prepare = Prepare(ballot=self._ballot, from_slot=self._applied_upto + 1)
+        replies = self._broadcast_collect({"kind": "paxos", "msg": prepare})
+        promises = [r for r in replies if isinstance(r, Promise)]
+        if len(promises) < self._quorum():
+            nacks = [r for r in replies if isinstance(r, Nack)]
+            if nacks:
+                highest = max(n.promised for n in nacks)
+                self._ballot = highest.next(me)
+            raise NoQuorumError(
+                f"prepare gathered {len(promises)} promises; "
+                f"quorum is {self._quorum()}"
+            )
+        # Honour previously accepted values: re-propose the highest-ballot
+        # accepted value per slot before anything new.
+        inherited: dict[int, tuple[Ballot, Any]] = {}
+        for promise in promises:
+            for slot, (ballot, value) in promise.accepted.items():
+                if slot not in inherited or ballot > inherited[slot][0]:
+                    inherited[slot] = (ballot, value)
+        for slot in sorted(inherited):
+            if slot not in self._chosen:
+                self._accept_round(slot, inherited[slot][1])
+            self._next_slot = max(self._next_slot, slot + 1)
+        self._next_slot = max(self._next_slot, self._applied_upto + 1)
+        self._ballot_established = True
+
+    def _accept_round(self, slot: int, value: Any) -> None:
+        """Phase 2 for one slot; raises NoQuorumError without a majority."""
+        assert self._ballot is not None
+        accept = Accept(ballot=self._ballot, slot=slot, value=value)
+        replies = self._broadcast_collect({"kind": "paxos", "msg": accept})
+        accepted = [r for r in replies if isinstance(r, Accepted)]
+        if len(accepted) < self._quorum():
+            raise NoQuorumError(
+                f"accept for slot {slot} gathered {len(accepted)}; "
+                f"quorum is {self._quorum()}"
+            )
+        learn = Learn(slot=slot, value=value)
+        self._channel().broadcast(
+            self._address(), {"kind": "paxos", "msg": learn}
+        )
+
+    # ------------------------------------------------------------------
+    # message handling (acceptor + learner roles)
+    # ------------------------------------------------------------------
+
+    def on_pool_join(self) -> None:
+        """Catch up the learner from the group after joining mid-stream.
+
+        Peers answer with a *snapshot* — their state machine, the slot it
+        reflects, and the chosen tail beyond it — so a long-lived pool
+        that has compacted its log can still bootstrap new members.  The
+        joiner installs the most advanced snapshot and merges the tails
+        (chosen values are immutable, so unioning them is safe).
+        """
+        replies = self._broadcast_collect({"kind": "paxos-catchup"})
+        best = None
+        for snapshot in replies:
+            if best is None or snapshot["applied_upto"] > best["applied_upto"]:
+                best = snapshot
+        if best is not None and best["applied_upto"] > self._applied_upto:
+            self._state = dict(best["state"])
+            self._applied_upto = best["applied_upto"]
+        for snapshot in replies:
+            for slot, value in snapshot["tail"].items():
+                if slot > self._applied_upto:
+                    self._chosen.setdefault(slot, value)
+        self._next_slot = max(self._next_slot, self._applied_upto + 1)
+        self._apply_contiguous()
+
+    def _catchup_snapshot(self) -> dict:
+        with self._acceptor_lock:
+            return {
+                "state": dict(self._state),
+                "applied_upto": self._applied_upto,
+                "tail": {
+                    slot: value
+                    for slot, value in self._chosen.items()
+                    if slot > self._applied_upto
+                },
+            }
+
+    def compact(self, keep_slots: int = 0) -> int:
+        """Discard chosen/accepted entries already reflected in the state
+        machine (keeping the last ``keep_slots`` for paranoia).  Returns
+        the number of log entries dropped.  Safe because catch-up ships
+        snapshots, not raw logs."""
+        if keep_slots < 0:
+            raise ValueError(f"keep_slots must be >= 0: {keep_slots}")
+        horizon = self._applied_upto - keep_slots
+        with self._acceptor_lock:
+            before = len(self._chosen)
+            self._chosen = {
+                slot: v for slot, v in self._chosen.items() if slot > horizon
+            }
+            self._accepted = {
+                slot: v for slot, v in self._accepted.items() if slot > horizon
+            }
+            return before - len(self._chosen)
+
+    def on_group_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, dict):
+            return
+        kind = message.get("kind")
+        if kind == "paxos-catchup":
+            collect = message.get("collect")
+            if collect is not None and sender != self._address():
+                collect.append(self._catchup_snapshot())
+        elif kind == "paxos-forward":
+            message["reply"].append(self._handle_forward(message["command"]))
+        elif kind == "paxos":
+            msg = message["msg"]
+            collect = message.get("collect")
+            response = self._handle_paxos(msg)
+            if collect is not None and response is not None:
+                collect.append(response)
+
+    def _handle_forward(self, command: dict) -> dict:
+        if self._leader_member().uid != self._me().uid:
+            return {"error": "not the leader"}
+        try:
+            return self._lead(command)
+        except NoQuorumError as exc:
+            return {"error": str(exc)}
+
+    def _handle_paxos(self, msg: Any) -> Any:
+        with self._acceptor_lock:
+            return self._handle_paxos_locked(msg)
+
+    def _handle_paxos_locked(self, msg: Any) -> Any:
+        if isinstance(msg, Prepare):
+            if msg.ballot >= self._promised:
+                self._promised = msg.ballot
+                relevant = {
+                    slot: entry
+                    for slot, entry in self._accepted.items()
+                    if slot >= msg.from_slot
+                }
+                return Promise(
+                    ballot=msg.ballot,
+                    acceptor_uid=self._me().uid,
+                    accepted=relevant,
+                )
+            return Nack(promised=self._promised, acceptor_uid=self._me().uid)
+        if isinstance(msg, Accept):
+            if msg.ballot >= self._promised:
+                self._promised = msg.ballot
+                self._accepted[msg.slot] = (msg.ballot, msg.value)
+                return Accepted(
+                    ballot=msg.ballot,
+                    slot=msg.slot,
+                    acceptor_uid=self._me().uid,
+                )
+            return Nack(promised=self._promised, acceptor_uid=self._me().uid)
+        if isinstance(msg, Learn):
+            self._chosen[msg.slot] = msg.value
+            self._apply_contiguous()
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # the replicated state machine
+    # ------------------------------------------------------------------
+
+    def _apply_contiguous(self) -> None:
+        while self._applied_upto + 1 in self._chosen:
+            slot = self._applied_upto + 1
+            self._apply(self._chosen[slot])
+            self._applied_upto = slot
+
+    def _apply(self, command: Any) -> Any:
+        if not isinstance(command, dict):
+            return None
+        op = command.get("op")
+        if op == "put":
+            self._state[command["key"]] = command["value"]
+            return command["value"]
+        if op == "incr":
+            new = self._state.get(command["key"], 0) + command.get("by", 1)
+            self._state[command["key"]] = new
+            return new
+        if op == "noop":
+            return None
+        return None
+
+    def _apply_result(self, slot: int) -> Any:
+        self._apply_contiguous()
+        if slot <= self._applied_upto:
+            return self._apply_preview(self._chosen[slot])
+        return None
+
+    def _apply_preview(self, command: Any) -> Any:
+        """The externally visible result of a command (already applied)."""
+        if isinstance(command, dict) and command.get("op") in ("put", "incr"):
+            return self._state.get(command["key"])
+        return None
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _me(self):
+        return self._ctx().member
+
+    def _channel(self):
+        return self._ctx().pool.channel
+
+    def _address(self) -> str:
+        return self._me().address()
+
+    def _leader_member(self):
+        leader = self._ctx().pool.sentinel()
+        if leader is None:
+            raise NoQuorumError("no leader: pool has no active members")
+        return leader
+
+    def _quorum(self) -> int:
+        n = len(self._ctx().pool.active_members())
+        return n // 2 + 1
+
+    def _broadcast_collect(self, message: dict) -> list[Any]:
+        collect: list[Any] = []
+        message = dict(message)
+        message["collect"] = collect
+        self._channel().broadcast(self._address(), message)
+        return collect
+
+    # ------------------------------------------------------------------
+    # fine-grained scaling
+    # ------------------------------------------------------------------
+
+    def scaling_guard(self, delta: int) -> int:
+        """Prefer odd pool sizes: an even-sized consensus group pays for
+        an extra member without improving quorum fault tolerance.
+
+        An even target is always rounded *up* to the next odd size (grow
+        one more / shrink one fewer) so the preference can never make the
+        pool oscillate between two sizes across burst intervals.
+        """
+        if delta == 0:
+            return 0
+        size = self.get_pool_size()
+        target = size + delta
+        if target % 2 == 0:
+            target += 1
+        adjusted = target - size
+        return max(-self.MAX_STEP, min(self.MAX_STEP, adjusted))

@@ -1,0 +1,27 @@
+"""Comparison deployments (paper section 5.4).
+
+The evaluation compares the ElasticRMI implementation of each application
+against:
+
+- **Overprovisioning** — the "oracle": the peak workload is known a
+  priori, and a fixed set of nodes large enough for the peak is always
+  provisioned.  Provisioning latency is zero by construction; excess
+  capacity is maximal away from the peak.
+- **Amazon CloudWatch + AutoScaling** — a monitoring service collects
+  CPU/memory utilization and threshold conditions add/remove *VM
+  instances*, whose provisioning takes minutes and which are subject to a
+  scaling cooldown.
+- **ElasticRMI-CPUMem** — the ElasticRMI runtime restricted to the same
+  CPU/memory conditions CloudWatch uses (no application-level
+  properties).  Built by configuring the real runtime with a
+  coarse-grained class; see :mod:`repro.experiments.deployments`.
+"""
+
+from repro.baselines.overprovision import OverprovisioningDeployment
+from repro.baselines.cloudwatch import CloudWatchAutoScaler, CloudWatchConfig
+
+__all__ = [
+    "CloudWatchAutoScaler",
+    "CloudWatchConfig",
+    "OverprovisioningDeployment",
+]

@@ -1,0 +1,144 @@
+"""A CloudWatch + AutoScaling model (paper section 5.4).
+
+Amazon CloudWatch collects utilization metrics from the nodes; alarm
+conditions on those metrics drive an Auto Scaling group.  The behavioural
+essentials the comparison depends on, all modeled here:
+
+- metrics are evaluated on a fixed *period* (default 300 s, the classic
+  CloudWatch detailed-monitoring alarm period used in the paper's
+  "5 mins" example), and an alarm fires only after ``evaluation_periods``
+  consecutive breaches;
+- scaling actions add/remove whole VM instances; a new instance takes
+  *minutes* to boot before it serves traffic (the reason the paper omits
+  CloudWatch from Figure 8's provisioning plot);
+- after a scaling action the group honours a *cooldown* before acting
+  again, so reaction to abrupt workload changes is slow;
+- conditions combine CPU OR memory for scale-out, and require both to be
+  low for scale-in (matching the ElasticRMI-CPUMem configuration so the
+  two differ only in provisioning dynamics, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.provisioner import Provisioner
+
+
+@dataclass(frozen=True)
+class CloudWatchConfig:
+    """Alarm + auto-scaling group parameters."""
+
+    min_capacity: int = 2
+    max_capacity: int = 50
+    cpu_high: float = 85.0
+    cpu_low: float = 50.0
+    ram_high: float = 70.0
+    ram_low: float = 40.0
+    period_s: float = 300.0
+    evaluation_periods: int = 1
+    cooldown_s: float = 300.0
+    step: int = 1  # instances added/removed per action
+
+    def __post_init__(self) -> None:
+        if self.min_capacity < 1 or self.max_capacity < self.min_capacity:
+            raise ValueError("invalid capacity bounds")
+        if self.cpu_low >= self.cpu_high or self.ram_low >= self.ram_high:
+            raise ValueError("low thresholds must be below high thresholds")
+        if self.period_s <= 0 or self.cooldown_s < 0:
+            raise ValueError("invalid timing parameters")
+        if self.evaluation_periods < 1 or self.step < 1:
+            raise ValueError("evaluation_periods and step must be >= 1")
+
+
+@dataclass
+class _PendingInstance:
+    ready_at: float
+    requested_at: float
+
+
+class CloudWatchAutoScaler:
+    """Stepped model: the harness calls :meth:`observe` on its control
+    cadence; the scaler evaluates alarms on its own period grid."""
+
+    name = "cloudwatch"
+
+    def __init__(self, config: CloudWatchConfig, provisioner: Provisioner):
+        self.config = config
+        self.provisioner = provisioner
+        self._serving = config.min_capacity
+        self._pending: list[_PendingInstance] = []
+        self._last_eval = 0.0
+        self._cooldown_until = 0.0
+        self._high_breaches = 0
+        self._low_breaches = 0
+        self._provisioning: list[tuple[float, float]] = []
+
+    # -- harness interface -----------------------------------------------------
+
+    def capacity(self) -> int:
+        """Instances currently *serving* (booted)."""
+        return self._serving
+
+    def provisioned(self) -> int:
+        """Instances paid for, including booting ones."""
+        return self._serving + len(self._pending)
+
+    def observe(self, t: float, cpu_percent: float, ram_percent: float) -> None:
+        """Feed one utilization observation at time ``t`` (seconds)."""
+        self._mature_pending(t)
+        if t - self._last_eval < self.config.period_s:
+            return
+        self._last_eval = t
+        self._evaluate_alarms(t, cpu_percent, ram_percent)
+
+    def provisioning_latencies(self) -> list[tuple[float, float]]:
+        """(request time, boot latency) for each instance launched."""
+        return list(self._provisioning)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _mature_pending(self, t: float) -> None:
+        ready = [p for p in self._pending if p.ready_at <= t]
+        if ready:
+            self._pending = [p for p in self._pending if p.ready_at > t]
+            self._serving += len(ready)
+
+    def _evaluate_alarms(self, t: float, cpu: float, ram: float) -> None:
+        cfg = self.config
+        high = cpu > cfg.cpu_high or ram > cfg.ram_high
+        low = cpu < cfg.cpu_low and ram < cfg.ram_low
+        self._high_breaches = self._high_breaches + 1 if high else 0
+        self._low_breaches = self._low_breaches + 1 if low else 0
+        if t < self._cooldown_until:
+            return
+        if self._high_breaches >= cfg.evaluation_periods:
+            self._scale_out(t)
+            self._high_breaches = 0
+            self._cooldown_until = t + cfg.cooldown_s
+        elif self._low_breaches >= cfg.evaluation_periods:
+            self._scale_in(t)
+            self._low_breaches = 0
+            self._cooldown_until = t + cfg.cooldown_s
+
+    def _scale_out(self, t: float) -> None:
+        cfg = self.config
+        room = cfg.max_capacity - self.provisioned()
+        launch = min(cfg.step, max(0, room))
+        for _ in range(launch):
+            boot = self.provisioner.sample_up_latency(0.0)
+            self._pending.append(
+                _PendingInstance(ready_at=t + boot, requested_at=t)
+            )
+            self._provisioning.append((t, boot))
+
+    def _scale_in(self, t: float) -> None:
+        cfg = self.config
+        removable = self.provisioned() - cfg.min_capacity
+        remove = min(cfg.step, max(0, removable))
+        for _ in range(remove):
+            # Terminate booting instances first (they serve nobody).
+            if self._pending:
+                self._pending.pop()
+            else:
+                self._serving -= 1

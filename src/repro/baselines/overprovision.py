@@ -1,0 +1,33 @@
+"""The overprovisioning oracle (paper section 5.4).
+
+"Knowing future workload patterns and provisioning enough resources to
+meet its demands": the peak workload (point A or B) is known a priori,
+the node count needed at the peak is determined offline, and that fixed
+set of nodes is provisioned for the whole run.  Provisioning latency is
+zero because nothing is ever provisioned at runtime; agility is dominated
+by Excess everywhere except at the peak, where it touches zero.
+"""
+
+from __future__ import annotations
+
+
+class OverprovisioningDeployment:
+    """Fixed capacity sized for the peak."""
+
+    name = "overprovisioning"
+
+    def __init__(self, peak_capacity: int) -> None:
+        if peak_capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {peak_capacity}")
+        self.peak_capacity = peak_capacity
+
+    def capacity(self) -> int:
+        return self.peak_capacity
+
+    def observe(self, t: float, cpu_percent: float, ram_percent: float) -> None:
+        """The oracle never reacts to observations."""
+
+    def provisioning_latencies(self) -> list[tuple[float, float]]:
+        """Provisioning latency is zero for the overprovisioning scenario
+        — resources are always ready (Figure 8)."""
+        return []

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``figure 7a|7b|7c..7j|8a|8b`` — regenerate one evaluation figure and
+  print its rows/series;
+- ``ablation burst|step|policy|provisioning`` — run one ablation study;
+- ``analyze <module>:<Class>`` — run the preprocessor's static analysis
+  on an elastic class and print the report;
+- ``transform <file.py>`` — apply the Figure 6 source rewrite and print
+  (or write) the transformed module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import (
+        FIGURE7_PANELS,
+        figure7_agility,
+        figure7a_workload,
+        figure7b_workload,
+        figure8_provisioning,
+        print_agility_panel,
+        print_provisioning_figure,
+    )
+
+    fig = args.id
+    if fig in ("7a", "7b"):
+        trace = (
+            figure7a_workload(args.app)
+            if fig == "7a"
+            else figure7b_workload(args.app)
+        )
+        print(f"Figure {fig} ({args.app}): minute -> rate")
+        for minute, rate in trace[:: max(1, len(trace) // 25)]:
+            print(f"  {minute:6.0f}  {rate:12.0f}")
+        return 0
+    if fig in FIGURE7_PANELS:
+        panel = figure7_agility(fig, seed=args.seed)
+        print(print_agility_panel(panel))
+        return 0
+    if fig in ("8a", "8b"):
+        workload = "abrupt" if fig == "8a" else "cyclic"
+        print(print_provisioning_figure(
+            figure8_provisioning(workload, seed=args.seed)
+        ))
+        return 0
+    print(f"unknown figure: {fig}", file=sys.stderr)
+    return 2
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    runners = {
+        "burst": ablations.burst_interval_ablation,
+        "step": ablations.max_step_ablation,
+        "policy": ablations.policy_ablation,
+        "provisioning": ablations.provisioning_ablation,
+    }
+    results = runners[args.which](
+        app=args.app, workload=args.workload, seed=args.seed
+    )
+    print(f"{args.which} ablation ({args.app}, {args.workload}):")
+    for key, result in results.items():
+        print(f"  {str(key):<24} avg agility {result.average_agility:6.2f}  "
+              f"max {result.max_agility:5.1f}  "
+              f"zero {100 * result.zero_fraction:3.0f}%")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.preprocessor import analyze
+
+    module_name, _, class_name = args.target.partition(":")
+    if not class_name:
+        print("target must be <module>:<Class>", file=sys.stderr)
+        return 2
+    module = importlib.import_module(module_name)
+    cls = getattr(module, class_name)
+    report = analyze(cls)
+    print(report.summary())
+    return 0 if report.ok() else 1
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro.preprocessor import transform_source
+
+    with open(args.file) as handle:
+        source = handle.read()
+    result = transform_source(source)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ElasticRMI reproduction: experiments and tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate an evaluation figure")
+    figure.add_argument("id", help="7a, 7b, 7c-7j, 8a, or 8b")
+    figure.add_argument("--app", default="marketcetera",
+                        help="application for 7a/7b traces")
+    figure.add_argument("--seed", type=int, default=0)
+    figure.set_defaults(fn=_cmd_figure)
+
+    ablation = sub.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument(
+        "which", choices=("burst", "step", "policy", "provisioning")
+    )
+    ablation.add_argument("--app", default="marketcetera")
+    ablation.add_argument("--workload", default="abrupt",
+                          choices=("abrupt", "cyclic"))
+    ablation.add_argument("--seed", type=int, default=0)
+    ablation.set_defaults(fn=_cmd_ablation)
+
+    analyze_cmd = sub.add_parser(
+        "analyze", help="static analysis of an elastic class"
+    )
+    analyze_cmd.add_argument("target", help="<module>:<Class>")
+    analyze_cmd.set_defaults(fn=_cmd_analyze)
+
+    transform = sub.add_parser(
+        "transform", help="apply the Figure 6 source rewrite"
+    )
+    transform.add_argument("file")
+    transform.add_argument("-o", "--output", default=None)
+    transform.set_defaults(fn=_cmd_transform)
+
+    report = sub.add_parser(
+        "report", help="run the full evaluation and emit a markdown report"
+    )
+    report.add_argument("-o", "--output", default=None)
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import run_full_evaluation
+
+    evaluation = run_full_evaluation(seed=args.seed)
+    text = evaluation.to_markdown()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0 if all(held for _, held in evaluation.claims()) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

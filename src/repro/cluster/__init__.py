@@ -1,0 +1,42 @@
+"""Mesos-like cluster manager substrate.
+
+The paper runs ElasticRMI on Apache Mesos, which carves physical/virtual
+nodes into *slices* (resource offers: a CPU + RAM reservation backed by a
+Linux container) and hands them to frameworks.  ElasticRMI interacts with
+Mesos through a narrow contract — request slices, receive (possibly
+partial) grants, release slices, observe cluster utilization — and this
+package reproduces exactly that contract:
+
+- :class:`Resources` — a CPU/RAM reservation.
+- :class:`Node` / :class:`Slice` — machines and the slices carved from them.
+- :class:`MesosMaster` — framework registration, slice allocation with
+  partial grants, release, utilization watermark notifications for
+  administrators, and failure injection (master outage pauses scaling, as
+  in section 4.4 of the paper).
+- :class:`ContainerProvisioner` / :class:`VMProvisioner` — provisioning
+  latency models: containers start in seconds (ElasticRMI, Figure 8), VM
+  instances boot in minutes (the CloudWatch baseline).
+"""
+
+from repro.cluster.node import Node, Resources, Slice, SliceState
+from repro.cluster.master import Framework, MesosMaster, UtilizationWatch
+from repro.cluster.provisioner import (
+    ContainerProvisioner,
+    InstantProvisioner,
+    Provisioner,
+    VMProvisioner,
+)
+
+__all__ = [
+    "ContainerProvisioner",
+    "InstantProvisioner",
+    "Framework",
+    "MesosMaster",
+    "Node",
+    "Provisioner",
+    "Resources",
+    "Slice",
+    "SliceState",
+    "UtilizationWatch",
+    "VMProvisioner",
+]

@@ -1,0 +1,223 @@
+"""The Mesos-like master: slice allocation with partial grants.
+
+ElasticRMI's contract with Mesos (paper sections 2.4, 4.2):
+
+- While instantiating an elastic class with minimum pool size ``k``, the
+  runtime requests ``k`` slices; if only ``l < k`` are free it receives
+  ``l`` and creates ``l`` objects (partial grants, never an error).
+- Released slices return to the cluster and may be re-granted to any
+  framework (or the same one later).
+- Administrators can register to be notified when cluster utilization
+  crosses configurable high/low watermarks (proactive capacity planning).
+- A master outage pauses add/remove of objects until recovery (4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import MasterUnavailableError, SliceError
+from repro.cluster.node import Node, Resources, Slice, SliceState
+
+
+@dataclass
+class Framework:
+    """A registered consumer of slices (e.g. one ElasticRMI runtime)."""
+
+    name: str
+    slices: list[Slice] = field(default_factory=list)
+
+    def slice_count(self) -> int:
+        return len(self.slices)
+
+
+@dataclass
+class UtilizationWatch:
+    """Administrator notification thresholds on cluster slice utilization."""
+
+    high: float
+    low: float
+    on_high: Callable[[float], None]
+    on_low: Callable[[float], None]
+    _armed_high: bool = True
+    _armed_low: bool = True
+
+
+class MesosMaster:
+    """Allocates slices to frameworks; the single point scaling talks to."""
+
+    def __init__(self, nodes: list[Node] | None = None) -> None:
+        self.nodes: list[Node] = list(nodes or [])
+        self.frameworks: dict[str, Framework] = {}
+        self.available = True
+        self._watches: list[UtilizationWatch] = []
+        self._lost_callbacks: dict[str, Callable[[Slice], None]] = {}
+
+    # -- cluster construction helpers ---------------------------------------
+
+    @classmethod
+    def homogeneous(
+        cls,
+        node_count: int,
+        slices_per_node: int = 4,
+        slice_cpus: float = 2.0,
+        slice_mem_mb: int = 2048,
+    ) -> "MesosMaster":
+        """Build a uniform cluster: ``node_count`` nodes, each carved into
+        ``slices_per_node`` identical slices (the paper's 2-CPU/2-GB
+        example reservation)."""
+        slice_size = Resources(slice_cpus, slice_mem_mb)
+        capacity = Resources(
+            slice_cpus * slices_per_node, slice_mem_mb * slices_per_node
+        )
+        nodes = [
+            Node(f"node-{i}", capacity, slice_size) for i in range(node_count)
+        ]
+        return cls(nodes)
+
+    def add_node(self, node: Node) -> None:
+        self.nodes.append(node)
+
+    # -- framework API -------------------------------------------------------
+
+    def register_framework(
+        self,
+        name: str,
+        on_slice_lost: Callable[[Slice], None] | None = None,
+    ) -> Framework:
+        if name in self.frameworks:
+            raise ValueError(f"framework already registered: {name}")
+        fw = Framework(name)
+        self.frameworks[name] = fw
+        if on_slice_lost is not None:
+            self._lost_callbacks[name] = on_slice_lost
+        return fw
+
+    def request_slices(self, framework: str, count: int) -> list[Slice]:
+        """Grant up to ``count`` free slices, spreading across nodes.
+
+        Partial grants are normal (the caller creates fewer objects); an
+        empty list means the cluster is exhausted.  Raises
+        :class:`MasterUnavailableError` during a master outage.
+        """
+        self._check_available()
+        fw = self._framework(framework)
+        if count < 0:
+            raise ValueError(f"negative slice count: {count}")
+        granted: list[Slice] = []
+        # Round-robin across nodes so one elastic pool's members land on
+        # distinct machines when possible (perf note in paper section 2.4).
+        pools = [n.free_slices() for n in self.nodes]
+        idx = 0
+        while len(granted) < count and any(pools):
+            pool = pools[idx % len(pools)]
+            if pool:
+                sl = pool.pop(0)
+                sl.state = SliceState.ALLOCATED
+                sl.framework = framework
+                fw.slices.append(sl)
+                granted.append(sl)
+            idx += 1
+            if idx > len(pools) and not any(pools):
+                break
+        self._check_watches()
+        return granted
+
+    def release_slice(self, framework: str, sl: Slice) -> None:
+        """Return a slice to the cluster for reuse by any framework."""
+        self._check_available()
+        fw = self._framework(framework)
+        if sl not in fw.slices:
+            raise SliceError(f"{sl} is not held by framework {framework}")
+        fw.slices.remove(sl)
+        sl.node.release(sl)
+        self._check_watches()
+
+    # -- introspection -------------------------------------------------------
+
+    def total_slices(self) -> int:
+        return sum(len(n.slices) for n in self.nodes if n.alive)
+
+    def allocated_slices(self) -> int:
+        return sum(len(n.allocated_slices()) for n in self.nodes if n.alive)
+
+    def free_slice_count(self) -> int:
+        return sum(len(n.free_slices()) for n in self.nodes)
+
+    def utilization(self) -> float:
+        total = self.total_slices()
+        return 0.0 if total == 0 else self.allocated_slices() / total
+
+    # -- administrator watermarks (paper section 4.2) -------------------------
+
+    def watch_utilization(
+        self,
+        high: float,
+        low: float,
+        on_high: Callable[[float], None],
+        on_low: Callable[[float], None],
+    ) -> UtilizationWatch:
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(f"watermarks must satisfy 0 <= low <= high <= 1")
+        watch = UtilizationWatch(high, low, on_high, on_low)
+        self._watches.append(watch)
+        return watch
+
+    def _check_watches(self) -> None:
+        util = self.utilization()
+        for w in self._watches:
+            if util >= w.high:
+                if w._armed_high:
+                    w._armed_high = False
+                    w.on_high(util)
+            else:
+                w._armed_high = True
+            if util <= w.low:
+                if w._armed_low:
+                    w._armed_low = False
+                    w.on_low(util)
+            else:
+                w._armed_low = True
+
+    # -- failure injection ----------------------------------------------------
+
+    def fail(self) -> None:
+        """Master outage: allocation and release raise until recovery."""
+        self.available = False
+
+    def recover(self) -> None:
+        self.available = True
+
+    def fail_node(self, node_id: str) -> None:
+        """Crash one node, notifying owning frameworks of lost slices."""
+        node = self._node(node_id)
+        for sl in node.fail():
+            owner = sl.framework
+            if owner and owner in self.frameworks:
+                fw = self.frameworks[owner]
+                if sl in fw.slices:
+                    fw.slices.remove(sl)
+                cb = self._lost_callbacks.get(owner)
+                if cb is not None:
+                    cb(sl)
+
+    def recover_node(self, node_id: str) -> None:
+        self._node(node_id).recover()
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_available(self) -> None:
+        if not self.available:
+            raise MasterUnavailableError("mesos master is unavailable")
+
+    def _framework(self, name: str) -> Framework:
+        if name not in self.frameworks:
+            raise ValueError(f"unknown framework: {name}")
+        return self.frameworks[name]
+
+    def _node(self, node_id: str) -> Node:
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise ValueError(f"unknown node: {node_id}")

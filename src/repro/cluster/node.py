@@ -1,0 +1,126 @@
+"""Nodes, resources, and slices.
+
+A :class:`Node` models one machine managed by the master.  Its capacity is
+carved into :class:`Slice` reservations (Mesos resource offers backed by
+Linux containers).  Slices are the unit of allocation: ElasticRMI places
+exactly one JVM (pool member) per slice, never two (paper section 4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SliceError
+
+
+@dataclass(frozen=True)
+class Resources:
+    """A resource reservation: CPU cores and RAM megabytes.
+
+    Supports the small amount of arithmetic the allocator needs; both
+    quantities must stay non-negative.
+    """
+
+    cpus: float
+    mem_mb: int
+
+    def __post_init__(self) -> None:
+        if self.cpus < 0 or self.mem_mb < 0:
+            raise ValueError(f"negative resources: {self}")
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpus + other.cpus, self.mem_mb + other.mem_mb)
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpus - other.cpus, self.mem_mb - other.mem_mb)
+
+    def fits_in(self, other: "Resources") -> bool:
+        """True if a reservation of this size fits inside ``other``."""
+        return self.cpus <= other.cpus and self.mem_mb <= other.mem_mb
+
+
+class SliceState(Enum):
+    FREE = "free"
+    ALLOCATED = "allocated"
+    LOST = "lost"  # node failed while the slice was in use
+
+
+_slice_ids = itertools.count(1)
+
+
+class Slice:
+    """One resource offer: a container-backed reservation on a node."""
+
+    def __init__(self, node: "Node", resources: Resources) -> None:
+        self.slice_id = f"slice-{next(_slice_ids)}"
+        self.node = node
+        self.resources = resources
+        self.state = SliceState.FREE
+        self.framework: str | None = None  # owning framework name
+
+    def __repr__(self) -> str:
+        return (
+            f"Slice({self.slice_id}, node={self.node.node_id}, "
+            f"state={self.state.value}, framework={self.framework})"
+        )
+
+
+class Node:
+    """A machine (physical or virtual) carved into equally sized slices."""
+
+    def __init__(
+        self,
+        node_id: str,
+        capacity: Resources,
+        slice_size: Resources,
+    ) -> None:
+        if not slice_size.fits_in(capacity):
+            raise ValueError(
+                f"slice {slice_size} does not fit in node capacity {capacity}"
+            )
+        self.node_id = node_id
+        self.capacity = capacity
+        self.slice_size = slice_size
+        self.alive = True
+        self.slices: list[Slice] = []
+        remaining = capacity
+        while slice_size.fits_in(remaining) and slice_size.cpus > 0:
+            self.slices.append(Slice(self, slice_size))
+            remaining = remaining - slice_size
+
+    def free_slices(self) -> list[Slice]:
+        if not self.alive:
+            return []
+        return [s for s in self.slices if s.state is SliceState.FREE]
+
+    def allocated_slices(self) -> list[Slice]:
+        return [s for s in self.slices if s.state is SliceState.ALLOCATED]
+
+    def fail(self) -> list[Slice]:
+        """Crash the node.  In-use slices transition to LOST and are
+        returned so the master can notify owning frameworks."""
+        self.alive = False
+        lost = []
+        for s in self.slices:
+            if s.state is SliceState.ALLOCATED:
+                s.state = SliceState.LOST
+                lost.append(s)
+        return lost
+
+    def recover(self) -> None:
+        """Bring the node back; lost slices become free again."""
+        self.alive = True
+        for s in self.slices:
+            if s.state is SliceState.LOST:
+                s.state = SliceState.FREE
+                s.framework = None
+
+    def release(self, sl: Slice) -> None:
+        if sl.node is not self:
+            raise SliceError(f"{sl} does not belong to node {self.node_id}")
+        if sl.state is not SliceState.ALLOCATED:
+            raise SliceError(f"cannot release {sl}: not allocated")
+        sl.state = SliceState.FREE
+        sl.framework = None

@@ -1,0 +1,54 @@
+"""The ElasticRMI core: elastic classes, pools, scaling, load balancing.
+
+This package is the paper's contribution (sections 2-4).  An application
+class becomes *elastic* by extending :class:`ElasticObject`; instantiating
+it through the :class:`ElasticRuntime` produces an
+:class:`ElasticObjectPool` whose members run on distinct cluster slices
+but appear to clients as a single remote object.  Scaling decisions are
+made every *burst interval* by one of four policies (implicit CPU,
+coarse-grained CPU/RAM thresholds, fine-grained ``change_pool_size``
+voting, or an application-level :class:`Decider`).
+"""
+
+from repro.core.api import (
+    Decider,
+    Elastic,
+    ElasticConfig,
+    ElasticObject,
+    MethodCallStat,
+)
+from repro.core.balancer import BalancingMode, ElasticStub, FirstFitRebalancer
+from repro.core.fields import elastic_field, synchronized
+from repro.core.pool import ElasticObjectPool, MemberState, PoolMember
+from repro.core.runtime import ElasticRuntime
+from repro.core.scaling import (
+    CoarseGrainedPolicy,
+    DeciderPolicy,
+    FineGrainedPolicy,
+    ImplicitPolicy,
+    ScalingPolicy,
+    select_policy,
+)
+
+__all__ = [
+    "BalancingMode",
+    "CoarseGrainedPolicy",
+    "Decider",
+    "DeciderPolicy",
+    "Elastic",
+    "ElasticConfig",
+    "ElasticObject",
+    "ElasticObjectPool",
+    "ElasticRuntime",
+    "ElasticStub",
+    "FineGrainedPolicy",
+    "FirstFitRebalancer",
+    "ImplicitPolicy",
+    "MemberState",
+    "MethodCallStat",
+    "PoolMember",
+    "ScalingPolicy",
+    "elastic_field",
+    "select_policy",
+    "synchronized",
+]

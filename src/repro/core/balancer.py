@@ -1,0 +1,283 @@
+"""Load balancing: elastic client stubs and the sentinel's rebalancer.
+
+ElasticRMI uses a *hybrid* model (paper section 4.3):
+
+- **Client side** — the preprocessor-generated stub contacts the sentinel
+  once to fetch the member identities, then spreads subsequent calls over
+  the members randomly or round-robin.  If a member disappears after its
+  identity was cached, the send fails, the stub intercepts the exception
+  and retries on the other members (including the sentinel); only when
+  *every* member fails does the exception propagate to the application.
+  :class:`ElasticStub` implements exactly that protocol.
+
+- **Server side** — the sentinel periodically collects pending-invocation
+  counts, and when a skeleton is overloaded relative to the others it
+  instructs it to redirect a portion of its incoming invocations to a set
+  of underloaded skeletons.  The number of redirected invocations is
+  chosen with the first-fit greedy bin-packing approximation the paper
+  cites: overloaded members' excesses (sorted decreasing) are packed
+  first-fit into the spare capacities of underloaded members.
+  :class:`FirstFitRebalancer` computes the plan;
+  :class:`FractionalRedirect` is the per-skeleton directive.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ConnectError, MemberDrainedError, RemoteError
+from repro.rmi.marshal import marshal_value, unmarshal_value
+from repro.rmi.remote import RemoteRef, Stub
+from repro.rmi.transport import Request, Transport
+
+if TYPE_CHECKING:
+    from repro.core.pool import ElasticObjectPool
+
+
+class BalancingMode(Enum):
+    ROUND_ROBIN = "round-robin"
+    RANDOM = "random"
+
+
+class ElasticStub:
+    """Client-side proxy for a whole elastic pool.
+
+    Appears to the application as a single remote object: attribute access
+    returns invokers, failures of individual members are masked by retry,
+    and only total pool failure propagates.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        sentinel_resolver: Callable[[], RemoteRef],
+        mode: BalancingMode = BalancingMode.ROUND_ROBIN,
+        caller: str = "client",
+        rng: Any = None,
+        refresh_every: int = 64,
+    ) -> None:
+        self._transport = transport
+        self._resolve_sentinel = sentinel_resolver
+        self._mode = mode
+        self._caller = caller
+        self._rng = rng
+        self._refresh_every = refresh_every
+        self._members: list[RemoteRef] = []
+        self._rr_index = 0
+        self._calls_since_refresh = 0
+        self._lock = threading.Lock()
+
+    # -- public proxy surface -------------------------------------------------
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def invoker(*args: Any, **kwargs: Any) -> Any:
+            return self._invoke(method, args, kwargs)
+
+        invoker.__name__ = method
+        return invoker
+
+    def members_snapshot(self) -> list[RemoteRef]:
+        with self._lock:
+            return list(self._members)
+
+    # -- membership -------------------------------------------------------------
+
+    def _refresh_members(self) -> None:
+        """Fetch identities from the sentinel (first contact / recovery)."""
+        sentinel = self._resolve_sentinel()
+        stub = Stub(self._transport, sentinel, caller=self._caller)
+        refs = stub.ermi_member_identities()
+        with self._lock:
+            self._members = list(refs)
+            self._calls_since_refresh = 0
+
+    def _targets(self) -> list[RemoteRef]:
+        with self._lock:
+            needs_refresh = (
+                not self._members
+                or self._calls_since_refresh >= self._refresh_every
+            )
+        if needs_refresh:
+            self._refresh_members()
+        with self._lock:
+            self._calls_since_refresh += 1
+            members = list(self._members)
+            if not members:
+                raise ConnectError("elastic pool has no members")
+            if self._mode is BalancingMode.RANDOM and self._rng is not None:
+                start = self._rng.randrange(len(members))
+            else:
+                start = self._rr_index % len(members)
+                self._rr_index += 1
+        # Rotation: primary target first, the rest are failover order.
+        return members[start:] + members[:start]
+
+    # -- invocation --------------------------------------------------------------
+
+    def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+        payload = marshal_value((args, kwargs))
+        last_error: Exception | None = None
+        for attempt in range(2):  # second pass after a membership refresh
+            try:
+                targets = self._targets()
+            except (ConnectError, MemberDrainedError, RemoteError) as exc:
+                last_error = exc
+                break
+            for ref in targets:
+                try:
+                    return self._invoke_one(ref, method, payload)
+                except (ConnectError, MemberDrainedError) as exc:
+                    last_error = exc
+                    self._discard(ref)
+                    continue
+            # All cached members failed: refresh identities and try once
+            # more before propagating (paper: "the stub then retries the
+            # invocation on other objects including the sentinel").
+            try:
+                self._refresh_members()
+            except (ConnectError, MemberDrainedError, RemoteError) as exc:
+                last_error = exc
+                break
+        raise ConnectError(
+            f"all members of the elastic pool failed for {method!r}",
+            cause=last_error,
+        )
+
+    def _invoke_one(self, ref: RemoteRef, method: str, payload: bytes) -> Any:
+        from repro.errors import ApplicationError  # local to avoid cycle noise
+
+        hops = 0
+        while True:
+            request = Request(
+                object_id=ref.object_id,
+                method=method,
+                payload=payload,
+                caller=self._caller,
+            )
+            response = self._transport.invoke(ref.endpoint_id, request)
+            if response.kind == "result":
+                return unmarshal_value(response.payload)
+            if response.kind == "error":
+                cause = unmarshal_value(response.payload)
+                raise ApplicationError(
+                    f"remote method {method!r} raised "
+                    f"{type(cause).__name__}: {cause}",
+                    cause=cause,
+                )
+            if response.kind == "redirect":
+                hops += 1
+                if hops > 8:
+                    raise ConnectError(f"redirect loop invoking {method!r}")
+                ref = response.value
+                continue
+            if response.kind == "drained":
+                raise MemberDrainedError(f"{ref.describe()} is draining")
+            raise RemoteError(f"unknown response kind {response.kind!r}")
+
+    def _discard(self, ref: RemoteRef) -> None:
+        with self._lock:
+            self._members = [m for m in self._members if m != ref]
+
+
+class FractionalRedirect:
+    """Skeleton directive: bounce ``fraction`` of incoming calls to
+    ``targets`` (cycled).  Deterministic counter-based selection so tests
+    and simulations are reproducible."""
+
+    def __init__(self, fraction: float, targets: list[RemoteRef]) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1]: {fraction}")
+        if fraction > 0 and not targets:
+            raise ValueError("positive fraction requires at least one target")
+        self.fraction = fraction
+        self.targets = list(targets)
+        self._count = 0
+        self._redirected = 0
+
+    def __call__(self, request: Request) -> RemoteRef | None:
+        if self.fraction <= 0.0 or not self.targets:
+            return None
+        self._count += 1
+        # Redirect whenever the realized ratio lags the desired fraction.
+        if self._redirected < self.fraction * self._count:
+            self._redirected += 1
+            target = self.targets[self._redirected % len(self.targets)]
+            return target
+        return None
+
+
+@dataclass
+class RebalanceDecision:
+    """The sentinel's plan: per-member redirect directives."""
+
+    plan: dict[int, FractionalRedirect | None]
+    overloaded: list[int]
+    underloaded: list[int]
+
+
+class FirstFitRebalancer:
+    """First-fit greedy bin packing of excess load into spare capacity.
+
+    ``tolerance`` is the relative deviation from the mean pending count a
+    member may have before it counts as overloaded/underloaded.
+    """
+
+    def __init__(self, tolerance: float = 0.25) -> None:
+        if tolerance < 0:
+            raise ValueError(f"negative tolerance: {tolerance}")
+        self.tolerance = tolerance
+
+    def plan(
+        self,
+        pending: dict[int, int],
+        refs: dict[int, RemoteRef],
+    ) -> RebalanceDecision:
+        """Compute redirect directives from per-member pending counts."""
+        if len(pending) < 2:
+            return RebalanceDecision({uid: None for uid in pending}, [], [])
+        mean = sum(pending.values()) / len(pending)
+        high = mean * (1 + self.tolerance)
+        low = mean * (1 - self.tolerance)
+        overloaded = [
+            (uid, count - mean) for uid, count in pending.items() if count > high
+        ]
+        underloaded = [
+            (uid, mean - count) for uid, count in pending.items() if count < low
+        ]
+        plan: dict[int, FractionalRedirect | None] = {
+            uid: None for uid in pending
+        }
+        if not overloaded or not underloaded:
+            return RebalanceDecision(plan, [], [])
+        # First-fit decreasing: largest excess first, packed into the
+        # spare-capacity bins in order.
+        overloaded.sort(key=lambda item: -item[1])
+        bins = [[uid, spare] for uid, spare in underloaded]
+        for uid, excess in overloaded:
+            assigned: list[tuple[int, float]] = []
+            remaining = excess
+            for entry in bins:
+                if remaining <= 0:
+                    break
+                if entry[1] <= 0:
+                    continue
+                take = min(entry[1], remaining)
+                assigned.append((entry[0], take))
+                entry[1] -= take
+                remaining -= take
+            if assigned:
+                moved = sum(amount for _, amount in assigned)
+                fraction = min(1.0, moved / max(pending[uid], 1))
+                targets = [refs[target] for target, _ in assigned]
+                plan[uid] = FractionalRedirect(fraction, targets)
+        return RebalanceDecision(
+            plan,
+            [uid for uid, _ in overloaded],
+            [uid for uid, _ in underloaded],
+        )

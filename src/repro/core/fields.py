@@ -1,0 +1,142 @@
+"""Shared state: the preprocessor transformation, done with descriptors.
+
+The ElasticRMI preprocessor rewrites reads/writes of instance and static
+fields into ``get``/``put`` calls on the external key-value store, and
+``synchronized`` methods into a lock/unlock pair on a per-class lock
+(paper Figure 6: field ``x`` of class ``C1`` becomes key ``C1$x``; the
+class lock is named ``"C1"``).  Python lets us do the same transformation
+at class-definition time:
+
+- :func:`elastic_field` declares a field whose storage is the pool's
+  shared store.  All members of the pool see one consistent copy, exactly
+  like the post-preprocessing Java code.
+- :func:`synchronized` wraps a method in the per-class distributed lock,
+  guaranteeing mutual exclusion across the whole pool (and noting, as the
+  paper does, that this provides mutual exclusion — not ACID).
+
+Both degrade gracefully when the object is *detached* (not yet part of a
+pool): fields live in a per-instance dict and the lock is process-local,
+so elastic classes remain plain usable objects in unit tests.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable, TypeVar
+
+from repro.errors import KeyNotFoundError
+
+_LOCAL_FIELDS = "_ermi_local_fields"
+
+# Process-local fallback locks for detached objects, keyed by class name —
+# same granularity as the distributed lock they stand in for.
+_fallback_locks: dict[str, threading.RLock] = {}
+_fallback_guard = threading.Lock()
+
+
+def _fallback_lock(class_name: str) -> threading.RLock:
+    with _fallback_guard:
+        if class_name not in _fallback_locks:
+            _fallback_locks[class_name] = threading.RLock()
+        return _fallback_locks[class_name]
+
+
+class elastic_field:
+    """Descriptor storing a field in the pool's shared key-value store.
+
+    The store key is ``ClassName$field`` — one copy per *class*, shared by
+    every member of the pool, mirroring the paper's treatment of instance
+    and static fields alike (Figure 6).  ``default`` is returned for reads
+    before the first write.
+
+    Usage::
+
+        class Counter(ElasticObject):
+            total = elastic_field(default=0)
+    """
+
+    def __init__(self, default: Any = None, key: str | None = None) -> None:
+        self.default = default
+        self._explicit_key = key
+        self.name = "<unbound>"
+        self.owner_name = "<unbound>"
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+        self.owner_name = owner.__name__
+
+    @property
+    def store_key(self) -> str:
+        if self._explicit_key is not None:
+            return self._explicit_key
+        return f"{self.owner_name}${self.name}"
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        ctx = getattr(obj, "_ermi_ctx", None)
+        if ctx is None:
+            local = obj.__dict__.get(_LOCAL_FIELDS, {})
+            return local.get(self.name, self.default)
+        try:
+            return ctx.store.get(self.store_key)
+        except KeyNotFoundError:
+            return self.default
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        ctx = getattr(obj, "_ermi_ctx", None)
+        if ctx is None:
+            obj.__dict__.setdefault(_LOCAL_FIELDS, {})[self.name] = value
+        else:
+            ctx.store.put(self.store_key, value)
+
+    def update(self, obj: Any, fn: Callable[[Any], Any]) -> Any:
+        """Atomic read-modify-write of the field (single store round trip).
+
+        The plain ``obj.f = fn(obj.f)`` spelling is two store operations
+        and therefore racy across members; this is the safe alternative
+        for counters and other accumulators.
+        """
+        ctx = getattr(obj, "_ermi_ctx", None)
+        if ctx is None:
+            local = obj.__dict__.setdefault(_LOCAL_FIELDS, {})
+            new = fn(local.get(self.name, self.default))
+            local[self.name] = new
+            return new
+        return ctx.store.update(self.store_key, fn, default=self.default)
+
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def synchronized(method: F) -> F:
+    """Mutual exclusion across the pool via the per-class distributed lock.
+
+    The lock is named after the class (``"C1"`` in Figure 6) and is
+    reentrant for the holder, so synchronized methods can call each other.
+    Mirrors the paper exactly: mutual exclusion for the method body with
+    respect to other synchronized methods of the class — no transactional
+    guarantees.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        class_name = type(self).__name__
+        ctx = getattr(self, "_ermi_ctx", None)
+        if ctx is None:
+            with _fallback_lock(class_name):
+                return method(self, *args, **kwargs)
+        owner = ctx.lock_owner_id()
+        ctx.locks.lock(class_name, owner)
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            ctx.locks.unlock(class_name, owner)
+
+    wrapper._ermi_synchronized = True  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]
+
+
+def is_synchronized(method: Callable[..., Any]) -> bool:
+    return getattr(method, "_ermi_synchronized", False)

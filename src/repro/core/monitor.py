@@ -1,0 +1,104 @@
+"""Workload monitoring: utilization sources and burst-interval windows.
+
+The runtime monitors every pool member's resource utilization and method
+call statistics, averaged over the burst interval (paper sections 2.5,
+3.2).  Where the Java implementation reads JVM/OS counters, this library
+reads a pluggable :class:`UtilizationSource`:
+
+- :class:`QueueUtilization` — live mode default: utilization derived from
+  the skeleton's in-flight/pending work versus its concurrency capacity;
+- :class:`ManualUtilization` — set directly; used by the simulation
+  experiments (offered load / capacity queueing model) and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.rmi.remote import Skeleton
+from repro.sim.clock import Clock
+
+
+class UtilizationSource(Protocol):
+    """Where a member's CPU/RAM percentages come from."""
+
+    def cpu_percent(self) -> float: ...
+
+    def ram_percent(self) -> float: ...
+
+
+class ManualUtilization:
+    """Utilization set explicitly (simulation experiments, tests)."""
+
+    def __init__(self, cpu: float = 0.0, ram: float = 0.0) -> None:
+        self.cpu = cpu
+        self.ram = ram
+
+    def set(self, cpu: float, ram: float | None = None) -> None:
+        self.cpu = cpu
+        if ram is not None:
+            self.ram = ram
+
+    def cpu_percent(self) -> float:
+        return self.cpu
+
+    def ram_percent(self) -> float:
+        return self.ram
+
+
+class QueueUtilization:
+    """Live-mode source: utilization from the skeleton's in-flight calls.
+
+    A member handling ``pending`` concurrent calls against a dispatch
+    capacity of ``capacity`` workers is modeled as ``pending/capacity``
+    busy; RAM tracks CPU at a configurable ratio (JVM heap pressure
+    broadly follows request concurrency for the server apps evaluated).
+    """
+
+    def __init__(
+        self, skeleton: Skeleton, capacity: int = 4, ram_ratio: float = 0.7
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self._skeleton = skeleton
+        self._capacity = capacity
+        self._ram_ratio = ram_ratio
+
+    def cpu_percent(self) -> float:
+        return min(100.0, 100.0 * self._skeleton.pending / self._capacity)
+
+    def ram_percent(self) -> float:
+        return self.cpu_percent() * self._ram_ratio
+
+
+@dataclass
+class _Sample:
+    at: float
+    cpu: float
+    ram: float
+
+
+@dataclass
+class MemberMonitor:
+    """Utilization samples for one member, windowed per burst interval."""
+
+    clock: Clock
+    samples: list[_Sample] = field(default_factory=list)
+
+    def record(self, cpu: float, ram: float) -> None:
+        self.samples.append(_Sample(self.clock.now(), cpu, ram))
+
+    def window_cpu(self) -> float:
+        """Mean CPU over the samples in the current window (0 if none)."""
+        if not self.samples:
+            return 0.0
+        return sum(s.cpu for s in self.samples) / len(self.samples)
+
+    def window_ram(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.ram for s in self.samples) / len(self.samples)
+
+    def reset_window(self) -> None:
+        self.samples.clear()

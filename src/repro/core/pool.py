@@ -1,0 +1,575 @@
+"""Elastic object pools: instantiation, lifecycle, drain, and membership.
+
+An elastic class is instantiated into a *pool* of objects, one per Mesos
+slice, each behind its own skeleton on its own endpoint ("JVM").  The pool
+behaves as a single remote object; this module implements its lifecycle
+(paper sections 2.4, 2.5, 4.2):
+
+- instantiation with ``min >= 2`` members, tolerating partial grants
+  (``l < k`` slices available → ``l`` members);
+- growth: request slice → provisioning delay → activate member (the
+  provisioning interval of Figure 8 is measured here);
+- graceful shrink: pick member → redirect new calls away (skeleton drain
+  state) → wait for pending invocations → release the slice back to Mesos;
+- sentinel: the lowest-uid active member, elected by royal hierarchy,
+  broadcasting pool state over the group channel;
+- member failure: lost slices and dead endpoints are detected and the
+  sentinel re-elected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cluster.node import Slice
+from repro.core.api import ElasticConfig, ElasticObject, MethodCallStat
+from repro.core.monitor import ManualUtilization, MemberMonitor, UtilizationSource
+from repro.errors import PoolShutdownError
+from repro.groupcomm.channel import Channel
+from repro.rmi.remote import RemoteRef, Skeleton
+
+if TYPE_CHECKING:
+    from repro.core.runtime import RuntimeServices
+
+
+class MemberState(Enum):
+    STARTING = "starting"     # slice granted, container/JVM booting
+    ACTIVE = "active"         # serving invocations
+    DRAINING = "draining"     # redirecting, waiting for pending calls
+    TERMINATED = "terminated"  # slice released
+
+
+@dataclass
+class PoolMember:
+    """One object of the pool: slice + endpoint + skeleton + instance."""
+
+    uid: int
+    slice: Slice
+    state: MemberState
+    instance: ElasticObject | None = None
+    skeleton: Skeleton | None = None
+    endpoint_id: str | None = None
+    utilization: UtilizationSource = field(default_factory=ManualUtilization)
+    monitor: MemberMonitor | None = None
+    requested_at: float = 0.0
+    active_at: float | None = None
+    terminated_at: float | None = None
+
+    def ref(self) -> RemoteRef:
+        if self.skeleton is None:
+            raise RuntimeError(f"member {self.uid} has no skeleton yet")
+        return self.skeleton.ref()
+
+    def address(self) -> str:
+        return f"member-{self.uid}"
+
+
+@dataclass
+class ProvisioningRecord:
+    """One Figure 8 data point: request-to-first-service interval."""
+
+    pool: str
+    uid: int
+    requested_at: float
+    active_at: float
+    direction: str = "up"  # "up" or "down" (drain duration)
+
+    @property
+    def latency(self) -> float:
+        return self.active_at - self.requested_at
+
+
+@dataclass
+class ScalingEvent:
+    """A scaling decision applied to the pool (for metrics/ablation)."""
+
+    at: float
+    pool: str
+    decision: int       # requested delta (post-clamp)
+    granted: int        # members actually added/started draining
+    size_before: int
+    size_after: int
+    reason: str = ""
+
+
+class MemberContext:
+    """What an attached instance can reach: its pool and shared state."""
+
+    def __init__(self, pool: "ElasticObjectPool", member: PoolMember) -> None:
+        self.pool = pool
+        self.member = member
+        self.store = pool.services.store
+        self.locks = pool.services.locks
+
+    def lock_owner_id(self) -> str:
+        return f"{self.pool.name}:member-{self.member.uid}"
+
+    def stub_for(self, ref: RemoteRef):
+        """A unicast stub for a remote reference received as an argument
+        — the RMI callback pattern: clients pass a reference to an
+        object they exported, and the member invokes back through it."""
+        from repro.rmi.remote import Stub
+
+        return Stub(
+            self.pool.services.transport,
+            ref,
+            caller=f"{self.pool.name}:member-{self.member.uid}",
+        )
+
+
+class ElasticObjectPool:
+    """A pool of elastic objects that clients see as one remote object."""
+
+    def __init__(
+        self,
+        name: str,
+        cls: type[ElasticObject],
+        factory: Callable[[], ElasticObject],
+        config: ElasticConfig,
+        services: "RuntimeServices",
+    ) -> None:
+        config.validate()
+        self.name = name
+        self.cls = cls
+        self.factory = factory
+        self.config = config
+        self.services = services
+        self.channel = Channel(f"pool:{name}")
+        self.members: dict[int, PoolMember] = {}
+        self._uid_counter = itertools.count(1)
+        self._lock = threading.RLock()
+        self.closed = False
+        # Evaluation bookkeeping.
+        self.provisioning_records: list[ProvisioningRecord] = []
+        self.scaling_events: list[ScalingEvent] = []
+        self._last_window_stats: dict[str, MethodCallStat] = {}
+        self._window_cpu_avg = 0.0
+        self._window_ram_avg = 0.0
+        self._last_rebalance_plan: dict[int, Any] = {}
+        # Latest pool state each member received from the sentinel.
+        self.last_broadcast_state: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    # membership queries
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of members currently serving (the paper's pool size)."""
+        with self._lock:
+            return sum(
+                1 for m in self.members.values() if m.state is MemberState.ACTIVE
+            )
+
+    def provisioned_size(self) -> int:
+        """Members paid for: serving plus still booting."""
+        with self._lock:
+            return sum(
+                1
+                for m in self.members.values()
+                if m.state in (MemberState.ACTIVE, MemberState.STARTING)
+            )
+
+    def active_members(self) -> list[PoolMember]:
+        with self._lock:
+            return sorted(
+                (m for m in self.members.values() if m.state is MemberState.ACTIVE),
+                key=lambda m: m.uid,
+            )
+
+    def sentinel(self) -> PoolMember | None:
+        """Lowest-uid active member (royal hierarchy, section 4.3)."""
+        active = self.active_members()
+        return active[0] if active else None
+
+    def member_identities(self) -> list[RemoteRef]:
+        """Identities of active members, sentinel first — what the client
+        stub fetches on first contact."""
+        return [m.ref() for m in self.active_members()]
+
+    # ------------------------------------------------------------------
+    # instantiation and growth
+    # ------------------------------------------------------------------
+
+    def start(self) -> int:
+        """Create the initial members (min pool size; fewer if the cluster
+        is short on slices).  Returns the number actually started."""
+        return self.grow(self.config.min_pool_size, reason="instantiation")
+
+    def grow(self, count: int, reason: str = "scale-up") -> int:
+        """Request ``count`` slices and start a member on each grant."""
+        if count <= 0:
+            return 0
+        self._check_open()
+        size_before = self.size()
+        slices = self.services.master.request_slices(
+            self.services.framework_name, count
+        )
+        now = self.services.scheduler.clock.now()
+        load = self.load_factor()
+        for sl in slices:
+            member = PoolMember(
+                uid=next(self._uid_counter),
+                slice=sl,
+                state=MemberState.STARTING,
+                requested_at=now,
+            )
+            with self._lock:
+                self.members[member.uid] = member
+            latency = self.services.provisioner.sample_up_latency(load)
+            self.services.scheduler.call_after(
+                latency, lambda m=member: self._activate(m)
+            )
+        self.scaling_events.append(
+            ScalingEvent(
+                at=now,
+                pool=self.name,
+                decision=count,
+                granted=len(slices),
+                size_before=size_before,
+                size_after=size_before,  # activation is asynchronous
+                reason=reason,
+            )
+        )
+        return len(slices)
+
+    def _activate(self, member: PoolMember) -> None:
+        """Provisioning finished: export the object and join the group."""
+        with self._lock:
+            if self.closed or member.state is not MemberState.STARTING:
+                return
+        endpoint = self.services.transport.add_endpoint(member.address())
+        instance = self.factory()
+        skeleton = Skeleton(
+            impl=instance,
+            transport=self.services.transport,
+            endpoint_id=endpoint.endpoint_id,
+            clock=self.services.scheduler.clock,
+            object_id=f"{self.name}/{member.uid}",
+            uid=member.uid,
+        )
+        member.endpoint_id = endpoint.endpoint_id
+        member.skeleton = skeleton
+        member.instance = instance
+        member.monitor = MemberMonitor(clock=self.services.scheduler.clock)
+        if (
+            isinstance(member.utilization, ManualUtilization)
+            and self.services.default_utilization is not None
+        ):
+            source = self.services.default_utilization(member)
+            if source is not None:
+                member.utilization = source
+        instance._ermi_ctx = MemberContext(self, member)
+        self.channel.join(
+            member.address(),
+            on_message=lambda sender, msg, m=member: self._on_group_message(
+                m, sender, msg
+            ),
+        )
+        now = self.services.scheduler.clock.now()
+        member.active_at = now
+        with self._lock:
+            member.state = MemberState.ACTIVE
+        # Lifecycle hook: applications that replicate in-member state
+        # (e.g. Paxos learners) catch up from the group here.
+        join_hook = getattr(instance, "on_pool_join", None)
+        if join_hook is not None:
+            join_hook()
+        self.provisioning_records.append(
+            ProvisioningRecord(
+                pool=self.name,
+                uid=member.uid,
+                requested_at=member.requested_at,
+                active_at=now,
+            )
+        )
+        # Record the member identity in the shared store, as the paper's
+        # runtime stores skeleton uids/identities in HyperDex.
+        self.services.store.update(
+            f"{self.name}$members",
+            lambda ids: {**(ids or {}), member.uid: member.ref()},
+            default={},
+        )
+        self.services.on_membership_change(self)
+
+    # ------------------------------------------------------------------
+    # graceful shrink (paper section 2.5 removal protocol)
+    # ------------------------------------------------------------------
+
+    def shrink(self, count: int, reason: str = "scale-down") -> int:
+        """Drain and remove up to ``count`` members, never going below the
+        minimum pool size and never picking the sentinel while other
+        members remain."""
+        if count <= 0:
+            return 0
+        self._check_open()
+        active = self.active_members()
+        removable = max(0, len(active) - self.config.min_pool_size)
+        count = min(count, removable)
+        if count == 0:
+            return 0
+        sentinel = self.sentinel()
+        candidates = [m for m in active if m is not sentinel]
+        # Remove youngest members first: they hold the least warmed state.
+        candidates.sort(key=lambda m: -m.uid)
+        victims = candidates[:count]
+        size_before = self.size()
+        now = self.services.scheduler.clock.now()
+        for member in victims:
+            self._begin_drain(member)
+        self.scaling_events.append(
+            ScalingEvent(
+                at=now,
+                pool=self.name,
+                decision=-count,
+                granted=-len(victims),
+                size_before=size_before,
+                size_after=size_before - len(victims),
+                reason=reason,
+            )
+        )
+        return len(victims)
+
+    def _begin_drain(self, member: PoolMember) -> None:
+        """Step 1: redirect subsequent calls away; schedule finalization."""
+        with self._lock:
+            if member.state is not MemberState.ACTIVE:
+                return
+            member.state = MemberState.DRAINING
+        if member.skeleton is not None:
+            member.skeleton.start_drain()
+        drain_started = self.services.scheduler.clock.now()
+        latency = self.services.provisioner.sample_down_latency(self.load_factor())
+        self.services.scheduler.call_after(
+            latency,
+            lambda: self._finalize_removal(member, drain_started),
+        )
+        self.services.on_membership_change(self)
+
+    def _finalize_removal(self, member: PoolMember, drain_started: float) -> None:
+        """Step 2: pending invocations have finished (or were given the
+        drain window); shut the object down and return the slice."""
+        if member.state is not MemberState.DRAINING:
+            return
+        skeleton = member.skeleton
+        if skeleton is not None and not skeleton.is_drained:
+            # Live mode: give in-flight calls a bounded grace period.
+            skeleton.wait_drained(timeout=5.0)
+        self._terminate(member)
+        now = self.services.scheduler.clock.now()
+        self.provisioning_records.append(
+            ProvisioningRecord(
+                pool=self.name,
+                uid=member.uid,
+                requested_at=drain_started,
+                active_at=now,
+                direction="down",
+            )
+        )
+
+    def _terminate(self, member: PoolMember, release_slice: bool = True) -> None:
+        with self._lock:
+            if member.state is MemberState.TERMINATED:
+                return
+            member.state = MemberState.TERMINATED
+            member.terminated_at = self.services.scheduler.clock.now()
+        if member.skeleton is not None:
+            member.skeleton.unexport()
+        if member.endpoint_id is not None:
+            self.services.transport.kill(member.endpoint_id)
+        self.channel.leave(member.address())
+        self.services.store.update(
+            f"{self.name}$members",
+            lambda ids: {
+                uid: ref for uid, ref in (ids or {}).items() if uid != member.uid
+            },
+            default={},
+        )
+        if release_slice:
+            try:
+                self.services.master.release_slice(
+                    self.services.framework_name, member.slice
+                )
+            except Exception:
+                # Master outage during release: the slice stays accounted
+                # to us until recovery (section 4.4 pauses scaling then).
+                pass
+        self.services.on_membership_change(self)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def handle_slice_lost(self, sl: Slice) -> None:
+        """A cluster node died under one of our members."""
+        with self._lock:
+            victim = next(
+                (m for m in self.members.values() if m.slice is sl), None
+            )
+        if victim is not None:
+            self._terminate(victim, release_slice=False)
+
+    def detect_dead_members(self) -> list[PoolMember]:
+        """Find active members whose endpoint died (JVM crash); terminate
+        them so the sentinel re-election (implicit in :meth:`sentinel`)
+        and the client stubs see a consistent membership."""
+        dead = []
+        for member in self.active_members():
+            if member.endpoint_id is None:
+                continue
+            try:
+                endpoint = self.services.transport.endpoint(member.endpoint_id)
+                alive = endpoint.alive
+            except Exception:
+                alive = False
+            if not alive:
+                dead.append(member)
+        for member in dead:
+            self._terminate(member)
+        return dead
+
+    # ------------------------------------------------------------------
+    # monitoring windows
+    # ------------------------------------------------------------------
+
+    def sample_utilization(self) -> None:
+        """Record one utilization sample per active member."""
+        for member in self.active_members():
+            if member.monitor is not None:
+                member.monitor.record(
+                    member.utilization.cpu_percent(),
+                    member.utilization.ram_percent(),
+                )
+
+    def avg_cpu_usage(self) -> float:
+        """CPU percent averaged across members over the burst interval.
+
+        Returns the live mean of the current window while samples are
+        accumulating; once :meth:`roll_window` closes a window, the value
+        of that completed window is reported (the semantics of Figure 3's
+        ``getAvgCPUUsage``).
+        """
+        live = self._live_window_mean("cpu")
+        return live if live is not None else self._window_cpu_avg
+
+    def avg_ram_usage(self) -> float:
+        live = self._live_window_mean("ram")
+        return live if live is not None else self._window_ram_avg
+
+    def _live_window_mean(self, kind: str) -> float | None:
+        values = []
+        for member in self.active_members():
+            if member.monitor is None or not member.monitor.samples:
+                continue
+            values.append(
+                member.monitor.window_cpu()
+                if kind == "cpu"
+                else member.monitor.window_ram()
+            )
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def load_factor(self) -> float:
+        """Normalized load in [0, ~1.5] driving provisioning latency.
+
+        Combines member utilization with pool scale: a larger pool means
+        more in-flight invocations to consider for redirection and a
+        busier sentinel, which is why the paper observes provisioning
+        intervals growing with workload (section 5.6).
+        """
+        utilization = self.avg_cpu_usage() / 100.0
+        scale = self.size() / max(1, self.config.max_pool_size)
+        return utilization * (0.35 + 0.65 * scale)
+
+    def roll_window(self) -> None:
+        """Close the burst-interval window: cache utilization averages,
+        aggregate per-method stats across members, and reset monitors."""
+        live_cpu = self._live_window_mean("cpu")
+        live_ram = self._live_window_mean("ram")
+        if live_cpu is not None:
+            self._window_cpu_avg = live_cpu
+        if live_ram is not None:
+            self._window_ram_avg = live_ram
+        aggregated: dict[str, MethodCallStat] = {}
+        interval = self.config.burst_interval
+        for member in self.active_members():
+            if member.skeleton is None:
+                continue
+            window = member.skeleton.stats.snapshot_and_reset()
+            for method, stats in window.items():
+                agg = aggregated.setdefault(method, MethodCallStat())
+                prior_latency_weight = agg.calls
+                agg.calls += stats.calls
+                agg.errors += stats.errors
+                if agg.calls > 0:
+                    agg.mean_latency = (
+                        agg.mean_latency * prior_latency_weight
+                        + stats.total_latency
+                        / max(stats.calls, 1)
+                        * stats.calls
+                    ) / agg.calls
+        for stat in aggregated.values():
+            stat.rate = stat.calls / interval if interval > 0 else 0.0
+        self._last_window_stats = aggregated
+        for member in self.active_members():
+            if member.monitor is not None:
+                member.monitor.reset_window()
+
+    def method_call_stats(self) -> dict[str, MethodCallStat]:
+        """Stats for the last completed burst window (Figure 3's
+        ``getMethodCallStats``)."""
+        return dict(self._last_window_stats)
+
+    def pending_by_member(self) -> dict[int, int]:
+        return {
+            m.uid: (m.skeleton.pending if m.skeleton else 0)
+            for m in self.active_members()
+        }
+
+    # ------------------------------------------------------------------
+    # group messages (sentinel broadcasts)
+    # ------------------------------------------------------------------
+
+    def _on_group_message(
+        self, member: PoolMember, sender: str, message: Any
+    ) -> None:
+        kind = message.get("kind") if isinstance(message, dict) else None
+        if kind == "pool-state":
+            self.last_broadcast_state = message
+        elif kind == "rebalance":
+            directive = message["plan"].get(member.uid)
+            if member.skeleton is not None:
+                member.skeleton.redirect_policy = directive
+        else:
+            # Application-level group messages (e.g. Paxos rounds) go to
+            # the member instance when it declares a handler.
+            handler = getattr(member.instance, "on_group_message", None)
+            if handler is not None:
+                handler(sender, message)
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Terminate every member and release all slices."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            members = list(self.members.values())
+        for member in members:
+            if member.state in (
+                MemberState.ACTIVE,
+                MemberState.DRAINING,
+                MemberState.STARTING,
+            ):
+                self._terminate(member)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise PoolShutdownError(f"pool {self.name!r} is shut down")

@@ -1,0 +1,450 @@
+"""The ElasticRMI runtime (paper section 4).
+
+Wires together the substrates — cluster manager, key-value store, lock
+manager, transport, registry, group channels — and runs the control loop:
+
+- instantiates elastic pools (one member per Mesos slice, plus the shared
+  HyperStore on its own slice);
+- every *burst interval*: closes the monitoring window, asks the pool's
+  scaling policy for a delta, clamps it to [min, max], and grows/shrinks
+  the pool (Mesos outages pause scaling, per section 4.4);
+- on a finer cadence: samples member utilization and runs the sentinel's
+  broadcast/rebalance duties;
+- keeps the registry binding for each pool pointed at the current
+  sentinel, so client stubs always have a live bootstrap address.
+
+Construction helpers give the two operating modes:
+
+- :meth:`ElasticRuntime.local` — live: wall clock, timer threads, a
+  threaded transport with real blocking calls (the runnable examples);
+- :meth:`ElasticRuntime.simulated` — deterministic: virtual clock on a
+  :class:`~repro.sim.kernel.Kernel`, direct transport (the paper's
+  experiments re-run in virtual time).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cluster.master import MesosMaster
+from repro.cluster.node import Slice
+from repro.cluster.provisioner import (
+    ContainerProvisioner,
+    InstantProvisioner,
+    Provisioner,
+)
+from repro.core.api import Decider, ElasticObject
+from repro.core.balancer import BalancingMode, ElasticStub
+from repro.core.monitor import QueueUtilization, UtilizationSource
+from repro.core.pool import ElasticObjectPool, PoolMember
+from repro.core.scaling import ScalingPolicy, select_policy
+from repro.core.sentinel import SentinelAgent
+from repro.errors import MasterUnavailableError, PoolConfigurationError
+from repro.kvstore.locks import LockManager
+from repro.kvstore.store import HyperStore
+from repro.rmi.registry import Registry
+from repro.rmi.transport import DirectTransport, ThreadedTransport, Transport
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler, ThreadScheduler
+
+
+@dataclass
+class RuntimeServices:
+    """The substrate view a pool needs; kept narrow on purpose."""
+
+    master: MesosMaster
+    scheduler: Scheduler
+    transport: Transport
+    store: HyperStore
+    locks: LockManager
+    provisioner: Provisioner
+    framework_name: str
+    on_membership_change: Callable[[ElasticObjectPool], None]
+    default_utilization: Callable[[PoolMember], UtilizationSource | None] | None = None
+
+
+@dataclass
+class PoolRecord:
+    """Runtime-internal state for one managed pool."""
+
+    pool: ElasticObjectPool
+    policy: ScalingPolicy
+    sentinel_agent: SentinelAgent
+    paused_ticks: int = 0
+    tick_count: int = 0
+    on_tick: list[Callable[[ElasticObjectPool], None]] = field(
+        default_factory=list
+    )
+
+
+class ElasticRuntime:
+    """Entry point: create one per deployment, then ``new_pool(...)``."""
+
+    def __init__(
+        self,
+        master: MesosMaster,
+        scheduler: Scheduler,
+        transport: Transport,
+        *,
+        store: HyperStore | None = None,
+        locks: LockManager | None = None,
+        registry: Registry | None = None,
+        provisioner: Provisioner | None = None,
+        rng: RngStreams | None = None,
+        framework_name: str = "elasticrmi",
+        samples_per_burst: int = 6,
+        store_monitor_interval: float = 60.0,
+        store_ops_per_node_limit: int | None = 500_000,
+    ) -> None:
+        self.master = master
+        self.scheduler = scheduler
+        self.transport = transport
+        self.rng = rng or RngStreams(0)
+        self.store = store or HyperStore(nodes=1)
+        self.locks = locks or LockManager(clock=scheduler.clock)
+        self.registry = registry or Registry()
+        self.provisioner = provisioner or ContainerProvisioner(
+            self.rng.stream("provisioner")
+        )
+        self.framework_name = framework_name
+        self.samples_per_burst = max(1, samples_per_burst)
+        self._pools: dict[str, PoolRecord] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+        master.register_framework(
+            framework_name, on_slice_lost=self._on_slice_lost
+        )
+        # The paper instantiates the shared store on one additional Mesos
+        # slice; account for it so cluster utilization is honest.
+        self._store_slices: list[Slice] = master.request_slices(
+            framework_name, 1
+        )
+        # Store performance monitoring: "ElasticRMI ... continues to
+        # monitor the performance of the HyperDex over the lifetime of
+        # the elastic object [and] may add additional nodes ... as
+        # necessary" (section 4.2).
+        self._store_monitor_interval = store_monitor_interval
+        self._store_ops_limit = store_ops_per_node_limit
+        self._store_ops_seen = self.store.total_ops()
+        self.store_scale_events: list[tuple[float, str]] = []
+        if store_ops_per_node_limit is not None:
+            self.scheduler.call_after(
+                store_monitor_interval, self._monitor_store
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def local(
+        cls,
+        nodes: int = 8,
+        slices_per_node: int = 4,
+        seed: int = 0,
+        provisioner: Provisioner | None = None,
+        **kwargs: Any,
+    ) -> "ElasticRuntime":
+        """Live runtime: wall clock, timer threads, blocking transport.
+
+        Provisioning is instantaneous by default so examples and tests
+        are snappy; pass a provisioner to model container-start delays.
+        """
+        scheduler = ThreadScheduler()
+        transport = ThreadedTransport()
+        master = MesosMaster.homogeneous(nodes, slices_per_node)
+        return cls(
+            master,
+            scheduler,
+            transport,
+            provisioner=provisioner or InstantProvisioner(),
+            rng=RngStreams(seed),
+            **kwargs,
+        )
+
+    @classmethod
+    def simulated(
+        cls,
+        kernel: Kernel,
+        nodes: int = 16,
+        slices_per_node: int = 4,
+        seed: int = 0,
+        provisioner: Provisioner | None = None,
+        rng: RngStreams | None = None,
+        **kwargs: Any,
+    ) -> "ElasticRuntime":
+        """Deterministic runtime on a simulation kernel."""
+        transport = DirectTransport()
+        master = MesosMaster.homogeneous(nodes, slices_per_node)
+        rng = rng or RngStreams(seed)
+        return cls(
+            master,
+            kernel,  # Kernel satisfies the Scheduler protocol
+            transport,
+            provisioner=provisioner
+            or ContainerProvisioner(rng.stream("provisioner")),
+            rng=rng,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # pool management
+    # ------------------------------------------------------------------
+
+    def new_pool(
+        self,
+        cls_: type[ElasticObject],
+        *args: Any,
+        name: str | None = None,
+        min_size: int | None = None,
+        max_size: int | None = None,
+        decider: Decider | None = None,
+        utilization_factory: Callable[
+            [PoolMember], UtilizationSource | None
+        ]
+        | None = None,
+        **kwargs: Any,
+    ) -> ElasticObjectPool:
+        """Instantiate an elastic class into a managed pool.
+
+        ``args``/``kwargs`` are passed to every member's constructor.  The
+        configuration comes from the class's ``__init__`` setters, with
+        ``min_size``/``max_size`` overrides for deployment-time tuning.
+        """
+        if not issubclass(cls_, ElasticObject):
+            raise PoolConfigurationError(
+                f"{cls_.__name__} does not extend ElasticObject"
+            )
+        pool_name = name or cls_.__name__
+        with self._lock:
+            if pool_name in self._pools:
+                raise PoolConfigurationError(
+                    f"pool name already in use: {pool_name}"
+                )
+
+        def factory() -> ElasticObject:
+            return cls_(*args, **kwargs)
+
+        prototype = factory()
+        config = prototype._ermi_config
+        if min_size is not None:
+            config.min_pool_size = min_size
+        if max_size is not None:
+            config.max_pool_size = max_size
+        config.validate()
+        effective_decider = decider or prototype._ermi_decider
+
+        services = RuntimeServices(
+            master=self.master,
+            scheduler=self.scheduler,
+            transport=self.transport,
+            store=self.store,
+            locks=self.locks,
+            provisioner=self.provisioner,
+            framework_name=self.framework_name,
+            on_membership_change=self._on_membership_change,
+            default_utilization=utilization_factory
+            or self._default_utilization,
+        )
+        pool = ElasticObjectPool(
+            name=pool_name,
+            cls=cls_,
+            factory=factory,
+            config=config,
+            services=services,
+        )
+        policy = select_policy(cls_, config, effective_decider)
+        record = PoolRecord(
+            pool=pool, policy=policy, sentinel_agent=SentinelAgent(pool)
+        )
+        with self._lock:
+            self._pools[pool_name] = record
+        pool.start()
+        self._schedule_sampling(record)
+        self._schedule_tick(record)
+        return pool
+
+    def pool(self, name: str) -> ElasticObjectPool:
+        with self._lock:
+            if name not in self._pools:
+                raise KeyError(f"unknown pool: {name}")
+            return self._pools[name].pool
+
+    def record(self, name: str) -> PoolRecord:
+        with self._lock:
+            if name not in self._pools:
+                raise KeyError(f"unknown pool: {name}")
+            return self._pools[name]
+
+    def pools(self) -> list[ElasticObjectPool]:
+        with self._lock:
+            return [r.pool for r in self._pools.values()]
+
+    def stub(
+        self,
+        name: str,
+        mode: BalancingMode = BalancingMode.ROUND_ROBIN,
+        caller: str = "client",
+    ) -> ElasticStub:
+        """Client stub for a pool: one remote object, load balanced."""
+        return ElasticStub(
+            transport=self.transport,
+            sentinel_resolver=lambda: self.registry.lookup(name),
+            mode=mode,
+            caller=caller,
+            rng=self.rng.stream(f"stub:{name}:{caller}"),
+        )
+
+    # ------------------------------------------------------------------
+    # control loop
+    # ------------------------------------------------------------------
+
+    def _schedule_tick(self, record: PoolRecord) -> None:
+        if self._closed or record.pool.closed:
+            return
+        self.scheduler.call_after(
+            record.pool.config.burst_interval, lambda: self._tick(record)
+        )
+
+    def _tick(self, record: PoolRecord) -> None:
+        pool = record.pool
+        if self._closed or pool.closed:
+            return
+        record.tick_count += 1
+        pool.detect_dead_members()
+        pool.roll_window()
+        try:
+            delta = record.policy.decide(pool)
+        except Exception:
+            delta = 0  # a broken policy must not stop monitoring
+        applied = self._apply_delta(record, delta)
+        record.sentinel_agent.tick()
+        for hook in list(record.on_tick):
+            hook(pool)
+        self._schedule_tick(record)
+        return applied
+
+    def _apply_delta(self, record: PoolRecord, delta: int) -> int:
+        pool = record.pool
+        cfg = pool.config
+        current = pool.size()
+        booting = pool.provisioned_size() - current
+        target = max(cfg.min_pool_size, min(cfg.max_pool_size, current + delta))
+        effective = target - current
+        try:
+            if effective > 0:
+                # Do not double-request capacity that is still booting.
+                want = max(0, effective - booting)
+                return pool.grow(want, reason=record.policy.name) if want else 0
+            if effective < 0:
+                return -pool.shrink(-effective, reason=record.policy.name)
+        except MasterUnavailableError:
+            # Section 4.4: Mesos failures affect addition/removal of
+            # objects until Mesos recovers; monitoring continues.
+            record.paused_ticks += 1
+        return 0
+
+    def _schedule_sampling(self, record: PoolRecord) -> None:
+        if self._closed or record.pool.closed:
+            return
+        interval = record.pool.config.burst_interval / self.samples_per_burst
+
+        def sample() -> None:
+            if self._closed or record.pool.closed:
+                return
+            record.pool.sample_utilization()
+            self.scheduler.call_after(interval, sample)
+
+        self.scheduler.call_after(interval, sample)
+
+    # ------------------------------------------------------------------
+    # store performance monitoring (paper section 4.2)
+    # ------------------------------------------------------------------
+
+    def _monitor_store(self) -> None:
+        if self._closed:
+            return
+        total = self.store.total_ops()
+        window_ops = total - self._store_ops_seen
+        self._store_ops_seen = total
+        per_node = window_ops / max(1, self.store.node_count())
+        if self._store_ops_limit is not None and per_node > self._store_ops_limit:
+            try:
+                granted = self.master.request_slices(self.framework_name, 1)
+            except MasterUnavailableError:
+                granted = []
+            if granted:
+                self._store_slices.extend(granted)
+                node = self.store.add_node()
+                self.store_scale_events.append(
+                    (self.scheduler.clock.now(), node)
+                )
+        self.scheduler.call_after(
+            self._store_monitor_interval, self._monitor_store
+        )
+
+    def watch_cluster_utilization(
+        self,
+        high: float,
+        low: float,
+        on_high: Callable[[float], None],
+        on_low: Callable[[float], None],
+    ) -> None:
+        """Administrator notifications when cluster slice utilization
+        crosses the configured watermarks — "enabling the proactive
+        addition of computing resources before the cluster runs out of
+        slices" (section 4.2)."""
+        self.master.watch_utilization(high, low, on_high, on_low)
+
+    # ------------------------------------------------------------------
+    # callbacks
+    # ------------------------------------------------------------------
+
+    def _on_membership_change(self, pool: ElasticObjectPool) -> None:
+        sentinel = pool.sentinel()
+        if sentinel is not None:
+            self.registry.rebind(pool.name, sentinel.ref())
+        else:
+            try:
+                self.registry.unbind(pool.name)
+            except Exception:
+                pass
+
+    def _on_slice_lost(self, sl: Slice) -> None:
+        with self._lock:
+            records = list(self._pools.values())
+        for record in records:
+            record.pool.handle_slice_lost(sl)
+
+    def _default_utilization(
+        self, member: PoolMember
+    ) -> UtilizationSource | None:
+        if isinstance(self.transport, ThreadedTransport) and member.skeleton:
+            return QueueUtilization(member.skeleton)
+        return None  # simulation installs its own sources
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop control loops, terminate pools, release every slice."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            records = list(self._pools.values())
+        for record in records:
+            record.pool.shutdown()
+        for sl in self._store_slices:
+            try:
+                self.master.release_slice(self.framework_name, sl)
+            except Exception:
+                pass
+        if isinstance(self.scheduler, ThreadScheduler):
+            self.scheduler.shutdown()
+        if isinstance(self.transport, ThreadedTransport):
+            self.transport.shutdown()

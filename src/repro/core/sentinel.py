@@ -1,0 +1,66 @@
+"""The sentinel: pool leader duties beyond serving invocations.
+
+The skeleton with the lowest uid is the pool's *sentinel* (paper section
+4.3).  Besides forwarding invocations to its own object like any member,
+it periodically broadcasts the state of the pool — number of objects,
+their identities, and their pending-invocation counts — to all skeletons
+over the group channel, and when it notices a skeleton overloaded
+relative to the others it instructs it (again via the channel) to
+redirect a portion of its invocations, sized by first-fit bin packing.
+
+Sentinel *failure* needs no explicit protocol here: the sentinel is
+defined as the lowest-uid active member, so terminating it makes
+:meth:`ElasticObjectPool.sentinel` elect the next-lowest uid — the royal
+hierarchy election of section 4.4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.balancer import FirstFitRebalancer, RebalanceDecision
+
+if TYPE_CHECKING:
+    from repro.core.pool import ElasticObjectPool
+
+
+class SentinelAgent:
+    """Runs the sentinel's periodic duties for one pool."""
+
+    def __init__(
+        self,
+        pool: "ElasticObjectPool",
+        rebalancer: FirstFitRebalancer | None = None,
+    ) -> None:
+        self.pool = pool
+        self.rebalancer = rebalancer or FirstFitRebalancer()
+        self.broadcasts = 0
+        self.last_decision: RebalanceDecision | None = None
+
+    def tick(self) -> RebalanceDecision | None:
+        """Broadcast pool state and install redirects where needed.
+
+        Called by the runtime on its monitoring cadence; a no-op when the
+        pool currently has no active sentinel (e.g. mid-recovery).
+        """
+        sentinel = self.pool.sentinel()
+        if sentinel is None:
+            return None
+        pending = self.pool.pending_by_member()
+        refs = {m.uid: m.ref() for m in self.pool.active_members()}
+        state = {
+            "kind": "pool-state",
+            "pool": self.pool.name,
+            "size": len(refs),
+            "members": list(refs.values()),
+            "pending": pending,
+            "sentinel": sentinel.uid,
+        }
+        self.pool.channel.broadcast(sentinel.address(), state)
+        self.broadcasts += 1
+        decision = self.rebalancer.plan(pending, refs)
+        self.pool.channel.broadcast(
+            sentinel.address(), {"kind": "rebalance", "plan": decision.plan}
+        )
+        self.last_decision = decision
+        return decision

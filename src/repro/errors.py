@@ -1,0 +1,145 @@
+"""Exception hierarchy for the ElasticRMI reproduction.
+
+The paper (section 4.4) preserves Java RMI's failure model: failures of
+clients, the key-value store, or runtime processes are *not* masked and
+propagate to the application as exceptions.  This module defines the
+exception taxonomy used across all subsystems so that applications can
+catch failures at the granularity they care about.
+"""
+
+from __future__ import annotations
+
+
+class ElasticRMIError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# RMI-layer errors (mirror java.rmi.RemoteException and friends)
+# ---------------------------------------------------------------------------
+
+
+class RemoteError(ElasticRMIError):
+    """A remote method invocation failed.
+
+    Carries the remote cause, if any, so clients can distinguish transport
+    failures from application exceptions raised on the server.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class ConnectError(RemoteError):
+    """The target endpoint could not be reached (dead skeleton / JVM)."""
+
+
+class MarshalError(RemoteError):
+    """A value could not be serialized for transmission."""
+
+
+class UnmarshalError(RemoteError):
+    """A received payload could not be deserialized."""
+
+
+class NoSuchObjectError(RemoteError):
+    """The invoked remote object is no longer exported."""
+
+
+class NotBoundError(ElasticRMIError):
+    """Registry lookup for a name that is not bound."""
+
+
+class AlreadyBoundError(ElasticRMIError):
+    """Registry bind for a name that is already bound."""
+
+
+class ApplicationError(RemoteError):
+    """The remote method itself raised; ``cause`` is the application error."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster-manager (Mesos substrate) errors
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ElasticRMIError):
+    """Base class for cluster-manager failures."""
+
+
+class InsufficientResourcesError(ClusterError):
+    """The cluster could not satisfy a resource request.
+
+    Note: pool *instantiation* tolerates partial grants (the paper creates
+    ``l < k`` objects when only ``l`` slices are available); this error is
+    for requests that cannot be satisfied at all.
+    """
+
+
+class MasterUnavailableError(ClusterError):
+    """The Mesos master is down; scaling is paused until it recovers."""
+
+
+class SliceError(ClusterError):
+    """Operation on an unknown, released, or foreign slice."""
+
+
+# ---------------------------------------------------------------------------
+# Key-value store (HyperDex substrate) errors
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ElasticRMIError):
+    """Base class for key-value store failures (propagated, never masked)."""
+
+
+class StoreUnavailableError(StoreError):
+    """The store (or the partition owning the key) is unreachable."""
+
+
+class KeyNotFoundError(StoreError):
+    """Strict read of a key that does not exist."""
+
+
+class CASMismatchError(StoreError):
+    """Compare-and-swap failed because the expected value did not match."""
+
+
+class LockError(StoreError):
+    """Base class for distributed-lock failures."""
+
+
+class LockTimeoutError(LockError):
+    """A lock could not be acquired within the caller's deadline."""
+
+
+class LockNotHeldError(LockError):
+    """Unlock/renew by a caller that does not hold the lock."""
+
+
+# ---------------------------------------------------------------------------
+# Elastic-pool errors
+# ---------------------------------------------------------------------------
+
+
+class PoolError(ElasticRMIError):
+    """Base class for elastic object pool failures."""
+
+
+class PoolConfigurationError(PoolError):
+    """Invalid pool configuration (e.g. min size < 2, min > max)."""
+
+
+class PoolShutdownError(PoolError):
+    """Operation on a pool that has been shut down."""
+
+
+class MemberDrainedError(PoolError):
+    """Invocation arrived at a member that is draining; caller must retry
+    against another member (stubs handle this transparently)."""
+
+
+class ScalingDisabledError(PoolError):
+    """CPU/memory threshold configuration attempted while a fine-grained
+    policy is active (the paper allows a single decision mechanism)."""

@@ -1,0 +1,44 @@
+"""Experiment drivers: regenerate every evaluation figure of the paper.
+
+- Figures 7a/7b — the workload patterns themselves
+  (:func:`figure7a_workload`, :func:`figure7b_workload`);
+- Figures 7c-7j — agility over time for each application x workload,
+  comparing ElasticRMI, ElasticRMI-CPUMem, CloudWatch, and
+  Overprovisioning (:func:`figure7_agility`);
+- Figures 8a/8b — ElasticRMI provisioning latency over each run
+  (:func:`figure8_provisioning`).
+
+Each experiment replays the paper's 450/500-minute workload traces in
+virtual time on the simulation kernel, running the *real* ElasticRMI
+runtime (pools, policies, sentinels, provisioning delays) against the
+modeled baselines.  See DESIGN.md for the experiment index and
+EXPERIMENTS.md for measured-vs-paper results.
+"""
+
+from repro.experiments.appmodels import APP_MODELS, AppModel
+from repro.experiments.deployments import DEPLOYMENTS
+from repro.experiments.dynamics import StepResponse, step_response_comparison
+from repro.experiments.harness import DeploymentResult, run_custom, run_deployment
+from repro.experiments.report import run_full_evaluation
+from repro.experiments.figures import (
+    figure7_agility,
+    figure7a_workload,
+    figure7b_workload,
+    figure8_provisioning,
+)
+
+__all__ = [
+    "APP_MODELS",
+    "AppModel",
+    "DEPLOYMENTS",
+    "DeploymentResult",
+    "figure7_agility",
+    "figure7a_workload",
+    "figure7b_workload",
+    "figure8_provisioning",
+    "run_custom",
+    "run_deployment",
+    "run_full_evaluation",
+    "step_response_comparison",
+    "StepResponse",
+]

@@ -1,0 +1,204 @@
+"""Ablation studies: which design choice buys how much agility.
+
+The paper attributes ElasticRMI's win to three design choices; each
+ablation isolates one of them on the same application, workload, and
+cluster:
+
+- **metric choice** (:func:`policy_ablation`) — fine-grained
+  application metrics vs CPU/RAM thresholds, *same* provisioner and
+  cadence: the paper's core claim (section 5.5) minus every confound;
+- **decision cadence** (:func:`burst_interval_ablation`) — the 60 s
+  burst interval vs slower evaluation periods;
+- **vote magnitude** (:func:`max_step_ablation`) — fine-grained scaling
+  can jump several members at once (Figure 5 returns 2); ±1 creep is
+  one reason threshold systems lag abrupt changes;
+- **provisioning speed** (:func:`provisioning_ablation`) — container
+  start (seconds) vs VM boot (minutes) under the *same* threshold
+  policy: how much of CloudWatch's deficit is provisioning, not
+  decisions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.provisioner import ContainerProvisioner, VMProvisioner
+from repro.core.runtime import ElasticRuntime
+from repro.experiments.appmodels import AppModel
+from repro.experiments.deployments import (
+    ALARM_PERIOD_S,
+    CpuMemService,
+    _SharedUtilization,
+)
+from repro.experiments.harness import DeploymentResult, run_custom
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+
+
+class TunedElasticRMIDeployment:
+    """ElasticRMI deployment with overridable class/burst/provisioner."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        app: AppModel,
+        seed: int,
+        cls_override: type | None = None,
+        burst_interval: float | None = None,
+        provisioner_kind: str = "container",
+        name: str = "elasticrmi-tuned",
+    ) -> None:
+        self.app = app
+        self.name = name
+        rng = RngStreams(seed)
+        provisioner = (
+            ContainerProvisioner(rng.stream("prov"))
+            if provisioner_kind == "container"
+            else VMProvisioner(rng.stream("prov"))
+        )
+        nodes = math.ceil((app.max_members + 2) / 4)
+        self.runtime = ElasticRuntime.simulated(
+            kernel, nodes=nodes, provisioner=provisioner, rng=rng
+        )
+        self._dial = _SharedUtilization()
+        cls = cls_override or app.cls
+
+        if burst_interval is not None:
+            class Tuned(cls):  # noqa: N801 - dynamic specialization
+                def __init__(self, *args, **kwargs):
+                    super().__init__(*args, **kwargs)
+                    self.set_burst_interval(burst_interval)
+
+            Tuned.__name__ = f"{cls.__name__}_b{int(burst_interval)}"
+            cls = Tuned
+
+        self.pool = self.runtime.new_pool(
+            cls,
+            name=app.name,
+            min_size=app.min_members,
+            max_size=app.max_members,
+            utilization_factory=self._dial.source,
+        )
+
+    def capacity(self) -> int:
+        return self.pool.size()
+
+    def on_control_step(self, t: float, rate: float) -> None:
+        self.runtime.store.put(f"{self.pool.name}$offered_rate", rate)
+        self._dial.cpu = self.app.utilization(rate, max(1, self.pool.size()))
+
+    def provisioning_latencies(self) -> list[tuple[float, float]]:
+        return [
+            (r.requested_at, r.latency)
+            for r in self.pool.provisioning_records
+            if r.direction == "up"
+        ]
+
+    def stop(self) -> None:
+        self.runtime.shutdown()
+
+
+def _tuned_factory(**overrides):
+    def factory(kernel, app, pattern, seed):
+        return TunedElasticRMIDeployment(kernel, app, seed, **overrides)
+
+    return factory
+
+
+def burst_interval_ablation(
+    app: str = "marketcetera",
+    workload: str = "abrupt",
+    intervals: tuple[float, ...] = (30.0, 60.0, 300.0, 600.0),
+    seed: int = 0,
+) -> dict[float, DeploymentResult]:
+    """Same fine-grained policy, different decision cadences."""
+    return {
+        interval: run_custom(
+            app,
+            workload,
+            _tuned_factory(
+                burst_interval=interval, name=f"burst-{int(interval)}s"
+            ),
+            seed=seed,
+        )
+        for interval in intervals
+    }
+
+
+def max_step_ablation(
+    app: str = "marketcetera",
+    workload: str = "abrupt",
+    steps: tuple[int, ...] = (1, 2, 8),
+    seed: int = 0,
+) -> dict[int, DeploymentResult]:
+    """Fine-grained scaling with the per-vote jump bounded at ±step."""
+    from repro.experiments.appmodels import APP_MODELS
+
+    base_cls = APP_MODELS[app].cls
+    results = {}
+    for step in steps:
+        class Stepped(base_cls):  # noqa: N801
+            MAX_STEP = step
+
+        Stepped.__name__ = f"{base_cls.__name__}_step{step}"
+        results[step] = run_custom(
+            app,
+            workload,
+            _tuned_factory(cls_override=Stepped, name=f"step-{step}"),
+            seed=seed,
+        )
+    return results
+
+
+def policy_ablation(
+    app: str = "marketcetera",
+    workload: str = "abrupt",
+    seed: int = 0,
+) -> dict[str, DeploymentResult]:
+    """Fine-grained vs threshold policy — identical runtime, cluster,
+    container provisioner, *and* 60 s decision cadence, so the only
+    difference is the metric driving the decisions."""
+    fine = run_custom(
+        app, workload, _tuned_factory(name="fine-grained"), seed=seed
+    )
+    coarse = run_custom(
+        app,
+        workload,
+        _tuned_factory(
+            cls_override=CpuMemService,
+            burst_interval=60.0,
+            name="cpu-mem-thresholds",
+        ),
+        seed=seed,
+    )
+    return {"fine-grained": fine, "cpu-mem-thresholds": coarse}
+
+
+def provisioning_ablation(
+    app: str = "marketcetera",
+    workload: str = "abrupt",
+    seed: int = 0,
+) -> dict[str, DeploymentResult]:
+    """Threshold policy with container-speed vs VM-speed provisioning:
+    how much of the CloudWatch deficit is boot time rather than the
+    decision mechanism."""
+    return {
+        "thresholds+container": run_custom(
+            app,
+            workload,
+            _tuned_factory(
+                cls_override=CpuMemService, name="thresholds-container"
+            ),
+            seed=seed,
+        ),
+        "thresholds+vm": run_custom(
+            app,
+            workload,
+            _tuned_factory(
+                cls_override=CpuMemService,
+                provisioner_kind="vm",
+                name="thresholds-vm",
+            ),
+            seed=seed,
+        ),
+    }

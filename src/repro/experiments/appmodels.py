@@ -1,0 +1,115 @@
+"""Per-application capacity models for the elasticity experiments.
+
+An :class:`AppModel` ties together everything an experiment needs to know
+about one application:
+
+- the elastic class deployed on the ElasticRMI runtime;
+- the per-member QoS capacity (operations/second one member serves while
+  meeting the application's QoS), consistent with the class's
+  ``CAPACITY_PER_MEMBER``;
+- ``req_min(rate, t)`` — the minimum members needed to meet QoS at the
+  offered rate, the denominator of the SPEC agility metric.  The QoS
+  boundary sits at :data:`QOS_UTILIZATION` of a member's capacity, and
+  applications add their own wrinkles (Hedwig's replication and
+  at-most-once bookkeeping make its requirement fluctuate more
+  erratically, as the paper observes in section 5.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.apps.dcs.service import CoordinationService
+from repro.apps.hedwig.hub import Hub
+from repro.apps.marketcetera.router import OrderRouter
+from repro.apps.paxos.replica import PaxosReplica
+from repro.core.api import ElasticObject
+from repro.workloads.patterns import POINT_A
+
+#: QoS is met while members run at or below this fraction of capacity.
+QOS_UTILIZATION = 0.9
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """Everything the harness needs to simulate one application."""
+
+    name: str
+    cls: type[ElasticObject]
+    capacity_per_member: float
+    point_a: float
+    min_members: int
+    max_members: int
+    #: multiplicative modifier on the capacity requirement at time t
+    #: (models app-specific effects like replication overhead).
+    req_modifier: Callable[[float], float] = lambda t: 1.0
+
+    def req_min(self, rate: float, t: float = 0.0) -> int:
+        """Minimum members meeting QoS at ``rate`` offered ops/s."""
+        if rate < 0:
+            raise ValueError(f"negative rate: {rate}")
+        effective = self.capacity_per_member * QOS_UTILIZATION
+        need = math.ceil(rate * self.req_modifier(t) / effective)
+        return max(self.min_members, need)
+
+    def utilization(self, rate: float, members: int) -> float:
+        """Average member CPU percent at ``rate`` with ``members`` serving."""
+        if members <= 0:
+            return 100.0
+        return min(100.0, 100.0 * rate / (members * self.capacity_per_member))
+
+    def peak_req(self, pattern) -> int:
+        """The overprovisioning oracle's fixed capacity: the largest
+        requirement anywhere on the trace."""
+        step = 60.0
+        steps = int(pattern.duration_s / step) + 1
+        return max(
+            self.req_min(pattern.rate(i * step), i * step)
+            for i in range(steps)
+        )
+
+
+def _hedwig_req_modifier(t: float) -> float:
+    """Hedwig's Req_min 'changes more erratically ... due to the
+    replication and at-most-once guarantees' (section 5.5): a
+    deterministic ripple on top of the base requirement."""
+    return 1.0 + 0.12 * abs(math.sin(t / 700.0)) + 0.06 * abs(math.sin(t / 190.0))
+
+
+APP_MODELS: dict[str, AppModel] = {
+    "marketcetera": AppModel(
+        name="marketcetera",
+        cls=OrderRouter,
+        capacity_per_member=OrderRouter.CAPACITY_PER_MEMBER,
+        point_a=POINT_A["marketcetera"],
+        min_members=2,
+        max_members=40,
+    ),
+    "hedwig": AppModel(
+        name="hedwig",
+        cls=Hub,
+        capacity_per_member=Hub.CAPACITY_PER_MEMBER,
+        point_a=POINT_A["hedwig"],
+        min_members=2,
+        max_members=32,
+        req_modifier=_hedwig_req_modifier,
+    ),
+    "paxos": AppModel(
+        name="paxos",
+        cls=PaxosReplica,
+        capacity_per_member=PaxosReplica.CAPACITY_PER_MEMBER,
+        point_a=POINT_A["paxos"],
+        min_members=3,
+        max_members=25,
+    ),
+    "dcs": AppModel(
+        name="dcs",
+        cls=CoordinationService,
+        capacity_per_member=CoordinationService.CAPACITY_PER_MEMBER,
+        point_a=POINT_A["dcs"],
+        min_members=2,
+        max_members=32,
+    ),
+}

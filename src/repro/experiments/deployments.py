@@ -1,0 +1,219 @@
+"""Deployment adapters: the four systems compared in Figure 7.
+
+Every adapter exposes the same narrow surface to the harness —
+``capacity()``, ``on_control_step(t, rate)``, ``provisioning_latencies()``
+— but they differ exactly where the paper's deployments differ:
+
+- :class:`ElasticRMIDeployment` (variant ``fine``) runs the **real**
+  ElasticRMI runtime on the simulation kernel: the application class with
+  its fine-grained ``change_pool_size``, container provisioning (< 30 s,
+  load-dependent), 60 s burst interval.
+- :class:`ElasticRMIDeployment` (variant ``cpumem``) is the
+  ElasticRMI-CPUMem configuration: the same runtime and provisioning, but
+  a class that only sets the CloudWatch CPU/memory thresholds (no
+  application-level properties), evaluated on CloudWatch's 300 s period.
+- :class:`CloudWatchDeployment` is the CloudWatch+AutoScaling model: the
+  same threshold conditions, but VM provisioning measured in minutes and
+  a scaling cooldown.
+- :class:`OverprovisionDeployment` is the oracle pinned at the trace's
+  peak requirement.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.cloudwatch import CloudWatchAutoScaler, CloudWatchConfig
+from repro.baselines.overprovision import OverprovisioningDeployment
+from repro.cluster.provisioner import ContainerProvisioner, VMProvisioner
+from repro.core.api import ElasticObject
+from repro.core.runtime import ElasticRuntime
+from repro.experiments.appmodels import AppModel
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+from repro.workloads.patterns import WorkloadPattern
+
+#: The utilization conditions shared by CloudWatch and ElasticRMI-CPUMem
+#: ("the same conditions are used to decide on elastic scaling",
+#: section 5.5).
+CPU_HIGH, CPU_LOW = 85.0, 55.0
+RAM_HIGH, RAM_LOW = 70.0, 40.0
+#: CloudWatch alarm period; also the CPUMem burst interval.
+ALARM_PERIOD_S = 300.0
+#: RAM tracks CPU at this ratio in the experiments' utilization model.
+RAM_RATIO = 0.75
+
+
+class CpuMemService(ElasticObject):
+    """The ElasticRMI-CPUMem class: thresholds only, no app properties."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.set_burst_interval(ALARM_PERIOD_S)
+        self.set_cpu_incr_threshold(CPU_HIGH)
+        self.set_cpu_decr_threshold(CPU_LOW)
+        self.set_ram_incr_threshold(RAM_HIGH)
+        self.set_ram_decr_threshold(RAM_LOW)
+
+    def serve(self) -> None:
+        """Placeholder remote method (traffic is modeled, not invoked)."""
+
+
+class _SharedUtilization:
+    """One dial all members of a deployment read their utilization from."""
+
+    def __init__(self) -> None:
+        self.cpu = 0.0
+
+    def source(self, member) -> "_SharedUtilization":
+        return self
+
+    def cpu_percent(self) -> float:
+        return self.cpu
+
+    def ram_percent(self) -> float:
+        return self.cpu * RAM_RATIO
+
+
+class ElasticRMIDeployment:
+    """The real runtime driving a pool of the application's class."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        app: AppModel,
+        seed: int,
+        variant: str = "fine",
+    ) -> None:
+        if variant not in ("fine", "cpumem"):
+            raise ValueError(f"unknown variant: {variant}")
+        self.app = app
+        self.variant = variant
+        self.name = "elasticrmi" if variant == "fine" else "elasticrmi-cpumem"
+        nodes = math.ceil((app.max_members + 2) / 4)
+        rng = RngStreams(seed)
+        self.runtime = ElasticRuntime.simulated(
+            kernel,
+            nodes=nodes,
+            slices_per_node=4,
+            provisioner=ContainerProvisioner(rng.stream("prov")),
+            rng=rng,
+        )
+        self._dial = _SharedUtilization()
+        if variant == "fine":
+            self.pool = self.runtime.new_pool(
+                app.cls,
+                name=app.name,
+                min_size=app.min_members,
+                max_size=app.max_members,
+                utilization_factory=self._dial.source,
+            )
+        else:
+            self.pool = self.runtime.new_pool(
+                CpuMemService,
+                name=app.name,
+                min_size=app.min_members,
+                max_size=app.max_members,
+                utilization_factory=self._dial.source,
+            )
+
+    def capacity(self) -> int:
+        return self.pool.size()
+
+    def on_control_step(self, t: float, rate: float) -> None:
+        # The workload driver's rate hint (what live deployments would
+        # measure from method-call statistics).
+        self.runtime.store.put(f"{self.pool.name}$offered_rate", rate)
+        self._dial.cpu = self.app.utilization(rate, max(1, self.pool.size()))
+
+    def provisioning_latencies(self) -> list[tuple[float, float]]:
+        return [
+            (r.requested_at, r.latency)
+            for r in self.pool.provisioning_records
+            if r.direction == "up" and r.uid > self.app.min_members
+        ]
+
+    def stop(self) -> None:
+        self.runtime.shutdown()
+
+
+class CloudWatchDeployment:
+    """CloudWatch alarms + AutoScaling group + VM boot latency."""
+
+    name = "cloudwatch"
+
+    def __init__(self, kernel: Kernel, app: AppModel, seed: int) -> None:
+        self.app = app
+        rng = RngStreams(seed)
+        self.scaler = CloudWatchAutoScaler(
+            CloudWatchConfig(
+                min_capacity=app.min_members,
+                max_capacity=app.max_members,
+                cpu_high=CPU_HIGH,
+                cpu_low=CPU_LOW,
+                ram_high=RAM_HIGH,
+                ram_low=RAM_LOW,
+                period_s=ALARM_PERIOD_S,
+                cooldown_s=300.0,
+            ),
+            VMProvisioner(rng.stream("vm")),
+        )
+
+    def capacity(self) -> int:
+        return self.scaler.capacity()
+
+    def on_control_step(self, t: float, rate: float) -> None:
+        cpu = self.app.utilization(rate, max(1, self.scaler.capacity()))
+        self.scaler.observe(t, cpu, cpu * RAM_RATIO)
+
+    def provisioning_latencies(self) -> list[tuple[float, float]]:
+        return self.scaler.provisioning_latencies()
+
+    def stop(self) -> None:
+        pass
+
+
+class OverprovisionDeployment:
+    """The oracle: fixed at the trace's peak requirement."""
+
+    name = "overprovisioning"
+
+    def __init__(
+        self, kernel: Kernel, app: AppModel, seed: int, pattern: WorkloadPattern
+    ) -> None:
+        self.app = app
+        self.inner = OverprovisioningDeployment(app.peak_req(pattern))
+
+    def capacity(self) -> int:
+        return self.inner.capacity()
+
+    def on_control_step(self, t: float, rate: float) -> None:
+        pass
+
+    def provisioning_latencies(self) -> list[tuple[float, float]]:
+        return []
+
+    def stop(self) -> None:
+        pass
+
+
+#: Deployment registry used by the harness and benches.
+DEPLOYMENTS = ("elasticrmi", "elasticrmi-cpumem", "cloudwatch", "overprovisioning")
+
+
+def build_deployment(
+    name: str,
+    kernel: Kernel,
+    app: AppModel,
+    pattern: WorkloadPattern,
+    seed: int,
+):
+    if name == "elasticrmi":
+        return ElasticRMIDeployment(kernel, app, seed, variant="fine")
+    if name == "elasticrmi-cpumem":
+        return ElasticRMIDeployment(kernel, app, seed, variant="cpumem")
+    if name == "cloudwatch":
+        return CloudWatchDeployment(kernel, app, seed)
+    if name == "overprovisioning":
+        return OverprovisionDeployment(kernel, app, seed, pattern)
+    raise ValueError(f"unknown deployment: {name}")

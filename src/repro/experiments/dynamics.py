@@ -1,0 +1,80 @@
+"""Scaling dynamics: step-response analysis.
+
+Average agility compresses a whole trace into one number; this analysis
+looks at the *transient*: after the abrupt workload jump to point A
+(minute 205 of the Figure 7a trace), how long does each deployment take
+to provision the new requirement?  The convergence lag is the mechanism
+behind the Figure 7 averages — fine-grained multi-member votes close a
+13-member gap in a couple of burst intervals, ±1 threshold steps take
+over an hour, and the overprovisioning oracle was never short at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.appmodels import APP_MODELS
+from repro.experiments.harness import run_deployment
+
+#: The abrupt pattern's rapid increase completes at minute 205.
+STEP_AT_MIN = 205.0
+
+
+@dataclass(frozen=True)
+class StepResponse:
+    """Convergence behaviour after the jump to point A."""
+
+    deployment: str
+    requirement: int            # members required at the peak
+    converged_at_min: float | None  # first sample meeting the requirement
+    lag_min: float | None       # minutes from the step to convergence
+    worst_shortage: float       # deepest capacity deficit during the climb
+
+
+def step_response(
+    app_name: str = "marketcetera",
+    deployment: str = "elasticrmi",
+    seed: int = 0,
+    window_min: float = 150.0,
+) -> StepResponse:
+    """Measure one deployment's response to the abrupt jump."""
+    result = run_deployment(app_name, "abrupt", deployment, seed=seed)
+    app = APP_MODELS[app_name]
+    requirement = max(req for _, req in result.req_series)
+    caps = dict(result.capacity_series)
+    reqs = dict(result.req_series)
+    step_s = STEP_AT_MIN * 60.0
+    window_end = step_s + window_min * 60.0
+
+    converged_at = None
+    worst_shortage = 0.0
+    for t in sorted(caps):
+        if t < step_s or t > window_end:
+            continue
+        shortage = max(0, reqs[t] - caps[t])
+        worst_shortage = max(worst_shortage, shortage)
+        if converged_at is None and caps[t] >= reqs[t]:
+            converged_at = t / 60.0
+    lag = None if converged_at is None else converged_at - STEP_AT_MIN
+    return StepResponse(
+        deployment=deployment,
+        requirement=requirement,
+        converged_at_min=converged_at,
+        lag_min=lag,
+        worst_shortage=worst_shortage,
+    )
+
+
+def step_response_comparison(
+    app_name: str = "marketcetera", seed: int = 0
+) -> dict[str, StepResponse]:
+    """Step responses for all four deployments on one application."""
+    return {
+        name: step_response(app_name, name, seed=seed)
+        for name in (
+            "elasticrmi",
+            "elasticrmi-cpumem",
+            "cloudwatch",
+            "overprovisioning",
+        )
+    }

@@ -1,0 +1,146 @@
+"""Figure regeneration: the series and summary rows the paper plots.
+
+Each ``figure*`` function returns plain data structures (so benches can
+assert on them) and has a ``print_*`` companion producing the same rows
+as human-readable text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.appmodels import APP_MODELS
+from repro.experiments.deployments import DEPLOYMENTS
+from repro.experiments.harness import DeploymentResult, pattern_for, run_deployment
+
+#: Figure id -> (application, workload) for the eight agility panels.
+FIGURE7_PANELS: dict[str, tuple[str, str]] = {
+    "7c": ("marketcetera", "abrupt"),
+    "7d": ("marketcetera", "cyclic"),
+    "7e": ("hedwig", "abrupt"),
+    "7f": ("hedwig", "cyclic"),
+    "7g": ("paxos", "abrupt"),
+    "7h": ("paxos", "cyclic"),
+    "7i": ("dcs", "abrupt"),
+    "7j": ("dcs", "cyclic"),
+}
+
+
+def figure7a_workload(app: str = "marketcetera", step_min: float = 5.0):
+    """The abrupt pattern trace: (minute, rate) pairs (Figure 7a)."""
+    pattern = pattern_for(APP_MODELS[app], "abrupt")
+    return [
+        (m, pattern.rate(m * 60.0))
+        for m in _minutes(pattern.duration_s, step_min)
+    ]
+
+
+def figure7b_workload(app: str = "marketcetera", step_min: float = 5.0):
+    """The cyclic pattern trace: (minute, rate) pairs (Figure 7b)."""
+    pattern = pattern_for(APP_MODELS[app], "cyclic")
+    return [
+        (m, pattern.rate(m * 60.0))
+        for m in _minutes(pattern.duration_s, step_min)
+    ]
+
+
+def _minutes(duration_s: float, step_min: float) -> list[float]:
+    steps = int(duration_s / 60.0 / step_min) + 1
+    return [i * step_min for i in range(steps)]
+
+
+@dataclass
+class AgilityPanel:
+    """One Figure 7 panel: all four deployments on one app x workload."""
+
+    figure: str
+    app: str
+    workload: str
+    results: dict[str, DeploymentResult] = field(default_factory=dict)
+
+    def averages(self) -> dict[str, float]:
+        return {
+            name: result.average_agility
+            for name, result in self.results.items()
+        }
+
+    def ratio_to_elasticrmi(self, deployment: str) -> float:
+        base = self.results["elasticrmi"].average_agility
+        if base == 0:
+            return float("inf")
+        return self.results[deployment].average_agility / base
+
+
+def figure7_agility(figure: str, seed: int = 0) -> AgilityPanel:
+    """Run all four deployments for one Figure 7 panel (7c-7j)."""
+    if figure not in FIGURE7_PANELS:
+        raise ValueError(f"unknown figure: {figure} (expected 7c-7j)")
+    app, workload = FIGURE7_PANELS[figure]
+    panel = AgilityPanel(figure=figure, app=app, workload=workload)
+    for deployment in DEPLOYMENTS:
+        panel.results[deployment] = run_deployment(
+            app, workload, deployment, seed=seed
+        )
+    return panel
+
+
+@dataclass
+class ProvisioningFigure:
+    """Figure 8: provisioning latency of ElasticRMI for all four apps
+    (plus the always-zero overprovisioning line)."""
+
+    workload: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def max_latency(self, app: str) -> float:
+        return max((lat for _, lat in self.series[app]), default=0.0)
+
+    def mean_latency(self, app: str) -> float:
+        points = self.series[app]
+        if not points:
+            return 0.0
+        return sum(lat for _, lat in points) / len(points)
+
+
+def figure8_provisioning(workload: str, seed: int = 0) -> ProvisioningFigure:
+    """Figure 8a (abrupt) / 8b (cyclic): ElasticRMI provisioning latency
+    per application over the trace."""
+    figure = ProvisioningFigure(workload=workload)
+    for app in APP_MODELS:
+        result = run_deployment(app, workload, "elasticrmi", seed=seed)
+        figure.series[app] = result.provisioning
+    figure.series["overprovisioning"] = []  # always zero / never provisions
+    return figure
+
+
+# ---------------------------------------------------------------------------
+# report printing (the rows the paper's text quotes)
+# ---------------------------------------------------------------------------
+
+
+def print_agility_panel(panel: AgilityPanel) -> str:
+    lines = [
+        f"Figure {panel.figure}: {panel.app} agility, {panel.workload} workload",
+        f"{'deployment':<22}{'avg agility':>12}{'max':>8}{'zero%':>8}{'x ERMI':>8}",
+    ]
+    for name, result in panel.results.items():
+        lines.append(
+            f"{name:<22}{result.average_agility:>12.2f}"
+            f"{result.max_agility:>8.1f}"
+            f"{100 * result.zero_fraction:>7.0f}%"
+            f"{panel.ratio_to_elasticrmi(name):>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def print_provisioning_figure(figure: ProvisioningFigure) -> str:
+    lines = [
+        f"Figure 8{'a' if figure.workload == 'abrupt' else 'b'}: "
+        f"provisioning latency, {figure.workload} workload",
+        f"{'app':<18}{'events':>8}{'mean s':>10}{'max s':>10}",
+    ]
+    for app, points in figure.series.items():
+        mean = figure.mean_latency(app) if points else 0.0
+        peak = figure.max_latency(app) if points else 0.0
+        lines.append(f"{app:<18}{len(points):>8}{mean:>10.1f}{peak:>10.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""The experiment harness: one (application, workload, deployment) run.
+
+The harness replays a workload trace in virtual time:
+
+- every ``control_interval`` (30 s): compute the offered rate from the
+  pattern and feed it to the deployment (utilization observations for
+  threshold systems, the rate hint for fine-grained scaling);
+- every ``sample_interval`` (600 s — the paper's 10-minute sampling):
+  record one SPEC agility sample (Cap_prov vs Req_min).
+
+The ElasticRMI deployments run the real runtime on the same kernel, so
+burst ticks, provisioning delays, sentinel duties, and policy votes all
+interleave with the driver exactly as they would in a live system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.appmodels import APP_MODELS, AppModel
+from repro.experiments.deployments import build_deployment
+from repro.metrics.agility import AgilityTracker
+from repro.sim.kernel import Kernel
+from repro.workloads.patterns import (
+    AbruptPattern,
+    CyclicPattern,
+    WorkloadPattern,
+)
+
+CONTROL_INTERVAL_S = 30.0
+SAMPLE_INTERVAL_S = 600.0
+
+
+@dataclass
+class DeploymentResult:
+    """Everything Figure 7/8 needs from one run."""
+
+    app: str
+    workload: str
+    deployment: str
+    tracker: AgilityTracker
+    capacity_series: list[tuple[float, int]] = field(default_factory=list)
+    req_series: list[tuple[float, int]] = field(default_factory=list)
+    provisioning: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def average_agility(self) -> float:
+        return self.tracker.average_agility()
+
+    @property
+    def max_agility(self) -> float:
+        return self.tracker.max_agility()
+
+    @property
+    def zero_fraction(self) -> float:
+        return self.tracker.zero_fraction()
+
+    def agility_series(self) -> list[tuple[float, float]]:
+        return self.tracker.series()
+
+
+def pattern_for(app: AppModel, workload: str) -> WorkloadPattern:
+    if workload == "abrupt":
+        return AbruptPattern(app.point_a)
+    if workload == "cyclic":
+        return CyclicPattern(app.point_a * 1.2)
+    raise ValueError(f"unknown workload: {workload}")
+
+
+def run_deployment(
+    app_name: str,
+    workload: str,
+    deployment_name: str,
+    seed: int = 0,
+    control_interval: float = CONTROL_INTERVAL_S,
+    sample_interval: float = SAMPLE_INTERVAL_S,
+) -> DeploymentResult:
+    """Run one full trace and return the agility/provisioning results."""
+    return run_custom(
+        app_name,
+        workload,
+        factory=lambda kernel, app, pattern, s: build_deployment(
+            deployment_name, kernel, app, pattern, s
+        ),
+        seed=seed,
+        control_interval=control_interval,
+        sample_interval=sample_interval,
+    )
+
+
+def run_custom(
+    app_name: str,
+    workload: str,
+    factory,
+    seed: int = 0,
+    control_interval: float = CONTROL_INTERVAL_S,
+    sample_interval: float = SAMPLE_INTERVAL_S,
+) -> DeploymentResult:
+    """Like :func:`run_deployment`, but with a caller-supplied deployment
+    factory ``factory(kernel, app, pattern, seed)`` — the entry point the
+    ablation studies use to vary burst intervals, provisioners, and
+    policy parameters."""
+    if app_name not in APP_MODELS:
+        raise ValueError(f"unknown application: {app_name}")
+    app = APP_MODELS[app_name]
+    pattern = pattern_for(app, workload)
+    kernel = Kernel()
+    deployment = factory(kernel, app, pattern, seed)
+    result = DeploymentResult(
+        app=app_name,
+        workload=workload,
+        deployment=deployment.name,
+        tracker=AgilityTracker(),
+    )
+
+    def control_step() -> None:
+        t = kernel.clock.now()
+        if t > pattern.duration_s:
+            return
+        deployment.on_control_step(t, pattern.rate(t))
+        kernel.call_after(control_interval, control_step)
+
+    def sample_step() -> None:
+        t = kernel.clock.now()
+        if t > pattern.duration_s:
+            return
+        cap = deployment.capacity()
+        req = app.req_min(pattern.rate(t), t)
+        result.tracker.record(t, cap_prov=cap, req_min=req)
+        result.capacity_series.append((t, cap))
+        result.req_series.append((t, req))
+        kernel.call_after(sample_interval, sample_step)
+
+    # Let the initial pool members activate before the first observation.
+    kernel.call_after(5.0, control_step)
+    kernel.call_after(sample_interval, sample_step)
+    kernel.run_until(pattern.duration_s + 1.0)
+    result.provisioning = deployment.provisioning_latencies()
+    deployment.stop()
+    return result

@@ -1,0 +1,132 @@
+"""Full-evaluation report generation.
+
+Runs every figure of the paper's evaluation and renders one markdown
+report (the machine-generated core of EXPERIMENTS.md): the Figure 7
+agility table with deployment ratios, the Figure 8 provisioning table,
+and the shape-claim checklist.  Used by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.figures import (
+    FIGURE7_PANELS,
+    AgilityPanel,
+    ProvisioningFigure,
+    figure7_agility,
+    figure8_provisioning,
+)
+
+
+@dataclass
+class EvaluationReport:
+    """All measured results for one seed."""
+
+    seed: int
+    panels: dict[str, AgilityPanel] = field(default_factory=dict)
+    provisioning: dict[str, ProvisioningFigure] = field(default_factory=dict)
+
+    def claims(self) -> list[tuple[str, bool]]:
+        """The paper's shape claims, each checked against this run."""
+        checks: list[tuple[str, bool]] = []
+        panels = self.panels.values()
+        checks.append((
+            "ElasticRMI has the lowest average agility in every panel",
+            all(
+                p.averages()["elasticrmi"] == min(p.averages().values())
+                for p in panels
+            ),
+        ))
+        checks.append((
+            "Overprovisioning has the highest average agility in every panel",
+            all(
+                p.averages()["overprovisioning"] == max(p.averages().values())
+                for p in panels
+            ),
+        ))
+        checks.append((
+            "ElasticRMI-CPUMem tracks CloudWatch within 35% everywhere",
+            all(
+                abs(
+                    p.averages()["elasticrmi-cpumem"]
+                    - p.averages()["cloudwatch"]
+                )
+                <= 0.35 * max(p.averages()["cloudwatch"], 1e-9)
+                for p in panels
+            ),
+        ))
+        checks.append((
+            "CloudWatch is at least 2x worse than ElasticRMI in every panel",
+            all(p.ratio_to_elasticrmi("cloudwatch") >= 2.0 for p in panels),
+        ))
+        checks.append((
+            "Overprovisioning reaches up to ~24x ElasticRMI somewhere",
+            any(
+                p.ratio_to_elasticrmi("overprovisioning") >= 12.0
+                for p in panels
+            ),
+        ))
+        checks.append((
+            "ElasticRMI provisioning latency stays below 30 s",
+            all(
+                fig.max_latency(app) < 30.0
+                for fig in self.provisioning.values()
+                for app in fig.series
+                if fig.series[app]
+            ),
+        ))
+        return checks
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"# ElasticRMI evaluation report (seed {self.seed})",
+            "",
+            "## Figure 7: average agility per deployment",
+            "",
+            "| Fig | App | Workload | ElasticRMI | CPUMem | CloudWatch |"
+            " Overprov. | CW ratio |",
+            "|-----|-----|----------|-----------:|-------:|-----------:|"
+            "----------:|---------:|",
+        ]
+        for fig, panel in sorted(self.panels.items()):
+            averages = panel.averages()
+            lines.append(
+                f"| {fig} | {panel.app} | {panel.workload} "
+                f"| {averages['elasticrmi']:.2f} "
+                f"| {averages['elasticrmi-cpumem']:.2f} "
+                f"| {averages['cloudwatch']:.2f} "
+                f"| {averages['overprovisioning']:.2f} "
+                f"| {panel.ratio_to_elasticrmi('cloudwatch'):.2f}x |"
+            )
+        lines += ["", "## Figure 8: ElasticRMI provisioning latency", ""]
+        lines += [
+            "| Workload | App | Scale-ups | Mean (s) | Max (s) |",
+            "|----------|-----|----------:|---------:|--------:|",
+        ]
+        for workload, fig in sorted(self.provisioning.items()):
+            for app, points in sorted(fig.series.items()):
+                if not points:
+                    continue
+                lines.append(
+                    f"| {workload} | {app} | {len(points)} "
+                    f"| {fig.mean_latency(app):.1f} "
+                    f"| {fig.max_latency(app):.1f} |"
+                )
+        lines += ["", "## Shape claims", ""]
+        for claim, held in self.claims():
+            lines.append(f"- [{'x' if held else ' '}] {claim}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def run_full_evaluation(seed: int = 0) -> EvaluationReport:
+    """Run all 8 agility panels and both provisioning figures."""
+    report = EvaluationReport(seed=seed)
+    for fig in FIGURE7_PANELS:
+        report.panels[fig] = figure7_agility(fig, seed=seed)
+    for workload in ("abrupt", "cyclic"):
+        report.provisioning[workload] = figure8_provisioning(
+            workload, seed=seed
+        )
+    return report

@@ -1,0 +1,103 @@
+"""Parameter sweeps: robustness of the headline results.
+
+The paper reports single runs; a reproduction can do better and check
+that the orderings survive randomness and configuration changes:
+
+- :func:`seed_sweep` — repeat one panel across seeds and summarize the
+  per-deployment agility distribution;
+- :func:`cluster_size_sweep` — vary the cluster's slack (max pool size
+  relative to the peak requirement) and verify ElasticRMI's win does not
+  depend on generous headroom.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+
+from repro.experiments.figures import FIGURE7_PANELS, figure7_agility
+from repro.experiments.harness import run_deployment
+
+
+@dataclass
+class SweepSummary:
+    """Per-deployment agility across sweep points."""
+
+    values: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, deployment: str, value: float) -> None:
+        self.values.setdefault(deployment, []).append(value)
+
+    def mean(self, deployment: str) -> float:
+        return statistics.mean(self.values[deployment])
+
+    def stdev(self, deployment: str) -> float:
+        points = self.values[deployment]
+        return statistics.stdev(points) if len(points) > 1 else 0.0
+
+    def ordering_stable(self, *deployments: str) -> bool:
+        """True if the given deployments kept this strict order (by
+        average agility, ascending) at every sweep point."""
+        count = len(next(iter(self.values.values())))
+        for i in range(count):
+            seq = [self.values[d][i] for d in deployments]
+            if seq != sorted(seq) or len(set(seq)) != len(seq):
+                return False
+        return True
+
+
+def seed_sweep(figure: str = "7c", seeds: tuple[int, ...] = (0, 1, 2)) -> SweepSummary:
+    """Run one Figure 7 panel across seeds."""
+    if figure not in FIGURE7_PANELS:
+        raise ValueError(f"unknown figure: {figure}")
+    summary = SweepSummary()
+    for seed in seeds:
+        panel = figure7_agility(figure, seed=seed)
+        for name, result in panel.results.items():
+            summary.add(name, result.average_agility)
+    return summary
+
+
+def cluster_size_sweep(
+    app: str = "marketcetera",
+    workload: str = "abrupt",
+    headrooms: tuple[float, ...] = (1.0, 1.25, 1.5),
+    seed: int = 0,
+) -> dict[float, dict[str, float]]:
+    """Vary max pool size as a multiple of the peak requirement.
+
+    With headroom 1.0 the pool can *just* cover the peak; ElasticRMI
+    must still beat the threshold systems.
+    """
+    from repro.experiments.appmodels import APP_MODELS, AppModel
+    from repro.experiments.harness import pattern_for, run_custom
+    from repro.experiments.deployments import build_deployment
+
+    base = APP_MODELS[app]
+    pattern = pattern_for(base, workload)
+    peak = base.peak_req(pattern)
+    results: dict[float, dict[str, float]] = {}
+    for headroom in headrooms:
+        capped = AppModel(
+            name=base.name,
+            cls=base.cls,
+            capacity_per_member=base.capacity_per_member,
+            point_a=base.point_a,
+            min_members=base.min_members,
+            max_members=max(base.min_members + 1, math.ceil(peak * headroom)),
+            req_modifier=base.req_modifier,
+        )
+        point: dict[str, float] = {}
+        for deployment in ("elasticrmi", "cloudwatch"):
+            result = run_custom(
+                app,
+                workload,
+                factory=lambda kernel, _app, pat, s, d=deployment: (
+                    build_deployment(d, kernel, capped, pat, s)
+                ),
+                seed=seed,
+            )
+            point[deployment] = result.average_agility
+        results[headroom] = point
+    return results

@@ -1,0 +1,17 @@
+"""JGroups-like group communication.
+
+ElasticRMI's sentinel uses a group communication system (JGroups in the
+paper) to broadcast pool state — member identities and pending-invocation
+counts — to every skeleton (section 4.3), and relies on a "royal
+hierarchy" leader election (lowest uid wins) to pick and re-pick the
+sentinel (section 4.4).  This package provides those primitives:
+
+- :class:`Channel` — a named group: join/leave, reliable FIFO broadcast to
+  all current members, membership views with change notifications.
+- :class:`View` — an immutable membership snapshot with a view id.
+- :func:`elect_leader` — lowest-uid election over a view.
+"""
+
+from repro.groupcomm.channel import Channel, Member, View, elect_leader
+
+__all__ = ["Channel", "Member", "View", "elect_leader"]

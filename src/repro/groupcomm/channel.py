@@ -1,0 +1,137 @@
+"""Membership views, broadcast, and lowest-uid leader election."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Member:
+    """One channel participant: an address plus the monotonically assigned
+    uid ElasticRMI uses for its royal-hierarchy election."""
+
+    address: str
+    uid: int
+
+
+@dataclass(frozen=True)
+class View:
+    """Immutable membership snapshot."""
+
+    view_id: int
+    members: tuple[Member, ...]
+
+    def addresses(self) -> list[str]:
+        return [m.address for m in self.members]
+
+    def contains(self, address: str) -> bool:
+        return any(m.address == address for m in self.members)
+
+
+def elect_leader(view: View) -> Member | None:
+    """Lowest uid wins — the paper's royal hierarchy (section 4.3)."""
+    if not view.members:
+        return None
+    return min(view.members, key=lambda m: m.uid)
+
+
+@dataclass
+class _Subscription:
+    member: Member
+    on_message: Callable[[str, Any], None]  # (sender_address, message)
+    on_view: Callable[[View], None] | None
+
+
+class Channel:
+    """A named process group with FIFO broadcast and view callbacks.
+
+    Delivery is synchronous and in joining order, which makes tests and
+    simulations deterministic; senders also receive their own broadcasts
+    (JGroups' default loopback behaviour).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.RLock()
+        self._subs: dict[str, _Subscription] = {}
+        self._next_uid = 1
+        self._view_id = 0
+        self.messages_broadcast = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def join(
+        self,
+        address: str,
+        on_message: Callable[[str, Any], None],
+        on_view: Callable[[View], None] | None = None,
+    ) -> Member:
+        """Add a member; uids are assigned monotonically (never reused)."""
+        with self._lock:
+            if address in self._subs:
+                raise ValueError(f"address already joined: {address}")
+            member = Member(address=address, uid=self._next_uid)
+            self._next_uid += 1
+            self._subs[address] = _Subscription(member, on_message, on_view)
+            view = self._bump_view()
+        self._deliver_view(view)
+        return member
+
+    def leave(self, address: str) -> None:
+        with self._lock:
+            if address not in self._subs:
+                return
+            del self._subs[address]
+            view = self._bump_view()
+        self._deliver_view(view)
+
+    def view(self) -> View:
+        with self._lock:
+            return self._current_view()
+
+    def leader(self) -> Member | None:
+        return elect_leader(self.view())
+
+    # -- messaging ---------------------------------------------------------------
+
+    def broadcast(self, sender: str, message: Any) -> int:
+        """Deliver ``message`` to every current member (including the
+        sender).  Returns the number of deliveries."""
+        with self._lock:
+            if sender not in self._subs:
+                raise ValueError(f"broadcast from non-member: {sender}")
+            targets = list(self._subs.values())
+            self.messages_broadcast += 1
+        for sub in targets:
+            sub.on_message(sender, message)
+        return len(targets)
+
+    def send(self, sender: str, target: str, message: Any) -> None:
+        """Point-to-point message within the group."""
+        with self._lock:
+            if sender not in self._subs:
+                raise ValueError(f"send from non-member: {sender}")
+            sub = self._subs.get(target)
+        if sub is None:
+            raise ValueError(f"send to non-member: {target}")
+        sub.on_message(sender, message)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _current_view(self) -> View:
+        members = tuple(
+            sorted((s.member for s in self._subs.values()), key=lambda m: m.uid)
+        )
+        return View(view_id=self._view_id, members=members)
+
+    def _bump_view(self) -> View:
+        self._view_id += 1
+        return self._current_view()
+
+    def _deliver_view(self, view: View) -> None:
+        with self._lock:
+            targets = [s for s in self._subs.values() if s.on_view is not None]
+        for sub in targets:
+            sub.on_view(view)

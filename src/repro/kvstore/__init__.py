@@ -1,0 +1,33 @@
+"""HyperStore: the HyperDex-like in-memory key-value substrate.
+
+ElasticRMI keeps the shared state of an elastic object pool (instance and
+static fields) in an external, strongly consistent in-memory key-value
+store — HyperDex in the paper's implementation.  The preprocessor turns
+field reads/writes into ``get``/``put`` calls and ``synchronized`` methods
+into distributed lock acquisitions (Figure 6).  This package provides the
+same capabilities:
+
+- :class:`HyperStore` — consistent-hash partitioned, per-key linearizable
+  store with get/put/cas/delete/incr, versioned entries, and elastic node
+  addition (the runtime "may add additional nodes to HyperDex as
+  necessary", section 4.2).
+- :class:`LockManager` — named distributed locks with ownership, reentrancy,
+  deadlines, and fencing tokens (used for ``synchronized``).
+- :func:`search` via attribute predicates — the searchable-secondary-
+  attribute flavour of HyperDex.
+- per-key access statistics, exposing the "hot key" phenomenon the paper's
+  introduction motivates elasticity decisions with.
+"""
+
+from repro.kvstore.ring import HashRing
+from repro.kvstore.store import HyperStore, Partition, VersionedValue
+from repro.kvstore.locks import Lease, LockManager
+
+__all__ = [
+    "HashRing",
+    "HyperStore",
+    "Lease",
+    "LockManager",
+    "Partition",
+    "VersionedValue",
+]

@@ -1,0 +1,104 @@
+"""Store latency accounting.
+
+Section 4.1 of the paper is explicit that shared state has a price:
+"increasing shared state increases latency due to the network delays
+involved in accessing HyperDex", and locks reduce parallelism further.
+:class:`StoreLatencyModel` quantifies that price for a run: it plugs
+into :class:`~repro.kvstore.store.HyperStore`'s ``on_op`` hook, charges
+each operation a modeled cost (base network round trip + a contention
+term that grows with concurrent pressure on the same key), and reports
+the totals — the numbers an operator uses to decide whether an elastic
+class keeps too much shared state.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+#: Default modeled costs (seconds), in the ballpark of an in-memory
+#: store on a datacenter network.
+BASE_RTT_S = 0.0004        # one get/put round trip
+CONTENTION_STEP_S = 0.0002  # added per recent competitor on the same key
+
+
+@dataclass
+class OpStats:
+    count: int = 0
+    modeled_seconds: float = 0.0
+
+    def mean(self) -> float:
+        return 0.0 if self.count == 0 else self.modeled_seconds / self.count
+
+
+class StoreLatencyModel:
+    """Charges modeled latency per store operation.
+
+    Usage::
+
+        model = StoreLatencyModel()
+        store = HyperStore(nodes=2, on_op=model.observe)
+        ...
+        model.total_seconds()     # modeled time spent in the store
+        model.per_op("put").mean()
+    """
+
+    def __init__(
+        self,
+        base_rtt_s: float = BASE_RTT_S,
+        contention_step_s: float = CONTENTION_STEP_S,
+        window: int = 64,
+    ) -> None:
+        if base_rtt_s < 0 or contention_step_s < 0:
+            raise ValueError("costs cannot be negative")
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.base_rtt_s = base_rtt_s
+        self.contention_step_s = contention_step_s
+        self.window = window
+        self._lock = threading.Lock()
+        self._recent: list[str] = []  # last `window` keys touched
+        self._per_op: dict[str, OpStats] = {}
+        self._per_key_cost: dict[str, float] = {}
+
+    # -- the HyperStore hook -------------------------------------------------
+
+    def observe(self, op: str, key: str) -> float:
+        """Record one operation; returns its modeled cost (seconds)."""
+        with self._lock:
+            competitors = self._recent.count(key)
+            cost = self.base_rtt_s + competitors * self.contention_step_s
+            self._recent.append(key)
+            if len(self._recent) > self.window:
+                self._recent.pop(0)
+            stats = self._per_op.setdefault(op, OpStats())
+            stats.count += 1
+            stats.modeled_seconds += cost
+            self._per_key_cost[key] = self._per_key_cost.get(key, 0.0) + cost
+            return cost
+
+    # -- reporting ----------------------------------------------------------------
+
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(s.modeled_seconds for s in self._per_op.values())
+
+    def total_ops(self) -> int:
+        with self._lock:
+            return sum(s.count for s in self._per_op.values())
+
+    def per_op(self, op: str) -> OpStats:
+        with self._lock:
+            stats = self._per_op.get(op, OpStats())
+            return OpStats(stats.count, stats.modeled_seconds)
+
+    def costliest_keys(self, top_n: int = 10) -> list[tuple[str, float]]:
+        """Keys with the highest accumulated modeled cost — the hot-key
+        contention picture the paper's introduction motivates."""
+        with self._lock:
+            ranked = sorted(self._per_key_cost.items(), key=lambda kv: -kv[1])
+            return ranked[:top_n]
+
+    def mean_latency(self) -> float:
+        ops = self.total_ops()
+        return 0.0 if ops == 0 else self.total_seconds() / ops

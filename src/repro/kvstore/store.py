@@ -1,0 +1,296 @@
+"""The partitioned, strongly consistent in-memory store.
+
+Semantics mirror what ElasticRMI needs from HyperDex (paper section 4.1):
+
+- per-key linearizability: every get/put/cas on one key is serialized by
+  the partition lock that owns the key;
+- versioned entries: each successful write bumps a monotonic version,
+  giving CAS a sound foundation;
+- durability equals Java RMI's (state lives in RAM; a store-node failure
+  surfaces as :class:`StoreUnavailableError`, never silent loss of the
+  consistency contract);
+- searchable secondary attributes: dict-valued entries can be queried by
+  attribute predicates (HyperDex's signature feature);
+- elastic growth: nodes can be added, migrating only the keys whose arcs
+  moved.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import (
+    CASMismatchError,
+    KeyNotFoundError,
+    StoreUnavailableError,
+)
+from repro.kvstore.ring import HashRing
+
+_MISSING = object()
+
+
+@dataclass
+class VersionedValue:
+    """A stored value plus its monotonically increasing write version."""
+
+    value: Any
+    version: int
+
+
+class Partition:
+    """One store node's shard: a dict guarded by a reentrant lock."""
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self.data: dict[str, VersionedValue] = {}
+        self.lock = threading.RLock()
+        self.alive = True
+        self.op_count = 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class HyperStore:
+    """Consistent-hash partitioned KV store with per-key linearizability.
+
+    ``on_op`` (optional) is called as ``on_op(op_name, key)`` after every
+    operation — the hook the simulation experiments and hot-key statistics
+    plug into without the store knowing about either.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 1,
+        vnodes: int = 64,
+        track_hot_keys: bool = False,
+        on_op: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if nodes < 1:
+            raise ValueError(f"store needs at least one node: {nodes}")
+        self._ring = HashRing(vnodes=vnodes)
+        self._partitions: dict[str, Partition] = {}
+        self._membership_lock = threading.RLock()
+        self._on_op = on_op
+        self._track_hot = track_hot_keys
+        self._key_hits: dict[str, int] = {}
+        for i in range(nodes):
+            self._add_partition(f"store-{i}")
+
+    # -- membership -----------------------------------------------------------
+
+    def _add_partition(self, node: str) -> None:
+        self._partitions[node] = Partition(node)
+        self._ring.add_node(node)
+
+    def add_node(self) -> str:
+        """Grow the store by one node, migrating displaced keys.
+
+        Returns the new node's name.  Mirrors "ElasticRMI may add
+        additional nodes to HyperDex as necessary" (section 4.2).
+        """
+        with self._membership_lock:
+            node = f"store-{len(self._partitions)}"
+            old_owner = {
+                key: part.node
+                for part in self._partitions.values()
+                for key in part.data
+            }
+            self._add_partition(node)
+            for key, owner in old_owner.items():
+                new_owner = self._ring.owner(key)
+                if new_owner != owner:
+                    src = self._partitions[owner]
+                    dst = self._partitions[new_owner]
+                    with src.lock, dst.lock:
+                        dst.data[key] = src.data.pop(key)
+            return node
+
+    def node_count(self) -> int:
+        return len(self._partitions)
+
+    def partition_sizes(self) -> dict[str, int]:
+        return {name: len(p) for name, p in self._partitions.items()}
+
+    # -- failure injection ------------------------------------------------------
+
+    def fail_node(self, node: str) -> None:
+        """Make one store node unavailable.  Per the paper's fault model,
+        operations on its keys then *propagate* StoreUnavailableError."""
+        self._partition_by_name(node).alive = False
+
+    def recover_node(self, node: str) -> None:
+        self._partition_by_name(node).alive = True
+
+    # -- core operations ----------------------------------------------------------
+
+    def get(self, key: str, default: Any = _MISSING) -> Any:
+        """Read a key; raises :class:`KeyNotFoundError` when absent
+        unless ``default`` is given."""
+        part = self._owner(key)
+        with part.lock:
+            self._account("get", key, part)
+            entry = part.data.get(key)
+            if entry is None:
+                if default is _MISSING:
+                    raise KeyNotFoundError(key)
+                return default
+            return entry.value
+
+    def get_versioned(self, key: str) -> VersionedValue:
+        """Read a key together with its write version."""
+        part = self._owner(key)
+        with part.lock:
+            self._account("get", key, part)
+            entry = part.data.get(key)
+            if entry is None:
+                raise KeyNotFoundError(key)
+            return VersionedValue(entry.value, entry.version)
+
+    def put(self, key: str, value: Any) -> int:
+        """Write ``value``; returns the new version."""
+        part = self._owner(key)
+        with part.lock:
+            self._account("put", key, part)
+            entry = part.data.get(key)
+            version = 1 if entry is None else entry.version + 1
+            part.data[key] = VersionedValue(value, version)
+            return version
+
+    def cas(self, key: str, expected: Any, value: Any) -> int:
+        """Compare-and-swap on the *value*; raises on mismatch.
+
+        A missing key matches ``expected is None`` (create-if-absent).
+        """
+        part = self._owner(key)
+        with part.lock:
+            self._account("cas", key, part)
+            entry = part.data.get(key)
+            current = None if entry is None else entry.value
+            if current != expected:
+                raise CASMismatchError(
+                    f"cas({key!r}): expected {expected!r}, found {current!r}"
+                )
+            version = 1 if entry is None else entry.version + 1
+            part.data[key] = VersionedValue(value, version)
+            return version
+
+    def incr(self, key: str, delta: int = 1) -> int:
+        """Atomic integer add; missing keys start at zero.  Returns the
+        post-increment value."""
+        part = self._owner(key)
+        with part.lock:
+            self._account("incr", key, part)
+            entry = part.data.get(key)
+            current = 0 if entry is None else entry.value
+            if not isinstance(current, int):
+                raise TypeError(f"incr on non-integer key {key!r}: {current!r}")
+            version = 1 if entry is None else entry.version + 1
+            part.data[key] = VersionedValue(current + delta, version)
+            return current + delta
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True if it existed."""
+        part = self._owner(key)
+        with part.lock:
+            self._account("delete", key, part)
+            return part.data.pop(key, None) is not None
+
+    def exists(self, key: str) -> bool:
+        part = self._owner(key)
+        with part.lock:
+            self._account("get", key, part)
+            return key in part.data
+
+    def update(self, key: str, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        """Atomic read-modify-write under the partition lock.
+
+        ``fn`` receives the current value (or ``default`` when absent) and
+        returns the new value, which is stored and returned.
+        """
+        part = self._owner(key)
+        with part.lock:
+            self._account("update", key, part)
+            entry = part.data.get(key)
+            current = default if entry is None else entry.value
+            new = fn(current)
+            version = 1 if entry is None else entry.version + 1
+            part.data[key] = VersionedValue(new, version)
+            return new
+
+    # -- scans and search -----------------------------------------------------------
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        """All keys (optionally filtered by prefix), across partitions."""
+        for part in list(self._partitions.values()):
+            self._check_alive(part)
+            with part.lock:
+                snapshot = [k for k in part.data if k.startswith(prefix)]
+            yield from snapshot
+
+    def search(self, prefix: str, **predicates: Any) -> list[tuple[str, Any]]:
+        """HyperDex-style secondary-attribute search over dict values.
+
+        Returns ``(key, value)`` pairs under ``prefix`` whose dict value
+        satisfies every ``attribute=expected`` predicate.  Callables are
+        treated as one-argument predicates over the attribute value.
+        """
+        hits: list[tuple[str, Any]] = []
+        for key in self.keys(prefix):
+            try:
+                value = self.get(key)
+            except KeyNotFoundError:
+                continue  # concurrently deleted
+            if not isinstance(value, dict):
+                continue
+            ok = True
+            for attr, expected in predicates.items():
+                if attr not in value:
+                    ok = False
+                    break
+                actual = value[attr]
+                if callable(expected):
+                    if not expected(actual):
+                        ok = False
+                        break
+                elif actual != expected:
+                    ok = False
+                    break
+            if ok:
+                hits.append((key, value))
+        return hits
+
+    # -- statistics ---------------------------------------------------------------
+
+    def hot_keys(self, top_n: int = 10) -> list[tuple[str, int]]:
+        """Most frequently accessed keys (requires ``track_hot_keys``)."""
+        ranked = sorted(self._key_hits.items(), key=lambda kv: -kv[1])
+        return ranked[:top_n]
+
+    def total_ops(self) -> int:
+        return sum(p.op_count for p in self._partitions.values())
+
+    # -- internals -------------------------------------------------------------------
+
+    def _owner(self, key: str) -> Partition:
+        part = self._partitions[self._ring.owner(key)]
+        self._check_alive(part)
+        return part
+
+    def _partition_by_name(self, node: str) -> Partition:
+        if node not in self._partitions:
+            raise ValueError(f"unknown store node: {node}")
+        return self._partitions[node]
+
+    def _check_alive(self, part: Partition) -> None:
+        if not part.alive:
+            raise StoreUnavailableError(f"store node {part.node} is down")
+
+    def _account(self, op: str, key: str, part: Partition) -> None:
+        part.op_count += 1
+        if self._track_hot:
+            self._key_hits[key] = self._key_hits.get(key, 0) + 1
+        if self._on_op is not None:
+            self._on_op(op, key)

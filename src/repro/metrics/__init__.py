@@ -1,0 +1,23 @@
+"""Elasticity metrics (SPEC OSG report, paper section 5.1).
+
+- :class:`AgilityTracker` — the SPEC *agility* metric: per-interval
+  ``Excess`` and ``Shortage`` of provisioned capacity against the minimum
+  capacity required to meet QoS, averaged over the measurement period.
+- :mod:`repro.metrics.provisioning` — *provisioning interval*: time from
+  initiating a resource request to the resource serving its first
+  request (Figure 8).
+- :class:`QoSTracker` — throughput/latency accounting used to derive
+  ``Req_min`` in live measurements.
+"""
+
+from repro.metrics.agility import AgilitySample, AgilityTracker
+from repro.metrics.provisioning import ProvisioningSeries
+from repro.metrics.qos import QoSTarget, QoSTracker
+
+__all__ = [
+    "AgilitySample",
+    "AgilityTracker",
+    "ProvisioningSeries",
+    "QoSTarget",
+    "QoSTracker",
+]

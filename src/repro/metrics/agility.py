@@ -1,0 +1,108 @@
+"""The SPEC agility metric (paper section 5.1).
+
+Over a measurement period divided into N sub-intervals::
+
+    Agility = (1/N) * (sum_i Excess(i) + sum_i Shortage(i))
+
+where, for sub-interval i,
+
+- ``Req_min(i)`` is the minimum capacity needed to meet the application's
+  QoS at the interval's workload level,
+- ``Cap_prov(i)`` is the capacity actually provisioned,
+- ``Excess(i) = max(0, Cap_prov(i) - Req_min(i))``,
+- ``Shortage(i) = max(0, Req_min(i) - Cap_prov(i))``.
+
+An ideal system scores zero: neither waste nor starvation.  The paper
+plots the *per-interval* value (``Excess(i) + Shortage(i)``) over time
+(Figure 7c-j) and reports the average; this tracker supports both views,
+plus the weighted variant the SPEC report debates (unequal weights for
+Shortage vs Excess).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AgilitySample:
+    """One sub-interval's observation."""
+
+    at: float          # sample time (seconds)
+    cap_prov: float    # capacity provisioned (members / nodes)
+    req_min: float     # minimum capacity to meet QoS
+
+    @property
+    def excess(self) -> float:
+        return max(0.0, self.cap_prov - self.req_min)
+
+    @property
+    def shortage(self) -> float:
+        return max(0.0, self.req_min - self.cap_prov)
+
+    @property
+    def agility(self) -> float:
+        """Per-interval agility contribution (what Figure 7 plots)."""
+        return self.excess + self.shortage
+
+
+class AgilityTracker:
+    """Accumulates samples and computes the SPEC aggregate."""
+
+    def __init__(
+        self, excess_weight: float = 1.0, shortage_weight: float = 1.0
+    ) -> None:
+        """Equal weights by default — the SPEC report notes the debate
+        over unequal weighting but offers no agreed alternative."""
+        if excess_weight < 0 or shortage_weight < 0:
+            raise ValueError("weights must be non-negative")
+        self.excess_weight = excess_weight
+        self.shortage_weight = shortage_weight
+        self.samples: list[AgilitySample] = []
+
+    def record(self, at: float, cap_prov: float, req_min: float) -> AgilitySample:
+        """Add one sub-interval observation."""
+        if req_min < 0 or cap_prov < 0:
+            raise ValueError(
+                f"capacities cannot be negative: cap={cap_prov}, req={req_min}"
+            )
+        sample = AgilitySample(at=at, cap_prov=cap_prov, req_min=req_min)
+        self.samples.append(sample)
+        return sample
+
+    # -- aggregates -----------------------------------------------------------
+
+    def average_agility(self) -> float:
+        """The SPEC aggregate: (1/N)(sum Excess + sum Shortage)."""
+        if not self.samples:
+            return 0.0
+        total = sum(
+            self.excess_weight * s.excess + self.shortage_weight * s.shortage
+            for s in self.samples
+        )
+        return total / len(self.samples)
+
+    def average_excess(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.excess for s in self.samples) / len(self.samples)
+
+    def average_shortage(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.shortage for s in self.samples) / len(self.samples)
+
+    def max_agility(self) -> float:
+        return max((s.agility for s in self.samples), default=0.0)
+
+    def zero_fraction(self) -> float:
+        """Fraction of intervals with agility exactly 0 — the paper calls
+        out how often ElasticRMI's agility returns to the ideal."""
+        if not self.samples:
+            return 0.0
+        zeros = sum(1 for s in self.samples if s.agility == 0.0)
+        return zeros / len(self.samples)
+
+    def series(self) -> list[tuple[float, float]]:
+        """(time, per-interval agility) pairs — the Figure 7 curves."""
+        return [(s.at, s.agility) for s in self.samples]

@@ -1,0 +1,56 @@
+"""Provisioning-interval accounting (paper section 5.6, Figure 8).
+
+Provisioning interval: the time between initiating the request to bring
+up a new resource and that resource serving its first request.  The pool
+already records a :class:`~repro.core.pool.ProvisioningRecord` per member
+start/drain; this module summarizes those records into the series and
+statistics Figure 8 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pool import ProvisioningRecord
+
+
+@dataclass
+class ProvisioningSeries:
+    """Summarized provisioning latencies for one deployment run."""
+
+    records: list[ProvisioningRecord]
+
+    def up_events(self) -> list[ProvisioningRecord]:
+        return [r for r in self.records if r.direction == "up"]
+
+    def down_events(self) -> list[ProvisioningRecord]:
+        return [r for r in self.records if r.direction == "down"]
+
+    def series(self) -> list[tuple[float, float]]:
+        """(request time, latency seconds) for every scale-up — the
+        Figure 8 scatter/line."""
+        return [(r.requested_at, r.latency) for r in self.up_events()]
+
+    def max_latency(self) -> float:
+        return max((r.latency for r in self.up_events()), default=0.0)
+
+    def mean_latency(self) -> float:
+        ups = self.up_events()
+        if not ups:
+            return 0.0
+        return sum(r.latency for r in ups) / len(ups)
+
+    def bucketed(self, bucket_s: float) -> list[tuple[float, float]]:
+        """(bucket start, mean latency) per time bucket, for plotting a
+        smoothed curve over a long run."""
+        if bucket_s <= 0:
+            raise ValueError(f"bucket must be positive: {bucket_s}")
+        buckets: dict[int, list[float]] = {}
+        for record in self.up_events():
+            buckets.setdefault(int(record.requested_at // bucket_s), []).append(
+                record.latency
+            )
+        return [
+            (index * bucket_s, sum(vals) / len(vals))
+            for index, vals in sorted(buckets.items())
+        ]

@@ -1,0 +1,89 @@
+"""QoS accounting: throughput and latency per observation window.
+
+Performance/QoS in the paper is application-specific — "typically a
+combination of throughput and latency" (section 5.1).  The tracker
+accumulates completed operations and exposes windowed rates, mean/p99
+latency, and a QoS predicate used to validate that ``Req_min`` estimates
+actually meet the target during live runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """What 'meeting QoS' means for one application."""
+
+    min_throughput: float        # ops/s the deployment must sustain
+    max_mean_latency: float      # seconds
+    max_p99_latency: float | None = None
+
+
+class QoSTracker:
+    """Sliding accumulation of operation completions."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._window_start: float | None = None
+        self._window_end: float | None = None
+        self._latencies: list[float] = []  # kept sorted for percentiles
+
+    def record(self, at: float, latency: float) -> None:
+        """Record one completed operation at time ``at``."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if self._window_start is None:
+            self._window_start = at
+        self._window_end = at
+        self._count += 1
+        bisect.insort(self._latencies, latency)
+
+    @property
+    def operations(self) -> int:
+        return self._count
+
+    def throughput(self) -> float:
+        """Operations per second over the observed span."""
+        if self._count == 0 or self._window_start is None:
+            return 0.0
+        span = (self._window_end or 0.0) - self._window_start
+        if span <= 0:
+            return float(self._count)
+        return self._count / span
+
+    def mean_latency(self) -> float:
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    def percentile_latency(self, pct: float) -> float:
+        if not 0 < pct <= 100:
+            raise ValueError(f"percentile must be in (0, 100]: {pct}")
+        if not self._latencies:
+            return 0.0
+        index = min(
+            len(self._latencies) - 1,
+            max(0, int(round(pct / 100.0 * len(self._latencies))) - 1),
+        )
+        return self._latencies[index]
+
+    def meets(self, target: QoSTarget) -> bool:
+        if self.throughput() < target.min_throughput:
+            return False
+        if self.mean_latency() > target.max_mean_latency:
+            return False
+        if (
+            target.max_p99_latency is not None
+            and self.percentile_latency(99) > target.max_p99_latency
+        ):
+            return False
+        return True
+
+    def reset(self) -> None:
+        self._count = 0
+        self._window_start = None
+        self._window_end = None
+        self._latencies.clear()

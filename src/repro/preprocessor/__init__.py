@@ -1,0 +1,39 @@
+"""The ElasticRMI preprocessor (paper sections 2.3, 3.1, 4.1).
+
+The paper's implementation ships an ``rmic``-like preprocessor that
+(1) generates stubs and skeletons, (2) rewrites reads/writes of instance
+and static fields into ``get``/``put`` calls on the shared store, and
+(3) rewrites ``synchronized`` methods into lock/unlock pairs, converting
+ElasticRMI programs into plain Java compilable by ``javac``.
+
+In Python, stubs/skeletons are generated at runtime and the Figure 6
+field transformation is done by descriptors — but the preprocessor still
+has two jobs worth doing ahead of time, and this package does both:
+
+- :func:`analyze` — static validation of an elastic class: configuration
+  sanity, the single-decision-mechanism rule, shared-state hygiene
+  (mutable class attributes that silently bypass the store), and an
+  inventory of the remote surface.  The report is what the paper's
+  preprocessor would print before emitting code.
+- :func:`transform_source` — source-to-source transformation of a plain
+  class in the paper's Java style (bare class-level fields, a
+  ``# synchronized`` marker comment) into ElasticRMI Python (fields
+  become :func:`elastic_field`, marked methods gain ``@synchronized``) —
+  the exact Figure 6 rewrite, as text.
+"""
+
+from repro.preprocessor.analyzer import (
+    AnalysisError,
+    ClassReport,
+    Finding,
+    analyze,
+)
+from repro.preprocessor.transform import transform_source
+
+__all__ = [
+    "AnalysisError",
+    "ClassReport",
+    "Finding",
+    "analyze",
+    "transform_source",
+]

@@ -1,0 +1,254 @@
+"""Static analysis of elastic classes.
+
+``analyze(cls)`` inspects an :class:`ElasticObject` subclass the way the
+paper's preprocessor inspects an elastic Java class before emitting
+stubs and skeletons, and reports:
+
+- the **remote surface**: public methods a stub can invoke;
+- the **shared fields**: :func:`elastic_field` descriptors and their
+  store keys;
+- **synchronized methods** and the per-class lock they serialize on;
+- the **scaling mechanism** the runtime will select;
+- **findings** — errors and warnings, e.g. mutable class attributes that
+  look like state but silently bypass the shared store (each member
+  would get its own copy, the exact bug the preprocessor's rewrite
+  exists to prevent).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+from repro.core.api import ElasticObject
+from repro.core.fields import elastic_field, is_synchronized
+from repro.core.scaling import select_policy
+
+
+class AnalysisError(Exception):
+    """The class cannot be deployed as an elastic pool."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis diagnostic."""
+
+    level: str   # "error" | "warning" | "info"
+    code: str    # short machine-readable id
+    message: str
+
+
+@dataclass
+class ClassReport:
+    """Everything the preprocessor learned about one elastic class."""
+
+    class_name: str
+    remote_methods: list[str] = field(default_factory=list)
+    shared_fields: dict[str, str] = field(default_factory=dict)  # name -> key
+    synchronized_methods: list[str] = field(default_factory=list)
+    scaling_mechanism: str = "implicit"
+    lock_name: str = ""
+    findings: list[Finding] = field(default_factory=list)
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "error"]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "warning"]
+
+    def ok(self) -> bool:
+        return not self.errors()
+
+    def summary(self) -> str:
+        lines = [
+            f"elastic class {self.class_name}",
+            f"  scaling: {self.scaling_mechanism}"
+            + (f" (lock {self.lock_name!r})" if self.synchronized_methods else ""),
+            f"  remote methods: {', '.join(self.remote_methods) or '(none)'}",
+        ]
+        if self.shared_fields:
+            fields_desc = ", ".join(
+                f"{name} -> {key}" for name, key in self.shared_fields.items()
+            )
+            lines.append(f"  shared fields: {fields_desc}")
+        if self.synchronized_methods:
+            lines.append(
+                f"  synchronized: {', '.join(self.synchronized_methods)}"
+            )
+        for finding in self.findings:
+            lines.append(f"  [{finding.level}] {finding.code}: {finding.message}")
+        return "\n".join(lines)
+
+
+def _framework_methods(cls: type) -> frozenset[str]:
+    """Names inherited from framework bases (ElasticObject, the
+    throughput-scaling mixin, ...) — part of the ElasticRMI API, not the
+    application's remote surface, even when the application overrides
+    them (e.g. ``scaling_guard``)."""
+    names: set[str] = set()
+    for base in cls.__mro__[1:]:
+        module = getattr(base, "__module__", "")
+        if module.startswith("repro.core") or module == "repro.apps.common":
+            names.update(n for n in vars(base) if not n.startswith("_"))
+    return frozenset(names)
+
+#: Immutable builtin types that are safe as class-level constants.
+_SAFE_CONSTANT_TYPES = (int, float, str, bytes, bool, frozenset, tuple, type(None))
+
+
+def analyze(cls: type, strict: bool = False) -> ClassReport:
+    """Inspect an elastic class and return its :class:`ClassReport`.
+
+    With ``strict=True``, any error-level finding raises
+    :class:`AnalysisError` (the preprocessor refusing to emit code).
+    """
+    report = ClassReport(class_name=cls.__name__, lock_name=cls.__name__)
+    if not (isinstance(cls, type) and issubclass(cls, ElasticObject)):
+        report.findings.append(
+            Finding(
+                "error",
+                "not-elastic",
+                f"{cls.__name__} does not extend ElasticObject",
+            )
+        )
+        if strict:
+            raise AnalysisError(report.findings[-1].message)
+        return report
+
+    _collect_surface(cls, report)
+    _check_configuration(cls, report)
+    _check_class_attributes(cls, report)
+
+    if strict and not report.ok():
+        raise AnalysisError(
+            "; ".join(f.message for f in report.errors())
+        )
+    return report
+
+
+def _collect_surface(cls: type, report: ClassReport) -> None:
+    declared = getattr(cls, "__elastic_interface__", None)
+    framework = _framework_methods(cls)
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        descriptor = inspect.getattr_static(cls, name)
+        if isinstance(descriptor, elastic_field):
+            report.shared_fields[name] = descriptor.store_key
+            continue
+        if not callable(member):
+            continue
+        if name in framework:
+            continue
+        if inspect.isfunction(descriptor) or inspect.ismethod(member):
+            if is_synchronized(member):
+                report.synchronized_methods.append(name)
+            if declared is None or name in declared:
+                report.remote_methods.append(name)
+    if declared is not None:
+        missing = sorted(set(declared) - set(report.remote_methods))
+        for name in missing:
+            report.findings.append(
+                Finding(
+                    "error",
+                    "interface-method-missing",
+                    f"elastic interface declares {name!r} but the class "
+                    "does not define it",
+                )
+            )
+    if not report.remote_methods:
+        report.findings.append(
+            Finding(
+                "warning",
+                "no-remote-methods",
+                "class declares no remotely invocable methods",
+            )
+        )
+
+
+def _check_configuration(cls: type, report: ClassReport) -> None:
+    try:
+        prototype = cls()
+    except TypeError:
+        report.findings.append(
+            Finding(
+                "info",
+                "constructor-args",
+                "constructor requires arguments; configuration checked "
+                "at deployment instead",
+            )
+        )
+        config = None
+    except Exception as exc:  # constructor itself is broken
+        report.findings.append(
+            Finding(
+                "error",
+                "constructor-raises",
+                f"constructor raised {type(exc).__name__}: {exc}",
+            )
+        )
+        config = None
+    else:
+        config = prototype._ermi_config
+    if config is not None:
+        try:
+            config.validate()
+        except Exception as exc:
+            report.findings.append(
+                Finding("error", "bad-configuration", str(exc))
+            )
+        if cls.overrides_change_pool_size() and config.explicit_thresholds:
+            # Unreachable through the setters (they raise), but a class
+            # can assign the config directly; catch it here too.
+            report.findings.append(
+                Finding(
+                    "error",
+                    "dual-decision-mechanism",
+                    "class both overrides change_pool_size() and sets "
+                    "CPU/RAM thresholds; ElasticRMI allows a single "
+                    "decision mechanism",
+                )
+            )
+    report.scaling_mechanism = select_policy(
+        cls, config if config is not None else _default_config(), None
+    ).name
+
+
+def _default_config():
+    from repro.core.api import ElasticConfig
+
+    return ElasticConfig()
+
+
+def _check_class_attributes(cls: type, report: ClassReport) -> None:
+    """Mutable class attributes look like shared state but are not —
+    every member gets its own process-local copy, which is precisely the
+    inconsistency the store rewrite prevents (Figure 6)."""
+    for name, value in vars(cls).items():
+        if name.startswith("_") or callable(value):
+            continue
+        if isinstance(value, (elastic_field, property, staticmethod, classmethod)):
+            continue
+        if isinstance(value, _SAFE_CONSTANT_TYPES):
+            if name.isupper():
+                continue  # conventional constant
+            report.findings.append(
+                Finding(
+                    "info",
+                    "class-constant",
+                    f"class attribute {name!r} is treated as a constant; "
+                    "use elastic_field() if members must share updates "
+                    "to it",
+                )
+            )
+        else:
+            report.findings.append(
+                Finding(
+                    "warning",
+                    "mutable-class-state",
+                    f"mutable class attribute {name!r} "
+                    f"({type(value).__name__}) is NOT shared through the "
+                    "store; each pool member sees its own copy — declare "
+                    "it with elastic_field() if it is state",
+                )
+            )

@@ -1,0 +1,152 @@
+"""Source-to-source transformation: the Figure 6 rewrite, as text.
+
+Takes Python source written in the paper's *pre-preprocessing* style —
+an ``ElasticObject`` subclass with bare class-level fields and
+``# synchronized`` marker comments — and emits the post-preprocessing
+form: fields become :func:`elastic_field` declarations (store key
+``Class$field``), marked methods gain the ``@synchronized`` decorator,
+and the needed imports are inserted.
+
+Example (the paper's C1)::
+
+    class C1(ElasticObject):        class C1(ElasticObject):
+        x = 0                  ->       x = elastic_field(default=0)
+        z = 0                           z = elastic_field(default=0)
+
+        # synchronized                  @synchronized
+        def bar(self): ...              def bar(self): ...
+
+Only class bodies of ``ElasticObject`` subclasses are touched; constants
+(UPPER_CASE names), dunders, and existing ``elastic_field`` declarations
+pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class _ElasticClassTransformer(ast.NodeTransformer):
+    """Rewrites elastic class bodies; tracks whether anything changed."""
+
+    def __init__(self) -> None:
+        self.transformed_fields = 0
+        self.transformed_methods = 0
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> ast.ClassDef:
+        self.generic_visit(node)
+        if not _extends_elastic_object(node):
+            return node
+        new_body: list[ast.stmt] = []
+        for stmt in node.body:
+            new_body.append(self._rewrite_statement(stmt))
+        node.body = new_body
+        return node
+
+    def _rewrite_statement(self, stmt: ast.stmt) -> ast.stmt:
+        # Bare class-level field: `x = <literal>` -> elastic_field(...)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and not target.id.startswith("_")
+                and not target.id.isupper()
+                and not _is_elastic_field_call(stmt.value)
+            ):
+                self.transformed_fields += 1
+                replacement = ast.Assign(
+                    targets=[target],
+                    value=ast.Call(
+                        func=ast.Name(id="elastic_field", ctx=ast.Load()),
+                        args=[],
+                        keywords=[ast.keyword(arg="default", value=stmt.value)],
+                    ),
+                )
+                return ast.copy_location(replacement, stmt)
+        # Annotated field: `x: int = 0` -> same treatment.
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.value is not None
+            and not stmt.target.id.startswith("_")
+            and not stmt.target.id.isupper()
+            and not _is_elastic_field_call(stmt.value)
+        ):
+            self.transformed_fields += 1
+            replacement = ast.Assign(
+                targets=[ast.Name(id=stmt.target.id, ctx=ast.Store())],
+                value=ast.Call(
+                    func=ast.Name(id="elastic_field", ctx=ast.Load()),
+                    args=[],
+                    keywords=[ast.keyword(arg="default", value=stmt.value)],
+                ),
+            )
+            return ast.copy_location(replacement, stmt)
+        return stmt
+
+
+def _extends_elastic_object(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+        if name in ("ElasticObject", "ThroughputScaledService"):
+            return True
+    return False
+
+
+def _is_elastic_field_call(value: ast.expr) -> bool:
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "elastic_field"
+    )
+
+
+def _apply_synchronized_markers(source: str) -> tuple[str, int]:
+    """Replace ``# synchronized`` marker comments (on their own line,
+    immediately before a def) with the decorator."""
+    lines = source.split("\n")
+    out: list[str] = []
+    count = 0
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped == "# synchronized":
+            nxt = lines[i + 1].lstrip() if i + 1 < len(lines) else ""
+            if nxt.startswith(("def ", "async def ")):
+                indent = line[: len(line) - len(line.lstrip())]
+                out.append(f"{indent}@synchronized")
+                count += 1
+                continue
+        out.append(line)
+    return "\n".join(out), count
+
+
+_IMPORT_LINE = "from repro.core.fields import elastic_field, synchronized"
+
+
+def transform_source(source: str) -> str:
+    """Apply the preprocessor rewrite to ``source`` and return the
+    transformed module text.
+
+    Raises :class:`SyntaxError` on unparsable input.  Idempotent:
+    transforming already-transformed source is a no-op (modulo
+    formatting).  Like any AST round-trip, comments other than the
+    ``# synchronized`` markers are not preserved; docstrings are.
+    """
+    marked, sync_count = _apply_synchronized_markers(source)
+    tree = ast.parse(marked)
+    transformer = _ElasticClassTransformer()
+    tree = transformer.visit(tree)
+    ast.fix_missing_locations(tree)
+    result = ast.unparse(tree)
+    needs_import = (
+        transformer.transformed_fields > 0 or sync_count > 0
+    ) and _IMPORT_LINE not in result
+    if needs_import:
+        lines = result.split("\n")
+        insert_at = 0
+        for i, line in enumerate(lines):
+            if line.startswith(("import ", "from ")):
+                insert_at = i + 1
+        lines.insert(insert_at, _IMPORT_LINE)
+        result = "\n".join(lines)
+    return result

@@ -1,0 +1,52 @@
+"""Classic RMI substrate: registry, marshalling, stubs, and skeletons.
+
+ElasticRMI layers elasticity *on top of* Java RMI's stub/skeleton
+machinery; this package rebuilds that machinery in Python:
+
+- :class:`Registry` — bind/lookup of names to remote references.
+- :mod:`repro.rmi.marshal` — pass-by-value serialization of arguments and
+  results (deep copies, like Java serialization), with remote references
+  passing by reference.
+- :class:`Endpoint` / transports — each pool member lives at an endpoint
+  ("a JVM"); :class:`DirectTransport` delivers calls synchronously and
+  deterministically (unit tests, simulation), :class:`ThreadedTransport`
+  gives every endpoint a real dispatch thread (live examples).
+- :class:`Skeleton` — server-side dispatcher: per-method call statistics,
+  drain state (reject-with-retry while shutting down) and redirect tables
+  (the hooks ElasticRMI's sentinel drives for load balancing).
+- :class:`Stub` — client-side dynamic proxy raising
+  :class:`~repro.errors.RemoteError` subclasses.
+"""
+
+from repro.rmi.marshal import marshal_value, unmarshal_value
+from repro.rmi.registry import Registry
+from repro.rmi.remote import (
+    CallStats,
+    MethodStats,
+    Remote,
+    RemoteRef,
+    Skeleton,
+    Stub,
+)
+from repro.rmi.transport import (
+    DirectTransport,
+    Endpoint,
+    ThreadedTransport,
+    Transport,
+)
+
+__all__ = [
+    "CallStats",
+    "DirectTransport",
+    "Endpoint",
+    "MethodStats",
+    "Registry",
+    "Remote",
+    "RemoteRef",
+    "Skeleton",
+    "Stub",
+    "ThreadedTransport",
+    "Transport",
+    "marshal_value",
+    "unmarshal_value",
+]

@@ -1,0 +1,42 @@
+"""Pass-by-value marshalling.
+
+Java RMI serializes arguments and return values, so the server always sees
+a *copy* — mutations on one side never leak to the other.  We reproduce
+that with :mod:`pickle` round-trips (the closest Python analogue of Java
+serialization) and surface failures as :class:`MarshalError` /
+:class:`UnmarshalError` the way RMI does.
+
+Remote references are the exception: a :class:`RemoteRef` in an argument
+list passes by reference (the receiver gets a stub), exactly as remote
+objects do in Java RMI.  The transport handles that: refs are pickleable
+value objects, so they survive the round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.errors import MarshalError, UnmarshalError
+
+
+def marshal_value(value: Any) -> bytes:
+    """Serialize a value for the wire; raises MarshalError when the value
+    is not serializable (mirrors java.rmi.MarshalException)."""
+    try:
+        return pickle.dumps(value)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise MarshalError(f"cannot marshal {type(value).__name__}: {exc}") from exc
+
+
+def unmarshal_value(payload: bytes) -> Any:
+    """Deserialize a wire payload; raises UnmarshalError on corrupt data."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise UnmarshalError(f"cannot unmarshal payload: {exc}") from exc
+
+
+def roundtrip(value: Any) -> Any:
+    """Marshal-then-unmarshal: the deep copy every RMI call performs."""
+    return unmarshal_value(marshal_value(value))

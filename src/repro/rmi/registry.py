@@ -1,0 +1,48 @@
+"""The RMI registry: a name service mapping strings to remote references.
+
+Mirrors ``java.rmi.registry``: bind refuses to overwrite, rebind replaces,
+lookup of an unbound name raises :class:`NotBoundError`.  In ElasticRMI a
+registry entry for an elastic class points at the pool's *sentinel*; the
+elastic stub bootstraps member discovery from there.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import AlreadyBoundError, NotBoundError
+from repro.rmi.remote import RemoteRef
+
+
+class Registry:
+    """Thread-safe name -> RemoteRef table."""
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, RemoteRef] = {}
+        self._lock = threading.RLock()
+
+    def bind(self, name: str, ref: RemoteRef) -> None:
+        with self._lock:
+            if name in self._bindings:
+                raise AlreadyBoundError(name)
+            self._bindings[name] = ref
+
+    def rebind(self, name: str, ref: RemoteRef) -> None:
+        with self._lock:
+            self._bindings[name] = ref
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bindings:
+                raise NotBoundError(name)
+            del self._bindings[name]
+
+    def lookup(self, name: str) -> RemoteRef:
+        with self._lock:
+            if name not in self._bindings:
+                raise NotBoundError(name)
+            return self._bindings[name]
+
+    def list(self) -> list[str]:
+        with self._lock:
+            return sorted(self._bindings)

@@ -1,0 +1,271 @@
+"""Remote objects, references, skeletons, and stubs.
+
+The shapes follow Java RMI, with the two extra powers ElasticRMI's
+preprocessor compiles into them (paper sections 2.3, 4.3):
+
+- a :class:`Skeleton` keeps per-method call statistics (rate and latency
+  over a window — the raw material for ``getMethodCallStats``), can be put
+  into *drain* mode (reject new calls with a retry hint while pending ones
+  finish) and can host a *redirect table* the sentinel installs to shed a
+  fraction of its load onto other members;
+- a :class:`Stub` is a dynamic proxy that marshals, invokes through the
+  transport, follows redirects, and surfaces remote failures as
+  :class:`RemoteError` subclasses.
+
+``Stub`` here is the *unicast* stub (one fixed target, like plain RMI);
+the pool-aware elastic stub with client-side load balancing lives in
+:mod:`repro.core.balancer` and composes this one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ApplicationError, MemberDrainedError, NoSuchObjectError
+from repro.rmi.marshal import marshal_value, unmarshal_value
+from repro.rmi.transport import Request, Response, Transport
+from repro.sim.clock import Clock, WallClock
+
+_object_ids = itertools.count(1)
+
+
+class Remote:
+    """Marker base for remotely invocable classes (java.rmi.Remote)."""
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """A serializable pointer to one exported object: endpoint + object id.
+
+    This is what registries store and what passes by reference in
+    arguments.  ``uid`` is the pool-member unique identifier ElasticRMI
+    assigns monotonically (used for sentinel election); plain RMI objects
+    leave it at 0.
+    """
+
+    endpoint_id: str
+    object_id: str
+    uid: int = 0
+
+    def describe(self) -> str:
+        return f"{self.object_id}@{self.endpoint_id}(uid={self.uid})"
+
+
+@dataclass
+class MethodStats:
+    """Aggregate statistics for one remote method over a window."""
+
+    calls: int = 0
+    total_latency: float = 0.0
+    errors: int = 0
+
+    def latency(self) -> float:
+        """Mean latency per call (seconds); 0 when idle."""
+        return 0.0 if self.calls == 0 else self.total_latency / self.calls
+
+
+@dataclass
+class CallStats:
+    """Per-method statistics with window reset (burst-interval semantics)."""
+
+    methods: dict[str, MethodStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, method: str, latency: float, error: bool = False) -> None:
+        with self._lock:
+            stats = self.methods.setdefault(method, MethodStats())
+            stats.calls += 1
+            stats.total_latency += latency
+            if error:
+                stats.errors += 1
+
+    def snapshot_and_reset(self) -> dict[str, MethodStats]:
+        """Return the window's stats and start a fresh window."""
+        with self._lock:
+            window = self.methods
+            self.methods = {}
+            return window
+
+    def snapshot(self) -> dict[str, MethodStats]:
+        with self._lock:
+            return {
+                name: MethodStats(s.calls, s.total_latency, s.errors)
+                for name, s in self.methods.items()
+            }
+
+    def total_calls(self) -> int:
+        with self._lock:
+            return sum(s.calls for s in self.methods.values())
+
+
+class Skeleton:
+    """Server-side dispatcher for one exported object."""
+
+    def __init__(
+        self,
+        impl: Any,
+        transport: Transport,
+        endpoint_id: str,
+        clock: Clock | None = None,
+        object_id: str | None = None,
+        uid: int = 0,
+    ) -> None:
+        self.impl = impl
+        self.transport = transport
+        self.endpoint_id = endpoint_id
+        self.object_id = object_id or f"obj-{next(_object_ids)}"
+        self.uid = uid
+        self.clock = clock or WallClock()
+        self.stats = CallStats()
+        self.draining = False
+        self.pending = 0
+        self._pending_lock = threading.Lock()
+        self._drained = threading.Event()
+        self._drained.set()  # no pending work yet
+        # Redirect table installed by the sentinel: a callable deciding,
+        # per call, whether to bounce it to another member.
+        self.redirect_policy: Callable[[Request], RemoteRef | None] | None = None
+        transport.endpoint(endpoint_id).export(self.object_id, self.handle)
+
+    def ref(self) -> RemoteRef:
+        return RemoteRef(self.endpoint_id, self.object_id, self.uid)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start_drain(self) -> None:
+        """Stop accepting new calls; pending calls run to completion.
+        This is step one of the paper's graceful removal protocol."""
+        self.draining = True
+        with self._pending_lock:
+            if self.pending == 0:
+                self._drained.set()
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until all pending invocations finished (live mode)."""
+        return self._drained.wait(timeout)
+
+    @property
+    def is_drained(self) -> bool:
+        return self.draining and self._drained.is_set()
+
+    def unexport(self) -> None:
+        self.transport.endpoint(self.endpoint_id).unexport(self.object_id)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        if self.draining:
+            return Response(kind="drained")
+        if self.redirect_policy is not None:
+            target = self.redirect_policy(request)
+            if target is not None and target != self.ref():
+                return Response(kind="redirect", value=target)
+        with self._pending_lock:
+            self.pending += 1
+            self._drained.clear()
+        started = self.clock.now()
+        try:
+            # Elastic-interface enforcement (paper section 3.1): when the
+            # class declares its remote surface, only those methods (plus
+            # the framework's stub-bootstrap call) are invocable.
+            declared = getattr(type(self.impl), "__elastic_interface__", None)
+            if (
+                declared is not None
+                and request.method not in declared
+                and request.method != "ermi_member_identities"
+            ):
+                refused = NoSuchObjectError(
+                    f"{request.method!r} is not declared in the elastic "
+                    f"interface of {type(self.impl).__name__}"
+                )
+                self.stats.record(request.method, 0.0, error=True)
+                return Response(kind="error", payload=marshal_value(refused))
+            method = getattr(self.impl, request.method, None)
+            if method is None or not callable(method):
+                missing = NoSuchObjectError(
+                    f"{type(self.impl).__name__} has no remote method "
+                    f"{request.method!r}"
+                )
+                self.stats.record(request.method, 0.0, error=True)
+                return Response(kind="error", payload=marshal_value(missing))
+            args, kwargs = unmarshal_value(request.payload)
+            try:
+                result = method(*args, **kwargs)
+            except Exception as exc:
+                self.stats.record(
+                    request.method, self.clock.now() - started, error=True
+                )
+                return Response(kind="error", payload=marshal_value(exc))
+            self.stats.record(request.method, self.clock.now() - started)
+            return Response(kind="result", payload=marshal_value(result))
+        finally:
+            with self._pending_lock:
+                self.pending -= 1
+                if self.pending == 0 and self.draining:
+                    self._drained.set()
+
+
+class Stub:
+    """Client-side proxy bound to one remote reference.
+
+    Attribute access returns invokers: ``stub.put(k, v)`` marshals
+    ``(k, v)``, ships a Request, and unmarshals the Response.  Redirects
+    are followed (bounded); ``drained`` responses raise
+    :class:`MemberDrainedError` for the elastic stub above to catch.
+    """
+
+    _MAX_REDIRECTS = 8
+
+    def __init__(self, transport: Transport, ref: RemoteRef, caller: str = "client"):
+        self._transport = transport
+        self._ref = ref
+        self._caller = caller
+
+    @property
+    def ref(self) -> RemoteRef:
+        return self._ref
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def invoker(*args: Any, **kwargs: Any) -> Any:
+            return self._invoke(method, args, kwargs)
+
+        invoker.__name__ = method
+        return invoker
+
+    def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+        payload = marshal_value((args, kwargs))
+        ref = self._ref
+        for _ in range(self._MAX_REDIRECTS):
+            request = Request(
+                object_id=ref.object_id,
+                method=method,
+                payload=payload,
+                caller=self._caller,
+            )
+            response = self._transport.invoke(ref.endpoint_id, request)
+            if response.kind == "result":
+                return unmarshal_value(response.payload)
+            if response.kind == "error":
+                cause = unmarshal_value(response.payload)
+                raise ApplicationError(
+                    f"remote method {method!r} raised "
+                    f"{type(cause).__name__}: {cause}",
+                    cause=cause,
+                )
+            if response.kind == "redirect":
+                ref = response.value
+                continue
+            if response.kind == "drained":
+                raise MemberDrainedError(
+                    f"member {ref.describe()} is draining; retry elsewhere"
+                )
+            raise ApplicationError(f"unknown response kind: {response.kind}")
+        raise ApplicationError(
+            f"redirect loop invoking {method!r} (> {self._MAX_REDIRECTS} hops)"
+        )

@@ -1,0 +1,209 @@
+"""In-process transports: how requests travel between "JVMs".
+
+Every pool member (and every client) lives at an :class:`Endpoint`, the
+stand-in for one JVM at one IP:port.  Two transports move
+:class:`Request`/:class:`Response` pairs between endpoints:
+
+- :class:`DirectTransport` — synchronous delivery in the caller's thread.
+  Deterministic; used by unit tests and by the simulation experiments.
+- :class:`ThreadedTransport` — each endpoint owns a dispatch pool, calls
+  block the caller until the remote worker responds (or a timeout trips).
+  This is the live mode the runnable examples use: real concurrency, real
+  blocking semantics.
+
+Endpoints can be killed to model JVM crashes; invoking a dead or unknown
+endpoint raises :class:`ConnectError`, which the elastic stub's retry loop
+feeds on (paper section 4.3: "if the sending itself fails, the remote
+method invocation throws an exception which is intercepted by the client
+stub").
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.errors import ConnectError, RemoteError
+
+_endpoint_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One remote method invocation on the wire."""
+
+    object_id: str
+    method: str
+    payload: bytes  # marshalled (args, kwargs)
+    caller: str = "?"
+
+
+@dataclass(frozen=True)
+class Response:
+    """The server's reply.
+
+    ``kind``:
+      - ``result`` — payload is the marshalled return value;
+      - ``error`` — payload is the marshalled application exception;
+      - ``redirect`` — value is a RemoteRef the caller should retry at
+        (server-side load balancing, paper section 4.3);
+      - ``drained`` — the member is shutting down; retry elsewhere.
+    """
+
+    kind: str
+    payload: bytes = b""
+    value: Any = None
+
+
+RequestHandler = Callable[[Request], Response]
+
+
+@dataclass
+class Endpoint:
+    """One process/JVM: an address plus the objects exported from it."""
+
+    name: str
+    endpoint_id: str = field(
+        default_factory=lambda: f"ep-{next(_endpoint_ids)}"
+    )
+    handlers: dict[str, RequestHandler] = field(default_factory=dict)
+    alive: bool = True
+
+    def export(self, object_id: str, handler: RequestHandler) -> None:
+        if object_id in self.handlers:
+            raise ValueError(f"object already exported: {object_id}")
+        self.handlers[object_id] = handler
+
+    def unexport(self, object_id: str) -> None:
+        self.handlers.pop(object_id, None)
+
+
+class Transport(Protocol):
+    """Moves requests between endpoints."""
+
+    def add_endpoint(self, name: str) -> Endpoint: ...
+
+    def invoke(self, endpoint_id: str, request: Request) -> Response: ...
+
+    def kill(self, endpoint_id: str) -> None: ...
+
+    def endpoint(self, endpoint_id: str) -> Endpoint: ...
+
+
+class _TransportBase:
+    def __init__(self) -> None:
+        self._endpoints: dict[str, Endpoint] = {}
+        self._lock = threading.RLock()
+
+    def add_endpoint(self, name: str) -> Endpoint:
+        ep = Endpoint(name=name)
+        with self._lock:
+            self._endpoints[ep.endpoint_id] = ep
+        return ep
+
+    def endpoint(self, endpoint_id: str) -> Endpoint:
+        with self._lock:
+            ep = self._endpoints.get(endpoint_id)
+        if ep is None:
+            raise ConnectError(f"unknown endpoint: {endpoint_id}")
+        return ep
+
+    def kill(self, endpoint_id: str) -> None:
+        """Crash an endpoint: subsequent invokes raise ConnectError."""
+        with self._lock:
+            ep = self._endpoints.get(endpoint_id)
+            if ep is not None:
+                ep.alive = False
+
+    def revive(self, endpoint_id: str) -> None:
+        with self._lock:
+            ep = self._endpoints.get(endpoint_id)
+            if ep is not None:
+                ep.alive = True
+
+    def _resolve(self, endpoint_id: str, request: Request) -> RequestHandler:
+        ep = self.endpoint(endpoint_id)
+        if not ep.alive:
+            raise ConnectError(f"endpoint {endpoint_id} ({ep.name}) is down")
+        handler = ep.handlers.get(request.object_id)
+        if handler is None:
+            raise ConnectError(
+                f"no object {request.object_id!r} at endpoint {ep.name}"
+            )
+        return handler
+
+
+class DirectTransport(_TransportBase):
+    """Synchronous, deterministic delivery in the caller's thread.
+
+    ``on_message`` (optional) observes every request — the hook used for
+    latency accounting in simulation and message tracing in tests.
+    """
+
+    def __init__(
+        self, on_message: Callable[[str, Request], None] | None = None
+    ) -> None:
+        super().__init__()
+        self._on_message = on_message
+        self.messages_sent = 0
+
+    def invoke(self, endpoint_id: str, request: Request) -> Response:
+        handler = self._resolve(endpoint_id, request)
+        self.messages_sent += 1
+        if self._on_message is not None:
+            self._on_message(endpoint_id, request)
+        return handler(request)
+
+
+class ThreadedTransport(_TransportBase):
+    """Live transport: per-endpoint dispatch pools, blocking invocations."""
+
+    def __init__(self, workers_per_endpoint: int = 4, timeout: float = 30.0):
+        super().__init__()
+        self._workers = workers_per_endpoint
+        self._timeout = timeout
+        self._executors: dict[str, ThreadPoolExecutor] = {}
+        self.messages_sent = 0
+
+    def add_endpoint(self, name: str) -> Endpoint:
+        ep = super().add_endpoint(name)
+        with self._lock:
+            self._executors[ep.endpoint_id] = ThreadPoolExecutor(
+                max_workers=self._workers,
+                thread_name_prefix=f"erm-{name}",
+            )
+        return ep
+
+    def invoke(self, endpoint_id: str, request: Request) -> Response:
+        handler = self._resolve(endpoint_id, request)
+        with self._lock:
+            executor = self._executors.get(endpoint_id)
+        if executor is None:
+            raise ConnectError(f"endpoint {endpoint_id} has no dispatcher")
+        self.messages_sent += 1
+        future = executor.submit(handler, request)
+        try:
+            return future.result(timeout=self._timeout)
+        except TimeoutError as exc:
+            raise RemoteError(
+                f"invocation of {request.method!r} timed out after "
+                f"{self._timeout}s"
+            ) from exc
+
+    def kill(self, endpoint_id: str) -> None:
+        super().kill(endpoint_id)
+        with self._lock:
+            executor = self._executors.pop(endpoint_id, None)
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Stop every dispatcher (end of a live session)."""
+        with self._lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates ElasticRMI over 450-500 minute workload traces on a
+real cluster.  This reproduction replays those traces in virtual time on a
+deterministic discrete-event kernel.  All middleware code is written
+against the :class:`~repro.sim.clock.Clock` protocol so the *same* policy,
+pool, balancer, and metric objects run both live (wall clock + threads)
+and simulated (virtual clock + event queue).
+
+Public surface:
+
+- :class:`Clock`, :class:`WallClock`, :class:`SimClock` — time sources.
+- :class:`Kernel` — the event loop (schedule / cancel / run).
+- :class:`Process` and :func:`process` — generator-based coroutines.
+- :class:`Event` — one-shot condition processes can wait on.
+- :class:`Resource` — capacity-limited server for queueing models.
+- :class:`RngStreams` — named deterministic random substreams.
+"""
+
+from repro.sim.clock import Clock, SimClock, WallClock
+from repro.sim.kernel import Kernel, ScheduledCall
+from repro.sim.process import Event, Process, Timeout
+from repro.sim.resources import Resource
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Clock",
+    "Event",
+    "Kernel",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "ScheduledCall",
+    "SimClock",
+    "Timeout",
+    "WallClock",
+]

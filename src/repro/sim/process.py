@@ -1,0 +1,113 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields *waits*:
+
+- ``yield Timeout(dt)`` — resume after ``dt`` virtual seconds;
+- ``yield event`` (an :class:`Event`) — resume when the event succeeds,
+  receiving the event's value via ``.send()``.
+
+This is the minimal process algebra the experiments need (arrival
+generators, drain protocols, provisioning delays); it deliberately avoids
+simpy-style magic in favour of explicit, inspectable objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Wait instruction: resume the process after ``delay`` seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout: {self.delay}")
+
+
+class Event:
+    """One-shot condition.  Processes yield it to block; anyone may
+    :meth:`succeed` it exactly once, waking all waiters with ``value``."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self._kernel = kernel
+        self._value: Any = None
+        self._done = False
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        if self._done:
+            raise RuntimeError("event already triggered")
+        self._done = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            # Deliver on the event queue so wakeups interleave
+            # deterministically with other same-time events.
+            self._kernel.call_after(0.0, lambda w=waiter: w(value))
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        if self._done:
+            self._kernel.call_after(0.0, lambda: fn(self._value))
+        else:
+            self._waiters.append(fn)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """Drives a generator through the kernel until it returns.
+
+    The process itself is an awaitable condition: other processes can yield
+    ``proc.done`` to join on it; ``proc.result`` holds the generator's
+    return value.
+    """
+
+    def __init__(self, kernel: Kernel, gen: ProcessGen, name: str = "proc"):
+        self._kernel = kernel
+        self._gen = gen
+        self.name = name
+        self.done = Event(kernel)
+        self._kernel.call_after(0.0, lambda: self._resume(None))
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    def _resume(self, value: Any) -> None:
+        try:
+            wait = self._gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        if isinstance(wait, Timeout):
+            self._kernel.call_after(wait.delay, lambda: self._resume(None))
+        elif isinstance(wait, Event):
+            wait.add_callback(self._resume)
+        elif isinstance(wait, Process):
+            wait.done.add_callback(self._resume)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {wait!r}; expected "
+                "Timeout, Event, or Process"
+            )

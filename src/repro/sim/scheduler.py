@@ -1,0 +1,76 @@
+"""Scheduler protocol: deferred callbacks in either time domain.
+
+The elastic runtime needs exactly one temporal capability — "run this
+callable after ``delay`` seconds" — for burst-interval ticks, provisioning
+delays, and drain timeouts.  :class:`~repro.sim.kernel.Kernel` provides it
+in virtual time; :class:`ThreadScheduler` provides it in wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Protocol
+
+from repro.sim.clock import Clock, WallClock
+
+
+class Cancellable(Protocol):
+    def cancel(self) -> None: ...
+
+
+class Scheduler(Protocol):
+    """What the runtime requires of its time domain."""
+
+    clock: Clock
+
+    def call_after(self, delay: float, fn: Callable[[], Any]) -> Cancellable: ...
+
+
+class _TimerHandle:
+    def __init__(self, timer: threading.Timer) -> None:
+        self._timer = timer
+
+    def cancel(self) -> None:
+        self._timer.cancel()
+
+
+class ThreadScheduler:
+    """Wall-clock scheduler backed by daemon :class:`threading.Timer`\\ s.
+
+    Tracks outstanding timers so a live session can be shut down cleanly
+    (:meth:`shutdown` cancels everything still pending).
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock: Clock = clock or WallClock()
+        self._lock = threading.Lock()
+        self._timers: set[threading.Timer] = set()
+        self._closed = False
+
+    def call_after(self, delay: float, fn: Callable[[], Any]) -> _TimerHandle:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+
+        def run() -> None:
+            with self._lock:
+                self._timers.discard(timer)
+                if self._closed:
+                    return
+            fn()
+
+        timer = threading.Timer(delay, run)
+        timer.daemon = True
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            self._timers.add(timer)
+        timer.start()
+        return _TimerHandle(timer)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()

@@ -1,0 +1,41 @@
+"""Workload patterns and generators (paper section 5.3, Figures 7a-7b).
+
+Two patterns drive every evaluation experiment:
+
+- the **abrupt** pattern (Figure 7a) — gradual non-cyclic increase,
+  gradual decrease, rapid increases and a rapid decrease over a 450-minute
+  trace, exercising every abrupt-change scenario the authors observed;
+- the **cyclic** pattern (Figure 7b) — three identical cycles over 500
+  minutes.
+
+The *shape* is shared by all four applications; the *magnitude* differs:
+point A (the abrupt pattern's peak) is 50,000 orders/s for Marketcetera,
+75,000 updates/s for DCS, 24,000 rounds/s for Paxos and 30,000 msgs/s for
+Hedwig, and point B (the cyclic peak) is 20% above A.
+"""
+
+from repro.workloads.patterns import (
+    POINT_A,
+    AbruptPattern,
+    CyclicPattern,
+    PiecewiseLinearPattern,
+    WorkloadPattern,
+    abrupt_for,
+    cyclic_for,
+    point_b,
+)
+from repro.workloads.generator import ArrivalGenerator
+from repro.workloads.replay import ReplayDriver
+
+__all__ = [
+    "AbruptPattern",
+    "ArrivalGenerator",
+    "ReplayDriver",
+    "CyclicPattern",
+    "POINT_A",
+    "PiecewiseLinearPattern",
+    "WorkloadPattern",
+    "abrupt_for",
+    "cyclic_for",
+    "point_b",
+]

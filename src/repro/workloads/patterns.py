@@ -1,0 +1,141 @@
+"""The two workload patterns of Figures 7a and 7b.
+
+Patterns map elapsed time (seconds) to an offered rate (operations per
+second).  The abrupt pattern is piecewise linear with both gradual ramps
+and step discontinuities; the cyclic pattern repeats three identical
+cycles.  Magnitudes are normalized: a pattern is built from a *shape* in
+[0, 1] scaled by the application's point A (or B) rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+#: Point A per application (paper section 5.3).
+POINT_A: dict[str, float] = {
+    "marketcetera": 50_000.0,  # orders/s
+    "dcs": 75_000.0,           # updates/s
+    "paxos": 24_000.0,         # consensus rounds/s
+    "hedwig": 30_000.0,        # messages/s
+}
+
+
+def point_b(app: str) -> float:
+    """Point B is set 20% above point A (paper section 5.3)."""
+    return POINT_A[app] * 1.2
+
+
+class WorkloadPattern(Protocol):
+    """A deterministic offered-load trace."""
+
+    duration_s: float
+
+    def rate(self, t: float) -> float:
+        """Offered operations per second at elapsed time ``t`` seconds."""
+        ...
+
+
+class PiecewiseLinearPattern:
+    """Linear interpolation through (minute, fraction) control points,
+    scaled by ``magnitude``.  Repeated x-values produce step changes."""
+
+    def __init__(
+        self, points: list[tuple[float, float]], magnitude: float
+    ) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two control points")
+        minutes = [p[0] for p in points]
+        if minutes != sorted(minutes):
+            raise ValueError("control points must be time-ordered")
+        if any(not 0.0 <= p[1] for p in points):
+            raise ValueError("fractions must be non-negative")
+        if magnitude <= 0:
+            raise ValueError(f"magnitude must be positive: {magnitude}")
+        self.points = [(m * 60.0, f) for m, f in points]
+        self.magnitude = magnitude
+        self.duration_s = self.points[-1][0]
+
+    def rate(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1] * self.magnitude
+        if t >= points[-1][0]:
+            return points[-1][1] * self.magnitude
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= t <= x1:
+                if x1 == x0:  # step discontinuity: take the later value
+                    continue
+                frac = y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+                return frac * self.magnitude
+        return points[-1][1] * self.magnitude
+
+
+#: Shape of the abrupt pattern (Figure 7a), as (minute, fraction-of-A)
+#: control points.  It contains every scenario the paper lists: a gradual
+#: non-cyclic increase (0-150 min), a rapid increase to the peak A
+#: (200-205 min), a rapid decrease (250-255 min), a second spike
+#: (300-305 min), and a gradual decrease to the end of the trace.
+ABRUPT_SHAPE: list[tuple[float, float]] = [
+    (0, 0.10),
+    (60, 0.20),
+    (120, 0.40),
+    (150, 0.55),    # gradual increase
+    (200, 0.55),
+    (205, 1.00),    # abrupt increase to point A
+    (250, 1.00),
+    (255, 0.25),    # abrupt decrease
+    (300, 0.25),
+    (305, 0.80),    # second abrupt increase
+    (340, 0.80),
+    (345, 0.35),    # abrupt decrease
+    (450, 0.10),    # gradual decrease to the baseline
+]
+
+
+class AbruptPattern(PiecewiseLinearPattern):
+    """Figure 7a: the 450-minute abruptly changing workload."""
+
+    def __init__(self, point_a: float) -> None:
+        super().__init__(ABRUPT_SHAPE, magnitude=point_a)
+
+
+class CyclicPattern:
+    """Figure 7b: three identical cycles over 500 minutes, peaking at
+    point B.  Each cycle is a raised cosine between ``base_fraction`` and
+    1.0 of the magnitude."""
+
+    def __init__(
+        self,
+        point_b: float,
+        cycles: int = 3,
+        duration_min: float = 500.0,
+        base_fraction: float = 0.30,
+    ) -> None:
+        if point_b <= 0:
+            raise ValueError(f"magnitude must be positive: {point_b}")
+        if not 0.0 <= base_fraction < 1.0:
+            raise ValueError(f"base fraction must be in [0, 1): {base_fraction}")
+        if cycles < 1:
+            raise ValueError(f"need at least one cycle: {cycles}")
+        self.magnitude = point_b
+        self.cycles = cycles
+        self.duration_s = duration_min * 60.0
+        self.base_fraction = base_fraction
+
+    def rate(self, t: float) -> float:
+        t = min(max(t, 0.0), self.duration_s)
+        phase = 2.0 * math.pi * self.cycles * t / self.duration_s
+        swing = (1.0 - math.cos(phase)) / 2.0  # 0 at cycle start, 1 at peak
+        fraction = self.base_fraction + (1.0 - self.base_fraction) * swing
+        return fraction * self.magnitude
+
+
+def abrupt_for(app: str) -> AbruptPattern:
+    """The abrupt pattern at the application's point A magnitude."""
+    return AbruptPattern(POINT_A[app])
+
+
+def cyclic_for(app: str) -> CyclicPattern:
+    """The cyclic pattern at the application's point B magnitude."""
+    return CyclicPattern(point_b(app))

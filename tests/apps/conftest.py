@@ -1,0 +1,35 @@
+"""Fixtures for application tests: a simulated runtime with instant
+provisioning, and helpers to deploy an app and get a client stub."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.runtime import ElasticRuntime
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel):
+    return ElasticRuntime.simulated(
+        kernel, nodes=12, slices_per_node=4, provisioner=InstantProvisioner()
+    )
+
+
+@pytest.fixture
+def deploy(runtime, kernel):
+    """deploy(cls, **kw) -> (pool, stub), with activations settled."""
+
+    def _deploy(cls, *args, **kwargs):
+        pool = runtime.new_pool(cls, *args, **kwargs)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        stub = runtime.stub(pool.name)
+        return pool, stub
+
+    return _deploy

@@ -1,0 +1,113 @@
+"""Live-mode (threads, wall clock) smoke tests for all four evaluation
+applications — the deployment style the examples use."""
+
+import random
+
+import pytest
+
+from repro.apps.dcs import CoordinationService
+from repro.apps.hedwig import Hub
+from repro.apps.marketcetera import OrderGenerator, OrderRouter
+from repro.apps.paxos import PaxosReplica
+from repro.core.runtime import ElasticRuntime
+
+
+@pytest.fixture
+def live():
+    runtime = ElasticRuntime.local(nodes=8)
+    yield runtime
+    runtime.shutdown()
+
+
+class TestMarketceteraLive:
+    def test_order_stream_routes_and_persists(self, live):
+        live.new_pool(OrderRouter, name="router")
+        stub = live.stub("router")
+        generator = OrderGenerator(random.Random(11))
+        acks = [stub.submit_order(o) for o in generator.batch(25)]
+        assert len(acks) == 25
+        assert stub.routed_count() == 25
+        record = stub.order_status(acks[0].order_id)
+        assert record["status"] == "routed"
+
+
+class TestHedwigLive:
+    def test_publish_consume_cycle(self, live):
+        live.new_pool(Hub, name="hubs")
+        hub = live.stub("hubs")
+        hub.subscribe("events", "sub")
+        for i in range(15):
+            hub.publish("events", f"e{i}")
+        got = hub.consume("events", "sub", max_messages=100)
+        assert [m.payload for m in got] == [f"e{i}" for i in range(15)]
+        assert hub.backlog("events") == 0
+
+
+class TestPaxosLive:
+    def test_consensus_over_threaded_transport(self, live):
+        pool = live.new_pool(PaxosReplica, name="paxos")
+        client = live.stub("paxos")
+        for i in range(5):
+            result = client.propose({"op": "incr", "key": "n"})
+            assert result["result"] == i + 1
+        reads = {m.uid: m.instance.read("n") for m in pool.active_members()}
+        assert set(reads.values()) == {5}
+
+    def test_concurrent_proposers_serialize(self, live):
+        import threading
+
+        live.new_pool(PaxosReplica, name="paxos2")
+        results = []
+        lock = threading.Lock()
+
+        def propose_many(n):
+            client = live.stub("paxos2", caller=f"c{n}")
+            for _ in range(10):
+                r = client.propose({"op": "incr", "key": "c"})
+                with lock:
+                    results.append(r["slot"])
+
+        threads = [
+            threading.Thread(target=propose_many, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 30 proposals -> 30 distinct slots (consensus serialized them).
+        assert len(set(results)) == 30
+
+
+class TestDcsLive:
+    def test_namespace_operations(self, live):
+        live.new_pool(CoordinationService, name="dcs")
+        dcs = live.stub("dcs")
+        dcs.create("/app")
+        dcs.create("/app/config", {"v": 1})
+        zxid = dcs.set_data("/app/config", {"v": 2})
+        assert zxid > 0
+        assert dcs.get("/app/config")["data"] == {"v": 2}
+        assert dcs.get_children("/app") == ["config"]
+
+    def test_concurrent_creates_get_distinct_zxids(self, live):
+        import threading
+
+        live.new_pool(CoordinationService, name="dcs2")
+        zxids = []
+        lock = threading.Lock()
+
+        def creator(n):
+            dcs = live.stub("dcs2", caller=f"w{n}")
+            for i in range(10):
+                z = dcs.create(f"/n{n}-{i}")
+                with lock:
+                    zxids.append(z)
+
+        threads = [
+            threading.Thread(target=creator, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(zxids)) == 40  # total order: no duplicate zxids

@@ -1,0 +1,192 @@
+"""Tests for sequential nodes and the DCS coordination recipes."""
+
+import threading
+
+import pytest
+
+from repro.apps.dcs.recipes import Barrier, Counter, DistributedLock, LeaderElector
+from repro.apps.dcs.service import CoordinationService
+
+
+@pytest.fixture
+def dcs(deploy):
+    _, stub = deploy(CoordinationService)
+    return stub
+
+
+class TestSequentialNodes:
+    def test_sequence_suffixes_increase(self, dcs):
+        dcs.create("/q")
+        first = dcs.create_sequential("/q/item-")
+        second = dcs.create_sequential("/q/item-")
+        assert first < second
+        assert first.startswith("/q/item-")
+        assert len(first.rsplit("-", 1)[1]) == 10  # zero-padded
+
+    def test_sequence_never_reused_after_delete(self, dcs):
+        dcs.create("/q")
+        first = dcs.create_sequential("/q/item-")
+        dcs.delete(first)
+        second = dcs.create_sequential("/q/item-")
+        assert second > first
+
+    def test_sequences_are_per_parent(self, dcs):
+        dcs.create("/a")
+        dcs.create("/b")
+        a1 = dcs.create_sequential("/a/n-")
+        b1 = dcs.create_sequential("/b/n-")
+        assert a1.rsplit("-", 1)[1] == b1.rsplit("-", 1)[1]
+
+    def test_sequential_ephemeral_dies_with_session(self, dcs):
+        dcs.create("/q")
+        session = dcs.create_session()
+        path = dcs.create_sequential(
+            "/q/e-", ephemeral=True, session_id=session
+        )
+        assert dcs.exists(path)
+        dcs.close_session(session)
+        assert not dcs.exists(path)
+
+    def test_sorted_children_reflect_creation_order(self, dcs):
+        dcs.create("/q")
+        created = [dcs.create_sequential("/q/n-") for _ in range(5)]
+        names = sorted(dcs.get_children("/q"))
+        assert [f"/q/{n}" for n in names] == created
+
+
+class TestDistributedLock:
+    def test_first_contender_acquires(self, dcs):
+        session = dcs.create_session()
+        lock = DistributedLock(dcs, "/locks/db", session)
+        assert lock.try_acquire() is True
+        assert lock.is_held()
+
+    def test_second_contender_queues_fifo(self, dcs):
+        s1, s2 = dcs.create_session(), dcs.create_session()
+        lock1 = DistributedLock(dcs, "/locks/db", s1)
+        lock2 = DistributedLock(dcs, "/locks/db", s2)
+        assert lock1.try_acquire() is True
+        assert lock2.try_acquire() is False
+        assert lock2.queue_position() == 1
+
+    def test_release_admits_next(self, dcs):
+        s1, s2 = dcs.create_session(), dcs.create_session()
+        lock1 = DistributedLock(dcs, "/locks/db", s1)
+        lock2 = DistributedLock(dcs, "/locks/db", s2)
+        lock1.try_acquire()
+        lock2.try_acquire()
+        lock1.release()
+        assert lock2.is_held()
+
+    def test_holder_crash_releases_via_session(self, dcs):
+        s1, s2 = dcs.create_session(), dcs.create_session()
+        lock1 = DistributedLock(dcs, "/locks/db", s1)
+        lock2 = DistributedLock(dcs, "/locks/db", s2)
+        lock1.try_acquire()
+        lock2.try_acquire()
+        dcs.close_session(s1)  # holder's session dies
+        assert lock2.is_held()
+
+    def test_release_is_idempotent(self, dcs):
+        session = dcs.create_session()
+        lock = DistributedLock(dcs, "/locks/db", session)
+        lock.try_acquire()
+        lock.release()
+        lock.release()
+
+
+class TestLeaderElector:
+    def test_first_volunteer_leads(self, dcs):
+        session = dcs.create_session()
+        elector = LeaderElector(dcs, "/election", session, "node-a")
+        elector.volunteer()
+        assert elector.is_leader()
+        assert elector.current_leader() == "node-a"
+
+    def test_succession_order(self, dcs):
+        sessions = [dcs.create_session() for _ in range(3)]
+        electors = [
+            LeaderElector(dcs, "/election", s, f"node-{i}")
+            for i, s in enumerate(sessions)
+        ]
+        for e in electors:
+            e.volunteer()
+        assert electors[0].is_leader()
+        electors[0].withdraw()
+        assert electors[1].is_leader()
+        assert electors[1].current_leader() == "node-1"
+
+    def test_leader_session_death_promotes_next(self, dcs):
+        s1, s2 = dcs.create_session(), dcs.create_session()
+        first = LeaderElector(dcs, "/election", s1, "a")
+        second = LeaderElector(dcs, "/election", s2, "b")
+        first.volunteer()
+        second.volunteer()
+        dcs.close_session(s1)
+        assert second.is_leader()
+
+    def test_no_candidates_no_leader(self, dcs):
+        session = dcs.create_session()
+        elector = LeaderElector(dcs, "/election", session, "a")
+        assert elector.current_leader() is None
+        assert not elector.is_leader()
+
+
+class TestBarrier:
+    def test_opens_when_full(self, dcs):
+        barrier = Barrier(dcs, "/barrier", parties=3)
+        assert barrier.enter("a") is False
+        assert barrier.enter("b") is False
+        assert barrier.enter("c") is True
+        assert barrier.is_open()
+
+    def test_double_enter_is_idempotent(self, dcs):
+        barrier = Barrier(dcs, "/barrier", parties=2)
+        barrier.enter("a")
+        barrier.enter("a")
+        assert barrier.arrived() == 1
+        assert not barrier.is_open()
+
+    def test_invalid_parties_rejected(self, dcs):
+        with pytest.raises(ValueError):
+            Barrier(dcs, "/barrier", parties=0)
+
+
+class TestCounter:
+    def test_increment(self, dcs):
+        counter = Counter(dcs, "/counter")
+        assert counter.increment() == 1
+        assert counter.increment(5) == 6
+        assert counter.value() == 6
+
+    def test_two_counter_handles_share_state(self, dcs):
+        a = Counter(dcs, "/counter")
+        b = Counter(dcs, "/counter")
+        a.increment()
+        assert b.value() == 1
+        b.increment()
+        assert a.value() == 2
+
+    def test_concurrent_increments_on_live_pool(self):
+        """The optimistic-retry path under genuine thread contention."""
+        from repro.core.runtime import ElasticRuntime
+
+        runtime = ElasticRuntime.local(nodes=4)
+        try:
+            runtime.new_pool(CoordinationService, name="dcs")
+            stub = runtime.stub("dcs")
+            counter = Counter(stub, "/hits")
+
+            def worker():
+                local = Counter(runtime.stub("dcs"), "/hits")
+                for _ in range(25):
+                    local.increment()
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert counter.value() == 100
+        finally:
+            runtime.shutdown()

@@ -1,0 +1,172 @@
+"""Tests for the Hedwig-style pub/sub hub pool."""
+
+import pytest
+
+from repro.apps.hedwig.hub import RETENTION, Hub
+from repro.errors import ApplicationError
+
+
+@pytest.fixture
+def hub(deploy):
+    pool, stub = deploy(Hub)
+    return pool, stub
+
+
+class TestPublish:
+    def test_publish_assigns_increasing_seq(self, hub):
+        _, stub = hub
+        assert stub.publish("news", "a") == 1
+        assert stub.publish("news", "b") == 2
+
+    def test_topics_have_independent_sequences(self, hub):
+        _, stub = hub
+        stub.publish("t1", "x")
+        assert stub.publish("t2", "y") == 1
+
+    def test_log_retention_bounded(self, hub, runtime):
+        _, stub = hub
+        for i in range(RETENTION + 50):
+            stub.publish("busy", i)
+        log = runtime.store.get("hw/topics/busy/log")
+        assert len(log) == RETENTION
+        assert log[0].seq == 51  # oldest trimmed
+
+    def test_published_counter_shared(self, hub, runtime):
+        _, stub = hub
+        for i in range(5):
+            stub.publish("t", i)
+        assert runtime.store.get("Hub$published_total") == 5
+
+
+class TestSubscribeConsume:
+    def test_subscriber_gets_messages_after_subscribe(self, hub):
+        _, stub = hub
+        stub.publish("t", "before")      # not replayed
+        stub.subscribe("t", "sub-1")
+        stub.publish("t", "after-1")
+        stub.publish("t", "after-2")
+        batch = stub.consume("t", "sub-1")
+        assert [m.payload for m in batch] == ["after-1", "after-2"]
+
+    def test_at_most_once_no_redelivery(self, hub):
+        """The cursor advances before delivery: consuming twice never
+        yields the same message twice."""
+        _, stub = hub
+        stub.subscribe("t", "s")
+        stub.publish("t", "only-once")
+        first = stub.consume("t", "s")
+        second = stub.consume("t", "s")
+        assert [m.payload for m in first] == ["only-once"]
+        assert second == []
+
+    def test_consume_respects_max_messages(self, hub):
+        _, stub = hub
+        stub.subscribe("t", "s")
+        for i in range(10):
+            stub.publish("t", i)
+        batch = stub.consume("t", "s", max_messages=4)
+        assert [m.payload for m in batch] == [0, 1, 2, 3]
+        rest = stub.consume("t", "s", max_messages=100)
+        assert [m.payload for m in rest] == [4, 5, 6, 7, 8, 9]
+
+    def test_independent_subscriber_cursors(self, hub):
+        _, stub = hub
+        stub.subscribe("t", "fast")
+        stub.subscribe("t", "slow")
+        stub.publish("t", "m1")
+        assert len(stub.consume("t", "fast")) == 1
+        assert len(stub.consume("t", "slow")) == 1
+
+    def test_consume_without_subscription_raises(self, hub):
+        _, stub = hub
+        stub.publish("t", "m")
+        with pytest.raises(ApplicationError) as info:
+            stub.consume("t", "ghost")
+        assert isinstance(info.value.cause, KeyError)
+
+    def test_unsubscribe(self, hub):
+        _, stub = hub
+        stub.subscribe("t", "s")
+        assert stub.unsubscribe("t", "s") is True
+        assert stub.unsubscribe("t", "s") is False
+
+
+class TestBacklog:
+    def test_backlog_counts_undelivered(self, hub):
+        _, stub = hub
+        stub.subscribe("t", "s")
+        for i in range(7):
+            stub.publish("t", i)
+        assert stub.backlog("t") == 7
+        stub.consume("t", "s", max_messages=3)
+        assert stub.backlog("t") == 4
+
+    def test_backlog_uses_laggiest_subscriber(self, hub):
+        _, stub = hub
+        stub.subscribe("t", "fast")
+        stub.subscribe("t", "slow")
+        for i in range(5):
+            stub.publish("t", i)
+        stub.consume("t", "fast")
+        assert stub.backlog("t") == 5  # slow has consumed nothing
+
+    def test_no_subscribers_no_backlog(self, hub):
+        _, stub = hub
+        stub.publish("t", "m")
+        assert stub.backlog("t") == 0
+
+    def test_topic_stats(self, hub, runtime):
+        pool, stub = hub
+        stub.subscribe("t", "s")
+        stub.publish("t", "m")
+        stats = stub.topic_stats("t")
+        assert stats["seq"] == 1
+        assert stats["subscribers"] == 1
+        assert stats["backlog"] == 1
+        assert stats["owner"] in {m.uid for m in pool.active_members()}
+
+
+class TestTopicOwnership:
+    def test_ownership_partitioned_across_members(self, deploy):
+        pool, stub = deploy(Hub, max_size=8)
+        pool.grow(2)
+        owners = set()
+        for i in range(40):
+            owners.add(stub.topic_stats(f"topic-{i}")["owner"])
+        assert len(owners) > 1  # topics spread over hubs
+
+    def test_ownership_stable_for_fixed_membership(self, hub):
+        _, stub = hub
+        first = stub.topic_stats("stable-topic")["owner"]
+        second = stub.topic_stats("stable-topic")["owner"]
+        assert first == second
+
+    def test_strict_ownership_rejects_wrong_hub(self, deploy):
+        from repro.apps.hedwig.hub import TopicOwnershipError
+        from repro.rmi.remote import Stub
+
+        pool, stub = deploy(Hub, True)  # strict_ownership=True
+        # Find a topic and a member that does NOT own it.
+        members = pool.active_members()
+        owner_uid = members[0].instance.owner_uid("some-topic")
+        wrong = next(m for m in members if m.uid != owner_uid)
+        direct = Stub(pool.services.transport, wrong.ref())
+        with pytest.raises(ApplicationError) as info:
+            direct.publish("some-topic", "m")
+        assert isinstance(info.value.cause, TopicOwnershipError)
+
+
+class TestHedwigScaling:
+    def test_rate_based_vote(self, deploy, runtime):
+        pool, _ = deploy(Hub)
+        runtime.store.put("Hub$offered_rate", 6_000.0)
+        vote = pool.active_members()[0].instance.change_pool_size()
+        # 6000 / (1500 * 0.75) = 5.3 -> 6 wanted, have 2 -> +4
+        assert vote == 4
+
+    def test_backlog_boosts_growth(self, deploy, runtime):
+        pool, _ = deploy(Hub)
+        runtime.store.put("Hub$offered_rate", 6_000.0)
+        runtime.store.put("hw/stats/backlog", 10_000)
+        vote = pool.active_members()[0].instance.change_pool_size()
+        assert vote == 5  # one extra for the backlog

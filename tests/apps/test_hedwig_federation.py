@@ -1,0 +1,154 @@
+"""Tests for cross-region Hedwig federation."""
+
+import pytest
+
+from repro.apps.hedwig.federation import Envelope, HedwigFederation
+from repro.apps.hedwig.hub import Hub
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.runtime import ElasticRuntime
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture
+def two_regions():
+    """Two independent regions: separate kernels, runtimes, and stores."""
+    clients = {}
+    runtimes = []
+    for name in ("us", "eu"):
+        kernel = Kernel()
+        runtime = ElasticRuntime.simulated(
+            kernel, nodes=4, provisioner=InstantProvisioner()
+        )
+        runtime.new_pool(Hub, name=f"hubs-{name}")
+        kernel.run_until(1.0)
+        clients[name] = runtime.stub(f"hubs-{name}")
+        runtimes.append(runtime)
+    federation = HedwigFederation()
+    for name, client in clients.items():
+        federation.add_region(name, client)
+    return federation, clients
+
+
+class TestFederationSetup:
+    def test_regions_listed(self, two_regions):
+        federation, _ = two_regions
+        assert federation.regions() == ["eu", "us"]
+
+    def test_duplicate_region_rejected(self, two_regions):
+        federation, clients = two_regions
+        with pytest.raises(ValueError):
+            federation.add_region("us", clients["us"])
+
+    def test_unknown_region_rejected(self, two_regions):
+        federation, _ = two_regions
+        with pytest.raises(KeyError):
+            federation.publish("mars", "t", "x")
+
+    def test_connect_topic_is_idempotent(self, two_regions):
+        federation, _ = two_regions
+        federation.connect_topic("news")
+        federation.connect_topic("news")
+
+
+class TestCrossRegionDelivery:
+    def test_message_crosses_regions(self, two_regions):
+        federation, _ = two_regions
+        federation.connect_topic("news")
+        federation.subscribe("eu", "news", "eu-reader")
+        federation.publish("us", "news", "hello from us")
+        assert federation.pump() == 1
+        got = federation.consume("eu", "news", "eu-reader")
+        assert got == ["hello from us"]
+
+    def test_local_subscribers_also_receive(self, two_regions):
+        federation, _ = two_regions
+        federation.connect_topic("news")
+        federation.subscribe("us", "news", "us-reader")
+        federation.publish("us", "news", "local")
+        got = federation.consume("us", "news", "us-reader")
+        assert got == ["local"]
+
+    def test_no_relay_loop(self, two_regions):
+        """A relayed message must never bounce back to its origin."""
+        federation, _ = two_regions
+        federation.connect_topic("news")
+        federation.subscribe("us", "news", "us-reader")
+        federation.publish("us", "news", "once")
+        federation.consume("us", "news", "us-reader")  # drain the original
+        assert federation.pump() == 1   # us -> eu
+        assert federation.pump() == 0   # eu relay sees foreign origin: stop
+        assert federation.consume("us", "news", "us-reader") == []
+
+    def test_bidirectional_traffic(self, two_regions):
+        federation, _ = two_regions
+        federation.connect_topic("chat")
+        federation.subscribe("us", "chat", "alice")
+        federation.subscribe("eu", "chat", "bob")
+        federation.publish("us", "chat", "hi bob")
+        federation.publish("eu", "chat", "hi alice")
+        federation.pump()
+        # Each side sees both messages (its local one plus the relayed).
+        assert set(federation.consume("us", "chat", "alice")) == {
+            "hi bob", "hi alice",
+        }
+        assert set(federation.consume("eu", "chat", "bob")) == {
+            "hi bob", "hi alice",
+        }
+
+    def test_three_regions_full_mesh(self):
+        clients = {}
+        for name in ("us", "eu", "ap"):
+            kernel = Kernel()
+            runtime = ElasticRuntime.simulated(
+                kernel, nodes=4, provisioner=InstantProvisioner()
+            )
+            runtime.new_pool(Hub, name=f"hubs-{name}")
+            kernel.run_until(1.0)
+            clients[name] = runtime.stub(f"hubs-{name}")
+        federation = HedwigFederation()
+        for name, client in clients.items():
+            federation.add_region(name, client)
+        federation.connect_topic("global")
+        for name in clients:
+            federation.subscribe(name, "global", f"{name}-reader")
+        federation.publish("ap", "global", "from-ap")
+        assert federation.pump() == 2  # ap -> us, ap -> eu
+        for name in clients:
+            assert federation.consume(name, "global", f"{name}-reader") == [
+                "from-ap"
+            ]
+
+    def test_unfederated_topics_stay_local(self, two_regions):
+        federation, clients = two_regions
+        federation.connect_topic("federated")
+        clients["us"].subscribe("private", "us-reader")
+        clients["us"].publish("private", "secret")
+        assert federation.pump() == 0
+        batch = clients["us"].consume("private", "us-reader")
+        assert [m.payload for m in batch] == ["secret"]
+
+    def test_at_most_once_across_regions(self, two_regions):
+        federation, _ = two_regions
+        federation.connect_topic("news")
+        federation.subscribe("eu", "news", "r")
+        federation.publish("us", "news", "m1")
+        federation.pump()
+        assert federation.consume("eu", "news", "r") == ["m1"]
+        federation.pump()
+        assert federation.consume("eu", "news", "r") == []
+
+    def test_relay_counter(self, two_regions):
+        federation, _ = two_regions
+        federation.connect_topic("t")
+        for i in range(5):
+            federation.publish("us", "t", i)
+        federation.pump()
+        assert federation.relayed_total == 5
+
+
+class TestEnvelope:
+    def test_envelope_is_frozen_value(self):
+        e = Envelope(origin="us", payload={"a": 1})
+        assert e == Envelope("us", {"a": 1})
+        with pytest.raises(AttributeError):
+            e.origin = "eu"

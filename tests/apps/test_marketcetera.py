@@ -1,0 +1,182 @@
+"""Tests for the Marketcetera-style order router."""
+
+import random
+
+import pytest
+
+from repro.apps.marketcetera.orders import (
+    Order,
+    OrderGenerator,
+    OrderType,
+    Side,
+)
+from repro.apps.marketcetera.router import (
+    DESTINATIONS,
+    OrderRouter,
+    RejectedOrderError,
+)
+from repro.errors import ApplicationError
+
+
+def limit_order(order_id="o-1", symbol="AAPL", qty=100, price=150.0):
+    return Order(
+        order_id=order_id,
+        trader="trader-1",
+        symbol=symbol,
+        side=Side.BUY,
+        order_type=OrderType.LIMIT,
+        quantity=qty,
+        price=price,
+    )
+
+
+class TestOrderModel:
+    def test_valid_limit_order(self):
+        limit_order().validate()
+
+    def test_market_order_must_not_have_price(self):
+        order = Order("o", "t", "AAPL", Side.SELL, OrderType.MARKET, 100, 10.0)
+        with pytest.raises(ValueError):
+            order.validate()
+
+    def test_limit_order_needs_price(self):
+        order = Order("o", "t", "AAPL", Side.BUY, OrderType.LIMIT, 100, None)
+        with pytest.raises(ValueError):
+            order.validate()
+
+    def test_non_positive_quantity_rejected(self):
+        with pytest.raises(ValueError):
+            limit_order(qty=0).validate()
+
+    def test_bad_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            limit_order(symbol="123!").validate()
+
+
+class TestOrderGenerator:
+    def test_generates_valid_orders(self):
+        gen = OrderGenerator(random.Random(1))
+        for order in gen.batch(200):
+            order.validate()
+
+    def test_order_ids_unique(self):
+        gen = OrderGenerator(random.Random(1))
+        ids = [o.order_id for o in gen.batch(100)]
+        assert len(set(ids)) == 100
+
+    def test_hot_symbol_bias(self):
+        gen = OrderGenerator(random.Random(1), hot_symbol_bias=0.9)
+        orders = gen.batch(300)
+        hot = sum(1 for o in orders if o.symbol == gen.symbols[0])
+        assert hot > 240
+
+
+class TestRouting:
+    def test_submit_returns_ack_with_destination(self, deploy):
+        _, stub = deploy(OrderRouter)
+        ack = stub.submit_order(limit_order())
+        assert ack.status == "routed"
+        assert ack.destination in DESTINATIONS
+
+    def test_order_persisted_on_two_nodes(self, deploy, runtime):
+        """Paper section 5.2: for fault tolerance, the order is persisted
+        on two nodes."""
+        _, stub = deploy(OrderRouter)
+        ack = stub.submit_order(limit_order("o-2n"))
+        assert len(ack.replicas) == 2
+        assert len(set(ack.replicas)) == 2
+        for key in ack.replicas:
+            assert runtime.store.get(key)["order_id"] == "o-2n"
+
+    def test_routing_is_deterministic_per_symbol(self, deploy):
+        _, stub = deploy(OrderRouter)
+        a = stub.submit_order(limit_order("a", symbol="AAPL"))
+        b = stub.submit_order(limit_order("b", symbol="AAPL"))
+        assert a.destination == b.destination
+
+    def test_invalid_order_rejected(self, deploy):
+        _, stub = deploy(OrderRouter)
+        bad = Order("o", "t", "AAPL", Side.BUY, OrderType.LIMIT, -5, 10.0)
+        with pytest.raises(ApplicationError) as info:
+            stub.submit_order(bad)
+        assert isinstance(info.value.cause, RejectedOrderError)
+
+    def test_rejection_counted(self, deploy, runtime):
+        _, stub = deploy(OrderRouter)
+        bad = Order("o", "t", "AAPL", Side.BUY, OrderType.LIMIT, -5, 10.0)
+        with pytest.raises(ApplicationError):
+            stub.submit_order(bad)
+        assert runtime.store.get("OrderRouter$orders_rejected") == 1
+
+    def test_routed_counter_shared_across_members(self, deploy, runtime):
+        _, stub = deploy(OrderRouter)
+        gen = OrderGenerator(random.Random(2))
+        for order in gen.batch(20):
+            stub.submit_order(order)
+        assert stub.routed_count() == 20
+
+    def test_order_status_roundtrip(self, deploy):
+        _, stub = deploy(OrderRouter)
+        stub.submit_order(limit_order("o-status", symbol="GS"))
+        record = stub.order_status("o-status")
+        assert record["symbol"] == "GS"
+        assert record["status"] == "routed"
+
+    def test_status_of_unknown_order_raises(self, deploy):
+        _, stub = deploy(OrderRouter)
+        with pytest.raises(ApplicationError) as info:
+            stub.order_status("nope")
+        assert isinstance(info.value.cause, RejectedOrderError)
+
+    def test_cancel_removes_both_replicas(self, deploy, runtime):
+        _, stub = deploy(OrderRouter)
+        ack = stub.submit_order(limit_order("o-cxl"))
+        assert stub.cancel_order("o-cxl") is True
+        for key in ack.replicas:
+            assert not runtime.store.exists(key)
+
+    def test_cancel_is_idempotent(self, deploy):
+        _, stub = deploy(OrderRouter)
+        stub.submit_order(limit_order("o-idem"))
+        assert stub.cancel_order("o-idem") is True
+        assert stub.cancel_order("o-idem") is False
+
+    def test_orders_spread_across_members(self, deploy):
+        pool, stub = deploy(OrderRouter)
+        gen = OrderGenerator(random.Random(3))
+        for order in gen.batch(20):
+            stub.submit_order(order)
+        served = [
+            m.skeleton.stats.snapshot().get("submit_order")
+            for m in pool.active_members()
+        ]
+        assert all(s is not None and s.calls > 0 for s in served)
+
+
+class TestFineGrainedScaling:
+    def test_rate_hint_drives_vote(self, deploy, runtime):
+        pool, _ = deploy(OrderRouter)
+        runtime.store.put("OrderRouter$offered_rate", 10_000.0)
+        member = pool.active_members()[0]
+        vote = member.instance.change_pool_size()
+        # 10k / (2000 * 0.81) = 6.2 -> 7 members wanted, have 2.
+        assert vote == 5
+
+    def test_contention_guard_blocks_growth(self, deploy, runtime):
+        """Figure 5: >50% lock-acquisition failures -> do not grow."""
+        pool, _ = deploy(OrderRouter)
+        runtime.store.put("OrderRouter$offered_rate", 10_000.0)
+        runtime.store.put("OrderRouter$lock_acq_failures", 60.0)
+        member = pool.active_members()[0]
+        assert member.instance.change_pool_size() == 0
+
+    def test_guard_does_not_block_shrink(self, deploy, runtime):
+        pool, _ = deploy(OrderRouter)
+        pool.grow(4)
+        runtime.store.put("OrderRouter$offered_rate", 100.0)
+        runtime.store.put("OrderRouter$lock_acq_failures", 90.0)
+        member = pool.active_members()[0]
+        assert member.instance.change_pool_size() < 0
+
+    def test_overrides_change_pool_size(self):
+        assert OrderRouter.overrides_change_pool_size()

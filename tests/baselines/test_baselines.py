@@ -1,0 +1,133 @@
+"""Tests for the comparison deployments: overprovisioning oracle and the
+CloudWatch + AutoScaling model."""
+
+import random
+
+import pytest
+
+from repro.baselines.cloudwatch import CloudWatchAutoScaler, CloudWatchConfig
+from repro.baselines.overprovision import OverprovisioningDeployment
+from repro.cluster.provisioner import VMProvisioner
+
+
+class TestOverprovisioning:
+    def test_capacity_is_fixed(self):
+        deploy = OverprovisioningDeployment(30)
+        deploy.observe(0.0, 99.0, 99.0)
+        deploy.observe(600.0, 1.0, 1.0)
+        assert deploy.capacity() == 30
+
+    def test_zero_provisioning_latency(self):
+        assert OverprovisioningDeployment(30).provisioning_latencies() == []
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            OverprovisioningDeployment(0)
+
+
+def make_scaler(**overrides):
+    defaults = dict(
+        min_capacity=2, max_capacity=10, period_s=300.0,
+        evaluation_periods=1, cooldown_s=300.0,
+    )
+    defaults.update(overrides)
+    config = CloudWatchConfig(**defaults)
+    return CloudWatchAutoScaler(config, VMProvisioner(random.Random(0)))
+
+
+class TestCloudWatchScaleOut:
+    def test_high_cpu_launches_instance_after_period(self):
+        scaler = make_scaler()
+        scaler.observe(300.0, 95.0, 10.0)
+        assert scaler.provisioned() == 3
+        assert scaler.capacity() == 2  # still booting
+
+    def test_instance_serves_only_after_boot(self):
+        scaler = make_scaler()
+        scaler.observe(300.0, 95.0, 10.0)
+        boot = scaler.provisioning_latencies()[0][1]
+        scaler.observe(300.0 + boot - 1.0, 50.0, 10.0)
+        assert scaler.capacity() == 2
+        scaler.observe(300.0 + boot + 1.0, 50.0, 10.0)
+        assert scaler.capacity() == 3
+
+    def test_boot_takes_minutes(self):
+        scaler = make_scaler()
+        scaler.observe(300.0, 95.0, 10.0)
+        assert scaler.provisioning_latencies()[0][1] >= 240.0
+
+    def test_ram_condition_is_or(self):
+        scaler = make_scaler()
+        scaler.observe(300.0, 10.0, 90.0)  # RAM breach only
+        assert scaler.provisioned() == 3
+
+    def test_cooldown_blocks_rapid_scaling(self):
+        scaler = make_scaler(cooldown_s=600.0)
+        scaler.observe(300.0, 95.0, 10.0)
+        scaler.observe(600.0, 95.0, 10.0)  # within cooldown
+        assert scaler.provisioned() == 3
+        scaler.observe(1000.0, 95.0, 10.0)  # cooldown passed
+        assert scaler.provisioned() == 4
+
+    def test_max_capacity_respected(self):
+        scaler = make_scaler(max_capacity=3, cooldown_s=0.0)
+        for i in range(1, 10):
+            scaler.observe(i * 300.0, 99.0, 99.0)
+        assert scaler.provisioned() == 3
+
+    def test_evaluation_periods_require_consecutive_breaches(self):
+        scaler = make_scaler(evaluation_periods=2)
+        scaler.observe(300.0, 95.0, 10.0)
+        assert scaler.provisioned() == 2  # one breach, not enough
+        scaler.observe(600.0, 95.0, 10.0)
+        assert scaler.provisioned() == 3
+
+    def test_breach_streak_resets_on_normal_sample(self):
+        scaler = make_scaler(evaluation_periods=2)
+        scaler.observe(300.0, 95.0, 10.0)
+        scaler.observe(600.0, 70.0, 10.0)  # normal
+        scaler.observe(900.0, 95.0, 10.0)
+        assert scaler.provisioned() == 2
+
+
+class TestCloudWatchScaleIn:
+    def test_low_utilization_removes_instance(self):
+        scaler = make_scaler()
+        scaler.observe(300.0, 95.0, 10.0)   # out -> 3 provisioned
+        scaler.observe(900.0, 10.0, 5.0)    # in  -> 2
+        assert scaler.provisioned() == 2
+
+    def test_scale_in_requires_both_low(self):
+        scaler = make_scaler()
+        scaler.observe(300.0, 10.0, 60.0)  # RAM still above low threshold
+        assert scaler.provisioned() == 2
+        assert scaler.capacity() == 2
+
+    def test_min_capacity_respected(self):
+        scaler = make_scaler(cooldown_s=0.0)
+        for i in range(1, 10):
+            scaler.observe(i * 300.0, 5.0, 5.0)
+        assert scaler.provisioned() == 2
+
+    def test_booting_instance_terminated_first(self):
+        scaler = make_scaler(cooldown_s=0.0)
+        scaler.observe(300.0, 95.0, 10.0)   # launch (booting)
+        scaler.observe(600.0, 5.0, 5.0)     # scale in before boot completes
+        assert scaler.provisioned() == 2
+        assert scaler.capacity() == 2
+
+
+class TestCloudWatchConfig:
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CloudWatchConfig(min_capacity=5, max_capacity=2)
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CloudWatchConfig(cpu_high=40.0, cpu_low=50.0)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            CloudWatchConfig(period_s=0)
+        with pytest.raises(ValueError):
+            CloudWatchConfig(evaluation_periods=0)

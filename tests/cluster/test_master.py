@@ -1,0 +1,150 @@
+"""Tests for the Mesos-like master: grants, partial grants, watermarks,
+outages, and node failure notification."""
+
+import pytest
+
+from repro.cluster.master import MesosMaster
+from repro.errors import MasterUnavailableError, SliceError
+
+
+@pytest.fixture
+def master():
+    return MesosMaster.homogeneous(node_count=2, slices_per_node=3)
+
+
+class TestAllocation:
+    def test_full_grant(self, master):
+        master.register_framework("fw")
+        granted = master.request_slices("fw", 4)
+        assert len(granted) == 4
+        assert master.allocated_slices() == 4
+
+    def test_partial_grant_when_cluster_short(self, master):
+        """Paper section 4.2: if only l < k slices are available, create
+        l objects — the master grants what exists instead of failing."""
+        master.register_framework("fw")
+        granted = master.request_slices("fw", 100)
+        assert len(granted) == 6  # 2 nodes x 3 slices
+
+    def test_grant_spreads_across_nodes(self, master):
+        master.register_framework("fw")
+        granted = master.request_slices("fw", 2)
+        assert granted[0].node is not granted[1].node
+
+    def test_zero_request_is_empty(self, master):
+        master.register_framework("fw")
+        assert master.request_slices("fw", 0) == []
+
+    def test_negative_request_raises(self, master):
+        master.register_framework("fw")
+        with pytest.raises(ValueError):
+            master.request_slices("fw", -1)
+
+    def test_unknown_framework_raises(self, master):
+        with pytest.raises(ValueError):
+            master.request_slices("nope", 1)
+
+    def test_duplicate_framework_registration_raises(self, master):
+        master.register_framework("fw")
+        with pytest.raises(ValueError):
+            master.register_framework("fw")
+
+    def test_released_slice_is_reusable_by_other_framework(self, master):
+        """Paper section 2.5: a relinquished slice is then available to
+        other elastic objects in the cluster."""
+        master.register_framework("a")
+        master.register_framework("b")
+        granted = master.request_slices("a", 6)
+        assert master.request_slices("b", 1) == []
+        master.release_slice("a", granted[0])
+        regranted = master.request_slices("b", 1)
+        assert len(regranted) == 1
+        assert regranted[0].framework == "b"
+
+    def test_release_of_unowned_slice_raises(self, master):
+        master.register_framework("a")
+        master.register_framework("b")
+        granted = master.request_slices("a", 1)
+        with pytest.raises(SliceError):
+            master.release_slice("b", granted[0])
+
+
+class TestUtilization:
+    def test_utilization_tracks_allocation(self, master):
+        master.register_framework("fw")
+        assert master.utilization() == 0.0
+        master.request_slices("fw", 3)
+        assert master.utilization() == pytest.approx(0.5)
+
+    def test_high_watermark_fires_once_per_crossing(self, master):
+        master.register_framework("fw")
+        highs, lows = [], []
+        master.watch_utilization(0.5, 0.2, highs.append, lows.append)
+        master._check_watches()  # initial state below low
+        lows.clear()
+        master.request_slices("fw", 3)  # util 0.5 -> high
+        master.request_slices("fw", 1)  # still high, must not refire
+        assert len(highs) == 1
+
+    def test_low_watermark_fires_after_release(self, master):
+        master.register_framework("fw")
+        highs, lows = [], []
+        granted = master.request_slices("fw", 4)
+        master.watch_utilization(0.9, 0.2, highs.append, lows.append)
+        for sl in granted:
+            master.release_slice("fw", sl)
+        assert len(lows) == 1
+
+    def test_invalid_watermarks_raise(self, master):
+        with pytest.raises(ValueError):
+            master.watch_utilization(0.2, 0.5, print, print)
+
+
+class TestMasterOutage:
+    def test_outage_blocks_allocation(self, master):
+        master.register_framework("fw")
+        master.fail()
+        with pytest.raises(MasterUnavailableError):
+            master.request_slices("fw", 1)
+
+    def test_outage_blocks_release(self, master):
+        master.register_framework("fw")
+        granted = master.request_slices("fw", 1)
+        master.fail()
+        with pytest.raises(MasterUnavailableError):
+            master.release_slice("fw", granted[0])
+
+    def test_recovery_restores_service(self, master):
+        master.register_framework("fw")
+        master.fail()
+        master.recover()
+        assert len(master.request_slices("fw", 1)) == 1
+
+
+class TestNodeFailure:
+    def test_lost_slices_notify_owner(self, master):
+        lost = []
+        master.register_framework("fw", on_slice_lost=lost.append)
+        granted = master.request_slices("fw", 6)
+        victim_node = granted[0].node.node_id
+        expected = [s for s in granted if s.node.node_id == victim_node]
+        master.fail_node(victim_node)
+        assert sorted(s.slice_id for s in lost) == sorted(
+            s.slice_id for s in expected
+        )
+
+    def test_failed_node_capacity_excluded(self, master):
+        master.register_framework("fw")
+        total_before = master.total_slices()
+        master.fail_node("node-0")
+        assert master.total_slices() == total_before - 3
+
+    def test_recovered_node_offers_again(self, master):
+        master.register_framework("fw")
+        master.fail_node("node-0")
+        master.recover_node("node-0")
+        assert master.free_slice_count() == 6
+
+    def test_unknown_node_raises(self, master):
+        with pytest.raises(ValueError):
+            master.fail_node("node-99")

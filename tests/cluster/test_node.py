@@ -1,0 +1,80 @@
+"""Tests for nodes, resources, and slices."""
+
+import pytest
+
+from repro.cluster.node import Node, Resources, Slice, SliceState
+from repro.errors import SliceError
+
+
+class TestResources:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Resources(-1.0, 100)
+
+    def test_arithmetic(self):
+        a = Resources(4.0, 4096)
+        b = Resources(2.0, 2048)
+        assert a + b == Resources(6.0, 6144)
+        assert a - b == Resources(2.0, 2048)
+
+    def test_fits_in(self):
+        small = Resources(2.0, 2048)
+        big = Resources(8.0, 8192)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+    def test_fits_requires_both_dimensions(self):
+        assert not Resources(1.0, 9999).fits_in(Resources(8.0, 8192))
+
+
+class TestNode:
+    def _node(self, node_id="n0", slices=4):
+        slice_size = Resources(2.0, 2048)
+        capacity = Resources(2.0 * slices, 2048 * slices)
+        return Node(node_id, capacity, slice_size)
+
+    def test_carves_expected_slice_count(self):
+        assert len(self._node(slices=4).slices) == 4
+
+    def test_slice_does_not_fit_raises(self):
+        with pytest.raises(ValueError):
+            Node("n", Resources(1.0, 512), Resources(2.0, 2048))
+
+    def test_all_slices_free_initially(self):
+        node = self._node()
+        assert len(node.free_slices()) == 4
+        assert node.allocated_slices() == []
+
+    def test_release_requires_allocated_state(self):
+        node = self._node()
+        sl = node.slices[0]
+        with pytest.raises(SliceError):
+            node.release(sl)
+
+    def test_release_of_foreign_slice_raises(self):
+        node_a, node_b = self._node("a"), self._node("b")
+        sl = node_b.slices[0]
+        sl.state = SliceState.ALLOCATED
+        with pytest.raises(SliceError):
+            node_a.release(sl)
+
+    def test_fail_marks_allocated_slices_lost(self):
+        node = self._node()
+        node.slices[0].state = SliceState.ALLOCATED
+        lost = node.fail()
+        assert lost == [node.slices[0]]
+        assert node.slices[0].state is SliceState.LOST
+        assert node.free_slices() == []  # dead node offers nothing
+
+    def test_recover_frees_lost_slices(self):
+        node = self._node()
+        node.slices[0].state = SliceState.ALLOCATED
+        node.fail()
+        node.recover()
+        assert node.slices[0].state is SliceState.FREE
+        assert len(node.free_slices()) == 4
+
+    def test_slice_ids_are_unique(self):
+        node = self._node()
+        ids = [s.slice_id for s in node.slices]
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,63 @@
+"""Tests for provisioning latency models (Figure 8 behaviour)."""
+
+import random
+
+import pytest
+
+from repro.cluster.provisioner import (
+    ContainerProvisioner,
+    InstantProvisioner,
+    VMProvisioner,
+)
+
+
+@pytest.fixture
+def container():
+    return ContainerProvisioner(random.Random(1))
+
+
+@pytest.fixture
+def vm():
+    return VMProvisioner(random.Random(1))
+
+
+class TestContainerProvisioner:
+    def test_under_30s_cap_at_any_load(self, container):
+        """The paper reports ElasticRMI provisioning latency < 30 s in
+        all cases."""
+        for load in (0.0, 0.5, 1.0, 1.5, 10.0):
+            for _ in range(50):
+                assert container.sample_up_latency(load) <= 30.0
+
+    def test_latency_grows_with_load(self, container):
+        """Figure 8: as the workload increases, provisioning interval
+        also increases."""
+        low = sum(container.sample_up_latency(0.1) for _ in range(100)) / 100
+        high = sum(container.sample_up_latency(1.0) for _ in range(100)) / 100
+        assert high > low + 5.0
+
+    def test_positive_latency(self, container):
+        assert container.sample_up_latency(0.0) > 0
+
+    def test_drain_latency_positive_and_bounded(self, container):
+        for load in (0.0, 1.0):
+            latency = container.sample_down_latency(load)
+            assert 0 < latency < 15.0
+
+
+class TestVMProvisioner:
+    def test_vm_boot_is_minutes(self, vm):
+        """CloudWatch provisioning is 'in the order of several minutes' —
+        well above ElasticRMI's 30 s cap."""
+        for _ in range(20):
+            assert vm.sample_up_latency(0.5) >= 240.0
+
+    def test_vm_dwarfs_container(self, container, vm):
+        assert vm.sample_up_latency(1.0) > 5 * container.sample_up_latency(1.0)
+
+
+class TestInstantProvisioner:
+    def test_all_latencies_zero(self):
+        p = InstantProvisioner()
+        assert p.sample_up_latency(1.0) == 0.0
+        assert p.sample_down_latency(1.0) == 0.0

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(42)

@@ -1,0 +1,71 @@
+"""Fixtures and helpers for core (elastic pool) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.api import ElasticObject
+from repro.core.fields import elastic_field
+from repro.sim.kernel import Kernel
+from repro.core.runtime import ElasticRuntime
+
+
+class CpuDial:
+    """A shared utilization source all pool members report from; tests
+    turn the dial to drive scaling decisions."""
+
+    def __init__(self, cpu: float = 0.0, ram: float = 0.0) -> None:
+        self.cpu = cpu
+        self.ram = ram
+
+    def source(self, member):
+        return self
+
+    def cpu_percent(self) -> float:
+        return self.cpu
+
+    def ram_percent(self) -> float:
+        return self.ram
+
+
+class EchoService(ElasticObject):
+    """Minimal elastic class used across core tests."""
+
+    total_calls = elastic_field(default=0)
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(6)
+
+    def echo(self, value):
+        return value
+
+    def count(self):
+        C = type(self)
+        return C.total_calls.update(self, lambda v: v + 1)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel):
+    """Simulated runtime with instantaneous provisioning: scaling effects
+    become visible at the next kernel step."""
+    return ElasticRuntime.simulated(
+        kernel, nodes=8, slices_per_node=4, provisioner=InstantProvisioner()
+    )
+
+
+@pytest.fixture
+def dial():
+    return CpuDial()
+
+
+def settle(kernel, seconds=1.0):
+    """Run the kernel briefly so zero-delay activations complete."""
+    kernel.run_until(kernel.clock.now() + seconds)

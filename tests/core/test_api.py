@@ -1,0 +1,126 @@
+"""Tests for the Figure 3 API surface: config setters, validation, and
+the single-decision-mechanism rule."""
+
+import pytest
+
+from repro.core.api import Decider, ElasticConfig, ElasticObject, MethodCallStat
+from repro.errors import PoolConfigurationError, ScalingDisabledError
+
+
+class PlainElastic(ElasticObject):
+    pass
+
+
+class FineGrained(ElasticObject):
+    def change_pool_size(self):
+        return 1
+
+
+class TestElasticConfig:
+    def test_paper_defaults(self):
+        cfg = ElasticConfig()
+        assert cfg.burst_interval == 60.0
+        assert cfg.cpu_incr_threshold == 90.0
+        assert cfg.cpu_decr_threshold == 60.0
+
+    def test_min_pool_size_must_be_at_least_two(self):
+        """Paper section 4.2: an elastic class can only be instantiated
+        with a minimum of >= 2 objects."""
+        cfg = ElasticConfig(min_pool_size=1)
+        with pytest.raises(PoolConfigurationError):
+            cfg.validate()
+
+    def test_max_below_min_rejected(self):
+        cfg = ElasticConfig(min_pool_size=4, max_pool_size=3)
+        with pytest.raises(PoolConfigurationError):
+            cfg.validate()
+
+    def test_non_positive_burst_interval_rejected(self):
+        cfg = ElasticConfig(burst_interval=0)
+        with pytest.raises(PoolConfigurationError):
+            cfg.validate()
+
+    def test_inverted_cpu_thresholds_rejected(self):
+        cfg = ElasticConfig(cpu_incr_threshold=50, cpu_decr_threshold=60)
+        with pytest.raises(PoolConfigurationError):
+            cfg.validate()
+
+    def test_inverted_ram_thresholds_rejected(self):
+        cfg = ElasticConfig(ram_incr_threshold=40.0, ram_decr_threshold=50.0)
+        with pytest.raises(PoolConfigurationError):
+            cfg.validate()
+
+    def test_valid_config_passes(self):
+        ElasticConfig(min_pool_size=5, max_pool_size=50).validate()
+
+
+class TestSetters:
+    def test_setters_accumulate_config(self):
+        obj = PlainElastic()
+        obj.set_min_pool_size(5)
+        obj.set_max_pool_size(50)
+        obj.set_burst_interval(300)
+        obj.set_cpu_incr_threshold(85)
+        obj.set_ram_incr_threshold(70)
+        cfg = obj._ermi_config
+        assert cfg.min_pool_size == 5
+        assert cfg.max_pool_size == 50
+        assert cfg.burst_interval == 300
+        assert cfg.cpu_incr_threshold == 85
+        assert cfg.ram_incr_threshold == 70
+        assert cfg.explicit_thresholds
+
+    def test_plain_setters_do_not_mark_explicit(self):
+        obj = PlainElastic()
+        obj.set_min_pool_size(3)
+        assert not obj._ermi_config.explicit_thresholds
+
+
+class TestSingleDecisionMechanism:
+    def test_override_detection(self):
+        assert FineGrained.overrides_change_pool_size()
+        assert not PlainElastic.overrides_change_pool_size()
+
+    def test_thresholds_disabled_when_change_pool_size_overridden(self):
+        """Paper section 3.3: if changePoolSize is overridden, scaling
+        based on CPU/Memory utilization is disabled."""
+        obj = FineGrained()
+        with pytest.raises(ScalingDisabledError):
+            obj.set_cpu_incr_threshold(85)
+        with pytest.raises(ScalingDisabledError):
+            obj.set_ram_decr_threshold(40)
+
+    def test_base_change_pool_size_is_sentinel(self):
+        with pytest.raises(NotImplementedError):
+            PlainElastic().change_pool_size()
+
+
+class TestDetachedQueries:
+    def test_pool_queries_require_attachment(self):
+        obj = PlainElastic()
+        with pytest.raises(RuntimeError, match="not attached"):
+            obj.get_pool_size()
+        with pytest.raises(RuntimeError, match="not attached"):
+            obj.get_avg_cpu_usage()
+        with pytest.raises(RuntimeError, match="not attached"):
+            obj.get_method_call_stats()
+
+
+class TestDecider:
+    def test_decider_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Decider().get_desired_pool_size(None)
+
+    def test_decider_attached_via_constructor(self):
+        class D(Decider):
+            def get_desired_pool_size(self, pool):
+                return 4
+
+        obj = ElasticObject(decider=D())
+        assert obj._ermi_decider.get_desired_pool_size(None) == 4
+
+
+class TestMethodCallStat:
+    def test_latency_alias(self):
+        stat = MethodCallStat(calls=2, rate=1.0, mean_latency=0.25)
+        assert stat.latency() == 0.25

@@ -1,0 +1,210 @@
+"""Tests for the preprocessor transformation: elastic fields and
+synchronized methods (paper Figure 6 semantics)."""
+
+import threading
+
+import pytest
+
+from repro.core.api import ElasticObject
+from repro.core.fields import elastic_field, is_synchronized, synchronized
+from repro.kvstore.locks import LockManager
+from repro.kvstore.store import HyperStore
+
+
+class C1(ElasticObject):
+    """The paper's Figure 6 example class."""
+
+    x = elastic_field(default=0)
+    z = elastic_field(default=0)
+
+    def foo(self):
+        if self.x == 5:
+            self.z = 10
+
+    @synchronized
+    def bar(self):
+        return "critical"
+
+
+class FakeCtx:
+    """Just enough MemberContext for field/lock tests."""
+
+    def __init__(self, store, locks, owner="member-1"):
+        self.store = store
+        self.locks = locks
+        self._owner = owner
+
+    def lock_owner_id(self):
+        return self._owner
+
+
+@pytest.fixture
+def store():
+    return HyperStore(nodes=1)
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+def attach(obj, store, locks, owner="member-1"):
+    obj._ermi_ctx = FakeCtx(store, locks, owner)
+    return obj
+
+
+class TestStoreKeyNaming:
+    def test_key_is_class_dollar_field(self):
+        """Figure 6: variable x of class C1 uses key 'C1$x'."""
+        assert C1.x.store_key == "C1$x"
+        assert C1.z.store_key == "C1$z"
+
+    def test_explicit_key_override(self):
+        class K(ElasticObject):
+            f = elastic_field(default=0, key="custom-key")
+
+        assert K.f.store_key == "custom-key"
+
+
+class TestAttachedFields:
+    def test_write_goes_to_store(self, store, locks):
+        obj = attach(C1(), store, locks)
+        obj.x = 5
+        assert store.get("C1$x") == 5
+
+    def test_read_comes_from_store(self, store, locks):
+        store.put("C1$x", 7)
+        obj = attach(C1(), store, locks)
+        assert obj.x == 7
+
+    def test_default_before_first_write(self, store, locks):
+        obj = attach(C1(), store, locks)
+        assert obj.x == 0
+
+    def test_figure6_transformation(self, store, locks):
+        """if (x == 5) z = 10 — through the store."""
+        obj = attach(C1(), store, locks)
+        obj.x = 5
+        obj.foo()
+        assert store.get("C1$z") == 10
+
+    def test_state_shared_between_pool_members(self, store, locks):
+        """Two members of the pool see one copy of each field."""
+        a = attach(C1(), store, locks, owner="member-1")
+        b = attach(C1(), store, locks, owner="member-2")
+        a.x = 42
+        assert b.x == 42
+
+    def test_atomic_update(self, store, locks):
+        obj = attach(C1(), store, locks)
+        C1.x.update(obj, lambda v: v + 10)
+        assert obj.x == 10
+
+    def test_concurrent_updates_do_not_lose_increments(self, store, locks):
+        obj = attach(C1(), store, locks)
+
+        def bump():
+            for _ in range(100):
+                C1.x.update(obj, lambda v: v + 1)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert obj.x == 400
+
+
+class TestDetachedFields:
+    def test_detached_uses_local_storage(self):
+        obj = C1()
+        obj.x = 9
+        assert obj.x == 9
+
+    def test_detached_instances_do_not_share(self):
+        a, b = C1(), C1()
+        a.x = 1
+        assert b.x == 0
+
+    def test_detached_update(self):
+        obj = C1()
+        C1.x.update(obj, lambda v: v + 3)
+        assert obj.x == 3
+
+    def test_class_access_returns_descriptor(self):
+        assert isinstance(C1.x, elastic_field)
+
+
+class TestSynchronized:
+    def test_marker(self):
+        assert is_synchronized(C1.bar)
+        assert not is_synchronized(C1.foo)
+
+    def test_lock_named_after_class(self, store, locks):
+        """Figure 6: synchronized methods of C1 use a lock called 'C1'."""
+        events = []
+        obj = attach(C1(), store, locks)
+        original_lock = locks.lock
+
+        def spying_lock(name, owner, **kw):
+            events.append(name)
+            return original_lock(name, owner, **kw)
+
+        locks.lock = spying_lock
+        obj.bar()
+        assert events == ["C1"]
+        assert locks.holder("C1") is None  # released afterwards
+
+    def test_lock_released_on_exception(self, store, locks):
+        class Boom(ElasticObject):
+            @synchronized
+            def bad(self):
+                raise RuntimeError("inside critical section")
+
+        obj = attach(Boom(), store, locks)
+        with pytest.raises(RuntimeError):
+            obj.bad()
+        assert locks.holder("Boom") is None
+
+    def test_mutual_exclusion_across_members(self, store, locks):
+        class Counter(ElasticObject):
+            total = elastic_field(default=0)
+
+            @synchronized
+            def bump(self):
+                current = self.total
+                self.total = current + 1
+
+        a = attach(Counter(), store, locks, owner="m1")
+        b = attach(Counter(), store, locks, owner="m2")
+
+        def worker(obj):
+            for _ in range(150):
+                obj.bump()
+
+        threads = [
+            threading.Thread(target=worker, args=(o,)) for o in (a, b)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert a.total == 300
+
+    def test_reentrant_synchronized_calls(self, store, locks):
+        class Nested(ElasticObject):
+            @synchronized
+            def outer(self):
+                return self.inner() + 1
+
+            @synchronized
+            def inner(self):
+                return 1
+
+        obj = attach(Nested(), store, locks)
+        assert obj.outer() == 2
+        assert locks.holder("Nested") is None
+
+    def test_detached_synchronized_uses_process_lock(self):
+        obj = C1()
+        assert obj.bar() == "critical"

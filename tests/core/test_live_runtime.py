@@ -1,0 +1,101 @@
+"""Live-mode (wall clock, threads) integration tests.
+
+These exercise the exact code paths the runnable examples use: a
+ThreadedTransport with real blocking calls, timer-driven burst ticks, and
+concurrent clients.  Kept short in wall time (sub-second bursts).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.api import ElasticObject
+from repro.core.fields import elastic_field, synchronized
+from repro.core.runtime import ElasticRuntime
+
+
+class LiveCache(ElasticObject):
+    store_hits = elastic_field(default=0)
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(4)
+        self.set_burst_interval(0.2)
+
+    def put(self, key, value):
+        return f"stored:{key}"
+
+    def get(self, key):
+        type(self).store_hits.update(self, lambda v: v + 1)
+        return key.upper()
+
+    @synchronized
+    def critical(self):
+        return "exclusive"
+
+
+@pytest.fixture
+def live():
+    runtime = ElasticRuntime.local(nodes=4)
+    yield runtime
+    runtime.shutdown()
+
+
+class TestLiveMode:
+    def test_pool_starts_and_serves(self, live):
+        pool = live.new_pool(LiveCache)
+        assert pool.size() == 2
+        stub = live.stub("LiveCache")
+        assert stub.get("abc") == "ABC"
+        assert stub.put("k", "v") == "stored:k"
+
+    def test_shared_state_across_members(self, live):
+        live.new_pool(LiveCache)
+        stub = live.stub("LiveCache")
+        for i in range(8):
+            stub.get(f"key-{i}")
+        assert live.store.get("LiveCache$store_hits") == 8
+
+    def test_concurrent_clients(self, live):
+        live.new_pool(LiveCache)
+        results = []
+        lock = threading.Lock()
+
+        def client(n):
+            stub = live.stub("LiveCache", caller=f"client-{n}")
+            for i in range(20):
+                value = stub.get(f"c{n}-{i}")
+                with lock:
+                    results.append(value)
+
+        threads = [threading.Thread(target=client, args=(n,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 80
+        assert live.store.get("LiveCache$store_hits") == 80
+
+    def test_synchronized_method_over_live_pool(self, live):
+        live.new_pool(LiveCache)
+        stub = live.stub("LiveCache")
+        assert stub.critical() == "exclusive"
+
+    def test_burst_ticks_fire_on_wall_clock(self, live):
+        import time
+
+        live.new_pool(LiveCache)
+        record = live.record("LiveCache")
+        deadline = time.monotonic() + 3.0
+        while record.tick_count < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert record.tick_count >= 2
+
+    def test_member_failure_masked_from_clients(self, live):
+        pool = live.new_pool(LiveCache)
+        stub = live.stub("LiveCache")
+        stub.get("warm")
+        victim = pool.active_members()[1]
+        live.transport.kill(victim.endpoint_id)
+        assert stub.get("after-failure") == "AFTER-FAILURE"

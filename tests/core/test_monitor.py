@@ -1,0 +1,97 @@
+"""Tests for utilization sources and member monitors."""
+
+import pytest
+
+from repro.core.monitor import ManualUtilization, MemberMonitor, QueueUtilization
+from repro.rmi.remote import Remote, Skeleton
+from repro.rmi.transport import DirectTransport
+from repro.sim.clock import SimClock
+
+
+class Dummy(Remote):
+    def op(self):
+        return 1
+
+
+@pytest.fixture
+def skeleton():
+    transport = DirectTransport()
+    ep = transport.add_endpoint("s")
+    return Skeleton(Dummy(), transport, ep.endpoint_id)
+
+
+class TestManualUtilization:
+    def test_defaults_to_zero(self):
+        source = ManualUtilization()
+        assert source.cpu_percent() == 0.0
+        assert source.ram_percent() == 0.0
+
+    def test_set_both(self):
+        source = ManualUtilization()
+        source.set(80.0, 60.0)
+        assert source.cpu_percent() == 80.0
+        assert source.ram_percent() == 60.0
+
+    def test_set_cpu_only_keeps_ram(self):
+        source = ManualUtilization(cpu=10.0, ram=20.0)
+        source.set(50.0)
+        assert source.cpu_percent() == 50.0
+        assert source.ram_percent() == 20.0
+
+
+class TestQueueUtilization:
+    def test_idle_skeleton_is_zero(self, skeleton):
+        source = QueueUtilization(skeleton, capacity=4)
+        assert source.cpu_percent() == 0.0
+
+    def test_scales_with_pending(self, skeleton):
+        source = QueueUtilization(skeleton, capacity=4)
+        skeleton.pending = 2
+        assert source.cpu_percent() == 50.0
+        skeleton.pending = 0
+
+    def test_saturates_at_100(self, skeleton):
+        source = QueueUtilization(skeleton, capacity=2)
+        skeleton.pending = 10
+        assert source.cpu_percent() == 100.0
+        skeleton.pending = 0
+
+    def test_ram_follows_cpu_at_ratio(self, skeleton):
+        source = QueueUtilization(skeleton, capacity=4, ram_ratio=0.5)
+        skeleton.pending = 4
+        assert source.ram_percent() == 50.0
+        skeleton.pending = 0
+
+    def test_rejects_zero_capacity(self, skeleton):
+        with pytest.raises(ValueError):
+            QueueUtilization(skeleton, capacity=0)
+
+
+class TestMemberMonitor:
+    def test_no_samples_is_zero(self):
+        monitor = MemberMonitor(clock=SimClock())
+        assert monitor.window_cpu() == 0.0
+        assert monitor.window_ram() == 0.0
+
+    def test_window_average(self):
+        monitor = MemberMonitor(clock=SimClock())
+        monitor.record(40.0, 20.0)
+        monitor.record(60.0, 40.0)
+        assert monitor.window_cpu() == 50.0
+        assert monitor.window_ram() == 30.0
+
+    def test_reset_starts_fresh_window(self):
+        monitor = MemberMonitor(clock=SimClock())
+        monitor.record(90.0, 90.0)
+        monitor.reset_window()
+        assert monitor.window_cpu() == 0.0
+        monitor.record(10.0, 10.0)
+        assert monitor.window_cpu() == 10.0
+
+    def test_samples_carry_timestamps(self):
+        clock = SimClock()
+        monitor = MemberMonitor(clock=clock)
+        monitor.record(10.0, 10.0)
+        clock.advance(5.0)
+        monitor.record(20.0, 20.0)
+        assert [s.at for s in monitor.samples] == [0.0, 5.0]

@@ -1,0 +1,221 @@
+"""Tests for elastic object pool lifecycle: instantiation, growth,
+graceful shrink, sentinel election, and membership bookkeeping."""
+
+import pytest
+
+from repro.core.pool import MemberState
+from repro.errors import PoolShutdownError
+from tests.core.conftest import EchoService, settle
+
+
+@pytest.fixture
+def pool(runtime, kernel, dial):
+    p = runtime.new_pool(EchoService, utilization_factory=dial.source)
+    settle(kernel)
+    return p
+
+
+class TestInstantiation:
+    def test_starts_with_min_pool_size(self, pool):
+        assert pool.size() == 2
+
+    def test_each_member_on_distinct_slice(self, pool):
+        slices = [m.slice.slice_id for m in pool.active_members()]
+        assert len(set(slices)) == len(slices)
+
+    def test_each_member_on_distinct_endpoint(self, pool):
+        """One JVM per slice, never two (paper section 4.2)."""
+        endpoints = [m.endpoint_id for m in pool.active_members()]
+        assert len(set(endpoints)) == len(endpoints)
+
+    def test_partial_grant_creates_fewer_members(self, kernel):
+        """If only l < k slices are available, l objects are created."""
+        from repro.cluster.provisioner import InstantProvisioner
+        from repro.core.runtime import ElasticRuntime
+
+        rt = ElasticRuntime.simulated(
+            kernel, nodes=1, slices_per_node=3,
+            provisioner=InstantProvisioner(),
+        )
+        # 3 slices total, 1 taken by the shared store -> 2 left.
+        class Wide(EchoService):
+            def __init__(self):
+                super().__init__()
+                self.set_min_pool_size(5)
+                self.set_max_pool_size(10)
+
+        pool = rt.new_pool(Wide)
+        settle(kernel)
+        assert pool.size() == 2
+
+    def test_store_records_member_identities(self, pool, runtime):
+        """The runtime stores skeleton uids/identities in the shared
+        store, as the paper stores them in HyperDex."""
+        members = runtime.store.get(f"{pool.name}$members")
+        assert sorted(members) == [m.uid for m in pool.active_members()]
+
+    def test_members_attached_to_context(self, pool):
+        for member in pool.active_members():
+            assert member.instance._ermi_ctx is not None
+            assert member.instance.get_pool_size() == 2
+
+
+class TestGrowth:
+    def test_grow_adds_members(self, pool, kernel):
+        added = pool.grow(2)
+        settle(kernel)
+        assert added == 2
+        assert pool.size() == 4
+
+    def test_grow_zero_is_noop(self, pool):
+        assert pool.grow(0) == 0
+
+    def test_uids_monotonically_increase(self, pool, kernel):
+        pool.grow(1)
+        settle(kernel)
+        uids = [m.uid for m in pool.active_members()]
+        assert uids == sorted(uids)
+        assert len(set(uids)) == len(uids)
+
+    def test_provisioning_records_created(self, pool, kernel):
+        pool.grow(1)
+        settle(kernel)
+        ups = [r for r in pool.provisioning_records if r.direction == "up"]
+        assert len(ups) == 3  # 2 initial + 1 grown
+        assert all(r.latency >= 0 for r in ups)
+
+    def test_scaling_events_recorded(self, pool, kernel):
+        pool.grow(1, reason="test-reason")
+        settle(kernel)
+        event = pool.scaling_events[-1]
+        assert event.decision == 1
+        assert event.granted == 1
+        assert event.reason == "test-reason"
+
+
+class TestShrink:
+    def test_shrink_removes_members(self, pool, kernel):
+        pool.grow(2)
+        settle(kernel)
+        removed = pool.shrink(2)
+        settle(kernel, seconds=30.0)
+        assert removed == 2
+        assert pool.size() == 2
+
+    def test_shrink_never_goes_below_min(self, pool, kernel):
+        assert pool.shrink(5) == 0
+        settle(kernel)
+        assert pool.size() == 2
+
+    def test_shrink_spares_the_sentinel(self, pool, kernel):
+        pool.grow(2)
+        settle(kernel)
+        sentinel_uid = pool.sentinel().uid
+        pool.shrink(2)
+        settle(kernel, seconds=30.0)
+        assert pool.sentinel().uid == sentinel_uid
+
+    def test_removed_slice_returns_to_cluster(self, pool, kernel, runtime):
+        free_before = runtime.master.free_slice_count()
+        pool.grow(1)
+        settle(kernel)
+        pool.shrink(1)
+        settle(kernel, seconds=30.0)
+        assert runtime.master.free_slice_count() == free_before
+
+    def test_draining_member_redirects_new_calls(self, pool, kernel, runtime):
+        """Step one of the removal protocol: once redirection starts, the
+        departing skeleton accepts no new invocations."""
+        pool.grow(1)
+        settle(kernel)
+        victims = [
+            m for m in pool.active_members() if m is not pool.sentinel()
+        ]
+        victim = max(victims, key=lambda m: m.uid)
+        pool.shrink(1)
+        # Member is DRAINING until the drain delay elapses.
+        assert victim.state is MemberState.DRAINING
+        from repro.errors import MemberDrainedError
+        from repro.rmi.remote import Stub
+
+        stub = Stub(runtime.transport, victim.ref())
+        with pytest.raises(MemberDrainedError):
+            stub.echo("x")
+
+    def test_shrink_records_down_provisioning(self, pool, kernel):
+        pool.grow(1)
+        settle(kernel)
+        pool.shrink(1)
+        settle(kernel, seconds=30.0)
+        downs = [r for r in pool.provisioning_records if r.direction == "down"]
+        assert len(downs) == 1
+
+
+class TestSentinel:
+    def test_sentinel_is_lowest_uid(self, pool):
+        uids = [m.uid for m in pool.active_members()]
+        assert pool.sentinel().uid == min(uids)
+
+    def test_member_identities_sentinel_first(self, pool, kernel):
+        pool.grow(1)
+        settle(kernel)
+        refs = pool.member_identities()
+        assert refs[0].uid == pool.sentinel().uid
+        assert len(refs) == 3
+
+    def test_sentinel_reelected_after_termination(self, pool, kernel):
+        old = pool.sentinel()
+        pool._terminate(old)
+        new = pool.sentinel()
+        assert new is not None
+        assert new.uid > old.uid
+
+
+class TestWindows:
+    def test_roll_window_aggregates_method_stats(self, pool, runtime, kernel):
+        stub = runtime.stub(pool.name)
+        for i in range(10):
+            stub.echo(i)
+        pool.roll_window()
+        stats = pool.method_call_stats()
+        assert stats["echo"].calls == 10
+        assert stats["echo"].rate == pytest.approx(10 / 60.0)
+
+    def test_roll_window_resets_counts(self, pool, runtime):
+        stub = runtime.stub(pool.name)
+        stub.echo(1)
+        pool.roll_window()
+        pool.roll_window()
+        assert pool.method_call_stats().get("echo") is None or (
+            pool.method_call_stats()["echo"].calls == 0
+        )
+
+    def test_utilization_window_average(self, pool, dial, kernel):
+        dial.cpu = 80.0
+        pool.sample_utilization()
+        pool.sample_utilization()
+        assert pool.avg_cpu_usage() == pytest.approx(80.0)
+        pool.roll_window()
+        assert pool.avg_cpu_usage() == pytest.approx(80.0)  # cached window
+
+    def test_pending_by_member_initially_zero(self, pool):
+        assert set(pool.pending_by_member().values()) == {0}
+
+
+class TestShutdown:
+    def test_shutdown_releases_everything(self, pool, runtime, kernel):
+        pool.shutdown()
+        assert pool.size() == 0
+        # Only the runtime's store slice remains allocated.
+        assert runtime.master.allocated_slices() == 1
+
+    def test_operations_after_shutdown_raise(self, pool):
+        pool.shutdown()
+        with pytest.raises(PoolShutdownError):
+            pool.grow(1)
+        with pytest.raises(PoolShutdownError):
+            pool.shrink(1)
+
+    def test_double_shutdown_is_noop(self, pool):
+        pool.shutdown()
+        pool.shutdown()

@@ -1,0 +1,185 @@
+"""Tests for the four scaling policies and policy selection."""
+
+import pytest
+
+from repro.core.api import Decider, ElasticConfig, ElasticObject
+from repro.core.scaling import (
+    CoarseGrainedPolicy,
+    DeciderPolicy,
+    FineGrainedPolicy,
+    ImplicitPolicy,
+    select_policy,
+)
+from tests.core.conftest import EchoService, settle
+
+
+@pytest.fixture
+def pool(runtime, kernel, dial):
+    p = runtime.new_pool(EchoService, utilization_factory=dial.source)
+    settle(kernel)
+    return p
+
+
+def feed_cpu(pool, dial, cpu, ram=0.0):
+    dial.cpu = cpu
+    dial.ram = ram
+    pool.sample_utilization()
+    pool.roll_window()
+
+
+class TestImplicitPolicy:
+    def test_adds_one_above_90(self, pool, dial):
+        feed_cpu(pool, dial, 95.0)
+        assert ImplicitPolicy().decide(pool) == 1
+
+    def test_removes_one_below_60(self, pool, dial):
+        feed_cpu(pool, dial, 40.0)
+        assert ImplicitPolicy().decide(pool) == -1
+
+    def test_holds_between_thresholds(self, pool, dial):
+        feed_cpu(pool, dial, 75.0)
+        assert ImplicitPolicy().decide(pool) == 0
+
+    def test_exact_boundaries_hold(self, pool, dial):
+        feed_cpu(pool, dial, 90.0)
+        assert ImplicitPolicy().decide(pool) == 0
+        feed_cpu(pool, dial, 60.0)
+        assert ImplicitPolicy().decide(pool) == 0
+
+
+class TestCoarseGrainedPolicy:
+    def _policy(self, **kw):
+        cfg = ElasticConfig(
+            cpu_incr_threshold=kw.get("cpu_incr", 85.0),
+            cpu_decr_threshold=kw.get("cpu_decr", 50.0),
+            ram_incr_threshold=kw.get("ram_incr", 70.0),
+            ram_decr_threshold=kw.get("ram_decr", 40.0),
+        )
+        return CoarseGrainedPolicy(cfg)
+
+    def test_cpu_alone_triggers_growth(self, pool, dial):
+        feed_cpu(pool, dial, 90.0, ram=10.0)
+        assert self._policy().decide(pool) == 1
+
+    def test_ram_alone_triggers_growth_logical_or(self, pool, dial):
+        """Paper section 3.3: CPU and RAM thresholds combine with OR."""
+        feed_cpu(pool, dial, 20.0, ram=80.0)
+        assert self._policy().decide(pool) == 1
+
+    def test_shrink_requires_both_below(self, pool, dial):
+        feed_cpu(pool, dial, 30.0, ram=60.0)
+        assert self._policy().decide(pool) == 0
+        feed_cpu(pool, dial, 30.0, ram=20.0)
+        assert self._policy().decide(pool) == -1
+
+    def test_no_ram_thresholds_cpu_only(self, pool, dial):
+        cfg = ElasticConfig(cpu_incr_threshold=85.0, cpu_decr_threshold=50.0)
+        feed_cpu(pool, dial, 20.0, ram=99.0)
+        assert CoarseGrainedPolicy(cfg).decide(pool) == -1
+
+
+class FineVoter(EchoService):
+    """Each member votes what the test put in the shared vote field."""
+
+    def __init__(self):
+        super().__init__()
+        self.vote = 0
+
+    def change_pool_size(self):
+        return self.vote
+
+
+class TestFineGrainedPolicy:
+    @pytest.fixture
+    def voter_pool(self, runtime, kernel):
+        p = runtime.new_pool(FineVoter)
+        settle(kernel)
+        return p
+
+    def set_votes(self, pool, votes):
+        members = pool.active_members()
+        for member, vote in zip(members, votes):
+            member.instance.vote = vote
+
+    def test_votes_are_averaged(self, voter_pool):
+        """Paper section 3.3: values returned by the objects in the pool
+        are averaged."""
+        self.set_votes(voter_pool, [2, 2])
+        assert FineGrainedPolicy().decide(voter_pool) == 2
+
+    def test_mixed_votes_round_toward_zero(self, voter_pool):
+        self.set_votes(voter_pool, [2, -1])  # mean 0.5 -> 0
+        assert FineGrainedPolicy().decide(voter_pool) == 0
+
+    def test_negative_average(self, voter_pool):
+        self.set_votes(voter_pool, [-2, -2])
+        assert FineGrainedPolicy().decide(voter_pool) == -2
+
+    def test_raising_member_abstains(self, voter_pool):
+        members = voter_pool.active_members()
+        members[0].instance.vote = 4
+
+        def explode():
+            raise RuntimeError("broken voter")
+
+        members[1].instance.change_pool_size = explode
+        assert FineGrainedPolicy().decide(voter_pool) == 2  # (4 + 0) / 2
+
+    def test_empty_pool_returns_zero(self, voter_pool):
+        for m in list(voter_pool.active_members()):
+            voter_pool._terminate(m)
+        assert FineGrainedPolicy().decide(voter_pool) == 0
+
+
+class TestDeciderPolicy:
+    class FixedDecider(Decider):
+        def __init__(self, desired):
+            self.desired = desired
+
+        def get_desired_pool_size(self, pool):
+            return self.desired
+
+    def test_delta_is_desired_minus_current(self, pool):
+        assert DeciderPolicy(self.FixedDecider(5)).decide(pool) == 3
+        assert DeciderPolicy(self.FixedDecider(2)).decide(pool) == 0
+
+    def test_negative_delta(self, pool):
+        assert DeciderPolicy(self.FixedDecider(0)).decide(pool) == -2
+
+    def test_decider_error_abstains(self, pool):
+        class Broken(Decider):
+            def get_desired_pool_size(self, pool):
+                raise RuntimeError("decider down")
+
+        assert DeciderPolicy(Broken()).decide(pool) == 0
+
+
+class TestPolicySelection:
+    def test_default_is_implicit(self):
+        policy = select_policy(EchoService, ElasticConfig(), None)
+        assert isinstance(policy, ImplicitPolicy)
+
+    def test_explicit_thresholds_select_coarse(self):
+        cfg = ElasticConfig(explicit_thresholds=True)
+        policy = select_policy(EchoService, cfg, None)
+        assert isinstance(policy, CoarseGrainedPolicy)
+
+    def test_change_pool_size_override_selects_fine(self):
+        cfg = ElasticConfig(explicit_thresholds=True)
+        policy = select_policy(FineVoter, cfg, None)
+        assert isinstance(policy, FineGrainedPolicy)
+
+    def test_decider_takes_precedence(self):
+        decider = TestDeciderPolicy.FixedDecider(3)
+        policy = select_policy(FineVoter, ElasticConfig(), decider)
+        assert isinstance(policy, DeciderPolicy)
+
+
+class TestPolicyNames:
+    def test_names_for_telemetry(self):
+        assert ImplicitPolicy().name == "implicit"
+        assert FineGrainedPolicy().name == "fine-grained"
+        assert CoarseGrainedPolicy(ElasticConfig()).name == "coarse-grained"
+        assert (
+            DeciderPolicy(TestDeciderPolicy.FixedDecider(1)).name == "decider"
+        )

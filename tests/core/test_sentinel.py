@@ -1,0 +1,87 @@
+"""Tests for sentinel duties: pool-state broadcast and rebalance plans."""
+
+import pytest
+
+from repro.core.sentinel import SentinelAgent
+from tests.core.conftest import EchoService, settle
+
+
+@pytest.fixture
+def pool(runtime, kernel):
+    p = runtime.new_pool(EchoService, max_size=8)
+    settle(kernel)
+    p.grow(1)
+    settle(kernel)
+    return p
+
+
+@pytest.fixture
+def agent(pool):
+    return SentinelAgent(pool)
+
+
+class TestBroadcast:
+    def test_tick_broadcasts_pool_state(self, pool, agent):
+        agent.tick()
+        state = pool.last_broadcast_state
+        assert state is not None
+        assert state["kind"] == "pool-state"
+        assert state["size"] == 3
+        assert state["sentinel"] == pool.sentinel().uid
+
+    def test_state_includes_pending_counts(self, pool, agent):
+        agent.tick()
+        pending = pool.last_broadcast_state["pending"]
+        assert set(pending) == {m.uid for m in pool.active_members()}
+
+    def test_broadcast_counter(self, pool, agent):
+        agent.tick()
+        agent.tick()
+        assert agent.broadcasts == 2
+
+    def test_no_sentinel_no_broadcast(self, pool, agent):
+        for m in list(pool.active_members()):
+            pool._terminate(m)
+        assert agent.tick() is None
+        assert agent.broadcasts == 0
+
+
+class TestRebalanceInstallation:
+    def test_balanced_pool_installs_no_redirects(self, pool, agent):
+        agent.tick()
+        for member in pool.active_members():
+            assert member.skeleton.redirect_policy is None
+
+    def test_overloaded_member_gets_redirect_directive(self, pool, agent):
+        members = pool.active_members()
+        hot = members[-1]
+        hot.skeleton.pending = 30  # simulate a backlog
+        agent.tick()
+        assert hot.skeleton.redirect_policy is not None
+        assert agent.last_decision.overloaded == [hot.uid]
+        hot.skeleton.pending = 0
+
+    def test_redirect_cleared_once_balanced(self, pool, agent):
+        members = pool.active_members()
+        hot = members[-1]
+        hot.skeleton.pending = 30
+        agent.tick()
+        hot.skeleton.pending = 0
+        agent.tick()
+        assert hot.skeleton.redirect_policy is None
+
+    def test_redirected_calls_execute_on_target(self, runtime, pool, agent):
+        """An overloaded skeleton bounces invocations and the client
+        follows the redirect transparently."""
+        members = pool.active_members()
+        hot = members[-1]
+        hot.skeleton.pending = 50
+        agent.tick()
+        hot.skeleton.pending = 0
+
+        from repro.rmi.remote import Stub
+
+        stub = Stub(runtime.transport, hot.ref())
+        assert stub.echo("bounced") == "bounced"
+        # The call must have been served by some *other* member.
+        assert hot.skeleton.stats.snapshot().get("echo") is None

@@ -1,0 +1,114 @@
+"""Tests for runtime-driven store growth and admin notifications
+(paper section 4.2)."""
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.runtime import ElasticRuntime
+from repro.sim.kernel import Kernel
+from tests.core.conftest import EchoService, settle
+
+
+def make_runtime(kernel, ops_limit, nodes=6):
+    return ElasticRuntime.simulated(
+        kernel,
+        nodes=nodes,
+        provisioner=InstantProvisioner(),
+        store_ops_per_node_limit=ops_limit,
+    )
+
+
+class TestStoreMonitoring:
+    def test_hot_store_gains_a_node(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=100)
+        assert runtime.store.node_count() == 1
+        # Hammer the store past the per-node ops limit within one window.
+        for i in range(500):
+            runtime.store.put(f"k{i}", i)
+        kernel.run_until(61.0)
+        assert runtime.store.node_count() == 2
+        assert len(runtime.store_scale_events) == 1
+
+    def test_idle_store_does_not_grow(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=100)
+        kernel.run_until(300.0)
+        assert runtime.store.node_count() == 1
+        assert runtime.store_scale_events == []
+
+    def test_store_growth_consumes_a_cluster_slice(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=100)
+        allocated_before = runtime.master.allocated_slices()
+        for i in range(500):
+            runtime.store.put(f"k{i}", i)
+        kernel.run_until(61.0)
+        assert runtime.master.allocated_slices() == allocated_before + 1
+
+    def test_monitoring_disabled_with_none_limit(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=None)
+        for i in range(5000):
+            runtime.store.put(f"k{i}", i)
+        kernel.run_until(300.0)
+        assert runtime.store.node_count() == 1
+
+    def test_growth_pauses_during_master_outage(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=100)
+        runtime.master.fail()
+        for i in range(500):
+            runtime.store.put(f"k{i}", i)
+        kernel.run_until(61.0)
+        assert runtime.store.node_count() == 1
+        runtime.master.recover()
+        for i in range(500):
+            runtime.store.get(f"k{i}")
+        kernel.run_until(121.0)
+        assert runtime.store.node_count() == 2
+
+    def test_data_intact_after_growth(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=100)
+        for i in range(300):
+            runtime.store.put(f"k{i}", i)
+        kernel.run_until(61.0)
+        assert runtime.store.node_count() == 2
+        for i in range(300):
+            assert runtime.store.get(f"k{i}") == i
+
+    def test_pool_traffic_can_trigger_growth(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=50)
+        runtime.new_pool(EchoService)
+        settle(kernel)
+        stub = runtime.stub("EchoService")
+        for _ in range(200):
+            stub.count()  # each call is a store update
+        kernel.run_until(kernel.clock.now() + 61.0)
+        assert runtime.store.node_count() >= 2
+
+
+class TestAdminNotifications:
+    def test_high_watermark_notifies_administrator(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=None, nodes=2)
+        alerts = []
+        runtime.watch_cluster_utilization(
+            high=0.5, low=0.1,
+            on_high=lambda u: alerts.append(("high", round(u, 2))),
+            on_low=lambda u: alerts.append(("low", round(u, 2))),
+        )
+        pool = runtime.new_pool(EchoService, max_size=8)
+        settle(kernel)
+        pool.grow(3)
+        settle(kernel)
+        assert ("high", pytest.approx(0.75)) in [
+            (kind, util) for kind, util in alerts
+        ]
+
+    def test_low_watermark_on_shutdown(self, kernel):
+        runtime = make_runtime(kernel, ops_limit=None, nodes=2)
+        lows = []
+        pool = runtime.new_pool(EchoService)
+        settle(kernel)
+        runtime.watch_cluster_utilization(
+            high=0.9, low=0.2,
+            on_high=lambda u: None,
+            on_low=lows.append,
+        )
+        pool.shutdown()
+        assert lows  # utilization fell to the store slice only

@@ -1,0 +1,40 @@
+"""Unit tests for the step-response analysis."""
+
+import pytest
+
+from repro.experiments.dynamics import (
+    STEP_AT_MIN,
+    StepResponse,
+    step_response,
+)
+
+
+class TestStepResponse:
+    def test_oracle_never_lags(self):
+        r = step_response("paxos", "overprovisioning")
+        assert r.worst_shortage == 0.0
+        assert r.lag_min is not None and r.lag_min <= 10.0
+
+    def test_elasticrmi_converges_quickly(self):
+        r = step_response("paxos", "elasticrmi")
+        assert r.lag_min is not None
+        assert r.lag_min <= 15.0
+
+    def test_requirement_matches_peak(self):
+        from repro.experiments.appmodels import APP_MODELS
+        from repro.experiments.harness import pattern_for
+
+        app = APP_MODELS["paxos"]
+        r = step_response("paxos", "overprovisioning")
+        assert r.requirement == app.peak_req(pattern_for(app, "abrupt"))
+
+    def test_result_is_a_value_object(self):
+        r = StepResponse("x", 10, 210.0, 5.0, 0.0)
+        with pytest.raises(AttributeError):
+            r.lag_min = 1.0
+
+    def test_step_time_matches_pattern_definition(self):
+        """Minute 205 is where ABRUPT_SHAPE finishes its rapid increase."""
+        from repro.workloads.patterns import ABRUPT_SHAPE
+
+        assert any(minute == STEP_AT_MIN for minute, _ in ABRUPT_SHAPE)

@@ -1,0 +1,81 @@
+"""Unit tests for the figure drivers and sweeps (cheap paths only; the
+full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURE7_PANELS,
+    figure7_agility,
+    figure7a_workload,
+    figure7b_workload,
+    print_agility_panel,
+)
+from repro.experiments.sweeps import SweepSummary, seed_sweep
+from repro.workloads.patterns import POINT_A
+
+
+class TestPanelRegistry:
+    def test_eight_panels_cover_four_apps_twice(self):
+        assert len(FIGURE7_PANELS) == 8
+        apps = [app for app, _ in FIGURE7_PANELS.values()]
+        assert sorted(set(apps)) == ["dcs", "hedwig", "marketcetera", "paxos"]
+        workloads = [w for _, w in FIGURE7_PANELS.values()]
+        assert workloads.count("abrupt") == 4
+        assert workloads.count("cyclic") == 4
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            figure7_agility("7z")
+
+
+class TestWorkloadFigures:
+    def test_7a_trace_shape(self):
+        trace = figure7a_workload("dcs", step_min=10.0)
+        assert trace[0][0] == 0.0
+        assert trace[-1][0] == 450.0
+        assert max(r for _, r in trace) == POINT_A["dcs"]
+
+    def test_7b_trace_shape(self):
+        trace = figure7b_workload("dcs", step_min=10.0)
+        assert trace[-1][0] == 500.0
+        assert max(r for _, r in trace) <= POINT_A["dcs"] * 1.2 + 1e-6
+
+    def test_step_resolution(self):
+        coarse = figure7a_workload("paxos", step_min=50.0)
+        fine = figure7a_workload("paxos", step_min=5.0)
+        assert len(fine) > len(coarse)
+
+
+class TestPanelPrinting:
+    def test_printed_rows_include_all_deployments(self):
+        panel = figure7_agility("7g")
+        text = print_agility_panel(panel)
+        for name in panel.results:
+            assert name in text
+        assert "x ERMI" in text
+
+
+class TestSweepSummary:
+    def test_ordering_stable_detects_violation(self):
+        summary = SweepSummary()
+        summary.add("a", 1.0)
+        summary.add("b", 2.0)
+        summary.add("a", 3.0)  # second point: a > b
+        summary.add("b", 2.0)
+        assert not summary.ordering_stable("a", "b")
+
+    def test_ordering_stable_happy_path(self):
+        summary = SweepSummary()
+        for a, b in ((1.0, 2.0), (1.5, 3.0)):
+            summary.add("a", a)
+            summary.add("b", b)
+        assert summary.ordering_stable("a", "b")
+
+    def test_stdev_single_point_is_zero(self):
+        summary = SweepSummary()
+        summary.add("a", 1.0)
+        assert summary.stdev("a") == 0.0
+
+    def test_seed_sweep_rejects_unknown_figure(self):
+        with pytest.raises(ValueError):
+            seed_sweep("9x")

@@ -1,0 +1,147 @@
+"""Tests for the experiment harness, app models, and deployments."""
+
+import pytest
+
+from repro.experiments.appmodels import APP_MODELS, QOS_UTILIZATION
+from repro.experiments.deployments import (
+    DEPLOYMENTS,
+    CpuMemService,
+    build_deployment,
+)
+from repro.experiments.harness import pattern_for, run_deployment
+from repro.sim.kernel import Kernel
+from repro.workloads.patterns import AbruptPattern, CyclicPattern
+
+
+class TestAppModels:
+    def test_all_four_apps_present(self):
+        assert set(APP_MODELS) == {"marketcetera", "hedwig", "paxos", "dcs"}
+
+    def test_req_min_scales_with_rate(self):
+        app = APP_MODELS["marketcetera"]
+        assert app.req_min(0) == app.min_members
+        low = app.req_min(10_000)
+        high = app.req_min(40_000)
+        assert app.min_members <= low < high
+
+    def test_req_min_matches_qos_boundary(self):
+        app = APP_MODELS["dcs"]
+        rate = 35_000
+        req = app.req_min(rate)
+        capacity = app.capacity_per_member
+        # req members at the QoS boundary can serve the rate; one fewer
+        # cannot.
+        assert req * capacity * QOS_UTILIZATION >= rate
+        assert (req - 1) * capacity * QOS_UTILIZATION < rate
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            APP_MODELS["paxos"].req_min(-1)
+
+    def test_utilization_model(self):
+        app = APP_MODELS["marketcetera"]
+        assert app.utilization(0, 4) == 0.0
+        assert app.utilization(app.capacity_per_member * 4, 4) == 100.0
+        assert app.utilization(app.capacity_per_member * 2, 4) == 50.0
+        assert app.utilization(1e9, 4) == 100.0  # saturates
+
+    def test_hedwig_req_modifier_varies_over_time(self):
+        app = APP_MODELS["hedwig"]
+        values = {round(app.req_modifier(t), 6) for t in range(0, 20000, 600)}
+        assert len(values) > 5
+        assert all(v >= 1.0 for v in values)
+
+    def test_peak_req_covers_whole_trace(self):
+        app = APP_MODELS["paxos"]
+        pattern = AbruptPattern(app.point_a)
+        peak = app.peak_req(pattern)
+        for minute in range(0, 451, 5):
+            assert app.req_min(pattern.rate(minute * 60), minute * 60) <= peak
+
+    def test_capacity_constants_match_app_classes(self):
+        for app in APP_MODELS.values():
+            assert app.capacity_per_member == app.cls.CAPACITY_PER_MEMBER
+
+
+class TestPatternSelection:
+    def test_abrupt_uses_point_a(self):
+        app = APP_MODELS["hedwig"]
+        pattern = pattern_for(app, "abrupt")
+        assert isinstance(pattern, AbruptPattern)
+        assert pattern.magnitude == app.point_a
+
+    def test_cyclic_uses_point_b(self):
+        app = APP_MODELS["hedwig"]
+        pattern = pattern_for(app, "cyclic")
+        assert isinstance(pattern, CyclicPattern)
+        assert pattern.magnitude == pytest.approx(app.point_a * 1.2)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_for(APP_MODELS["dcs"], "sawtooth")
+
+
+class TestDeploymentConstruction:
+    def test_all_four_deployments_build(self):
+        app = APP_MODELS["marketcetera"]
+        pattern = pattern_for(app, "abrupt")
+        for name in DEPLOYMENTS:
+            deployment = build_deployment(name, Kernel(), app, pattern, seed=0)
+            assert deployment.name == name
+            deployment.stop()
+
+    def test_unknown_deployment_rejected(self):
+        app = APP_MODELS["marketcetera"]
+        with pytest.raises(ValueError):
+            build_deployment("magic", Kernel(), app, None, 0)
+
+    def test_cpumem_service_uses_coarse_policy(self):
+        from repro.core.api import ElasticConfig
+        from repro.core.scaling import CoarseGrainedPolicy, select_policy
+
+        proto = CpuMemService()
+        policy = select_policy(CpuMemService, proto._ermi_config, None)
+        assert isinstance(policy, CoarseGrainedPolicy)
+        assert proto._ermi_config.burst_interval == 300.0
+
+    def test_fine_deployment_runs_real_app_class(self):
+        app = APP_MODELS["dcs"]
+        pattern = pattern_for(app, "abrupt")
+        kernel = Kernel()
+        deployment = build_deployment("elasticrmi", kernel, app, pattern, 0)
+        kernel.run_until(40.0)
+        members = deployment.pool.active_members()
+        assert all(isinstance(m.instance, app.cls) for m in members)
+        deployment.stop()
+
+
+class TestRunDeployment:
+    def test_result_has_full_sample_series(self):
+        result = run_deployment("paxos", "abrupt", "overprovisioning")
+        # 450 minutes sampled every 10 minutes, first sample at t=600.
+        assert len(result.tracker.samples) == 45
+        assert result.deployment == "overprovisioning"
+
+    def test_overprovisioning_capacity_constant(self):
+        result = run_deployment("paxos", "abrupt", "overprovisioning")
+        capacities = {cap for _, cap in result.capacity_series}
+        assert len(capacities) == 1
+
+    def test_elasticrmi_capacity_tracks_requirement(self):
+        result = run_deployment("paxos", "abrupt", "elasticrmi")
+        caps = dict(result.capacity_series)
+        reqs = dict(result.req_series)
+        # At the vast majority of samples, capacity is within 3 members
+        # of the requirement.
+        close = sum(1 for t in caps if abs(caps[t] - reqs[t]) <= 3)
+        assert close / len(caps) > 0.85
+
+    def test_deterministic_given_seed(self):
+        a = run_deployment("hedwig", "cyclic", "elasticrmi", seed=3)
+        b = run_deployment("hedwig", "cyclic", "elasticrmi", seed=3)
+        assert a.tracker.series() == b.tracker.series()
+        assert a.provisioning == b.provisioning
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            run_deployment("redis", "abrupt", "elasticrmi")

@@ -1,0 +1,49 @@
+"""Tests for the full-evaluation report generator."""
+
+import pytest
+
+from repro.experiments.report import EvaluationReport, run_full_evaluation
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    """One full evaluation run shared across the module (seconds)."""
+    return run_full_evaluation(seed=0)
+
+
+class TestFullEvaluation:
+    def test_all_panels_present(self, evaluation):
+        assert set(evaluation.panels) == {
+            "7c", "7d", "7e", "7f", "7g", "7h", "7i", "7j",
+        }
+        assert set(evaluation.provisioning) == {"abrupt", "cyclic"}
+
+    def test_every_shape_claim_holds(self, evaluation):
+        for claim, held in evaluation.claims():
+            assert held, f"claim failed: {claim}"
+
+    def test_markdown_contains_tables_and_checklist(self, evaluation):
+        text = evaluation.to_markdown()
+        assert "| 7c | marketcetera | abrupt |" in text
+        assert "## Figure 8" in text
+        assert "- [x]" in text
+        assert "- [ ]" not in text  # no failing claims
+
+    def test_markdown_row_per_panel(self, evaluation):
+        text = evaluation.to_markdown()
+        for fig in evaluation.panels:
+            assert f"| {fig} |" in text
+
+
+class TestClaimsLogic:
+    def test_failed_claim_renders_unchecked(self, evaluation):
+        import copy
+
+        # Tamper with a deep copy (the shared fixture must stay intact).
+        broken = copy.deepcopy(evaluation)
+        panel = broken.panels["7c"]
+        # Force the ElasticRMI tracker to look terrible.
+        for _ in range(100):
+            panel.results["elasticrmi"].tracker.record(0, 100, 0)
+        text = broken.to_markdown()
+        assert "- [ ]" in text

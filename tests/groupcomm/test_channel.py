@@ -1,0 +1,145 @@
+"""Tests for group membership, broadcast, and leader election."""
+
+import pytest
+
+from repro.groupcomm.channel import Channel, View, elect_leader
+
+
+def _collector():
+    messages = []
+    return messages, lambda sender, msg: messages.append((sender, msg))
+
+
+class TestMembership:
+    def test_join_assigns_monotonic_uids(self):
+        ch = Channel("g")
+        _, sink = _collector()
+        m1 = ch.join("a", sink)
+        m2 = ch.join("b", sink)
+        assert m2.uid > m1.uid
+
+    def test_uids_never_reused(self):
+        """Royal hierarchy correctness depends on uid monotonicity: a
+        rejoining member must rank below everyone who stayed."""
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("a", sink)
+        b = ch.join("b", sink)
+        ch.leave("a")
+        a2 = ch.join("a", sink)
+        assert a2.uid > b.uid
+
+    def test_duplicate_join_raises(self):
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("a", sink)
+        with pytest.raises(ValueError):
+            ch.join("a", sink)
+
+    def test_leave_unknown_is_noop(self):
+        Channel("g").leave("ghost")
+
+    def test_view_ids_increase(self):
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("a", sink)
+        v1 = ch.view().view_id
+        ch.join("b", sink)
+        assert ch.view().view_id > v1
+
+    def test_view_callbacks_on_change(self):
+        ch = Channel("g")
+        views = []
+        _, sink = _collector()
+        ch.join("a", sink, on_view=views.append)
+        ch.join("b", sink)
+        ch.leave("b")
+        assert [sorted(v.addresses()) for v in views] == [
+            ["a"], ["a", "b"], ["a"],
+        ]
+
+    def test_view_members_sorted_by_uid(self):
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("z", sink)
+        ch.join("a", sink)
+        view = ch.view()
+        assert [m.address for m in view.members] == ["z", "a"]
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_members_including_sender(self):
+        ch = Channel("g")
+        got_a, sink_a = _collector()
+        got_b, sink_b = _collector()
+        ch.join("a", sink_a)
+        ch.join("b", sink_b)
+        count = ch.broadcast("a", {"x": 1})
+        assert count == 2
+        assert got_a == [("a", {"x": 1})]
+        assert got_b == [("a", {"x": 1})]
+
+    def test_broadcast_from_non_member_raises(self):
+        ch = Channel("g")
+        with pytest.raises(ValueError):
+            ch.broadcast("ghost", "msg")
+
+    def test_departed_member_gets_nothing(self):
+        ch = Channel("g")
+        got_a, sink_a = _collector()
+        got_b, sink_b = _collector()
+        ch.join("a", sink_a)
+        ch.join("b", sink_b)
+        ch.leave("b")
+        ch.broadcast("a", "after")
+        assert got_b == []
+
+    def test_point_to_point_send(self):
+        ch = Channel("g")
+        got_a, sink_a = _collector()
+        got_b, sink_b = _collector()
+        ch.join("a", sink_a)
+        ch.join("b", sink_b)
+        ch.send("a", "b", "private")
+        assert got_b == [("a", "private")]
+        assert got_a == []
+
+    def test_send_to_non_member_raises(self):
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("a", sink)
+        with pytest.raises(ValueError):
+            ch.send("a", "ghost", "msg")
+
+    def test_broadcast_counter(self):
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("a", sink)
+        ch.broadcast("a", 1)
+        ch.broadcast("a", 2)
+        assert ch.messages_broadcast == 2
+
+
+class TestElection:
+    def test_lowest_uid_wins(self):
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("first", sink)
+        ch.join("second", sink)
+        leader = ch.leader()
+        assert leader.address == "first"
+
+    def test_leader_reelected_on_departure(self):
+        """Paper section 4.4: sentinel failure triggers the election,
+        which picks the next-lowest uid."""
+        ch = Channel("g")
+        _, sink = _collector()
+        ch.join("first", sink)
+        ch.join("second", sink)
+        ch.join("third", sink)
+        ch.leave("first")
+        assert ch.leader().address == "second"
+
+    def test_empty_view_has_no_leader(self):
+        assert elect_leader(View(0, ())) is None
+        assert Channel("g").leader() is None

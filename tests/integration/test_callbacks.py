@@ -1,0 +1,114 @@
+"""RMI callbacks: passing remote references as arguments.
+
+A client exports its own object (a listener), passes the reference into
+an elastic pool's method, and the pool member invokes back through it —
+the classic RMI callback pattern, using pass-by-reference semantics for
+remote refs (everything else passes by value).
+"""
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.api import ElasticObject
+from repro.core.runtime import ElasticRuntime
+from repro.rmi.remote import Remote, Skeleton
+from repro.sim.kernel import Kernel
+
+
+class Listener(Remote):
+    """Client-side callback target."""
+
+    def __init__(self):
+        self.notifications = []
+
+    def notify(self, event):
+        self.notifications.append(event)
+        return "ack"
+
+
+class Notifier(ElasticObject):
+    """Pool member that calls back to registered listeners."""
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(4)
+
+    def register_and_fire(self, listener_ref, event):
+        """Immediately notify the given listener (callback demo)."""
+        callback = self._ermi_ctx.stub_for(listener_ref)
+        return callback.notify(event)
+
+    def broadcast_to(self, listener_refs, event):
+        acks = 0
+        for ref in listener_refs:
+            callback = self._ermi_ctx.stub_for(ref)
+            if callback.notify(event) == "ack":
+                acks += 1
+        return acks
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel):
+    return ElasticRuntime.simulated(
+        kernel, nodes=4, provisioner=InstantProvisioner()
+    )
+
+
+def export_listener(runtime, name):
+    """Export a client-side object the way a client JVM would."""
+    endpoint = runtime.transport.add_endpoint(name)
+    listener = Listener()
+    skeleton = Skeleton(listener, runtime.transport, endpoint.endpoint_id)
+    return listener, skeleton.ref()
+
+
+class TestCallbacks:
+    def test_server_calls_back_to_client_object(self, runtime, kernel):
+        runtime.new_pool(Notifier)
+        kernel.run_until(1.0)
+        listener, ref = export_listener(runtime, "client-jvm")
+        stub = runtime.stub("Notifier")
+        assert stub.register_and_fire(ref, {"kind": "fill"}) == "ack"
+        assert listener.notifications == [{"kind": "fill"}]
+
+    def test_ref_passes_by_reference_not_value(self, runtime, kernel):
+        """The pool member reached the *same* client object, not a copy:
+        repeated callbacks accumulate on one instance."""
+        runtime.new_pool(Notifier)
+        kernel.run_until(1.0)
+        listener, ref = export_listener(runtime, "client-jvm")
+        stub = runtime.stub("Notifier")
+        for i in range(5):
+            stub.register_and_fire(ref, i)
+        assert listener.notifications == [0, 1, 2, 3, 4]
+
+    def test_multiple_listeners(self, runtime, kernel):
+        runtime.new_pool(Notifier)
+        kernel.run_until(1.0)
+        listeners, refs = [], []
+        for i in range(3):
+            listener, ref = export_listener(runtime, f"client-{i}")
+            listeners.append(listener)
+            refs.append(ref)
+        stub = runtime.stub("Notifier")
+        assert stub.broadcast_to(refs, "tick") == 3
+        for listener in listeners:
+            assert listener.notifications == ["tick"]
+
+    def test_dead_listener_propagates_connect_error(self, runtime, kernel):
+        from repro.errors import ApplicationError, ConnectError
+
+        runtime.new_pool(Notifier)
+        kernel.run_until(1.0)
+        listener, ref = export_listener(runtime, "doomed-client")
+        runtime.transport.kill(ref.endpoint_id)
+        stub = runtime.stub("Notifier")
+        with pytest.raises(ApplicationError) as info:
+            stub.register_and_fire(ref, "x")
+        assert isinstance(info.value.cause, ConnectError)

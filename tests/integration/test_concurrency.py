@@ -1,0 +1,178 @@
+"""Concurrency hardening: threaded access to the shared substrates and
+multiple pools interleaving on one runtime."""
+
+import threading
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.api import ElasticObject
+from repro.core.runtime import ElasticRuntime
+from repro.groupcomm.channel import Channel
+from repro.sim.kernel import Kernel
+
+
+class Fast(ElasticObject):
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(4)
+        self.set_burst_interval(30.0)
+
+    def ping(self):
+        return "fast"
+
+
+class Slow(ElasticObject):
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(4)
+        self.set_burst_interval(75.0)
+
+    def ping(self):
+        return "slow"
+
+
+class TestMultiPoolInterleaving:
+    def test_different_burst_intervals_tick_independently(self):
+        kernel = Kernel()
+        runtime = ElasticRuntime.simulated(
+            kernel, nodes=6, provisioner=InstantProvisioner()
+        )
+        runtime.new_pool(Fast)
+        runtime.new_pool(Slow)
+        kernel.run_until(301.0)
+        # 300 s: Fast ticked at 30,60,...,300 -> 10; Slow at 75,150,225,300 -> 4.
+        assert runtime.record("Fast").tick_count == 10
+        assert runtime.record("Slow").tick_count == 4
+
+    def test_both_pools_serve_through_their_stubs(self):
+        kernel = Kernel()
+        runtime = ElasticRuntime.simulated(
+            kernel, nodes=6, provisioner=InstantProvisioner()
+        )
+        runtime.new_pool(Fast)
+        runtime.new_pool(Slow)
+        kernel.run_until(1.0)
+        assert runtime.stub("Fast").ping() == "fast"
+        assert runtime.stub("Slow").ping() == "slow"
+
+    def test_shutdown_of_one_pool_leaves_other_running(self):
+        kernel = Kernel()
+        runtime = ElasticRuntime.simulated(
+            kernel, nodes=6, provisioner=InstantProvisioner()
+        )
+        fast = runtime.new_pool(Fast)
+        runtime.new_pool(Slow)
+        kernel.run_until(1.0)
+        fast.shutdown()
+        kernel.run_until(200.0)
+        assert runtime.stub("Slow").ping() == "slow"
+        assert runtime.record("Slow").tick_count > 0
+
+
+class TestChannelThreadSafety:
+    def test_concurrent_broadcasts_deliver_everything(self):
+        channel = Channel("stress")
+        received = []
+        lock = threading.Lock()
+
+        def sink(sender, msg):
+            with lock:
+                received.append(msg)
+
+        for i in range(4):
+            channel.join(f"m{i}", sink)
+
+        def blast(sender):
+            for i in range(50):
+                channel.broadcast(sender, f"{sender}-{i}")
+
+        threads = [
+            threading.Thread(target=blast, args=(f"m{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 4 senders x 50 messages x 4 members = 800 deliveries.
+        assert len(received) == 800
+
+    def test_join_leave_churn_during_broadcast(self):
+        channel = Channel("churn")
+        channel.join("anchor", lambda s, m: None)
+        stop = threading.Event()
+        errors = []
+
+        def churner():
+            i = 0
+            while not stop.is_set():
+                name = f"volatile-{i}"
+                try:
+                    channel.join(name, lambda s, m: None)
+                    channel.leave(name)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                i += 1
+
+        def broadcaster():
+            while not stop.is_set():
+                try:
+                    channel.broadcast("anchor", "tick")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churner),
+            threading.Thread(target=broadcaster),
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert channel.view().contains("anchor")
+
+
+class TestStoreUnderThreadedPools:
+    def test_two_live_pools_share_store_without_corruption(self):
+        runtime = ElasticRuntime.local(nodes=6)
+        try:
+
+            class A(ElasticObject):
+                def __init__(self):
+                    super().__init__()
+                    self.set_min_pool_size(2)
+                    self.set_max_pool_size(3)
+
+                def bump(self):
+                    return self._ermi_ctx.store.incr("shared-counter")
+
+            class B(A):
+                pass
+
+            runtime.new_pool(A)
+            runtime.new_pool(B)
+            stub_a = runtime.stub("A")
+            stub_b = runtime.stub("B")
+
+            def worker(stub):
+                for _ in range(50):
+                    stub.bump()
+
+            threads = [
+                threading.Thread(target=worker, args=(s,))
+                for s in (stub_a, stub_b, stub_a, stub_b)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert runtime.store.get("shared-counter") == 200
+        finally:
+            runtime.shutdown()

@@ -1,0 +1,165 @@
+"""Integration: the paper's fault-tolerance model (section 4.4).
+
+ElasticRMI does not mask failures of clients, the key-value store, or
+runtime processes — those propagate as exceptions.  It *does* recover
+from sentinel failures (royal-hierarchy re-election) and pauses scaling
+through Mesos outages.  These scenarios are exercised end to end here,
+including a chaos-style schedule mixing all failure kinds.
+"""
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.api import ElasticObject
+from repro.core.fields import elastic_field
+from repro.core.runtime import ElasticRuntime
+from repro.errors import ConnectError, StoreUnavailableError
+from repro.sim.kernel import Kernel
+
+
+class Service(ElasticObject):
+    counter = elastic_field(default=0)
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(8)
+
+    def ping(self):
+        return "pong"
+
+    def bump(self):
+        return type(self).counter.update(self, lambda v: v + 1)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel):
+    return ElasticRuntime.simulated(
+        kernel, nodes=6, provisioner=InstantProvisioner()
+    )
+
+
+@pytest.fixture
+def pool(runtime, kernel):
+    p = runtime.new_pool(Service, max_size=8)
+    kernel.run_until(kernel.clock.now() + 1.0)
+    p.grow(2)
+    kernel.run_until(kernel.clock.now() + 1.0)
+    return p
+
+
+def tick(kernel, n=1):
+    kernel.run_until(kernel.clock.now() + n * 60.0 + 1.0)
+
+
+class TestSentinelRecovery:
+    def test_sentinel_crash_reelects_and_serves(self, runtime, kernel, pool):
+        stub = runtime.stub("Service")
+        stub.ping()
+        first = pool.sentinel()
+        runtime.transport.kill(first.endpoint_id)
+        tick(kernel)  # detection + re-election + registry rebind
+        second = pool.sentinel()
+        assert second.uid > first.uid
+        assert stub.ping() == "pong"
+        # A *fresh* stub bootstraps from the new sentinel.
+        fresh = runtime.stub("Service", caller="late-joiner")
+        assert fresh.ping() == "pong"
+
+    def test_cascading_sentinel_failures(self, runtime, kernel, pool):
+        stub = runtime.stub("Service")
+        stub.ping()
+        for _ in range(2):
+            runtime.transport.kill(pool.sentinel().endpoint_id)
+            tick(kernel)
+            assert stub.ping() == "pong"
+        assert pool.size() >= 2  # scaled back up to the minimum
+
+    def test_pool_replaces_dead_members_to_min(self, runtime, kernel):
+        p = runtime.new_pool(Service, name="svc2")
+        kernel.run_until(kernel.clock.now() + 1.0)
+        victim = p.active_members()[1]
+        runtime.transport.kill(victim.endpoint_id)
+        tick(kernel, 2)
+        assert p.size() >= p.config.min_pool_size
+
+
+class TestStoreFailurePropagation:
+    def test_store_outage_reaches_the_client(self, runtime, kernel, pool):
+        """Key-value store failures propagate (they are not masked)."""
+        stub = runtime.stub("Service")
+        assert stub.bump() == 1
+        runtime.store.fail_node("store-0")
+        with pytest.raises(Exception) as info:
+            stub.bump()
+        cause = getattr(info.value, "cause", info.value)
+        assert isinstance(cause, StoreUnavailableError)
+
+    def test_store_recovery_restores_state(self, runtime, kernel, pool):
+        stub = runtime.stub("Service")
+        stub.bump()
+        stub.bump()
+        runtime.store.fail_node("store-0")
+        runtime.store.recover_node("store-0")
+        assert stub.bump() == 3  # state survived the outage
+
+
+class TestClusterNodeFailure:
+    def test_node_crash_terminates_members_and_pool_recovers(
+        self, runtime, kernel, pool
+    ):
+        stub = runtime.stub("Service")
+        stub.ping()
+        victim_node = pool.active_members()[0].slice.node.node_id
+        before = pool.size()
+        runtime.master.fail_node(victim_node)
+        lost = before - pool.size()
+        assert lost >= 1
+        assert stub.ping() == "pong"  # surviving members serve
+        tick(kernel, 2)
+        assert pool.size() >= pool.config.min_pool_size
+
+
+class TestChaosSchedule:
+    def test_mixed_failures_never_violate_invariants(self, runtime, kernel):
+        """A scripted chaos run: kill members, fail the master, fail a
+        cluster node, recover everything — the pool must keep its
+        invariants (size within bounds, one sentinel, serving clients)."""
+        pool = runtime.new_pool(Service, name="chaos", max_size=8)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        pool.grow(3)
+        kernel.run_until(kernel.clock.now() + 1.0)
+        stub = runtime.stub("chaos")
+
+        schedule = [
+            lambda: runtime.transport.kill(pool.sentinel().endpoint_id),
+            lambda: runtime.master.fail(),
+            lambda: runtime.transport.kill(
+                pool.active_members()[-1].endpoint_id
+            ),
+            lambda: runtime.master.recover(),
+            lambda: runtime.master.fail_node(
+                pool.active_members()[0].slice.node.node_id
+            ),
+            lambda: pool.grow(2),
+        ]
+        for step in schedule:
+            try:
+                step()
+            except Exception:
+                pass  # some steps legitimately fail mid-outage
+            tick(kernel)
+            active = pool.active_members()
+            if active:
+                # Exactly one sentinel: the lowest uid.
+                assert pool.sentinel().uid == min(m.uid for m in active)
+                assert pool.size() <= pool.config.max_pool_size
+                assert stub.ping() == "pong"
+        tick(kernel, 3)
+        assert pool.size() >= pool.config.min_pool_size
+        assert stub.ping() == "pong"

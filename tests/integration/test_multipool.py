@@ -1,0 +1,150 @@
+"""Integration: multi-pool applications and application-level deciders.
+
+Paper section 3.3: applications with tiers of elastic pools can make
+scaling decisions at the level of the whole application via the Decider
+class — the runtime polls the decider for each pool's desired size.
+"""
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.api import Decider, ElasticObject
+from repro.core.fields import elastic_field
+from repro.core.runtime import ElasticRuntime
+from repro.sim.kernel import Kernel
+
+
+class Frontend(ElasticObject):
+    """Tier 1: accepts requests, records demand in shared state."""
+
+    demand = elastic_field(default=0.0)
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(10)
+
+    def handle(self, load):
+        type(self).demand.update(self, lambda v: v + load)
+        return "ok"
+
+
+class Backend(ElasticObject):
+    """Tier 2: sized relative to the frontend by the decider."""
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(20)
+
+    def work(self):
+        return "done"
+
+
+class TieredDecider(Decider):
+    """Application-level logic: backend runs at 2x the frontend size.
+
+    The paper leaves inter-pool communication to the developer; here the
+    decider observes both pools directly through the runtime.
+    """
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.frontend_desired = 2
+
+    def get_desired_pool_size(self, pool):
+        if pool.name == "frontend":
+            return self.frontend_desired
+        if pool.name == "backend":
+            return 2 * self.runtime.pool("frontend").size()
+        return pool.size()
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel):
+    return ElasticRuntime.simulated(
+        kernel, nodes=10, provisioner=InstantProvisioner()
+    )
+
+
+def run_bursts(kernel, n, burst=60.0):
+    kernel.run_until(kernel.clock.now() + n * burst + 1.0)
+
+
+class TestApplicationLevelScaling:
+    def test_decider_coordinates_two_pools(self, runtime, kernel):
+        decider = TieredDecider(runtime)
+        frontend = runtime.new_pool(Frontend, name="frontend", decider=decider)
+        backend = runtime.new_pool(Backend, name="backend", decider=decider)
+        run_bursts(kernel, 1)
+        assert frontend.size() == 2
+        assert backend.size() == 4
+
+        decider.frontend_desired = 5
+        run_bursts(kernel, 2)
+        assert frontend.size() == 5
+        assert backend.size() == 10
+
+    def test_decider_shrinks_tiers_together(self, runtime, kernel):
+        decider = TieredDecider(runtime)
+        frontend = runtime.new_pool(Frontend, name="frontend", decider=decider)
+        backend = runtime.new_pool(Backend, name="backend", decider=decider)
+        decider.frontend_desired = 5
+        run_bursts(kernel, 3)
+        assert (frontend.size(), backend.size()) == (5, 10)
+        decider.frontend_desired = 2
+        run_bursts(kernel, 4)
+        assert frontend.size() == 2
+        assert backend.size() == 4
+
+    def test_pools_share_one_cluster(self, runtime, kernel):
+        decider = TieredDecider(runtime)
+        runtime.new_pool(Frontend, name="frontend", decider=decider)
+        runtime.new_pool(Backend, name="backend", decider=decider)
+        run_bursts(kernel, 1)
+        # 2 frontend + 4 backend + 1 store slice.
+        assert runtime.master.allocated_slices() == 7
+
+    def test_decider_bounded_by_cluster_capacity(self, kernel):
+        runtime = ElasticRuntime.simulated(
+            kernel, nodes=2, slices_per_node=3,
+            provisioner=InstantProvisioner(),
+        )
+        decider = TieredDecider(runtime)
+        frontend = runtime.new_pool(Frontend, name="frontend", decider=decider)
+        decider.frontend_desired = 50  # far beyond the 6-slice cluster
+        run_bursts(kernel, 3)
+        # Partial grants: the pool takes what exists (5 slices + 1 store)
+        # and the application keeps running.
+        assert frontend.size() == 5
+        stub = runtime.stub("frontend")
+        assert stub.handle(1.0) == "ok"
+
+
+class TestCrossPoolInteraction:
+    def test_frontend_state_visible_to_backend_pool(self, runtime, kernel):
+        """Two pools share the runtime's store, so cross-tier signals
+        (like the demand field) flow without extra plumbing."""
+        decider = TieredDecider(runtime)
+        runtime.new_pool(Frontend, name="frontend", decider=decider)
+        runtime.new_pool(Backend, name="backend", decider=decider)
+        run_bursts(kernel, 1)
+        stub = runtime.stub("frontend")
+        for _ in range(5):
+            stub.handle(2.5)
+        assert runtime.store.get("Frontend$demand") == pytest.approx(12.5)
+
+    def test_stubs_for_both_pools_work_concurrently(self, runtime, kernel):
+        decider = TieredDecider(runtime)
+        runtime.new_pool(Frontend, name="frontend", decider=decider)
+        runtime.new_pool(Backend, name="backend", decider=decider)
+        run_bursts(kernel, 1)
+        front = runtime.stub("frontend")
+        back = runtime.stub("backend")
+        assert front.handle(1.0) == "ok"
+        assert back.work() == "done"

@@ -1,0 +1,147 @@
+"""Full-stack trace replay: real invocations drive measured scaling.
+
+The deepest integration test in the suite: an abrupt workload trace is
+replayed as *actual* remote calls against an elastic pool whose
+fine-grained policy sees only its own measured method statistics — no
+driver hints, no modeled utilization.  The pool must follow the trace.
+"""
+
+import pytest
+
+from repro.apps.common import ThroughputScaledService
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.runtime import ElasticRuntime
+from repro.sim.kernel import Kernel
+from repro.workloads.patterns import AbruptPattern, PiecewiseLinearPattern
+from repro.workloads.replay import ReplayDriver
+
+
+class TraceService(ThroughputScaledService):
+    CAPACITY_PER_MEMBER = 5.0  # calls/s per member, tiny for tests
+    TARGET_UTILIZATION = 0.8
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(12)
+        self.set_burst_interval(10.0)
+
+    def serve(self, n):
+        return n
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel):
+    return ElasticRuntime.simulated(
+        kernel, nodes=8, provisioner=InstantProvisioner()
+    )
+
+
+class TestReplayDriver:
+    def test_call_volume_follows_pattern(self, kernel):
+        flat = PiecewiseLinearPattern([(0, 1.0), (10, 1.0)], magnitude=600.0)
+        calls = []
+        driver = ReplayDriver(
+            kernel, flat, calls.append, time_scale=60.0, rate_scale=0.1,
+        )
+        driver.start()
+        kernel.run_until(driver.duration_s + 1.0)
+        # 600 ops/s * 0.1 per-op scale * 60 time-scale = 3600 calls/s of
+        # *trace* time compressed into 10 s of simulated time.
+        assert driver.calls_issued == pytest.approx(36_000, rel=0.01)
+
+    def test_fractional_rates_accumulate(self, kernel):
+        thin = PiecewiseLinearPattern([(0, 1.0), (10, 1.0)], magnitude=3.0)
+        calls = []
+        driver = ReplayDriver(
+            kernel, thin, calls.append, time_scale=1.0, rate_scale=0.1,
+        )
+        driver.start()
+        kernel.run_until(driver.duration_s + 1.0)
+        # 0.3 calls per step must not round away: ~180 over 600 steps.
+        assert driver.calls_issued == pytest.approx(180, abs=2)
+
+    def test_errors_counted_not_raised(self, kernel):
+        flat = PiecewiseLinearPattern([(0, 1.0), (1, 1.0)], magnitude=60.0)
+
+        def explode(i):
+            raise RuntimeError("call failed")
+
+        driver = ReplayDriver(
+            kernel, flat, explode, time_scale=1.0, rate_scale=0.5,
+        )
+        driver.start()
+        kernel.run_until(driver.duration_s + 1.0)
+        assert driver.errors == driver.calls_issued > 0
+
+    def test_invalid_scales_rejected(self, kernel):
+        flat = PiecewiseLinearPattern([(0, 1.0), (1, 1.0)], magnitude=1.0)
+        with pytest.raises(ValueError):
+            ReplayDriver(kernel, flat, print, time_scale=0)
+
+    def test_double_start_rejected(self, kernel):
+        flat = PiecewiseLinearPattern([(0, 1.0), (1, 1.0)], magnitude=1.0)
+        driver = ReplayDriver(kernel, flat, print)
+        driver.start()
+        with pytest.raises(RuntimeError):
+            driver.start()
+
+
+class TestFullStackReplay:
+    def test_pool_follows_abrupt_trace_from_measured_traffic(
+        self, kernel, runtime
+    ):
+        """Replay the Figure 7a trace (scaled) as real invocations; the
+        pool must grow toward the peak and shrink back afterwards, on
+        measured statistics alone."""
+        pool = runtime.new_pool(TraceService)
+        kernel.run_until(1.0)
+        stub = runtime.stub("TraceService")
+
+        # 450 min trace compressed to 270 s of virtual time; peak A of
+        # 50k ops/s scaled to 40 calls/s -> needs 10 members at peak.
+        pattern = AbruptPattern(50_000.0)
+        driver = ReplayDriver(
+            kernel,
+            pattern,
+            lambda i: stub.serve(i),
+            time_scale=100.0,
+            rate_scale=40.0 / 50_000.0 / 100.0,
+        )
+        driver.start()
+
+        sizes = []
+        record = runtime.record("TraceService")
+        record.on_tick.append(lambda p: sizes.append(p.size()))
+        kernel.run_until(driver.duration_s + 15.0)
+
+        assert driver.calls_issued > 1000
+        assert driver.errors == 0
+        # Grew far beyond the minimum at the peak...
+        assert max(sizes) >= 8
+        # ...and returned to the minimum after the trace's quiet tail.
+        assert sizes[-1] == 2
+
+    def test_replayed_traffic_is_load_balanced(self, kernel, runtime):
+        pool = runtime.new_pool(TraceService, name="lb")
+        kernel.run_until(1.0)
+        stub = runtime.stub("lb")
+        flat = PiecewiseLinearPattern([(0, 1.0), (5, 1.0)], magnitude=600.0)
+        driver = ReplayDriver(
+            kernel, flat, lambda i: stub.serve(i),
+            time_scale=60.0, rate_scale=0.01,
+        )
+        driver.start()
+        kernel.run_until(driver.duration_s + 1.0)
+        served = [
+            m.skeleton.stats.snapshot().get("serve")
+            for m in pool.active_members()
+        ]
+        counts = [s.calls for s in served if s is not None]
+        assert len(counts) == pool.size()
+        assert min(counts) > 0.7 * max(counts)  # roughly even

@@ -1,0 +1,82 @@
+"""Tests for the store latency model."""
+
+import pytest
+
+from repro.kvstore.latency import StoreLatencyModel
+from repro.kvstore.store import HyperStore
+
+
+class TestStoreLatencyModel:
+    def test_base_cost_per_operation(self):
+        model = StoreLatencyModel(base_rtt_s=0.001, contention_step_s=0.0)
+        model.observe("get", "a")
+        model.observe("put", "b")
+        assert model.total_ops() == 2
+        assert model.total_seconds() == pytest.approx(0.002)
+
+    def test_contention_raises_cost_on_hot_keys(self):
+        model = StoreLatencyModel(base_rtt_s=0.001, contention_step_s=0.001)
+        cold = model.observe("get", "cold")
+        model.observe("get", "hot")
+        model.observe("get", "hot")
+        hot = model.observe("get", "hot")
+        assert cold == pytest.approx(0.001)
+        assert hot == pytest.approx(0.003)  # two recent competitors
+
+    def test_window_limits_contention_memory(self):
+        model = StoreLatencyModel(
+            base_rtt_s=0.001, contention_step_s=0.001, window=2
+        )
+        model.observe("get", "k")
+        model.observe("get", "x")
+        model.observe("get", "y")  # "k" fell out of the window
+        assert model.observe("get", "k") == pytest.approx(0.001)
+
+    def test_per_op_statistics(self):
+        model = StoreLatencyModel(base_rtt_s=0.002, contention_step_s=0.0)
+        for _ in range(4):
+            model.observe("put", "k")
+        stats = model.per_op("put")
+        assert stats.count == 4
+        assert stats.mean() == pytest.approx(0.002)
+        assert model.per_op("never").count == 0
+
+    def test_costliest_keys_ranked(self):
+        model = StoreLatencyModel()
+        for _ in range(10):
+            model.observe("get", "hot")
+        model.observe("get", "cold")
+        ranked = model.costliest_keys(top_n=1)
+        assert ranked[0][0] == "hot"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StoreLatencyModel(base_rtt_s=-1)
+        with pytest.raises(ValueError):
+            StoreLatencyModel(window=0)
+
+    def test_plugs_into_hyperstore(self):
+        model = StoreLatencyModel()
+        store = HyperStore(nodes=2, on_op=model.observe)
+        for i in range(20):
+            store.put("shared", i)
+            store.get("shared")
+        assert model.total_ops() == 40
+        assert model.mean_latency() > 0
+        assert model.costliest_keys(1)[0][0] == "shared"
+
+    def test_quantifies_shared_state_cost(self):
+        """The section 4.1 trade-off, measured: an elastic class whose
+        members hammer one shared field pays more per op than one
+        touching disjoint keys."""
+        shared_model = StoreLatencyModel()
+        shared = HyperStore(nodes=2, on_op=shared_model.observe)
+        for i in range(100):
+            shared.incr("one-counter")
+
+        disjoint_model = StoreLatencyModel()
+        disjoint = HyperStore(nodes=2, on_op=disjoint_model.observe)
+        for i in range(100):
+            disjoint.incr(f"counter-{i}")
+
+        assert shared_model.mean_latency() > 2 * disjoint_model.mean_latency()

@@ -1,0 +1,154 @@
+"""Tests for distributed locks: ownership, reentrancy, TTL, fencing."""
+
+import threading
+
+import pytest
+
+from repro.errors import LockNotHeldError, LockTimeoutError
+from repro.kvstore.locks import LockManager
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestTryLock:
+    def test_first_acquire_succeeds(self, locks):
+        assert locks.try_lock("L", "a") is not None
+
+    def test_second_owner_blocked(self, locks):
+        locks.try_lock("L", "a")
+        assert locks.try_lock("L", "b") is None
+
+    def test_reentrant_same_owner(self, locks):
+        t1 = locks.try_lock("L", "a")
+        t2 = locks.try_lock("L", "a")
+        assert t1 == t2
+        assert locks.lease_of("L").hold_count == 2
+
+    def test_different_locks_independent(self, locks):
+        locks.try_lock("L1", "a")
+        assert locks.try_lock("L2", "b") is not None
+
+
+class TestUnlock:
+    def test_unlock_releases(self, locks):
+        locks.try_lock("L", "a")
+        locks.unlock("L", "a")
+        assert locks.holder("L") is None
+        assert locks.try_lock("L", "b") is not None
+
+    def test_reentrant_unlock_needs_matching_count(self, locks):
+        locks.try_lock("L", "a")
+        locks.try_lock("L", "a")
+        locks.unlock("L", "a")
+        assert locks.holder("L") == "a"  # still held once
+        locks.unlock("L", "a")
+        assert locks.holder("L") is None
+
+    def test_unlock_by_non_holder_raises(self, locks):
+        locks.try_lock("L", "a")
+        with pytest.raises(LockNotHeldError):
+            locks.unlock("L", "b")
+
+    def test_unlock_unheld_raises(self, locks):
+        with pytest.raises(LockNotHeldError):
+            locks.unlock("L", "a")
+
+
+class TestFencingTokens:
+    def test_tokens_strictly_increase_across_grants(self, locks):
+        t1 = locks.try_lock("L", "a")
+        locks.unlock("L", "a")
+        t2 = locks.try_lock("L", "b")
+        locks.unlock("L", "b")
+        t3 = locks.try_lock("L", "a")
+        assert t1 < t2 < t3
+
+
+class TestBlockingLock:
+    def test_blocking_lock_waits_for_release(self, locks):
+        locks.try_lock("L", "a")
+        acquired = threading.Event()
+
+        def contender():
+            locks.lock("L", "b", timeout=5.0)
+            acquired.set()
+
+        t = threading.Thread(target=contender)
+        t.start()
+        assert not acquired.wait(timeout=0.1)
+        locks.unlock("L", "a")
+        assert acquired.wait(timeout=5.0)
+        t.join()
+
+    def test_timeout_raises(self, locks):
+        locks.try_lock("L", "a")
+        with pytest.raises(LockTimeoutError):
+            locks.lock("L", "b", timeout=0.05)
+
+    def test_zero_contention_lock_is_immediate(self, locks):
+        assert locks.lock("L", "a", timeout=0.01) is not None
+
+
+class TestTTL:
+    def test_lease_expires_on_virtual_clock(self):
+        clock = SimClock()
+        locks = LockManager(clock=clock)
+        locks.try_lock("L", "a", ttl=10.0)
+        assert locks.holder("L") == "a"
+        clock.advance(11.0)
+        assert locks.holder("L") is None
+        assert locks.try_lock("L", "b") is not None
+
+    def test_unexpired_lease_still_held(self):
+        clock = SimClock()
+        locks = LockManager(clock=clock)
+        locks.try_lock("L", "a", ttl=10.0)
+        clock.advance(5.0)
+        assert locks.holder("L") == "a"
+
+
+class TestAdministration:
+    def test_force_release(self, locks):
+        locks.try_lock("L", "a")
+        assert locks.force_release("L") is True
+        assert locks.try_lock("L", "b") is not None
+
+    def test_force_release_unheld_returns_false(self, locks):
+        assert locks.force_release("L") is False
+
+    def test_held_by_lists_owner_locks(self, locks):
+        locks.try_lock("L1", "a")
+        locks.try_lock("L2", "a")
+        locks.try_lock("L3", "b")
+        assert sorted(locks.held_by("a")) == ["L1", "L2"]
+
+    def test_lease_of_returns_copy(self, locks):
+        locks.try_lock("L", "a")
+        lease = locks.lease_of("L")
+        lease.hold_count = 99
+        assert locks.lease_of("L").hold_count == 1
+
+
+class TestMutualExclusionStress:
+    def test_critical_section_is_exclusive(self, locks):
+        counter = {"value": 0}
+
+        def worker(owner):
+            for _ in range(100):
+                locks.lock("crit", owner, timeout=10.0)
+                current = counter["value"]
+                counter["value"] = current + 1
+                locks.unlock("crit", owner)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["value"] == 600

@@ -1,0 +1,81 @@
+"""Tests for consistent hashing."""
+
+import pytest
+
+from repro.kvstore.ring import HashRing
+
+
+class TestHashRing:
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(RuntimeError):
+            HashRing().owner("k")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing()
+        ring.add_node("a")
+        assert all(ring.owner(f"k{i}") == "a" for i in range(50))
+
+    def test_duplicate_add_raises(self):
+        ring = HashRing()
+        ring.add_node("a")
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ValueError):
+            HashRing().remove_node("a")
+
+    def test_rejects_zero_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_ownership_is_stable(self):
+        ring = HashRing()
+        for n in ("a", "b", "c"):
+            ring.add_node(n)
+        owners1 = {f"k{i}": ring.owner(f"k{i}") for i in range(100)}
+        owners2 = {f"k{i}": ring.owner(f"k{i}") for i in range(100)}
+        assert owners1 == owners2
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing(vnodes=128)
+        for n in ("a", "b", "c", "d"):
+            ring.add_node(n)
+        counts = {"a": 0, "b": 0, "c": 0, "d": 0}
+        for i in range(4000):
+            counts[ring.owner(f"key-{i}")] += 1
+        for node, count in counts.items():
+            assert 400 < count < 2000, f"{node} owns {count}/4000"
+
+    def test_adding_node_moves_only_some_keys(self):
+        ring = HashRing(vnodes=64)
+        ring.add_node("a")
+        ring.add_node("b")
+        before = {f"k{i}": ring.owner(f"k{i}") for i in range(1000)}
+        ring.add_node("c")
+        moved = sum(
+            1 for k, owner in before.items() if ring.owner(k) != owner
+        )
+        # New node should take roughly a third, and every key that moved
+        # must have moved TO the new node.
+        assert 100 < moved < 600
+        for k, owner in before.items():
+            now = ring.owner(k)
+            if now != owner:
+                assert now == "c"
+
+    def test_removing_node_restores_prior_ownership(self):
+        ring = HashRing()
+        ring.add_node("a")
+        ring.add_node("b")
+        before = {f"k{i}": ring.owner(f"k{i}") for i in range(200)}
+        ring.add_node("c")
+        ring.remove_node("c")
+        after = {f"k{i}": ring.owner(f"k{i}") for i in range(200)}
+        assert before == after
+
+    def test_len_counts_nodes(self):
+        ring = HashRing()
+        ring.add_node("a")
+        ring.add_node("b")
+        assert len(ring) == 2

@@ -1,0 +1,221 @@
+"""Tests for the HyperStore: operations, consistency, growth, failure."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    CASMismatchError,
+    KeyNotFoundError,
+    StoreUnavailableError,
+)
+from repro.kvstore.store import HyperStore
+
+
+@pytest.fixture
+def store():
+    return HyperStore(nodes=3)
+
+
+class TestBasicOperations:
+    def test_put_get(self, store):
+        store.put("x", 42)
+        assert store.get("x") == 42
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get("missing")
+
+    def test_get_missing_with_default(self, store):
+        assert store.get("missing", default="d") == "d"
+
+    def test_overwrite(self, store):
+        store.put("x", 1)
+        store.put("x", 2)
+        assert store.get("x") == 2
+
+    def test_versions_increase_monotonically(self, store):
+        v1 = store.put("x", "a")
+        v2 = store.put("x", "b")
+        assert v2 == v1 + 1
+        assert store.get_versioned("x").version == v2
+
+    def test_delete(self, store):
+        store.put("x", 1)
+        assert store.delete("x") is True
+        assert store.delete("x") is False
+        assert not store.exists("x")
+
+    def test_exists(self, store):
+        assert not store.exists("x")
+        store.put("x", None)
+        assert store.exists("x")
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            HyperStore(nodes=0)
+
+
+class TestCAS:
+    def test_cas_success(self, store):
+        store.put("x", "old")
+        store.cas("x", "old", "new")
+        assert store.get("x") == "new"
+
+    def test_cas_mismatch_raises_and_preserves(self, store):
+        store.put("x", "actual")
+        with pytest.raises(CASMismatchError):
+            store.cas("x", "expected", "new")
+        assert store.get("x") == "actual"
+
+    def test_cas_create_if_absent(self, store):
+        store.cas("fresh", None, "v")
+        assert store.get("fresh") == "v"
+
+    def test_cas_create_fails_if_present(self, store):
+        store.put("x", 1)
+        with pytest.raises(CASMismatchError):
+            store.cas("x", None, 2)
+
+
+class TestIncrAndUpdate:
+    def test_incr_from_zero(self, store):
+        assert store.incr("c") == 1
+        assert store.incr("c", 5) == 6
+
+    def test_incr_non_integer_raises(self, store):
+        store.put("c", "text")
+        with pytest.raises(TypeError):
+            store.incr("c")
+
+    def test_update_read_modify_write(self, store):
+        store.put("lst", [1])
+        result = store.update("lst", lambda v: v + [2])
+        assert result == [1, 2]
+        assert store.get("lst") == [1, 2]
+
+    def test_update_missing_uses_default(self, store):
+        result = store.update("m", lambda v: v + 1, default=10)
+        assert result == 11
+
+    def test_concurrent_incr_is_atomic(self, store):
+        threads = [
+            threading.Thread(
+                target=lambda: [store.incr("counter") for _ in range(200)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.get("counter") == 1600
+
+
+class TestScansAndSearch:
+    def test_keys_with_prefix(self, store):
+        store.put("a$1", 1)
+        store.put("a$2", 2)
+        store.put("b$1", 3)
+        assert sorted(store.keys("a$")) == ["a$1", "a$2"]
+
+    def test_search_by_attribute_equality(self, store):
+        store.put("user/1", {"name": "ann", "age": 30})
+        store.put("user/2", {"name": "bob", "age": 25})
+        hits = store.search("user/", name="ann")
+        assert [k for k, _ in hits] == ["user/1"]
+
+    def test_search_with_predicate(self, store):
+        store.put("user/1", {"age": 30})
+        store.put("user/2", {"age": 25})
+        hits = store.search("user/", age=lambda a: a > 27)
+        assert [k for k, _ in hits] == ["user/1"]
+
+    def test_search_requires_all_predicates(self, store):
+        store.put("u/1", {"a": 1, "b": 2})
+        assert store.search("u/", a=1, b=3) == []
+
+    def test_search_skips_non_dict_values(self, store):
+        store.put("u/1", "scalar")
+        store.put("u/2", {"a": 1})
+        assert [k for k, _ in store.search("u/", a=1)] == ["u/2"]
+
+    def test_search_missing_attribute_no_match(self, store):
+        store.put("u/1", {"a": 1})
+        assert store.search("u/", nope=1) == []
+
+
+class TestElasticGrowth:
+    def test_add_node_preserves_all_data(self):
+        store = HyperStore(nodes=2)
+        data = {f"k{i}": i for i in range(500)}
+        for k, v in data.items():
+            store.put(k, v)
+        store.add_node()
+        assert store.node_count() == 3
+        for k, v in data.items():
+            assert store.get(k) == v
+
+    def test_add_node_rebalances(self):
+        store = HyperStore(nodes=1)
+        for i in range(400):
+            store.put(f"k{i}", i)
+        store.add_node()
+        sizes = store.partition_sizes()
+        assert all(size > 0 for size in sizes.values())
+        assert sum(sizes.values()) == 400
+
+
+class TestFailurePropagation:
+    def test_failed_node_raises_for_its_keys(self):
+        """Paper section 4.4: key-value store failures are propagated,
+        not masked."""
+        store = HyperStore(nodes=2)
+        for i in range(100):
+            store.put(f"k{i}", i)
+        victim = next(iter(store.partition_sizes()))
+        store.fail_node(victim)
+        failures = 0
+        for i in range(100):
+            try:
+                store.get(f"k{i}")
+            except StoreUnavailableError:
+                failures += 1
+        assert failures > 0
+
+    def test_recovered_node_serves_again(self):
+        store = HyperStore(nodes=1)
+        store.put("x", 1)
+        store.fail_node("store-0")
+        with pytest.raises(StoreUnavailableError):
+            store.get("x")
+        store.recover_node("store-0")
+        assert store.get("x") == 1
+
+    def test_unknown_node_raises(self, store):
+        with pytest.raises(ValueError):
+            store.fail_node("bogus")
+
+
+class TestStatistics:
+    def test_hot_keys_tracked(self):
+        store = HyperStore(nodes=1, track_hot_keys=True)
+        for _ in range(10):
+            store.put("hot", 1)
+        store.put("cold", 1)
+        ranked = store.hot_keys(top_n=1)
+        assert ranked[0][0] == "hot"
+        assert ranked[0][1] == 10
+
+    def test_total_ops_counted(self, store):
+        store.put("a", 1)
+        store.get("a")
+        store.delete("a")
+        assert store.total_ops() == 3
+
+    def test_on_op_hook_invoked(self):
+        seen = []
+        store = HyperStore(nodes=1, on_op=lambda op, key: seen.append((op, key)))
+        store.put("x", 1)
+        store.get("x")
+        assert seen == [("put", "x"), ("get", "x")]

@@ -1,0 +1,80 @@
+"""Tests for the SPEC agility metric."""
+
+import pytest
+
+from repro.metrics.agility import AgilitySample, AgilityTracker
+
+
+class TestAgilitySample:
+    def test_excess_when_overprovisioned(self):
+        sample = AgilitySample(at=0.0, cap_prov=10, req_min=6)
+        assert sample.excess == 4
+        assert sample.shortage == 0
+        assert sample.agility == 4
+
+    def test_shortage_when_underprovisioned(self):
+        sample = AgilitySample(at=0.0, cap_prov=3, req_min=8)
+        assert sample.excess == 0
+        assert sample.shortage == 5
+        assert sample.agility == 5
+
+    def test_perfect_provisioning_is_zero(self):
+        sample = AgilitySample(at=0.0, cap_prov=5, req_min=5)
+        assert sample.agility == 0
+
+
+class TestAgilityTracker:
+    def test_average_is_spec_formula(self):
+        """(1/N)(sum Excess + sum Shortage)."""
+        tracker = AgilityTracker()
+        tracker.record(0, cap_prov=10, req_min=6)   # excess 4
+        tracker.record(1, cap_prov=4, req_min=6)    # shortage 2
+        tracker.record(2, cap_prov=6, req_min=6)    # 0
+        assert tracker.average_agility() == pytest.approx((4 + 2) / 3)
+
+    def test_empty_tracker_is_zero(self):
+        assert AgilityTracker().average_agility() == 0.0
+        assert AgilityTracker().max_agility() == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AgilityTracker().record(0, cap_prov=-1, req_min=2)
+
+    def test_excess_and_shortage_averages(self):
+        tracker = AgilityTracker()
+        tracker.record(0, cap_prov=10, req_min=6)
+        tracker.record(1, cap_prov=4, req_min=6)
+        assert tracker.average_excess() == pytest.approx(2.0)
+        assert tracker.average_shortage() == pytest.approx(1.0)
+
+    def test_zero_fraction(self):
+        """The paper highlights how often agility returns to 0."""
+        tracker = AgilityTracker()
+        tracker.record(0, 5, 5)
+        tracker.record(1, 6, 5)
+        tracker.record(2, 5, 5)
+        tracker.record(3, 5, 5)
+        assert tracker.zero_fraction() == pytest.approx(0.75)
+
+    def test_series_matches_samples(self):
+        tracker = AgilityTracker()
+        tracker.record(0, 10, 6)
+        tracker.record(600, 4, 6)
+        assert tracker.series() == [(0, 4.0), (600, 2.0)]
+
+    def test_weighted_variant(self):
+        """SPEC debates unequal weights; the tracker supports them."""
+        tracker = AgilityTracker(excess_weight=1.0, shortage_weight=2.0)
+        tracker.record(0, cap_prov=10, req_min=6)  # excess 4
+        tracker.record(1, cap_prov=4, req_min=6)   # shortage 2
+        assert tracker.average_agility() == pytest.approx((4 + 2 * 2) / 2)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            AgilityTracker(excess_weight=-1.0)
+
+    def test_max_agility(self):
+        tracker = AgilityTracker()
+        tracker.record(0, 10, 6)
+        tracker.record(1, 2, 12)
+        assert tracker.max_agility() == 10

@@ -1,0 +1,97 @@
+"""Tests for provisioning-interval summaries."""
+
+import pytest
+
+from repro.core.pool import ProvisioningRecord
+from repro.metrics.provisioning import ProvisioningSeries
+
+
+def rec(requested, active, direction="up"):
+    return ProvisioningRecord(
+        pool="p", uid=1, requested_at=requested, active_at=active,
+        direction=direction,
+    )
+
+
+class TestProvisioningSeries:
+    def test_latency_computed(self):
+        assert rec(10.0, 14.5).latency == pytest.approx(4.5)
+
+    def test_up_and_down_separated(self):
+        series = ProvisioningSeries(
+            [rec(0, 5), rec(10, 12, "down"), rec(20, 28)]
+        )
+        assert len(series.up_events()) == 2
+        assert len(series.down_events()) == 1
+
+    def test_series_pairs(self):
+        series = ProvisioningSeries([rec(0, 5), rec(100, 120)])
+        assert series.series() == [(0, 5), (100, 20)]
+
+    def test_max_and_mean(self):
+        series = ProvisioningSeries([rec(0, 10), rec(0, 20)])
+        assert series.max_latency() == 20
+        assert series.mean_latency() == 15
+
+    def test_empty_series(self):
+        series = ProvisioningSeries([])
+        assert series.max_latency() == 0.0
+        assert series.mean_latency() == 0.0
+        assert series.series() == []
+
+    def test_bucketed_means(self):
+        series = ProvisioningSeries(
+            [rec(10, 20), rec(50, 52), rec(130, 140)]
+        )
+        buckets = series.bucketed(60.0)
+        assert buckets == [(0.0, 6.0), (120.0, 10.0)]
+
+    def test_bucketed_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ProvisioningSeries([]).bucketed(0)
+
+
+class TestQoSTracker:
+    def test_throughput_over_span(self):
+        from repro.metrics.qos import QoSTracker
+
+        tracker = QoSTracker()
+        for i in range(11):
+            tracker.record(at=float(i), latency=0.01)
+        assert tracker.throughput() == pytest.approx(1.1)
+
+    def test_latency_percentiles(self):
+        from repro.metrics.qos import QoSTracker
+
+        tracker = QoSTracker()
+        for i in range(1, 101):
+            tracker.record(at=float(i), latency=i / 1000.0)
+        assert tracker.mean_latency() == pytest.approx(0.0505)
+        assert tracker.percentile_latency(99) == pytest.approx(0.099)
+        assert tracker.percentile_latency(50) == pytest.approx(0.050)
+
+    def test_meets_target(self):
+        from repro.metrics.qos import QoSTarget, QoSTracker
+
+        tracker = QoSTracker()
+        for i in range(100):
+            tracker.record(at=i * 0.1, latency=0.005)
+        good = QoSTarget(min_throughput=5.0, max_mean_latency=0.01)
+        tight = QoSTarget(min_throughput=50.0, max_mean_latency=0.01)
+        assert tracker.meets(good)
+        assert not tracker.meets(tight)
+
+    def test_negative_latency_rejected(self):
+        from repro.metrics.qos import QoSTracker
+
+        with pytest.raises(ValueError):
+            QoSTracker().record(0.0, -0.1)
+
+    def test_reset(self):
+        from repro.metrics.qos import QoSTracker
+
+        tracker = QoSTracker()
+        tracker.record(0.0, 0.1)
+        tracker.reset()
+        assert tracker.operations == 0
+        assert tracker.throughput() == 0.0

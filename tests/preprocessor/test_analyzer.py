@@ -1,0 +1,168 @@
+"""Tests for the static analyzer (the preprocessor's validation pass)."""
+
+import pytest
+
+from repro.core.api import ElasticObject
+from repro.core.fields import elastic_field, synchronized
+from repro.preprocessor.analyzer import AnalysisError, analyze
+
+
+class GoodCache(ElasticObject):
+    """A well-formed elastic class."""
+
+    MAX_ENTRIES = 1000  # constant, fine
+    hits = elastic_field(default=0)
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(10)
+
+    def put(self, key, value):
+        return True
+
+    def get(self, key):
+        return None
+
+    @synchronized
+    def clear(self):
+        pass
+
+
+class TestSurfaceInventory:
+    def test_remote_methods_listed(self):
+        report = analyze(GoodCache)
+        assert sorted(report.remote_methods) == ["clear", "get", "put"]
+
+    def test_framework_methods_excluded(self):
+        report = analyze(GoodCache)
+        assert "set_min_pool_size" not in report.remote_methods
+        assert "change_pool_size" not in report.remote_methods
+        assert "get_method_call_stats" not in report.remote_methods
+
+    def test_shared_fields_with_store_keys(self):
+        report = analyze(GoodCache)
+        assert report.shared_fields == {"hits": "GoodCache$hits"}
+
+    def test_synchronized_methods_and_lock(self):
+        report = analyze(GoodCache)
+        assert report.synchronized_methods == ["clear"]
+        assert report.lock_name == "GoodCache"
+
+    def test_scaling_mechanism_reported(self):
+        assert analyze(GoodCache).scaling_mechanism == "implicit"
+
+        class Fine(GoodCache):
+            def change_pool_size(self):
+                return 0
+
+        assert analyze(Fine).scaling_mechanism == "fine-grained"
+
+    def test_clean_class_is_ok(self):
+        report = analyze(GoodCache)
+        assert report.ok()
+        assert report.errors() == []
+
+
+class TestFindings:
+    def test_non_elastic_class_is_error(self):
+        class Plain:
+            pass
+
+        report = analyze(Plain)
+        assert not report.ok()
+        assert report.errors()[0].code == "not-elastic"
+        with pytest.raises(AnalysisError):
+            analyze(Plain, strict=True)
+
+    def test_mutable_class_state_warning(self):
+        class Leaky(ElasticObject):
+            cache = {}  # looks like state, silently per-member
+
+            def get(self, k):
+                return self.cache.get(k)
+
+        report = analyze(Leaky)
+        warnings = [f for f in report.warnings() if f.code == "mutable-class-state"]
+        assert len(warnings) == 1
+        assert "cache" in warnings[0].message
+
+    def test_bad_configuration_is_error(self):
+        class TooSmall(ElasticObject):
+            def __init__(self):
+                super().__init__()
+                self.set_min_pool_size(1)  # paper requires >= 2
+
+            def work(self):
+                pass
+
+        report = analyze(TooSmall)
+        assert any(f.code == "bad-configuration" for f in report.errors())
+        with pytest.raises(AnalysisError):
+            analyze(TooSmall, strict=True)
+
+    def test_broken_constructor_is_error(self):
+        class Boom(ElasticObject):
+            def __init__(self):
+                super().__init__()
+                raise RuntimeError("nope")
+
+            def work(self):
+                pass
+
+        report = analyze(Boom)
+        assert any(f.code == "constructor-raises" for f in report.errors())
+
+    def test_constructor_with_args_is_info_only(self):
+        class NeedsArgs(ElasticObject):
+            def __init__(self, dep):
+                super().__init__()
+                self.dep = dep
+
+            def work(self):
+                pass
+
+        report = analyze(NeedsArgs)
+        assert report.ok()
+        assert any(f.code == "constructor-args" for f in report.findings)
+
+    def test_no_remote_methods_warning(self):
+        class Mute(ElasticObject):
+            pass
+
+        report = analyze(Mute)
+        assert any(f.code == "no-remote-methods" for f in report.warnings())
+
+    def test_interface_declares_missing_method(self):
+        class Partial(ElasticObject):
+            __elastic_interface__ = frozenset({"exists", "missing"})
+
+            def exists(self):
+                pass
+
+        report = analyze(Partial)
+        assert any(
+            f.code == "interface-method-missing" for f in report.errors()
+        )
+
+    def test_interface_restricts_surface(self):
+        class Narrow(ElasticObject):
+            __elastic_interface__ = frozenset({"public_op"})
+
+            def public_op(self):
+                pass
+
+            def internal_op(self):
+                pass
+
+        report = analyze(Narrow)
+        assert report.remote_methods == ["public_op"]
+
+
+class TestSummary:
+    def test_summary_is_readable(self):
+        text = analyze(GoodCache).summary()
+        assert "GoodCache" in text
+        assert "put" in text
+        assert "hits -> GoodCache$hits" in text
+        assert "synchronized: clear" in text

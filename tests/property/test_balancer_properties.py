@@ -1,0 +1,87 @@
+"""Property-based tests for load balancing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancer import FirstFitRebalancer, FractionalRedirect
+from repro.rmi.remote import RemoteRef
+from repro.rmi.transport import Request
+
+pending_maps = st.dictionaries(
+    st.integers(1, 50), st.integers(0, 1000), min_size=1, max_size=12
+)
+
+
+def refs_for(pending):
+    return {uid: RemoteRef(f"ep-{uid}", f"obj-{uid}", uid) for uid in pending}
+
+
+class TestRebalancerProperties:
+    @given(pending_maps, st.floats(0.05, 1.0))
+    @settings(max_examples=100)
+    def test_plan_is_total_and_targets_are_members(self, pending, tolerance):
+        decision = FirstFitRebalancer(tolerance).plan(pending, refs_for(pending))
+        assert set(decision.plan) == set(pending)
+        for uid, directive in decision.plan.items():
+            if directive is None:
+                continue
+            assert 0.0 <= directive.fraction <= 1.0
+            for target in directive.targets:
+                assert target.uid in pending
+                assert target.uid != uid  # never redirect to yourself
+
+    @given(pending_maps)
+    @settings(max_examples=100)
+    def test_only_overloaded_members_redirect(self, pending):
+        decision = FirstFitRebalancer(0.25).plan(pending, refs_for(pending))
+        mean = sum(pending.values()) / len(pending)
+        for uid, directive in decision.plan.items():
+            if directive is not None:
+                assert pending[uid] > mean
+
+    @given(pending_maps)
+    @settings(max_examples=100)
+    def test_uniform_load_never_redirects(self, pending):
+        level = max(pending.values(), default=0)
+        uniform = {uid: level for uid in pending}
+        decision = FirstFitRebalancer(0.25).plan(uniform, refs_for(uniform))
+        assert all(d is None for d in decision.plan.values())
+
+    @given(pending_maps)
+    @settings(max_examples=50)
+    def test_plan_is_deterministic(self, pending):
+        refs = refs_for(pending)
+        a = FirstFitRebalancer(0.25).plan(pending, refs)
+        b = FirstFitRebalancer(0.25).plan(pending, refs)
+        assert a.overloaded == b.overloaded
+        assert {
+            uid: (d.fraction if d else None) for uid, d in a.plan.items()
+        } == {
+            uid: (d.fraction if d else None) for uid, d in b.plan.items()
+        }
+
+
+class TestFractionalRedirectProperties:
+    @given(st.floats(0.0, 1.0), st.integers(1, 2000))
+    @settings(max_examples=100)
+    def test_realized_fraction_tracks_requested(self, fraction, calls):
+        """Counter-based selection keeps the realized redirect ratio
+        within one call of the requested fraction at every prefix."""
+        target = RemoteRef("ep", "obj")
+        redirect = FractionalRedirect(fraction, [target])
+        redirected = 0
+        for i in range(1, calls + 1):
+            if redirect(Request("obj", "m", b"")) is not None:
+                redirected += 1
+            assert abs(redirected - fraction * i) <= 1.0
+
+    @given(st.integers(1, 8), st.integers(1, 200))
+    @settings(max_examples=50)
+    def test_targets_cycled_fairly(self, n_targets, calls):
+        targets = [RemoteRef(f"ep-{i}", f"o-{i}", i) for i in range(n_targets)]
+        redirect = FractionalRedirect(1.0, targets)
+        counts = {t.uid: 0 for t in targets}
+        for _ in range(calls):
+            chosen = redirect(Request("o", "m", b""))
+            counts[chosen.uid] += 1
+        assert max(counts.values()) - min(counts.values()) <= 1

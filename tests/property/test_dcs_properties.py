@@ -1,0 +1,115 @@
+"""Property-based tests for the DCS namespace: random operation
+schedules must keep the tree, the children index, and the total order
+consistent with a model."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dcs.service import (
+    BadVersionError,
+    CoordinationService,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+)
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.runtime import ElasticRuntime
+from repro.sim.kernel import Kernel
+
+NAMES = ("a", "b", "c")
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.sampled_from(NAMES), st.sampled_from(NAMES)),
+        st.tuples(st.just("create-top"), st.sampled_from(NAMES), st.none()),
+        st.tuples(st.just("set"), st.sampled_from(NAMES), st.integers(0, 9)),
+        st.tuples(st.just("delete"), st.sampled_from(NAMES), st.none()),
+    ),
+    max_size=30,
+)
+
+
+def fresh_dcs():
+    kernel = Kernel()
+    runtime = ElasticRuntime.simulated(
+        kernel, nodes=4, provisioner=InstantProvisioner()
+    )
+    runtime.new_pool(CoordinationService)
+    kernel.run_until(1.0)
+    members = runtime.pool("CoordinationService").active_members()
+    return members[0].instance  # direct instance: raw exceptions
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations)
+def test_namespace_matches_dict_model(schedule):
+    dcs = fresh_dcs()
+    model: dict[str, object] = {}  # path -> data
+    last_zxid = 0
+
+    for op, name, arg in schedule:
+        if op == "create-top":
+            path = f"/{name}"
+            try:
+                zxid = dcs.create(path, data=None)
+                assert path not in model
+                model[path] = None
+            except NodeExistsError:
+                assert path in model
+                continue
+        elif op == "create":
+            parent, child = f"/{name}", f"/{name}/{arg}"
+            try:
+                zxid = dcs.create(child, data=None)
+                assert parent in model and child not in model
+                model[child] = None
+            except NoNodeError:
+                assert parent not in model
+                continue
+            except NodeExistsError:
+                assert child in model
+                continue
+        elif op == "set":
+            path = f"/{name}"
+            try:
+                zxid = dcs.set_data(path, arg)
+                assert path in model
+                model[path] = arg
+            except NoNodeError:
+                assert path not in model
+                continue
+        else:  # delete
+            path = f"/{name}"
+            try:
+                dcs.delete(path)
+                assert path in model
+                assert not any(
+                    p.startswith(path + "/") for p in model
+                ), "deleted a node that still had children"
+                del model[path]
+                continue  # deletes also draw zxids; order checked below
+            except NoNodeError:
+                assert path not in model
+                continue
+            except NotEmptyError:
+                assert any(p.startswith(path + "/") for p in model)
+                continue
+        # Total order: every successful mutation drew a larger zxid.
+        assert zxid > last_zxid
+        last_zxid = zxid
+
+    # Final coherence: model contents and children indexes agree.
+    for path, data in model.items():
+        record = dcs.get(path)
+        assert record["data"] == data
+    top_level = {p[1:] for p in model if "/" not in p[1:]}
+    assert set(dcs.get_children("/")) == top_level
+    for top in top_level:
+        expected_children = {
+            p.rsplit("/", 1)[1] for p in model if p.startswith(f"/{top}/")
+        }
+        assert set(dcs.get_children(f"/{top}")) == expected_children

@@ -1,0 +1,137 @@
+"""Property-based tests for the simulation kernel and lock manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.locks import LockManager
+from repro.sim.kernel import Kernel
+
+
+class TestKernelProperties:
+    @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        kernel = Kernel()
+        fired = []
+        for t in times:
+            kernel.call_at(t, lambda t=t: fired.append(kernel.clock.now()))
+        kernel.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_clock_ends_at_last_event(self, times):
+        kernel = Kernel()
+        for t in times:
+            kernel.call_at(t, lambda: None)
+        kernel.run()
+        assert kernel.clock.now() == max(times)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=2, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=100)
+    def test_cancellation_removes_exactly_the_cancelled(self, times, data):
+        kernel = Kernel()
+        fired = []
+        calls = [
+            kernel.call_at(t, lambda i=i: fired.append(i))
+            for i, t in enumerate(times)
+        ]
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(times) - 1), max_size=len(times))
+        )
+        for i in to_cancel:
+            calls[i].cancel()
+        kernel.run()
+        assert sorted(fired) == [
+            i for i in range(len(times)) if i not in to_cancel
+        ]
+
+    @given(st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_run_until_is_composable(self, times):
+        """Running to T1 then T2 fires the same events as running to T2."""
+        single, split = Kernel(), Kernel()
+        fired_single, fired_split = [], []
+        for t in times:
+            single.call_at(t, lambda t=t: fired_single.append(t))
+            split.call_at(t, lambda t=t: fired_split.append(t))
+        single.run_until(50.0)
+        mid = max(times) / 2
+        split.run_until(mid)
+        split.run_until(50.0)
+        assert fired_single == fired_split
+
+
+class TestLockManagerProperties:
+    ops = st.lists(
+        st.tuples(
+            st.sampled_from(["try", "unlock"]),
+            st.sampled_from(["L1", "L2"]),
+            st.sampled_from(["a", "b", "c"]),
+        ),
+        max_size=60,
+    )
+
+    @given(ops)
+    @settings(max_examples=100)
+    def test_single_holder_invariant(self, operations):
+        """After any operation sequence, each lock has at most one
+        holder, holders match successful acquisitions, and hold counts
+        stay positive."""
+        manager = LockManager()
+        model: dict[str, tuple[str, int]] = {}  # lock -> (owner, count)
+        for op, lock, owner in operations:
+            if op == "try":
+                token = manager.try_lock(lock, owner)
+                held = model.get(lock)
+                if held is None:
+                    assert token is not None
+                    model[lock] = (owner, 1)
+                elif held[0] == owner:
+                    assert token is not None
+                    model[lock] = (owner, held[1] + 1)
+                else:
+                    assert token is None
+            else:
+                held = model.get(lock)
+                if held is not None and held[0] == owner:
+                    manager.unlock(lock, owner)
+                    if held[1] == 1:
+                        del model[lock]
+                    else:
+                        model[lock] = (owner, held[1] - 1)
+                else:
+                    try:
+                        manager.unlock(lock, owner)
+                        raise AssertionError("unlock should have failed")
+                    except Exception:
+                        pass
+            for name, (expect_owner, _) in model.items():
+                assert manager.holder(name) == expect_owner
+
+    @given(ops)
+    @settings(max_examples=50)
+    def test_fencing_tokens_strictly_increase(self, operations):
+        manager = LockManager()
+        held: dict[str, str] = {}
+        last_token = 0
+        for op, lock, owner in operations:
+            if op == "try":
+                token = manager.try_lock(lock, owner)
+                if token is not None and lock not in held:
+                    # fresh grant (not reentrant): token must increase
+                    assert token > last_token
+                    last_token = max(last_token, token)
+                    held[lock] = owner
+            else:
+                if held.get(lock) == owner:
+                    try:
+                        manager.unlock(lock, owner)
+                        if manager.holder(lock) is None:
+                            held.pop(lock, None)
+                    except Exception:
+                        pass

@@ -1,0 +1,55 @@
+"""Property-based tests for marshalling: round-trip fidelity and
+pass-by-value isolation for arbitrary composite values."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rmi.marshal import roundtrip
+from repro.rmi.remote import RemoteRef
+
+scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+    st.text(max_size=30), st.binary(max_size=30),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.tuples(children, children),
+    ),
+    max_leaves=12,
+)
+
+
+class TestMarshalProperties:
+    @given(values)
+    @settings(max_examples=200)
+    def test_roundtrip_is_identity(self, value):
+        assert roundtrip(value) == value
+
+    @given(st.lists(st.integers(), min_size=1, max_size=10))
+    @settings(max_examples=100)
+    def test_roundtrip_yields_independent_copy(self, value):
+        original = list(value)
+        copy = roundtrip(value)
+        copy.append(999)
+        assert value == original  # mutating the copy never leaks back
+
+    @given(st.text(min_size=1, max_size=12), st.text(min_size=1, max_size=12),
+           st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_remote_refs_survive_inside_composites(self, ep, obj, uid):
+        ref = RemoteRef(ep, obj, uid)
+        wrapped = {"refs": [ref, ref], "meta": (ref,)}
+        result = roundtrip(wrapped)
+        assert result["refs"][0] == ref
+        assert result["meta"][0] == ref
+
+    @given(values, values)
+    @settings(max_examples=100)
+    def test_args_kwargs_envelope(self, a, b):
+        """The exact envelope the transport ships: (args, kwargs)."""
+        args, kwargs = roundtrip(((a, b), {"x": a}))
+        assert args == (a, b)
+        assert kwargs == {"x": a}

@@ -1,0 +1,95 @@
+"""Property-based tests for the agility metric and workload patterns."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.agility import AgilitySample, AgilityTracker
+from repro.workloads.patterns import AbruptPattern, CyclicPattern
+
+capacities = st.floats(0.0, 1000.0, allow_nan=False)
+
+
+class TestAgilityProperties:
+    @given(capacities, capacities)
+    @settings(max_examples=200)
+    def test_excess_and_shortage_are_exclusive(self, cap, req):
+        sample = AgilitySample(at=0.0, cap_prov=cap, req_min=req)
+        assert sample.excess == 0.0 or sample.shortage == 0.0
+        assert sample.agility == abs(cap - req)
+
+    @given(st.lists(st.tuples(capacities, capacities), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_average_equals_mean_absolute_gap(self, observations):
+        tracker = AgilityTracker()
+        for i, (cap, req) in enumerate(observations):
+            tracker.record(float(i), cap, req)
+        expected = sum(abs(c - r) for c, r in observations) / len(observations)
+        assert math.isclose(tracker.average_agility(), expected, rel_tol=1e-9)
+
+    @given(st.lists(st.tuples(capacities, capacities), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_average_bounded_by_max(self, observations):
+        tracker = AgilityTracker()
+        for i, (cap, req) in enumerate(observations):
+            tracker.record(float(i), cap, req)
+        assert tracker.average_agility() <= tracker.max_agility() + 1e-9
+
+    @given(
+        st.lists(st.tuples(capacities, capacities), min_size=1, max_size=30),
+        st.floats(0.1, 5.0),
+        st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=50)
+    def test_weighting_scales_components_linearly(self, observations, we, ws):
+        plain = AgilityTracker()
+        weighted = AgilityTracker(excess_weight=we, shortage_weight=ws)
+        for i, (cap, req) in enumerate(observations):
+            plain.record(float(i), cap, req)
+            weighted.record(float(i), cap, req)
+        expected = (
+            we * plain.average_excess() + ws * plain.average_shortage()
+        )
+        assert math.isclose(weighted.average_agility(), expected, rel_tol=1e-9)
+
+
+class TestPatternProperties:
+    @given(st.floats(1.0, 1e6), st.floats(0.0, 451.0 * 60))
+    @settings(max_examples=200)
+    def test_abrupt_rate_within_bounds(self, magnitude, t):
+        pattern = AbruptPattern(magnitude)
+        rate = pattern.rate(t)
+        assert 0.0 <= rate <= magnitude * (1 + 1e-9)
+
+    @given(st.floats(1.0, 1e6), st.floats(0.05, 0.9), st.floats(0.0, 501.0 * 60))
+    @settings(max_examples=200)
+    def test_cyclic_rate_within_band(self, magnitude, base, t):
+        pattern = CyclicPattern(magnitude, base_fraction=base)
+        rate = pattern.rate(t)
+        assert magnitude * base * (1 - 1e-9) <= rate <= magnitude * (1 + 1e-9)
+
+    @given(st.floats(1.0, 1e6), st.integers(2, 6))
+    @settings(max_examples=50)
+    def test_cyclic_period_symmetry(self, magnitude, cycles):
+        """Rates one full cycle apart are identical (probes stay inside
+        the trace, since the rate clamps beyond its duration)."""
+        pattern = CyclicPattern(magnitude, cycles=cycles)
+        period = pattern.duration_s / cycles
+        for frac in (0.1, 0.33, 0.77):
+            t = frac * period
+            assert math.isclose(
+                pattern.rate(t), pattern.rate(t + period), rel_tol=1e-9
+            )
+
+    @given(st.floats(1.0, 1e6))
+    @settings(max_examples=50)
+    def test_abrupt_scales_linearly_with_magnitude(self, magnitude):
+        base = AbruptPattern(1.0)
+        scaled = AbruptPattern(magnitude)
+        for minute in (0, 60, 150, 205, 300, 450):
+            assert math.isclose(
+                scaled.rate(minute * 60.0),
+                base.rate(minute * 60.0) * magnitude,
+                rel_tol=1e-9,
+            )

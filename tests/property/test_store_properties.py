@@ -1,0 +1,111 @@
+"""Property-based tests for the key-value store and hash ring."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.ring import HashRing
+from repro.kvstore.store import HyperStore
+
+keys = st.text(string.ascii_lowercase + string.digits + "/$", min_size=1, max_size=24)
+values = st.one_of(
+    st.integers(), st.text(max_size=16), st.booleans(), st.none(),
+    st.lists(st.integers(), max_size=5),
+)
+
+
+class TestStoreProperties:
+    @given(st.dictionaries(keys, values, max_size=40), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_store_behaves_like_a_dict(self, mapping, nodes):
+        """Whatever the partitioning, a put/get sequence must observe
+        plain dict semantics."""
+        store = HyperStore(nodes=nodes)
+        for k, v in mapping.items():
+            store.put(k, v)
+        for k, v in mapping.items():
+            assert store.get(k) == v
+        assert sorted(store.keys()) == sorted(mapping)
+
+    @given(st.dictionaries(keys, values, min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_add_node_never_loses_or_mutates_data(self, mapping):
+        store = HyperStore(nodes=1)
+        for k, v in mapping.items():
+            store.put(k, v)
+        store.add_node()
+        store.add_node()
+        for k, v in mapping.items():
+            assert store.get(k) == v
+
+    @given(st.lists(st.tuples(keys, values), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_last_write_wins(self, writes):
+        store = HyperStore(nodes=3)
+        expected = {}
+        for k, v in writes:
+            store.put(k, v)
+            expected[k] = v
+        for k, v in expected.items():
+            assert store.get(k) == v
+
+    @given(keys, st.lists(st.integers(-5, 5), max_size=20))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_incr_sums_deltas(self, key, deltas):
+        store = HyperStore(nodes=2)
+        total = 0
+        for d in deltas:
+            total += d
+            assert store.incr(key, d) == total
+
+    @given(st.dictionaries(keys, values, max_size=20))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_versions_monotonic_per_key(self, mapping):
+        store = HyperStore(nodes=2)
+        for k, v in mapping.items():
+            v1 = store.put(k, v)
+            v2 = store.put(k, v)
+            assert v2 == v1 + 1
+
+
+class TestRingProperties:
+    node_names = st.lists(
+        st.text(string.ascii_lowercase, min_size=1, max_size=8),
+        min_size=1, max_size=8, unique=True,
+    )
+
+    @given(node_names, st.lists(keys, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_owner_is_always_a_member(self, nodes, key_list):
+        ring = HashRing(vnodes=16)
+        for n in nodes:
+            ring.add_node(n)
+        for k in key_list:
+            assert ring.owner(k) in set(nodes)
+
+    @given(node_names, st.lists(keys, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_adding_a_node_only_moves_keys_to_it(self, nodes, key_list):
+        """Consistent hashing's defining property."""
+        ring = HashRing(vnodes=16)
+        for n in nodes:
+            ring.add_node(n)
+        before = {k: ring.owner(k) for k in key_list}
+        newcomer = "zz-new-node"
+        ring.add_node(newcomer)
+        for k in key_list:
+            now = ring.owner(k)
+            assert now == before[k] or now == newcomer
+
+    @given(node_names)
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_add_then_remove_is_identity(self, nodes):
+        ring = HashRing(vnodes=16)
+        for n in nodes:
+            ring.add_node(n)
+        probe_keys = [f"key-{i}" for i in range(64)]
+        before = [ring.owner(k) for k in probe_keys]
+        ring.add_node("transient")
+        ring.remove_node("transient")
+        assert [ring.owner(k) for k in probe_keys] == before

@@ -1,0 +1,43 @@
+"""Tests for pass-by-value marshalling."""
+
+import pytest
+
+from repro.errors import MarshalError, UnmarshalError
+from repro.rmi.marshal import marshal_value, roundtrip, unmarshal_value
+from repro.rmi.remote import RemoteRef
+
+
+class TestMarshalling:
+    def test_roundtrip_scalars(self):
+        for value in (1, 2.5, "s", b"b", True, None):
+            assert roundtrip(value) == value
+
+    def test_roundtrip_containers(self):
+        value = {"a": [1, 2, (3, 4)], "b": {"nested": {5, 6}}}
+        assert roundtrip(value) == value
+
+    def test_roundtrip_is_a_copy(self):
+        """Pass-by-value: the receiver must see a copy, not the sender's
+        object (Java RMI serialization semantics)."""
+        original = {"k": [1, 2]}
+        copy = roundtrip(original)
+        copy["k"].append(3)
+        assert original == {"k": [1, 2]}
+
+    def test_exceptions_survive_roundtrip(self):
+        err = roundtrip(ValueError("boom"))
+        assert isinstance(err, ValueError)
+        assert str(err) == "boom"
+
+    def test_remote_ref_passes_unchanged(self):
+        """Remote references pass by reference: identity fields intact."""
+        ref = RemoteRef("ep-1", "obj-1", uid=3)
+        assert roundtrip(ref) == ref
+
+    def test_unmarshalable_value_raises(self):
+        with pytest.raises(MarshalError):
+            marshal_value(lambda x: x)  # lambdas are unpicklable
+
+    def test_corrupt_payload_raises(self):
+        with pytest.raises(UnmarshalError):
+            unmarshal_value(b"\x80garbage")

@@ -1,0 +1,55 @@
+"""Tests for the RMI registry."""
+
+import pytest
+
+from repro.errors import AlreadyBoundError, NotBoundError
+from repro.rmi.registry import Registry
+from repro.rmi.remote import RemoteRef
+
+
+@pytest.fixture
+def registry():
+    return Registry()
+
+
+REF_A = RemoteRef("ep-1", "obj-1")
+REF_B = RemoteRef("ep-2", "obj-2")
+
+
+class TestRegistry:
+    def test_bind_and_lookup(self, registry):
+        registry.bind("svc", REF_A)
+        assert registry.lookup("svc") == REF_A
+
+    def test_bind_existing_raises(self, registry):
+        registry.bind("svc", REF_A)
+        with pytest.raises(AlreadyBoundError):
+            registry.bind("svc", REF_B)
+
+    def test_rebind_replaces(self, registry):
+        registry.bind("svc", REF_A)
+        registry.rebind("svc", REF_B)
+        assert registry.lookup("svc") == REF_B
+
+    def test_rebind_creates_if_absent(self, registry):
+        registry.rebind("svc", REF_A)
+        assert registry.lookup("svc") == REF_A
+
+    def test_lookup_missing_raises(self, registry):
+        with pytest.raises(NotBoundError):
+            registry.lookup("missing")
+
+    def test_unbind(self, registry):
+        registry.bind("svc", REF_A)
+        registry.unbind("svc")
+        with pytest.raises(NotBoundError):
+            registry.lookup("svc")
+
+    def test_unbind_missing_raises(self, registry):
+        with pytest.raises(NotBoundError):
+            registry.unbind("missing")
+
+    def test_list_is_sorted(self, registry):
+        registry.bind("zeta", REF_A)
+        registry.bind("alpha", REF_B)
+        assert registry.list() == ["alpha", "zeta"]

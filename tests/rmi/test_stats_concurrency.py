@@ -1,0 +1,67 @@
+"""Thread-safety of call statistics and stub bookkeeping."""
+
+import threading
+
+from repro.rmi.remote import CallStats, MethodStats
+
+
+class TestCallStatsConcurrency:
+    def test_concurrent_records_are_all_counted(self):
+        stats = CallStats()
+
+        def hammer(method):
+            for _ in range(500):
+                stats.record(method, 0.001)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"m{i % 3}",))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snapshot = stats.snapshot()
+        assert sum(s.calls for s in snapshot.values()) == 3000
+        assert set(snapshot) == {"m0", "m1", "m2"}
+
+    def test_snapshot_and_reset_never_loses_or_doubles_records(self):
+        """Every record lands in exactly one window, even while windows
+        roll concurrently with the writers."""
+        stats = CallStats()
+        per_thread = 2000
+
+        def writer():
+            for _ in range(per_thread):
+                stats.record("op", 0.0)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        collected = 0
+        while any(t.is_alive() for t in threads):
+            window = stats.snapshot_and_reset()
+            collected += sum(s.calls for s in window.values())
+        for t in threads:
+            t.join()
+        final = stats.snapshot_and_reset()
+        collected += sum(s.calls for s in final.values())
+        assert collected == 4 * per_thread
+
+    def test_error_and_latency_accumulation(self):
+        stats = CallStats()
+        stats.record("op", 0.1)
+        stats.record("op", 0.3, error=True)
+        window = stats.snapshot()["op"]
+        assert window.calls == 2
+        assert window.errors == 1
+        assert window.latency() == 0.2
+
+
+class TestMethodStats:
+    def test_latency_of_idle_method_is_zero(self):
+        assert MethodStats().latency() == 0.0
+
+    def test_mean_latency(self):
+        stats = MethodStats(calls=4, total_latency=1.0)
+        assert stats.latency() == 0.25

@@ -1,0 +1,152 @@
+"""Tests for the discrete-event kernel: ordering, cancellation, clocks."""
+
+import pytest
+
+from repro.sim.clock import SimClock, WallClock
+from repro.sim.kernel import Kernel
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_rejects_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(9.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(2.0)
+        clock.advance(2.0)
+        assert clock.now() == 2.0
+
+
+class TestWallClock:
+    def test_starts_near_zero(self):
+        assert WallClock().now() < 0.5
+
+    def test_is_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestKernelScheduling:
+    def test_call_at_fires_at_scheduled_time(self, kernel):
+        fired = []
+        kernel.call_at(5.0, lambda: fired.append(kernel.clock.now()))
+        kernel.run()
+        assert fired == [5.0]
+
+    def test_call_after_is_relative(self, kernel):
+        kernel.call_at(3.0, lambda: kernel.call_after(2.0, lambda: None))
+        kernel.run()
+        assert kernel.clock.now() == 5.0
+
+    def test_rejects_scheduling_in_past(self, kernel):
+        kernel.call_at(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.call_at(1.0, lambda: None)
+
+    def test_rejects_negative_delay(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.call_after(-1.0, lambda: None)
+
+    def test_same_time_events_fire_in_fifo_order(self, kernel):
+        order = []
+        for i in range(10):
+            kernel.call_at(1.0, lambda i=i: order.append(i))
+        kernel.run()
+        assert order == list(range(10))
+
+    def test_events_fire_in_time_order(self, kernel):
+        order = []
+        kernel.call_at(3.0, lambda: order.append(3))
+        kernel.call_at(1.0, lambda: order.append(1))
+        kernel.call_at(2.0, lambda: order.append(2))
+        kernel.run()
+        assert order == [1, 2, 3]
+
+    def test_cancel_prevents_firing(self, kernel):
+        fired = []
+        call = kernel.call_at(1.0, lambda: fired.append(1))
+        call.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_cancelled_event_does_not_advance_clock(self, kernel):
+        call = kernel.call_at(100.0, lambda: None)
+        call.cancel()
+        kernel.run()
+        assert kernel.clock.now() == 0.0
+
+
+class TestKernelExecution:
+    def test_run_until_stops_at_deadline(self, kernel):
+        fired = []
+        kernel.call_at(1.0, lambda: fired.append(1))
+        kernel.call_at(10.0, lambda: fired.append(10))
+        kernel.run_until(5.0)
+        assert fired == [1]
+        assert kernel.clock.now() == 5.0
+
+    def test_run_until_includes_boundary_events(self, kernel):
+        fired = []
+        kernel.call_at(5.0, lambda: fired.append(5))
+        kernel.run_until(5.0)
+        assert fired == [5]
+
+    def test_run_until_later_resumes_pending(self, kernel):
+        fired = []
+        kernel.call_at(10.0, lambda: fired.append(10))
+        kernel.run_until(5.0)
+        kernel.run_until(15.0)
+        assert fired == [10]
+
+    def test_step_returns_false_when_empty(self, kernel):
+        assert kernel.step() is False
+
+    def test_events_fired_counter(self, kernel):
+        for t in (1.0, 2.0, 3.0):
+            kernel.call_at(t, lambda: None)
+        kernel.run()
+        assert kernel.events_fired == 3
+
+    def test_max_events_bounds_run(self, kernel):
+        for t in range(1, 6):
+            kernel.call_at(float(t), lambda: None)
+        kernel.run(max_events=2)
+        assert kernel.events_fired == 2
+
+    def test_peek_skips_cancelled(self, kernel):
+        first = kernel.call_at(1.0, lambda: None)
+        kernel.call_at(2.0, lambda: None)
+        first.cancel()
+        assert kernel.peek() == 2.0
+
+    def test_handler_can_schedule_more_work(self, kernel):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                kernel.call_after(1.0, lambda: chain(n + 1))
+
+        kernel.call_at(0.0, lambda: chain(1))
+        kernel.run()
+        assert fired == [1, 2, 3, 4, 5]
+        assert kernel.clock.now() == 4.0

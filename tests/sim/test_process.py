@@ -1,0 +1,130 @@
+"""Tests for generator-based processes and one-shot events."""
+
+import pytest
+
+from repro.sim.process import Event, Process, Timeout
+
+
+class TestTimeout:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Timeout(-0.1)
+
+    def test_zero_delay_allowed(self):
+        assert Timeout(0.0).delay == 0.0
+
+
+class TestEvent:
+    def test_not_triggered_initially(self, kernel):
+        assert not Event(kernel).triggered
+
+    def test_value_before_trigger_raises(self, kernel):
+        with pytest.raises(RuntimeError):
+            Event(kernel).value
+
+    def test_succeed_sets_value(self, kernel):
+        event = Event(kernel)
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_double_succeed_raises(self, kernel):
+        event = Event(kernel)
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_callback_after_trigger_still_delivered(self, kernel):
+        event = Event(kernel)
+        event.succeed("x")
+        got = []
+        event.add_callback(got.append)
+        kernel.run()
+        assert got == ["x"]
+
+    def test_multiple_waiters_all_woken(self, kernel):
+        event = Event(kernel)
+        got = []
+        event.add_callback(lambda v: got.append(("a", v)))
+        event.add_callback(lambda v: got.append(("b", v)))
+        kernel.call_at(1.0, lambda: event.succeed(7))
+        kernel.run()
+        assert got == [("a", 7), ("b", 7)]
+
+
+class TestProcess:
+    def test_process_advances_through_timeouts(self, kernel):
+        trace = []
+
+        def proc():
+            trace.append(kernel.clock.now())
+            yield Timeout(2.0)
+            trace.append(kernel.clock.now())
+            yield Timeout(3.0)
+            trace.append(kernel.clock.now())
+
+        Process(kernel, proc())
+        kernel.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_process_return_value(self, kernel):
+        def proc():
+            yield Timeout(1.0)
+            return "done"
+
+        p = Process(kernel, proc())
+        kernel.run()
+        assert p.finished
+        assert p.result == "done"
+
+    def test_process_waits_on_event(self, kernel):
+        event = Event(kernel)
+        got = []
+
+        def proc():
+            value = yield event
+            got.append((kernel.clock.now(), value))
+
+        Process(kernel, proc())
+        kernel.call_at(4.0, lambda: event.succeed("payload"))
+        kernel.run()
+        assert got == [(4.0, "payload")]
+
+    def test_process_joins_another_process(self, kernel):
+        def worker():
+            yield Timeout(5.0)
+            return 99
+
+        def waiter(w):
+            result = yield w
+            return result * 2
+
+        w = Process(kernel, worker())
+        j = Process(kernel, waiter(w))
+        kernel.run()
+        assert j.result == 198
+        assert kernel.clock.now() == 5.0
+
+    def test_yielding_garbage_raises(self, kernel):
+        def proc():
+            yield "not a wait"
+
+        Process(kernel, proc())
+        with pytest.raises(TypeError):
+            kernel.run()
+
+    def test_many_processes_interleave_deterministically(self, kernel):
+        trace = []
+
+        def proc(name, delay):
+            for _ in range(3):
+                yield Timeout(delay)
+                trace.append((kernel.clock.now(), name))
+
+        Process(kernel, proc("a", 1.0))
+        Process(kernel, proc("b", 1.5))
+        kernel.run()
+        assert trace == [
+            (1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"), (3.0, "a"),
+            (4.5, "b"),
+        ]

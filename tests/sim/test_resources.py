@@ -1,0 +1,107 @@
+"""Tests for FIFO resources and time-weighted gauges."""
+
+import pytest
+
+from repro.sim.process import Process, Timeout
+from repro.sim.resources import Gauge, Resource
+
+
+class TestResource:
+    def test_rejects_zero_capacity(self, kernel):
+        with pytest.raises(ValueError):
+            Resource(kernel, capacity=0)
+
+    def test_acquire_within_capacity_is_immediate(self, kernel):
+        res = Resource(kernel, capacity=2)
+        assert res.acquire().triggered
+        assert res.acquire().triggered
+        assert res.in_use == 2
+
+    def test_acquire_beyond_capacity_queues(self, kernel):
+        res = Resource(kernel, capacity=1)
+        res.acquire()
+        waiting = res.acquire()
+        assert not waiting.triggered
+        assert res.queue_length == 1
+
+    def test_release_hands_unit_to_waiter(self, kernel):
+        res = Resource(kernel, capacity=1)
+        res.acquire()
+        waiting = res.acquire()
+        res.release()
+        assert waiting.triggered
+        assert res.in_use == 1
+        assert res.queue_length == 0
+
+    def test_release_without_acquire_raises(self, kernel):
+        with pytest.raises(RuntimeError):
+            Resource(kernel).release()
+
+    def test_try_acquire(self, kernel):
+        res = Resource(kernel, capacity=1)
+        assert res.try_acquire() is True
+        assert res.try_acquire() is False
+        res.release()
+        assert res.try_acquire() is True
+
+    def test_utilization(self, kernel):
+        res = Resource(kernel, capacity=4)
+        res.acquire()
+        res.acquire()
+        assert res.utilization() == 0.5
+
+    def test_fifo_service_order_under_contention(self, kernel):
+        res = Resource(kernel, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            grant = res.acquire()
+            if not grant.triggered:
+                yield grant
+            order.append(("start", name, kernel.clock.now()))
+            yield Timeout(hold)
+            res.release()
+
+        Process(kernel, worker("a", 2.0))
+        Process(kernel, worker("b", 1.0))
+        Process(kernel, worker("c", 1.0))
+        kernel.run()
+        assert [name for _, name, _ in order] == ["a", "b", "c"]
+
+
+class TestGauge:
+    def test_initial_value(self, kernel):
+        assert Gauge(kernel, initial=3.0).value == 3.0
+
+    def test_window_average_constant(self, kernel):
+        gauge = Gauge(kernel, initial=5.0)
+        kernel.call_at(10.0, lambda: None)
+        kernel.run()
+        assert gauge.window_average() == pytest.approx(5.0)
+
+    def test_window_average_weighted_by_time(self, kernel):
+        gauge = Gauge(kernel, initial=0.0)
+        kernel.call_at(5.0, lambda: gauge.set(10.0))
+        kernel.call_at(10.0, lambda: None)
+        kernel.run()
+        # 5 s at 0 plus 5 s at 10 -> mean 5
+        assert gauge.window_average() == pytest.approx(5.0)
+
+    def test_window_reset(self, kernel):
+        gauge = Gauge(kernel, initial=2.0)
+        kernel.call_at(4.0, lambda: None)
+        kernel.run()
+        gauge.window_average(reset=True)
+        gauge.set(8.0)
+        kernel.call_at(8.0, lambda: None)
+        kernel.run()
+        assert gauge.window_average() == pytest.approx(8.0)
+
+    def test_add_is_relative(self, kernel):
+        gauge = Gauge(kernel, initial=1.0)
+        gauge.add(2.5)
+        assert gauge.value == 3.5
+
+    def test_zero_span_returns_current_value(self, kernel):
+        gauge = Gauge(kernel, initial=7.0)
+        assert gauge.window_average() == 7.0

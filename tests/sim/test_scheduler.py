@@ -1,0 +1,53 @@
+"""Tests for the wall-clock ThreadScheduler (live mode)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sim.scheduler import ThreadScheduler
+
+
+class TestThreadScheduler:
+    def test_callback_fires(self):
+        sched = ThreadScheduler()
+        fired = threading.Event()
+        sched.call_after(0.01, fired.set)
+        assert fired.wait(timeout=2.0)
+        sched.shutdown()
+
+    def test_rejects_negative_delay(self):
+        sched = ThreadScheduler()
+        with pytest.raises(ValueError):
+            sched.call_after(-1.0, lambda: None)
+        sched.shutdown()
+
+    def test_cancel_prevents_firing(self):
+        sched = ThreadScheduler()
+        fired = threading.Event()
+        handle = sched.call_after(0.2, fired.set)
+        handle.cancel()
+        time.sleep(0.35)
+        assert not fired.is_set()
+        sched.shutdown()
+
+    def test_shutdown_cancels_pending(self):
+        sched = ThreadScheduler()
+        fired = threading.Event()
+        sched.call_after(0.3, fired.set)
+        sched.shutdown()
+        time.sleep(0.45)
+        assert not fired.is_set()
+
+    def test_schedule_after_shutdown_raises(self):
+        sched = ThreadScheduler()
+        sched.shutdown()
+        with pytest.raises(RuntimeError):
+            sched.call_after(0.01, lambda: None)
+
+    def test_clock_advances(self):
+        sched = ThreadScheduler()
+        a = sched.clock.now()
+        time.sleep(0.02)
+        assert sched.clock.now() > a
+        sched.shutdown()

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigureCommand:
+    def test_agility_panel(self, capsys):
+        assert main(["figure", "7c"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7c" in out
+        assert "elasticrmi" in out
+        assert "overprovisioning" in out
+
+    def test_workload_trace(self, capsys):
+        assert main(["figure", "7a", "--app", "paxos"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7a (paxos)" in out
+
+    def test_provisioning_figure(self, capsys):
+        assert main(["figure", "8a"]) == 0
+        out = capsys.readouterr().out
+        assert "provisioning latency" in out
+        assert "marketcetera" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "9z"]) == 2
+
+
+class TestAblationCommand:
+    def test_policy_ablation(self, capsys):
+        assert main(["ablation", "policy"]) == 0
+        out = capsys.readouterr().out
+        assert "fine-grained" in out
+        assert "cpu-mem-thresholds" in out
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "nonsense"])
+
+
+class TestAnalyzeCommand:
+    def test_analyze_real_app(self, capsys):
+        code = main(["analyze", "repro.apps.dcs.service:CoordinationService"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CoordinationService" in out
+        assert "fine-grained" in out
+
+    def test_analyze_bad_target_format(self, capsys):
+        assert main(["analyze", "no-colon"]) == 2
+
+    def test_analyze_failing_class_exits_nonzero(self, capsys, tmp_path,
+                                                 monkeypatch):
+        module_dir = tmp_path / "clipkg"
+        module_dir.mkdir()
+        (module_dir / "__init__.py").write_text("")
+        (module_dir / "bad.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.core.api import ElasticObject
+
+                class Bad(ElasticObject):
+                    def __init__(self):
+                        super().__init__()
+                        self.set_min_pool_size(1)
+
+                    def op(self):
+                        pass
+                """
+            )
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        assert main(["analyze", "clipkg.bad:Bad"]) == 1
+
+
+class TestTransformCommand:
+    SOURCE = textwrap.dedent(
+        """
+        class C(ElasticObject):
+            x = 0
+
+            # synchronized
+            def bar(self):
+                pass
+        """
+    )
+
+    def test_transform_to_stdout(self, capsys, tmp_path):
+        src = tmp_path / "c.py"
+        src.write_text(self.SOURCE)
+        assert main(["transform", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "elastic_field(default=0)" in out
+        assert "@synchronized" in out
+
+    def test_transform_to_file(self, capsys, tmp_path):
+        src = tmp_path / "c.py"
+        dst = tmp_path / "c_out.py"
+        src.write_text(self.SOURCE)
+        assert main(["transform", str(src), "-o", str(dst)]) == 0
+        assert "elastic_field(default=0)" in dst.read_text()

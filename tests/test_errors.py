@@ -1,0 +1,81 @@
+"""Tests for the exception taxonomy: applications must be able to catch
+failures at any granularity the paper's fault model defines."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_an_elasticrmi_error(self):
+        leaf_types = [
+            errors.ConnectError, errors.MarshalError, errors.UnmarshalError,
+            errors.NoSuchObjectError, errors.NotBoundError,
+            errors.AlreadyBoundError, errors.ApplicationError,
+            errors.InsufficientResourcesError, errors.MasterUnavailableError,
+            errors.SliceError, errors.StoreUnavailableError,
+            errors.KeyNotFoundError, errors.CASMismatchError,
+            errors.LockTimeoutError, errors.LockNotHeldError,
+            errors.PoolConfigurationError, errors.PoolShutdownError,
+            errors.MemberDrainedError, errors.ScalingDisabledError,
+        ]
+        for exc_type in leaf_types:
+            assert issubclass(exc_type, errors.ElasticRMIError), exc_type
+
+    def test_rmi_failures_are_remote_errors(self):
+        for exc_type in (
+            errors.ConnectError, errors.MarshalError, errors.UnmarshalError,
+            errors.NoSuchObjectError, errors.ApplicationError,
+        ):
+            assert issubclass(exc_type, errors.RemoteError)
+
+    def test_cluster_failures_are_cluster_errors(self):
+        for exc_type in (
+            errors.InsufficientResourcesError,
+            errors.MasterUnavailableError, errors.SliceError,
+        ):
+            assert issubclass(exc_type, errors.ClusterError)
+
+    def test_store_failures_are_store_errors(self):
+        for exc_type in (
+            errors.StoreUnavailableError, errors.KeyNotFoundError,
+            errors.CASMismatchError, errors.LockError,
+        ):
+            assert issubclass(exc_type, errors.StoreError)
+
+    def test_lock_failures_are_lock_errors(self):
+        assert issubclass(errors.LockTimeoutError, errors.LockError)
+        assert issubclass(errors.LockNotHeldError, errors.LockError)
+
+    def test_pool_failures_are_pool_errors(self):
+        for exc_type in (
+            errors.PoolConfigurationError, errors.PoolShutdownError,
+            errors.MemberDrainedError, errors.ScalingDisabledError,
+        ):
+            assert issubclass(exc_type, errors.PoolError)
+
+
+class TestRemoteErrorCause:
+    def test_cause_is_carried(self):
+        inner = ValueError("inner")
+        outer = errors.RemoteError("outer", cause=inner)
+        assert outer.cause is inner
+
+    def test_cause_defaults_to_none(self):
+        assert errors.RemoteError("msg").cause is None
+
+    def test_application_error_preserves_cause_type(self):
+        cause = KeyError("k")
+        err = errors.ApplicationError("remote raised", cause=cause)
+        assert isinstance(err.cause, KeyError)
+
+    def test_catching_by_family(self):
+        """An application can catch all RMI transport trouble with one
+        except clause while letting store failures pass."""
+        try:
+            raise errors.ConnectError("endpoint down")
+        except errors.RemoteError as exc:
+            assert "endpoint down" in str(exc)
+
+        with pytest.raises(errors.StoreError):
+            raise errors.KeyNotFoundError("k")

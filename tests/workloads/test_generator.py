@@ -1,0 +1,65 @@
+"""Tests for arrival generation."""
+
+import random
+
+import pytest
+
+from repro.workloads.generator import ArrivalGenerator
+from repro.workloads.patterns import PiecewiseLinearPattern
+
+
+def flat_pattern(rate):
+    return PiecewiseLinearPattern([(0, 1.0), (100, 1.0)], magnitude=rate)
+
+
+@pytest.fixture
+def gen():
+    return ArrivalGenerator(flat_pattern(10.0), random.Random(1))
+
+
+class TestArrivalsBetween:
+    def test_mean_matches_rate(self, gen):
+        total = sum(gen.arrivals_between(i * 10.0, (i + 1) * 10.0) for i in range(50))
+        # 500 s at 10/s -> ~5000 arrivals; Poisson sd ~ 70.
+        assert 4600 < total < 5400
+
+    def test_empty_interval(self, gen):
+        assert gen.arrivals_between(5.0, 5.0) == 0
+
+    def test_reversed_interval_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen.arrivals_between(10.0, 5.0)
+
+    def test_deterministic_for_seed(self):
+        a = ArrivalGenerator(flat_pattern(10.0), random.Random(9))
+        b = ArrivalGenerator(flat_pattern(10.0), random.Random(9))
+        assert [a.arrivals_between(0, 10)] == [b.arrivals_between(0, 10)]
+
+    def test_large_rate_uses_normal_approximation(self):
+        gen = ArrivalGenerator(flat_pattern(100_000.0), random.Random(2))
+        count = gen.arrivals_between(0.0, 1.0)
+        assert 98_000 < count < 102_000
+
+
+class TestArrivalTimes:
+    def test_times_within_interval_and_sorted(self, gen):
+        times = gen.arrival_times(10.0, 20.0)
+        assert all(10.0 <= t < 20.0 for t in times)
+        assert times == sorted(times)
+
+    def test_thinning_follows_ramp(self):
+        ramp = PiecewiseLinearPattern([(0, 0.0), (100, 1.0)], magnitude=20.0)
+        gen = ArrivalGenerator(ramp, random.Random(3))
+        early = len(gen.arrival_times(0, 1000))
+        late = len(gen.arrival_times(5000, 6000))
+        assert late > early * 2
+
+    def test_zero_rate_produces_nothing(self):
+        silent = PiecewiseLinearPattern([(0, 0.0), (10, 0.0)], magnitude=1.0)
+        gen = ArrivalGenerator(silent, random.Random(4))
+        assert gen.arrival_times(0, 100) == []
+
+    def test_peak_rate_scan(self):
+        ramp = PiecewiseLinearPattern([(0, 0.1), (100, 0.9)], magnitude=100.0)
+        gen = ArrivalGenerator(ramp, random.Random(5))
+        assert gen.peak_rate() == pytest.approx(90.0)

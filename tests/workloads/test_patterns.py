@@ -1,0 +1,143 @@
+"""Tests for the Figure 7a/7b workload patterns."""
+
+import pytest
+
+from repro.workloads.patterns import (
+    POINT_A,
+    AbruptPattern,
+    CyclicPattern,
+    PiecewiseLinearPattern,
+    abrupt_for,
+    cyclic_for,
+    point_b,
+)
+
+
+class TestMagnitudes:
+    def test_paper_point_a_values(self):
+        assert POINT_A["marketcetera"] == 50_000
+        assert POINT_A["dcs"] == 75_000
+        assert POINT_A["paxos"] == 24_000
+        assert POINT_A["hedwig"] == 30_000
+
+    def test_point_b_is_20_percent_above_a(self):
+        for app in POINT_A:
+            assert point_b(app) == pytest.approx(POINT_A[app] * 1.2)
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_linearly(self):
+        p = PiecewiseLinearPattern([(0, 0.0), (10, 1.0)], magnitude=100)
+        assert p.rate(5 * 60) == pytest.approx(50.0)
+
+    def test_clamps_before_and_after(self):
+        p = PiecewiseLinearPattern([(0, 0.2), (10, 0.8)], magnitude=100)
+        assert p.rate(-5) == pytest.approx(20.0)
+        assert p.rate(1e9) == pytest.approx(80.0)
+
+    def test_step_discontinuity(self):
+        p = PiecewiseLinearPattern(
+            [(0, 0.1), (5, 0.1), (5, 0.9), (10, 0.9)], magnitude=100
+        )
+        assert p.rate(4.9 * 60) == pytest.approx(10.0, abs=0.5)
+        assert p.rate(5.1 * 60) == pytest.approx(90.0, abs=0.5)
+
+    def test_unordered_points_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearPattern([(5, 0.1), (0, 0.2)], magnitude=1)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearPattern([(0, 0.5)], magnitude=1)
+
+    def test_non_positive_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearPattern([(0, 0.1), (1, 0.2)], magnitude=0)
+
+
+class TestAbruptPattern:
+    def test_duration_450_minutes(self):
+        assert AbruptPattern(1000).duration_s == 450 * 60
+
+    def test_peak_reaches_point_a(self):
+        pattern = AbruptPattern(50_000)
+        peak = max(pattern.rate(t * 60) for t in range(451))
+        assert peak == pytest.approx(50_000)
+
+    def test_contains_abrupt_increase(self):
+        """Somewhere the rate must jump by more than half the magnitude
+        within five minutes — the 'rapid increase' scenario."""
+        pattern = AbruptPattern(1000)
+        jumps = [
+            pattern.rate((m + 5) * 60) - pattern.rate(m * 60)
+            for m in range(0, 446)
+        ]
+        assert max(jumps) > 400
+
+    def test_contains_abrupt_decrease(self):
+        pattern = AbruptPattern(1000)
+        jumps = [
+            pattern.rate((m + 5) * 60) - pattern.rate(m * 60)
+            for m in range(0, 446)
+        ]
+        assert min(jumps) < -400
+
+    def test_contains_gradual_increase(self):
+        """The first phase climbs slowly: positive trend, small steps."""
+        pattern = AbruptPattern(1000)
+        rates = [pattern.rate(m * 60) for m in range(0, 150, 10)]
+        deltas = [b - a for a, b in zip(rates, rates[1:])]
+        assert all(d >= 0 for d in deltas)
+        assert all(d < 100 for d in deltas)
+
+    def test_never_negative(self):
+        pattern = AbruptPattern(1000)
+        assert all(pattern.rate(t * 60) >= 0 for t in range(451))
+
+
+class TestCyclicPattern:
+    def test_duration_500_minutes(self):
+        assert CyclicPattern(1000).duration_s == 500 * 60
+
+    def test_peak_reaches_point_b(self):
+        pattern = CyclicPattern(36_000)
+        peak = max(pattern.rate(t * 30) for t in range(1001))
+        assert peak == pytest.approx(36_000, rel=0.01)
+
+    def test_three_cycles(self):
+        """The workload returns to its base three times (paper: the
+        pattern 'repeats three times')."""
+        pattern = CyclicPattern(1000, cycles=3)
+        base = pattern.rate(0)
+        minima = 0
+        step = 60.0
+        rates = [pattern.rate(t * step) for t in range(int(pattern.duration_s / step) + 1)]
+        for i in range(1, len(rates) - 1):
+            if rates[i] <= rates[i - 1] and rates[i] <= rates[i + 1]:
+                if rates[i] < base * 1.05:
+                    minima += 1
+        assert minima >= 2  # interior troughs between the 3 peaks
+
+    def test_base_fraction_floor(self):
+        pattern = CyclicPattern(1000, base_fraction=0.4)
+        assert min(pattern.rate(t * 60) for t in range(501)) >= 399
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicPattern(0)
+        with pytest.raises(ValueError):
+            CyclicPattern(100, base_fraction=1.5)
+        with pytest.raises(ValueError):
+            CyclicPattern(100, cycles=0)
+
+
+class TestHelpers:
+    def test_abrupt_for_uses_point_a(self):
+        assert abrupt_for("paxos").magnitude == POINT_A["paxos"]
+
+    def test_cyclic_for_uses_point_b(self):
+        assert cyclic_for("hedwig").magnitude == pytest.approx(36_000)
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            abrupt_for("unknown-app")
