@@ -8,7 +8,9 @@ Commands:
 - ``analyze <module>:<Class>`` — run the preprocessor's static analysis
   on an elastic class and print the report;
 - ``transform <file.py>`` — apply the Figure 6 source rewrite and print
-  (or write) the transformed module.
+  (or write) the transformed module;
+- ``bench`` — run the RMI hot-path benchmark suite and emit a
+  ``BENCH_*.json`` report (schema documented in README.md).
 """
 
 from __future__ import annotations
@@ -148,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.set_defaults(fn=_cmd_report)
 
+    bench_cmd = sub.add_parser(
+        "bench", help="run the RMI hot-path benchmark suite"
+    )
+    bench_cmd.add_argument(
+        "-o", "--output", default="BENCH_rmi_hotpath.json",
+        help="report path (default: BENCH_rmi_hotpath.json)",
+    )
+    bench_cmd.add_argument(
+        "--scale", type=float, default=None,
+        help="iteration scale factor (default: ERMI_BENCH_SCALE or 1.0)",
+    )
+    bench_cmd.set_defaults(fn=_cmd_bench)
+
     return parser
 
 
@@ -163,6 +178,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0 if all(held for _, held in evaluation.claims()) else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.benchreport import (
+        format_table,
+        run_hotpath_suite,
+        write_report,
+    )
+
+    records = run_hotpath_suite(scale=args.scale)
+    write_report(args.output, "rmi_hotpath", records)
+    print(format_table(records))
+    print(f"wrote {args.output}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:

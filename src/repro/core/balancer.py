@@ -23,13 +23,14 @@ ElasticRMI uses a *hybrid* model (paper section 4.3):
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ConnectError, MemberDrainedError, RemoteError
-from repro.rmi.marshal import marshal_value, unmarshal_value
+from repro.rmi.fastpath import marshal_call, unmarshal_result
 from repro.rmi.remote import RemoteRef, Stub
 from repro.rmi.transport import Request, Transport
 
@@ -48,6 +49,16 @@ class ElasticStub:
     Appears to the application as a single remote object: attribute access
     returns invokers, failures of individual members are masked by retry,
     and only total pool failure propagates.
+
+    Membership caching is *epoch-based* when an ``epoch_source`` is given
+    (the runtime wires one that reads the pool's epoch key the sentinel
+    bumps in the KV store on every membership change): the common path
+    reads the cached member list with no lock at all — the list reference
+    is swapped atomically on refresh and the round-robin cursor is an
+    ``itertools.count`` (atomic in CPython) — and identities are re-read
+    from the sentinel only when the epoch moves.  Without an epoch source
+    the stub falls back to the legacy count-based refresh (re-fetch every
+    ``refresh_every`` calls).
     """
 
     def __init__(
@@ -58,6 +69,7 @@ class ElasticStub:
         caller: str = "client",
         rng: Any = None,
         refresh_every: int = 64,
+        epoch_source: Callable[[], int] | None = None,
     ) -> None:
         self._transport = transport
         self._resolve_sentinel = sentinel_resolver
@@ -65,9 +77,12 @@ class ElasticStub:
         self._caller = caller
         self._rng = rng
         self._refresh_every = refresh_every
+        self._epoch_source = epoch_source
+        self._epoch = -1  # epoch the cached members belong to
         self._members: list[RemoteRef] = []
-        self._rr_index = 0
+        self._rr = itertools.count()
         self._calls_since_refresh = 0
+        self._discarded: set[RemoteRef] = set()
         self._lock = threading.Lock()
 
     # -- public proxy surface -------------------------------------------------
@@ -88,40 +103,66 @@ class ElasticStub:
 
     # -- membership -------------------------------------------------------------
 
-    def _refresh_members(self) -> None:
-        """Fetch identities from the sentinel (first contact / recovery)."""
+    def _refresh_members(self, epoch: int | None = None) -> None:
+        """Fetch identities from the sentinel (first contact, an epoch
+        move, or failure recovery)."""
         sentinel = self._resolve_sentinel()
         stub = Stub(self._transport, sentinel, caller=self._caller)
         refs = stub.ermi_member_identities()
         with self._lock:
+            # A previously-discarded member re-appearing means the
+            # rotation positions shifted under us: restart the cursor so
+            # round-robin stays balanced instead of skewing toward the
+            # members that happened to follow the revived slot.
+            if any(ref in self._discarded for ref in refs):
+                self._rr = itertools.count()
+            self._discarded.clear()
             self._members = list(refs)
             self._calls_since_refresh = 0
+            if epoch is not None:
+                self._epoch = epoch
+
+    def _read_epoch(self) -> int:
+        try:
+            return int(self._epoch_source())
+        except Exception:
+            # Store hiccup: serve the cached membership; failures of the
+            # cached members themselves still trigger refresh via retry.
+            return self._epoch
 
     def _targets(self) -> list[RemoteRef]:
-        with self._lock:
-            needs_refresh = (
-                not self._members
-                or self._calls_since_refresh >= self._refresh_every
-            )
-        if needs_refresh:
-            self._refresh_members()
-        with self._lock:
-            self._calls_since_refresh += 1
-            members = list(self._members)
-            if not members:
-                raise ConnectError("elastic pool has no members")
-            if self._mode is BalancingMode.RANDOM and self._rng is not None:
-                start = self._rng.randrange(len(members))
-            else:
-                start = self._rr_index % len(members)
-                self._rr_index += 1
+        if self._epoch_source is not None:
+            # Epoch path: lock-free unless the epoch moved.
+            members = self._members
+            epoch = self._read_epoch()
+            if not members or epoch != self._epoch:
+                self._refresh_members(epoch=epoch)
+                members = self._members
+        else:
+            # Legacy path: count-based periodic refresh.
+            with self._lock:
+                needs_refresh = (
+                    not self._members
+                    or self._calls_since_refresh >= self._refresh_every
+                )
+            if needs_refresh:
+                self._refresh_members()
+            with self._lock:
+                self._calls_since_refresh += 1
+                members = self._members
+        if not members:
+            raise ConnectError("elastic pool has no members")
+        if self._mode is BalancingMode.RANDOM and self._rng is not None:
+            start = self._rng.randrange(len(members))
+        else:
+            start = next(self._rr) % len(members)
         # Rotation: primary target first, the rest are failover order.
         return members[start:] + members[:start]
 
     # -- invocation --------------------------------------------------------------
 
     def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
-        payload = marshal_value((args, kwargs))
+        payload = marshal_call(args, kwargs)
         last_error: Exception | None = None
         for attempt in range(2):  # second pass after a membership refresh
             try:
@@ -149,7 +190,7 @@ class ElasticStub:
             cause=last_error,
         )
 
-    def _invoke_one(self, ref: RemoteRef, method: str, payload: bytes) -> Any:
+    def _invoke_one(self, ref: RemoteRef, method: str, payload: Any) -> Any:
         from repro.errors import ApplicationError  # local to avoid cycle noise
 
         hops = 0
@@ -162,9 +203,9 @@ class ElasticStub:
             )
             response = self._transport.invoke(ref.endpoint_id, request)
             if response.kind == "result":
-                return unmarshal_value(response.payload)
+                return unmarshal_result(response.payload)
             if response.kind == "error":
-                cause = unmarshal_value(response.payload)
+                cause = unmarshal_result(response.payload)
                 raise ApplicationError(
                     f"remote method {method!r} raised "
                     f"{type(cause).__name__}: {cause}",
@@ -182,7 +223,9 @@ class ElasticStub:
 
     def _discard(self, ref: RemoteRef) -> None:
         with self._lock:
+            # Replace (never mutate) the list: readers hold no lock.
             self._members = [m for m in self._members if m != ref]
+            self._discarded.add(ref)
 
 
 class FractionalRedirect:

@@ -190,6 +190,23 @@ class ElasticObjectPool:
         stub fetches on first contact."""
         return [m.ref() for m in self.active_members()]
 
+    def membership_epoch_key(self) -> str:
+        """KV-store key of this pool's membership epoch."""
+        return f"{self.name}$epoch"
+
+    def _bump_epoch(self) -> None:
+        """Advance the membership epoch in the shared store.
+
+        Client stubs compare this epoch against their cached one and
+        re-fetch identities only when it moves — keeping membership
+        refresh off the invocation data path (no count-based rescans).
+        """
+        try:
+            self.services.store.incr(self.membership_epoch_key())
+        except Exception:
+            # Store outage: stubs fall back to failure-driven refresh.
+            pass
+
     # ------------------------------------------------------------------
     # instantiation and growth
     # ------------------------------------------------------------------
@@ -293,6 +310,7 @@ class ElasticObjectPool:
             lambda ids: {**(ids or {}), member.uid: member.ref()},
             default={},
         )
+        self._bump_epoch()
         self.services.on_membership_change(self)
 
     # ------------------------------------------------------------------
@@ -347,6 +365,7 @@ class ElasticObjectPool:
             latency,
             lambda: self._finalize_removal(member, drain_started),
         )
+        self._bump_epoch()
         self.services.on_membership_change(self)
 
     def _finalize_removal(self, member: PoolMember, drain_started: float) -> None:
@@ -388,6 +407,7 @@ class ElasticObjectPool:
             },
             default={},
         )
+        self._bump_epoch()
         if release_slice:
             try:
                 self.services.master.release_slice(

@@ -289,13 +289,20 @@ class ElasticRuntime:
         mode: BalancingMode = BalancingMode.ROUND_ROBIN,
         caller: str = "client",
     ) -> ElasticStub:
-        """Client stub for a pool: one remote object, load balanced."""
+        """Client stub for a pool: one remote object, load balanced.
+
+        The stub caches member identities against the pool's membership
+        epoch in the shared store, so its common path is lock-free and
+        identities are only re-fetched when the pool actually changed.
+        """
+        epoch_key = f"{name}$epoch"
         return ElasticStub(
             transport=self.transport,
             sentinel_resolver=lambda: self.registry.lookup(name),
             mode=mode,
             caller=caller,
             rng=self.rng.stream(f"stub:{name}:{caller}"),
+            epoch_source=lambda: self.store.get(epoch_key, default=0),
         )
 
     # ------------------------------------------------------------------

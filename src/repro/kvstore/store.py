@@ -3,7 +3,9 @@
 Semantics mirror what ElasticRMI needs from HyperDex (paper section 4.1):
 
 - per-key linearizability: every get/put/cas on one key is serialized by
-  the partition lock that owns the key;
+  the stripe lock that owns the key within its partition — lock striping,
+  so concurrent operations on *different* keys of the same partition
+  never contend;
 - versioned entries: each successful write bumps a monotonic version,
   giving CAS a sound foundation;
 - durability equals Java RMI's (state lives in RAM; a store-node failure
@@ -40,14 +42,34 @@ class VersionedValue:
 
 
 class Partition:
-    """One store node's shard: a dict guarded by a reentrant lock."""
+    """One store node's shard: a dict guarded by striped reentrant locks.
 
-    def __init__(self, node: str) -> None:
+    Keys hash to one of ``stripes`` locks, so per-key operations on
+    different keys proceed in parallel while same-key operations stay
+    linearizable.  Operation counts are kept per stripe (each mutated
+    only under its own lock) and summed on read, so accounting never
+    adds cross-stripe contention.
+    """
+
+    def __init__(self, node: str, stripes: int = 16) -> None:
+        if stripes < 1 or stripes & (stripes - 1):
+            raise ValueError(f"stripes must be a power of two: {stripes}")
         self.node = node
         self.data: dict[str, VersionedValue] = {}
-        self.lock = threading.RLock()
         self.alive = True
-        self.op_count = 0
+        self._mask = stripes - 1
+        self._stripes = [threading.RLock() for _ in range(stripes)]
+        self._op_counts = [0] * stripes
+
+    def stripe_of(self, key: str) -> int:
+        return hash(key) & self._mask
+
+    def lock_for(self, key: str) -> threading.RLock:
+        return self._stripes[self.stripe_of(key)]
+
+    @property
+    def op_count(self) -> int:
+        return sum(self._op_counts)
 
     def __len__(self) -> int:
         return len(self.data)
@@ -67,22 +89,25 @@ class HyperStore:
         vnodes: int = 64,
         track_hot_keys: bool = False,
         on_op: Callable[[str, str], None] | None = None,
+        stripes_per_partition: int = 16,
     ) -> None:
         if nodes < 1:
             raise ValueError(f"store needs at least one node: {nodes}")
         self._ring = HashRing(vnodes=vnodes)
         self._partitions: dict[str, Partition] = {}
         self._membership_lock = threading.RLock()
+        self._stripes = stripes_per_partition
         self._on_op = on_op
         self._track_hot = track_hot_keys
         self._key_hits: dict[str, int] = {}
+        self._hot_lock = threading.Lock()
         for i in range(nodes):
             self._add_partition(f"store-{i}")
 
     # -- membership -----------------------------------------------------------
 
     def _add_partition(self, node: str) -> None:
-        self._partitions[node] = Partition(node)
+        self._partitions[node] = Partition(node, stripes=self._stripes)
         self._ring.add_node(node)
 
     def add_node(self) -> str:
@@ -104,8 +129,13 @@ class HyperStore:
                 if new_owner != owner:
                     src = self._partitions[owner]
                     dst = self._partitions[new_owner]
-                    with src.lock, dst.lock:
-                        dst.data[key] = src.data.pop(key)
+                    # Stripe locks only; per-key ops hold exactly one
+                    # lock, and concurrent migrations are serialized by
+                    # the membership lock, so this pair cannot deadlock.
+                    with src.lock_for(key), dst.lock_for(key):
+                        entry = src.data.pop(key, None)
+                        if entry is not None:
+                            dst.data[key] = entry
             return node
 
     def node_count(self) -> int:
@@ -130,7 +160,7 @@ class HyperStore:
         """Read a key; raises :class:`KeyNotFoundError` when absent
         unless ``default`` is given."""
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("get", key, part)
             entry = part.data.get(key)
             if entry is None:
@@ -142,7 +172,7 @@ class HyperStore:
     def get_versioned(self, key: str) -> VersionedValue:
         """Read a key together with its write version."""
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("get", key, part)
             entry = part.data.get(key)
             if entry is None:
@@ -152,7 +182,7 @@ class HyperStore:
     def put(self, key: str, value: Any) -> int:
         """Write ``value``; returns the new version."""
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("put", key, part)
             entry = part.data.get(key)
             version = 1 if entry is None else entry.version + 1
@@ -165,7 +195,7 @@ class HyperStore:
         A missing key matches ``expected is None`` (create-if-absent).
         """
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("cas", key, part)
             entry = part.data.get(key)
             current = None if entry is None else entry.value
@@ -181,7 +211,7 @@ class HyperStore:
         """Atomic integer add; missing keys start at zero.  Returns the
         post-increment value."""
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("incr", key, part)
             entry = part.data.get(key)
             current = 0 if entry is None else entry.value
@@ -194,13 +224,13 @@ class HyperStore:
     def delete(self, key: str) -> bool:
         """Remove ``key``; True if it existed."""
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("delete", key, part)
             return part.data.pop(key, None) is not None
 
     def exists(self, key: str) -> bool:
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("get", key, part)
             return key in part.data
 
@@ -211,7 +241,7 @@ class HyperStore:
         returns the new value, which is stored and returned.
         """
         part = self._owner(key)
-        with part.lock:
+        with part.lock_for(key):
             self._account("update", key, part)
             entry = part.data.get(key)
             current = default if entry is None else entry.value
@@ -226,9 +256,11 @@ class HyperStore:
         """All keys (optionally filtered by prefix), across partitions."""
         for part in list(self._partitions.values()):
             self._check_alive(part)
-            with part.lock:
-                snapshot = [k for k in part.data if k.startswith(prefix)]
-            yield from snapshot
+            # list(dict) is a single C-level operation under the GIL, so
+            # this snapshot is safe against concurrent striped writers
+            # without taking (and thereby stalling) every stripe lock.
+            snapshot = list(part.data)
+            yield from (k for k in snapshot if k.startswith(prefix))
 
     def search(self, prefix: str, **predicates: Any) -> list[tuple[str, Any]]:
         """HyperDex-style secondary-attribute search over dict values.
@@ -289,8 +321,11 @@ class HyperStore:
             raise StoreUnavailableError(f"store node {part.node} is down")
 
     def _account(self, op: str, key: str, part: Partition) -> None:
-        part.op_count += 1
+        # Called with the key's stripe lock held: the stripe's cell has a
+        # single writer at a time, so the bare increment is safe.
+        part._op_counts[part.stripe_of(key)] += 1
         if self._track_hot:
-            self._key_hits[key] = self._key_hits.get(key, 0) + 1
+            with self._hot_lock:
+                self._key_hits[key] = self._key_hits.get(key, 0) + 1
         if self._on_op is not None:
             self._on_op(op, key)

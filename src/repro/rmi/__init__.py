@@ -18,6 +18,16 @@ machinery; this package rebuilds that machinery in Python:
   :class:`~repro.errors.RemoteError` subclasses.
 """
 
+from repro.rmi.fastpath import (
+    FastPayload,
+    MarshalCache,
+    is_immutable,
+    marshal_call,
+    marshal_result,
+    register_immutable,
+    unmarshal_call,
+    unmarshal_result,
+)
 from repro.rmi.marshal import marshal_value, unmarshal_value
 from repro.rmi.registry import Registry
 from repro.rmi.remote import (
@@ -39,6 +49,8 @@ __all__ = [
     "CallStats",
     "DirectTransport",
     "Endpoint",
+    "FastPayload",
+    "MarshalCache",
     "MethodStats",
     "Registry",
     "Remote",
@@ -47,6 +59,12 @@ __all__ = [
     "Stub",
     "ThreadedTransport",
     "Transport",
+    "is_immutable",
+    "marshal_call",
+    "marshal_result",
     "marshal_value",
+    "register_immutable",
+    "unmarshal_call",
+    "unmarshal_result",
     "unmarshal_value",
 ]

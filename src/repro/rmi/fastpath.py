@@ -1,0 +1,280 @@
+"""Zero-copy marshalling fast path.
+
+:mod:`repro.rmi.marshal` reproduces Java-RMI pass-by-value with a pickle
+round-trip on both ends of every call.  That copy exists to stop
+mutations leaking between caller and callee — but a payload that is
+*provably immutable* cannot be mutated by anyone, so sharing the object
+itself preserves pass-by-value semantics exactly while skipping four
+pickle operations per call (marshal/unmarshal of the arguments, then of
+the result).
+
+Three marshalling modes, selectable at runtime:
+
+- ``zerocopy`` (default) — provably-immutable payloads travel as
+  :class:`FastPayload` wrappers holding the live object; everything else
+  falls back to pickling.
+- ``cache`` — payloads are always real bytes, but pickles of immutable
+  payloads are memoized in an LRU keyed on the payload value (exact
+  types included, so ``1``/``1.0``/``True`` never collide).  Repeated
+  idempotent calls with equal arguments skip re-pickling.
+- ``pickle`` — the seed behaviour, kept as the measured baseline for
+  ``BENCH_rmi_hotpath.json``.
+
+What counts as provably immutable: ``str``, ``int``, ``float``,
+``bool``, ``bytes``, ``complex``, ``None``, and ``tuple``/``frozenset``
+of immutables — *exact* types only, since a subclass may add mutable
+state.  Frozen value types (e.g. :class:`~repro.rmi.remote.RemoteRef`)
+opt in via :func:`register_immutable`; a RemoteRef in an argument list
+thereby still passes by reference, as remote objects do in Java RMI.
+
+Error behaviour is unchanged: the pickled fallback raises
+:class:`MarshalError`/:class:`UnmarshalError` exactly as before, and
+exceptions (mutable) always take the pickled path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.rmi.marshal import marshal_value, unmarshal_value
+
+_SCALAR_TYPES = frozenset(
+    {str, int, float, bool, bytes, complex, type(None)}
+)
+_registered_immutable: set[type] = set()
+
+MODES = ("zerocopy", "cache", "pickle")
+_mode = os.environ.get("ERMI_FASTPATH", "zerocopy")
+if _mode not in MODES:  # unknown value: fail safe to the seed behaviour
+    _mode = "pickle"
+
+
+def register_immutable(cls: type) -> type:
+    """Declare a frozen value type safe to pass by reference.
+
+    The caller vouches that instances are deeply immutable (all fields
+    immutable, no mutable __dict__ use).  Returns ``cls`` so it can be
+    used as a decorator.
+    """
+    _registered_immutable.add(cls)
+    return cls
+
+
+def set_mode(mode: str) -> str:
+    """Switch marshalling mode; returns the previous mode."""
+    global _mode
+    if mode not in MODES:
+        raise ValueError(f"unknown fastpath mode: {mode!r} (use {MODES})")
+    previous = _mode
+    _mode = mode
+    return previous
+
+
+def mode() -> str:
+    return _mode
+
+
+def is_immutable(value: Any) -> bool:
+    """True when ``value`` is provably deeply immutable.
+
+    Exact-type checks on purpose: a ``str`` subclass can carry mutable
+    attributes, so only the builtin types themselves qualify.  Iterative
+    (worklist) rather than recursive — this runs on every invocation, so
+    per-element cost is kept to one type lookup.
+    """
+    scalars = _SCALAR_TYPES
+    registered = _registered_immutable
+    t = type(value)
+    if t in scalars or t in registered:
+        return True
+    if t is not tuple and t is not frozenset:
+        return False
+    stack = [value]
+    while stack:
+        for item in stack.pop():
+            ti = type(item)
+            if ti in scalars or ti in registered:
+                continue
+            if ti is tuple or ti is frozenset:
+                stack.append(item)
+                continue
+            return False
+    return True
+
+
+class FastPayload:
+    """An immutable payload passed by reference (zero-copy).
+
+    Wrapping (rather than passing the raw object) keeps the wire
+    contract unambiguous: transports and skeletons can tell a fast-path
+    payload from pickled ``bytes`` without guessing.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"FastPayload({self.value!r})"
+
+
+# Wire payloads are pickled bytes or a zero-copy wrapper.
+Payload = "bytes | FastPayload"
+
+
+class MarshalCache:
+    """LRU of pickled bytes for immutable payloads.
+
+    Keys embed the exact type of every component, so values that compare
+    equal across types (``1 == 1.0 == True``) occupy distinct entries
+    and unmarshal to the type that was marshalled.  Only immutable
+    payloads are cached — their bytes can never go stale.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Any, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def cache_key(value: Any) -> Any:
+        """A hashable, type-exact key for an immutable value (or None
+        when the value is not provably immutable / not cacheable)."""
+        t = type(value)
+        if t in _SCALAR_TYPES:
+            return (t, value)
+        if t is tuple or t is frozenset:
+            parts = []
+            for item in value:
+                key = MarshalCache.cache_key(item)
+                if key is None:
+                    return None
+                parts.append(key)
+            return (t, tuple(parts))
+        if t in _registered_immutable:
+            try:
+                hash(value)
+            except TypeError:
+                return None
+            return (t, value)
+        return None
+
+    def dumps(self, value: Any) -> bytes:
+        """Pickle ``value``, memoizing when it is provably immutable."""
+        key = self.cache_key(value)
+        if key is None:
+            return marshal_value(value)
+        return self._memoized(("value", key), lambda: marshal_value(value))
+
+    def dumps_call(self, args: tuple) -> bytes:
+        """Pickle an empty-kwargs invocation payload ``(args, {})``,
+        memoized on the (immutable) args alone — the kwargs dict never
+        reaches the key, and each unpickle yields a fresh dict."""
+        key = self.cache_key(args)
+        if key is None:
+            return marshal_value((args, {}))
+        return self._memoized(
+            ("call", key), lambda: marshal_value((args, {}))
+        )
+
+    def _memoized(self, key: Any, produce: Callable[[], bytes]) -> bytes:
+        with self._lock:
+            data = self._entries.get(key)
+            if data is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return data
+        data = produce()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = data
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_cache = MarshalCache()
+
+
+def marshal_cache() -> MarshalCache:
+    """The process-wide marshal cache (for stats and tests)."""
+    return _cache
+
+
+def _call_is_fast(args: tuple, kwargs: dict) -> bool:
+    # The args tuple is shared as-is (immutable elements make that safe);
+    # kwargs values must be immutable too — the dict itself is copied on
+    # the receiving side before the callee sees it.  Inlined scan over
+    # the top level: the overwhelmingly common all-scalar argument list
+    # must not pay a recursive call per element.
+    scalars = _SCALAR_TYPES
+    registered = _registered_immutable
+    for item in args:
+        t = type(item)
+        if t in scalars or t in registered:
+            continue
+        if (t is tuple or t is frozenset) and is_immutable(item):
+            continue
+        return False
+    if kwargs:
+        for item in kwargs.values():
+            t = type(item)
+            if t in scalars or t in registered:
+                continue
+            if (t is tuple or t is frozenset) and is_immutable(item):
+                continue
+            return False
+    return True
+
+
+def marshal_call(args: tuple, kwargs: dict) -> Any:
+    """Marshal an invocation's ``(args, kwargs)`` for the wire."""
+    if _mode == "zerocopy" and _call_is_fast(args, kwargs):
+        return FastPayload((args, kwargs))
+    if _mode == "cache" and not kwargs:
+        return _cache.dumps_call(args)
+    return marshal_value((args, kwargs))
+
+
+def unmarshal_call(payload: Any) -> tuple[tuple, dict]:
+    """Recover ``(args, kwargs)`` on the server side."""
+    if type(payload) is FastPayload:
+        args, kwargs = payload.value
+        # Fresh dict per delivery: a redirected/retried request must not
+        # let one callee's **kwargs view alias another's.
+        return args, dict(kwargs)
+    return unmarshal_value(payload)
+
+
+def marshal_result(value: Any) -> Any:
+    """Marshal a return value (or exception) for the reply."""
+    if _mode == "zerocopy" and is_immutable(value):
+        return FastPayload(value)
+    if _mode == "cache":
+        return _cache.dumps(value)
+    return marshal_value(value)
+
+
+def unmarshal_result(payload: Any) -> Any:
+    """Recover the return value on the client side."""
+    if type(payload) is FastPayload:
+        return payload.value
+    return unmarshal_value(payload)

@@ -25,7 +25,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ApplicationError, MemberDrainedError, NoSuchObjectError
-from repro.rmi.marshal import marshal_value, unmarshal_value
+from repro.rmi.fastpath import (
+    marshal_call,
+    marshal_result,
+    register_immutable,
+    unmarshal_call,
+    unmarshal_result,
+)
 from repro.rmi.transport import Request, Response, Transport
 from repro.sim.clock import Clock, WallClock
 
@@ -52,6 +58,11 @@ class RemoteRef:
 
     def describe(self) -> str:
         return f"{self.object_id}@{self.endpoint_id}(uid={self.uid})"
+
+
+# A RemoteRef is a frozen value object: the zero-copy fast path may pass
+# it by reference, which is precisely RMI's semantics for remote objects.
+register_immutable(RemoteRef)
 
 
 @dataclass
@@ -182,7 +193,7 @@ class Skeleton:
                     f"interface of {type(self.impl).__name__}"
                 )
                 self.stats.record(request.method, 0.0, error=True)
-                return Response(kind="error", payload=marshal_value(refused))
+                return Response(kind="error", payload=marshal_result(refused))
             method = getattr(self.impl, request.method, None)
             if method is None or not callable(method):
                 missing = NoSuchObjectError(
@@ -190,17 +201,17 @@ class Skeleton:
                     f"{request.method!r}"
                 )
                 self.stats.record(request.method, 0.0, error=True)
-                return Response(kind="error", payload=marshal_value(missing))
-            args, kwargs = unmarshal_value(request.payload)
+                return Response(kind="error", payload=marshal_result(missing))
+            args, kwargs = unmarshal_call(request.payload)
             try:
                 result = method(*args, **kwargs)
             except Exception as exc:
                 self.stats.record(
                     request.method, self.clock.now() - started, error=True
                 )
-                return Response(kind="error", payload=marshal_value(exc))
+                return Response(kind="error", payload=marshal_result(exc))
             self.stats.record(request.method, self.clock.now() - started)
-            return Response(kind="result", payload=marshal_value(result))
+            return Response(kind="result", payload=marshal_result(result))
         finally:
             with self._pending_lock:
                 self.pending -= 1
@@ -239,7 +250,7 @@ class Stub:
         return invoker
 
     def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
-        payload = marshal_value((args, kwargs))
+        payload = marshal_call(args, kwargs)
         ref = self._ref
         for _ in range(self._MAX_REDIRECTS):
             request = Request(
@@ -250,9 +261,9 @@ class Stub:
             )
             response = self._transport.invoke(ref.endpoint_id, request)
             if response.kind == "result":
-                return unmarshal_value(response.payload)
+                return unmarshal_result(response.payload)
             if response.kind == "error":
-                cause = unmarshal_value(response.payload)
+                cause = unmarshal_result(response.payload)
                 raise ApplicationError(
                     f"remote method {method!r} raised "
                     f"{type(cause).__name__}: {cause}",

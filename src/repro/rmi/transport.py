@@ -11,11 +11,26 @@ stand-in for one JVM at one IP:port.  Two transports move
   This is the live mode the runnable examples use: real concurrency, real
   blocking semantics.
 
+The invoke path is engineered to be contention-free (the fast-path
+invariants DESIGN.md documents):
+
+- the endpoint and dispatcher maps are *read-mostly*: lookups read a
+  plain dict with no lock; membership changes copy-on-write a fresh dict
+  under the admin lock and publish it with one atomic reference store;
+- per-endpoint state (alive flag, exported handlers) is guarded by that
+  endpoint's own lock, so killing one endpoint never stalls traffic to
+  the others;
+- ``messages_sent`` is a :class:`~repro.concurrency.StripedCounter`, so
+  concurrent callers never lose counts and never serialize on it.
+
 Endpoints can be killed to model JVM crashes; invoking a dead or unknown
 endpoint raises :class:`ConnectError`, which the elastic stub's retry loop
 feeds on (paper section 4.3: "if the sending itself fails, the remote
 method invocation throws an exception which is intercepted by the client
-stub").
+stub").  A killed endpoint stays *resolvable*: its dispatcher is gone but
+the endpoint record remains, so the failure always surfaces as the
+"endpoint ... is down" ConnectError the retry loop expects, never as a
+missing-dispatcher internal error.
 """
 
 from __future__ import annotations
@@ -26,18 +41,24 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
+from repro.concurrency import StripedCounter
 from repro.errors import ConnectError, RemoteError
+from repro.rmi.fastpath import FastPayload
 
 _endpoint_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
 class Request:
-    """One remote method invocation on the wire."""
+    """One remote method invocation on the wire.
+
+    ``payload`` is the marshalled ``(args, kwargs)``: pickled bytes on
+    the pass-by-value path, a :class:`FastPayload` on the zero-copy path.
+    """
 
     object_id: str
     method: str
-    payload: bytes  # marshalled (args, kwargs)
+    payload: bytes | FastPayload
     caller: str = "?"
 
 
@@ -54,7 +75,7 @@ class Response:
     """
 
     kind: str
-    payload: bytes = b""
+    payload: bytes | FastPayload = b""
     value: Any = None
 
 
@@ -63,7 +84,12 @@ RequestHandler = Callable[[Request], Response]
 
 @dataclass
 class Endpoint:
-    """One process/JVM: an address plus the objects exported from it."""
+    """One process/JVM: an address plus the objects exported from it.
+
+    Each endpoint carries its own lock for state transitions (export,
+    unexport, kill, revive); the handler map is copy-on-write so the
+    invoke path reads it without locking.
+    """
 
     name: str
     endpoint_id: str = field(
@@ -71,14 +97,23 @@ class Endpoint:
     )
     handlers: dict[str, RequestHandler] = field(default_factory=dict)
     alive: bool = True
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def export(self, object_id: str, handler: RequestHandler) -> None:
-        if object_id in self.handlers:
-            raise ValueError(f"object already exported: {object_id}")
-        self.handlers[object_id] = handler
+        with self.lock:
+            if object_id in self.handlers:
+                raise ValueError(f"object already exported: {object_id}")
+            handlers = dict(self.handlers)
+            handlers[object_id] = handler
+            self.handlers = handlers
 
     def unexport(self, object_id: str) -> None:
-        self.handlers.pop(object_id, None)
+        with self.lock:
+            handlers = dict(self.handlers)
+            handlers.pop(object_id, None)
+            self.handlers = handlers
 
 
 class Transport(Protocol):
@@ -95,33 +130,45 @@ class Transport(Protocol):
 
 class _TransportBase:
     def __init__(self) -> None:
+        # Read-mostly map: reads are lock-free, mutations copy-on-write
+        # under the admin lock and publish atomically.
         self._endpoints: dict[str, Endpoint] = {}
-        self._lock = threading.RLock()
+        self._admin_lock = threading.RLock()
+        self._messages = StripedCounter()
+
+    @property
+    def messages_sent(self) -> int:
+        """Total requests delivered (exact even under concurrency)."""
+        return self._messages.value()
 
     def add_endpoint(self, name: str) -> Endpoint:
         ep = Endpoint(name=name)
-        with self._lock:
-            self._endpoints[ep.endpoint_id] = ep
+        with self._admin_lock:
+            endpoints = dict(self._endpoints)
+            endpoints[ep.endpoint_id] = ep
+            self._endpoints = endpoints
         return ep
 
     def endpoint(self, endpoint_id: str) -> Endpoint:
-        with self._lock:
-            ep = self._endpoints.get(endpoint_id)
+        ep = self._endpoints.get(endpoint_id)
         if ep is None:
             raise ConnectError(f"unknown endpoint: {endpoint_id}")
         return ep
 
     def kill(self, endpoint_id: str) -> None:
-        """Crash an endpoint: subsequent invokes raise ConnectError."""
-        with self._lock:
-            ep = self._endpoints.get(endpoint_id)
-            if ep is not None:
+        """Crash an endpoint: subsequent invokes raise ConnectError.
+
+        The endpoint record is kept (dead but resolvable), so callers
+        racing the kill still get the "is down" ConnectError."""
+        ep = self._endpoints.get(endpoint_id)
+        if ep is not None:
+            with ep.lock:
                 ep.alive = False
 
     def revive(self, endpoint_id: str) -> None:
-        with self._lock:
-            ep = self._endpoints.get(endpoint_id)
-            if ep is not None:
+        ep = self._endpoints.get(endpoint_id)
+        if ep is not None:
+            with ep.lock:
                 ep.alive = True
 
     def _resolve(self, endpoint_id: str, request: Request) -> RequestHandler:
@@ -148,11 +195,10 @@ class DirectTransport(_TransportBase):
     ) -> None:
         super().__init__()
         self._on_message = on_message
-        self.messages_sent = 0
 
     def invoke(self, endpoint_id: str, request: Request) -> Response:
         handler = self._resolve(endpoint_id, request)
-        self.messages_sent += 1
+        self._messages.increment()
         if self._on_message is not None:
             self._on_message(endpoint_id, request)
         return handler(request)
@@ -165,25 +211,32 @@ class ThreadedTransport(_TransportBase):
         super().__init__()
         self._workers = workers_per_endpoint
         self._timeout = timeout
+        # Read-mostly, like the endpoint map.
         self._executors: dict[str, ThreadPoolExecutor] = {}
-        self.messages_sent = 0
 
     def add_endpoint(self, name: str) -> Endpoint:
         ep = super().add_endpoint(name)
-        with self._lock:
-            self._executors[ep.endpoint_id] = ThreadPoolExecutor(
-                max_workers=self._workers,
-                thread_name_prefix=f"erm-{name}",
-            )
+        executor = ThreadPoolExecutor(
+            max_workers=self._workers,
+            thread_name_prefix=f"erm-{name}",
+        )
+        with self._admin_lock:
+            executors = dict(self._executors)
+            executors[ep.endpoint_id] = executor
+            self._executors = executors
         return ep
 
     def invoke(self, endpoint_id: str, request: Request) -> Response:
         handler = self._resolve(endpoint_id, request)
-        with self._lock:
-            executor = self._executors.get(endpoint_id)
+        executor = self._executors.get(endpoint_id)
         if executor is None:
-            raise ConnectError(f"endpoint {endpoint_id} has no dispatcher")
-        self.messages_sent += 1
+            # The dispatcher is gone but the endpoint resolved: we raced
+            # a kill()/shutdown().  Surface the same ConnectError a dead
+            # endpoint raises so retry loops treat both identically.
+            ep = self._endpoints.get(endpoint_id)
+            name = ep.name if ep is not None else "?"
+            raise ConnectError(f"endpoint {endpoint_id} ({name}) is down")
+        self._messages.increment()
         future = executor.submit(handler, request)
         try:
             return future.result(timeout=self._timeout)
@@ -194,16 +247,20 @@ class ThreadedTransport(_TransportBase):
             ) from exc
 
     def kill(self, endpoint_id: str) -> None:
+        # Mark dead first so racing invokes fail in _resolve before they
+        # ever look for the dispatcher.
         super().kill(endpoint_id)
-        with self._lock:
-            executor = self._executors.pop(endpoint_id, None)
+        with self._admin_lock:
+            executors = dict(self._executors)
+            executor = executors.pop(endpoint_id, None)
+            self._executors = executors
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self) -> None:
         """Stop every dispatcher (end of a live session)."""
-        with self._lock:
+        with self._admin_lock:
             executors = list(self._executors.values())
-            self._executors.clear()
+            self._executors = {}
         for executor in executors:
             executor.shutdown(wait=False, cancel_futures=True)

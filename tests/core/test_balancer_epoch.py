@@ -1,0 +1,183 @@
+"""Epoch-based membership caching in the elastic stub.
+
+The pool bumps a ``{name}$epoch`` key in the shared store on every
+membership change (activate, drain, terminate); the stub caches member
+identities against that epoch, so the common invocation path is
+lock-free and identities are re-read only when the pool actually
+changed — no count-based periodic rescans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.balancer import ElasticStub
+from repro.rmi.remote import Remote, Skeleton
+from repro.rmi.transport import DirectTransport
+from tests.core.conftest import EchoService, settle
+
+
+class TestEpochWiring:
+    """Integration: the pool bumps the epoch, the runtime wires it in."""
+
+    def test_epoch_bumped_on_grow(self, runtime, kernel):
+        pool = runtime.new_pool(EchoService, max_size=8)
+        settle(kernel)
+        key = pool.membership_epoch_key()
+        before = runtime.store.get(key, default=0)
+        pool.grow(2)
+        settle(kernel)
+        assert runtime.store.get(key, default=0) > before
+
+    def test_epoch_bumped_on_shrink(self, runtime, kernel):
+        pool = runtime.new_pool(EchoService, max_size=8)
+        settle(kernel)
+        pool.grow(2)
+        settle(kernel)
+        key = pool.membership_epoch_key()
+        before = runtime.store.get(key, default=0)
+        pool.shrink(1)
+        settle(kernel)
+        assert runtime.store.get(key, default=0) > before
+
+    def test_stub_sees_growth_without_periodic_rescan(self, runtime, kernel):
+        pool = runtime.new_pool(EchoService, max_size=8)
+        settle(kernel)
+        stub = runtime.stub(pool.name)
+        stub.echo("warm-up")
+        assert len(stub.members_snapshot()) == 2
+        pool.grow(2)
+        settle(kernel)
+        # One call suffices — far fewer than any count-based refresh
+        # interval — because the epoch moved.
+        stub.echo("after-grow")
+        assert len(stub.members_snapshot()) == 4
+
+    def test_stub_spreads_calls_over_new_members(self, runtime, kernel):
+        pool = runtime.new_pool(EchoService, max_size=8)
+        settle(kernel)
+        stub = runtime.stub(pool.name)
+        stub.echo("warm-up")
+        pool.grow(2)
+        settle(kernel)
+        for i in range(8):
+            stub.echo(i)
+        counts = {
+            m.uid: (m.skeleton.stats.snapshot().get("echo") or None)
+            for m in pool.active_members()
+        }
+        assert len(counts) == 4
+        assert all(stat is not None and stat.calls > 0
+                   for stat in counts.values())
+
+
+class _Worker(Remote):
+    def echo(self, value):
+        return value
+
+
+class _FakeSentinel(Remote):
+    """Hands out a controllable member list, counting fetches."""
+
+    def __init__(self, members):
+        self.members = members
+        self.fetches = 0
+
+    def ermi_member_identities(self):
+        self.fetches += 1
+        return list(self.members)
+
+
+@pytest.fixture
+def rig():
+    """Three workers, a fake sentinel, and an epoch the test controls."""
+    transport = DirectTransport()
+    members = []
+    for i in range(3):
+        ep = transport.add_endpoint(f"worker-{i}")
+        members.append(Skeleton(_Worker(), transport, ep.endpoint_id).ref())
+    sentinel = _FakeSentinel(members)
+    sep = transport.add_endpoint("sentinel")
+    sentinel_ref = Skeleton(sentinel, transport, sep.endpoint_id).ref()
+    state = {"epoch": 1, "fail": False}
+
+    def epoch_source():
+        if state["fail"]:
+            raise RuntimeError("store outage")
+        return state["epoch"]
+
+    stub = ElasticStub(
+        transport,
+        lambda: sentinel_ref,
+        epoch_source=epoch_source,
+    )
+    return transport, sentinel, members, state, stub
+
+
+class TestEpochRefresh:
+    def test_identities_fetched_once_per_epoch(self, rig):
+        _, sentinel, _, state, stub = rig
+        for i in range(10):
+            assert stub.echo(i) == i
+        assert sentinel.fetches == 1  # first contact only
+        state["epoch"] += 1
+        stub.echo("post-change")
+        assert sentinel.fetches == 2
+
+    def test_epoch_source_outage_serves_cached_members(self, rig):
+        _, sentinel, _, state, stub = rig
+        stub.echo("warm-up")
+        state["fail"] = True
+        for i in range(5):
+            assert stub.echo(i) == i
+        assert sentinel.fetches == 1  # no refresh attempted during outage
+
+    def test_dead_member_failover_still_works(self, rig):
+        transport, _, members, _, stub = rig
+        stub.echo("warm-up")
+        transport.kill(members[1].endpoint_id)
+        results = [stub.echo(i) for i in range(9)]
+        assert results == list(range(9))
+        assert members[1] not in stub.members_snapshot()
+
+
+class TestTargetOrdering:
+    def test_targets_rotate_with_failover_order(self, rig):
+        """_targets() returns the primary first, then the remaining
+        members in rotation order — the failover sequence."""
+        _, _, members, _, stub = rig
+        stub._refresh_members(epoch=1)
+        assert stub._targets() == members
+        assert stub._targets() == members[1:] + members[:1]
+        assert stub._targets() == members[2:] + members[:2]
+        assert stub._targets() == members  # wraps around
+
+    def test_cursor_resets_when_discarded_member_reappears(self, rig):
+        """The satellite fix: a discarded ref re-appearing on refresh
+        means the rotation positions shifted, so the cursor restarts
+        instead of skewing toward the members after the revived slot."""
+        _, _, members, state, stub = rig
+        stub._refresh_members(epoch=1)
+        stub._targets()  # cursor now at 1
+        stub._discard(members[1])
+        state["epoch"] += 1  # revival: sentinel still lists members[1]
+        targets = stub._targets()
+        assert targets[0] == members[0]  # restarted, not members[1]
+        assert targets == members
+
+    def test_cursor_continues_across_benign_refreshes(self, rig):
+        """Without a discarded-member revival the cursor must NOT reset:
+        a refresh that changes nothing keeps round-robin balanced."""
+        _, _, members, state, stub = rig
+        stub._refresh_members(epoch=1)
+        stub._targets()  # cursor now at 1
+        state["epoch"] += 1
+        targets = stub._targets()
+        assert targets[0] == members[1]
+
+    def test_discarded_member_excluded_until_refresh(self, rig):
+        _, _, members, _, stub = rig
+        stub._refresh_members(epoch=1)
+        stub._discard(members[2])
+        snapshot = stub.members_snapshot()
+        assert members[2] not in snapshot and len(snapshot) == 2

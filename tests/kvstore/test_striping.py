@@ -1,0 +1,161 @@
+"""Lock striping in the HyperStore partitions.
+
+Per-key operations take one stripe lock (hash(key) masked into a
+power-of-two lock array), so concurrent operations on different keys of
+the same partition never contend — while same-key operations stay
+linearizable.  Operation counts are kept per stripe, each mutated only
+under its own lock, and summed on read.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import CASMismatchError
+from repro.kvstore.store import HyperStore, Partition
+
+
+class TestPartitionStripes:
+    def test_stripes_must_be_power_of_two(self):
+        for bad in (0, 3, 12, -4):
+            with pytest.raises(ValueError):
+                Partition("n", stripes=bad)
+
+    def test_same_key_same_lock(self):
+        part = Partition("n", stripes=8)
+        assert part.lock_for("alpha") is part.lock_for("alpha")
+        assert 0 <= part.stripe_of("alpha") < 8
+
+    def test_op_count_sums_all_stripes(self):
+        store = HyperStore(nodes=1, stripes_per_partition=4)
+        for i in range(10):
+            store.put(f"key-{i}", i)
+        assert store.total_ops() == 10
+
+
+class TestConcurrentOperations:
+    def test_concurrent_incr_on_distinct_keys_is_exact(self):
+        store = HyperStore(nodes=2)
+        threads, per_thread = 8, 2_000
+
+        def worker(tid):
+            key = f"counter-{tid}"
+            for _ in range(per_thread):
+                store.incr(key)
+
+        pool = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        for tid in range(threads):
+            assert store.get(f"counter-{tid}") == per_thread
+        assert store.total_ops() == threads * (per_thread + 1)
+
+    def test_concurrent_incr_on_one_key_is_linearizable(self):
+        store = HyperStore(nodes=1)
+        threads, per_thread = 8, 1_000
+
+        def worker():
+            for _ in range(per_thread):
+                store.incr("shared")
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert store.get("shared") == threads * per_thread
+
+    def test_cas_create_if_absent_has_one_winner(self):
+        store = HyperStore(nodes=1)
+        winners = []
+        losers = []
+        barrier = threading.Barrier(8)
+
+        def worker(tid):
+            barrier.wait()
+            try:
+                store.cas("leader", None, tid)
+                winners.append(tid)
+            except CASMismatchError:
+                losers.append(tid)
+
+        pool = [
+            threading.Thread(target=worker, args=(tid,)) for tid in range(8)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert len(winners) == 1 and len(losers) == 7
+        assert store.get("leader") == winners[0]
+
+    def test_concurrent_update_read_modify_write_is_exact(self):
+        store = HyperStore(nodes=1)
+        threads, per_thread = 8, 500
+
+        def worker():
+            for _ in range(per_thread):
+                store.update("rmw", lambda v: v + 1, default=0)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert store.get("rmw") == threads * per_thread
+
+    def test_keys_scan_tolerates_concurrent_writers(self):
+        store = HyperStore(nodes=2)
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                store.put(f"w-{i % 64}", i)
+                i += 1
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(50):
+                for key in store.keys(prefix="w-"):
+                    assert key.startswith("w-")
+        finally:
+            stop.set()
+            t.join()
+
+
+class TestMigrationWithStripes:
+    def test_add_node_preserves_all_entries(self):
+        store = HyperStore(nodes=1)
+        for i in range(200):
+            store.put(f"key-{i}", i)
+        store.add_node()
+        assert store.node_count() == 2
+        assert sum(store.partition_sizes().values()) == 200
+        for i in range(200):
+            assert store.get(f"key-{i}") == i
+
+    def test_versions_survive_migration(self):
+        store = HyperStore(nodes=1)
+        for _ in range(3):
+            store.put("versioned", "v")
+        store.add_node()
+        assert store.get_versioned("versioned").version == 3
+
+
+class TestAccounting:
+    def test_hot_key_tracking_still_works(self):
+        store = HyperStore(nodes=1, track_hot_keys=True)
+        store.put("cold", 1)
+        for _ in range(5):
+            store.get("hot", default=None)
+        top_key, hits = store.hot_keys(top_n=1)[0]
+        assert top_key == "hot" and hits == 5
