@@ -10,7 +10,11 @@ Commands:
 - ``transform <file.py>`` — apply the Figure 6 source rewrite and print
   (or write) the transformed module;
 - ``bench`` — run the RMI hot-path benchmark suite and emit a
-  ``BENCH_*.json`` report (schema documented in README.md).
+  ``BENCH_*.json`` report (schema documented in README.md);
+- ``chaos`` — run the scripted fault-injection scenario and emit a
+  ``CHAOS_report.json`` recovery-latency report (schema
+  ``repro.chaos/v1``); exits non-zero if any failure leaked to the
+  client or the pool did not recover to its minimum size.
 """
 
 from __future__ import annotations
@@ -163,6 +167,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.set_defaults(fn=_cmd_bench)
 
+    chaos_cmd = sub.add_parser(
+        "chaos", help="run the scripted fault-injection scenario"
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument(
+        "--duration", type=float, default=60.0,
+        help="virtual seconds to simulate (default: 60)",
+    )
+    chaos_cmd.add_argument(
+        "-o", "--output", default="CHAOS_report.json",
+        help="report path (default: CHAOS_report.json)",
+    )
+    chaos_cmd.set_defaults(fn=_cmd_chaos)
+
     return parser
 
 
@@ -192,6 +210,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_table(records))
     print(f"wrote {args.output}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Imported lazily (like every command) — and scenario in particular
+    # must stay out of repro.faults.__init__ to avoid an import cycle
+    # with repro.core.
+    from repro.faults.scenario import run_chaos_scenario
+
+    report = run_chaos_scenario(seed=args.seed, duration=args.duration)
+    with open(args.output, "w") as handle:
+        handle.write(report.to_json() + "\n")
+    print(report.summary())
+    print(f"wrote {args.output}")
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -201,9 +201,20 @@ class MesosMaster:
                 cb = self._lost_callbacks.get(owner)
                 if cb is not None:
                     cb(sl)
+        # Capacity just changed; watermark watches must see it even
+        # though no allocation round triggered the re-check.
+        self._check_watches()
 
     def recover_node(self, node_id: str) -> None:
         self._node(node_id).recover()
+        self._check_watches()
+
+    def node(self, node_id: str) -> Node:
+        """Public node lookup (fault scripts pick victims through it)."""
+        return self._node(node_id)
+
+    def alive_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.alive]
 
     # -- internals -------------------------------------------------------------
 

@@ -98,6 +98,10 @@ class Node:
     def allocated_slices(self) -> list[Slice]:
         return [s for s in self.slices if s.state is SliceState.ALLOCATED]
 
+    def lost_slices(self) -> list[Slice]:
+        """Slices stranded by a node crash, pending recovery/reap."""
+        return [s for s in self.slices if s.state is SliceState.LOST]
+
     def fail(self) -> list[Slice]:
         """Crash the node.  In-use slices transition to LOST and are
         returned so the master can notify owning frameworks."""

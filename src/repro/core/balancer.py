@@ -29,10 +29,18 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import ConnectError, MemberDrainedError, RemoteError
+from repro.errors import (
+    ApplicationError,
+    ConnectError,
+    MemberDrainedError,
+    RemoteError,
+    StoreError,
+)
+from repro.faults.policy import RetryPolicy
 from repro.rmi.fastpath import marshal_call, unmarshal_result
 from repro.rmi.remote import RemoteRef, Stub
 from repro.rmi.transport import Request, Transport
+from repro.sim.clock import Clock
 
 if TYPE_CHECKING:
     from repro.core.pool import ElasticObjectPool
@@ -70,6 +78,9 @@ class ElasticStub:
         rng: Any = None,
         refresh_every: int = 64,
         epoch_source: Callable[[], int] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        clock: Clock | None = None,
+        sleep: Callable[[float], None] | None = None,
     ) -> None:
         self._transport = transport
         self._resolve_sentinel = sentinel_resolver
@@ -78,6 +89,14 @@ class ElasticStub:
         self._rng = rng
         self._refresh_every = refresh_every
         self._epoch_source = epoch_source
+        # Retry behaviour is budget-bounded: the policy caps attempts,
+        # refresh rounds, and (when a clock is wired) total elapsed time,
+        # so an all-slow pool surfaces a ConnectError instead of retrying
+        # without limit.  The clock/sleep pair comes from the runtime:
+        # wall time + time.sleep live, virtual clock + no-op simulated.
+        self._retry_policy = retry_policy or RetryPolicy()
+        self._clock = clock
+        self._sleep = sleep
         self._epoch = -1  # epoch the cached members belong to
         self._members: list[RemoteRef] = []
         self._rr = itertools.count()
@@ -125,9 +144,12 @@ class ElasticStub:
     def _read_epoch(self) -> int:
         try:
             return int(self._epoch_source())
-        except Exception:
-            # Store hiccup: serve the cached membership; failures of the
-            # cached members themselves still trigger refresh via retry.
+        except (RemoteError, StoreError):
+            # Store/transport hiccup: serve the cached membership;
+            # failures of the cached members themselves still trigger
+            # refresh via retry.  Anything else (a TypeError from a
+            # miswired epoch source, say) is a programming error and must
+            # propagate, not silently degrade to a stale cache.
             return self._epoch
 
     def _targets(self) -> list[RemoteRef]:
@@ -163,30 +185,56 @@ class ElasticStub:
 
     def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
         payload = marshal_call(args, kwargs)
+        state = self._retry_policy.start(
+            clock=self._clock, rng=self._rng, sleep=self._sleep
+        )
         last_error: Exception | None = None
-        for attempt in range(2):  # second pass after a membership refresh
+        while True:
             try:
                 targets = self._targets()
             except (ConnectError, MemberDrainedError, RemoteError) as exc:
+                # First contact (or re-fetch) failed: the sentinel may be
+                # mid-re-election or a message was lost.  Retrying this
+                # costs a round like any other failed pass.
                 last_error = exc
-                break
+                if not state.next_round():
+                    break
+                continue
             for ref in targets:
+                if not state.allow_attempt():
+                    break
+                state.note_attempt()
                 try:
                     return self._invoke_one(ref, method, payload)
                 except (ConnectError, MemberDrainedError) as exc:
+                    # Dead or draining member: drop it from the cache and
+                    # move on to the next identity.
                     last_error = exc
                     self._discard(ref)
-                    continue
-            # All cached members failed: refresh identities and try once
-            # more before propagating (paper: "the stub then retries the
-            # invocation on other objects including the sentinel").
+                except ApplicationError:
+                    # The remote method itself raised; never retried.
+                    raise
+                except RemoteError as exc:
+                    # Slow member (invocation timeout): costs budget but
+                    # stays cached — slowness is transient, death is not.
+                    last_error = exc
+            # All cached members failed: back off, refresh identities,
+            # and try once more within budget (paper: "the stub then
+            # retries the invocation on other objects including the
+            # sentinel").
+            if not state.next_round():
+                break
             try:
                 self._refresh_members()
             except (ConnectError, MemberDrainedError, RemoteError) as exc:
+                # The sentinel itself may be transiently unreachable (a
+                # dropped message, mid-re-election).  The round already
+                # cost budget; keep going from the cached membership
+                # rather than aborting the invocation.
                 last_error = exc
-                break
         raise ConnectError(
-            f"all members of the elastic pool failed for {method!r}",
+            f"all members of the elastic pool failed for {method!r}: "
+            f"{state.exhausted_reason()}",
             cause=last_error,
         )
 

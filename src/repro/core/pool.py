@@ -25,10 +25,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.cluster.node import Slice
+from repro.cluster.node import Slice, SliceState
 from repro.core.api import ElasticConfig, ElasticObject, MethodCallStat
 from repro.core.monitor import ManualUtilization, MemberMonitor, UtilizationSource
-from repro.errors import PoolShutdownError
+from repro.errors import PoolShutdownError, RemoteError, StoreError
 from repro.groupcomm.channel import Channel
 from repro.rmi.remote import RemoteRef, Skeleton
 
@@ -81,6 +81,16 @@ class ProvisioningRecord:
     @property
     def latency(self) -> float:
         return self.active_at - self.requested_at
+
+
+@dataclass
+class FailureRecord:
+    """One detected member failure (for the chaos recovery report)."""
+
+    at: float
+    pool: str
+    uid: int
+    kind: str  # "endpoint-dead", "slice-lost", "drain-crashed"
 
 
 @dataclass
@@ -146,6 +156,7 @@ class ElasticObjectPool:
         # Evaluation bookkeeping.
         self.provisioning_records: list[ProvisioningRecord] = []
         self.scaling_events: list[ScalingEvent] = []
+        self.failure_records: list[FailureRecord] = []
         self._last_window_stats: dict[str, MethodCallStat] = {}
         self._window_cpu_avg = 0.0
         self._window_ram_avg = 0.0
@@ -203,8 +214,10 @@ class ElasticObjectPool:
         """
         try:
             self.services.store.incr(self.membership_epoch_key())
-        except Exception:
+        except StoreError:
             # Store outage: stubs fall back to failure-driven refresh.
+            # Only store failures are masked here — anything else is a
+            # programming error and must surface.
             pass
 
     # ------------------------------------------------------------------
@@ -304,12 +317,18 @@ class ElasticObjectPool:
             )
         )
         # Record the member identity in the shared store, as the paper's
-        # runtime stores skeleton uids/identities in HyperDex.
-        self.services.store.update(
-            f"{self.name}$members",
-            lambda ids: {**(ids or {}), member.uid: member.ref()},
-            default={},
-        )
+        # runtime stores skeleton uids/identities in HyperDex.  The store
+        # copy is a best-effort mirror — identities flow to clients from
+        # the sentinel — so losing the owning partition must not block a
+        # member from activating.
+        try:
+            self.services.store.update(
+                f"{self.name}$members",
+                lambda ids: {**(ids or {}), member.uid: member.ref()},
+                default={},
+            )
+        except StoreError:
+            pass
         self._bump_epoch()
         self.services.on_membership_change(self)
 
@@ -400,13 +419,23 @@ class ElasticObjectPool:
         if member.endpoint_id is not None:
             self.services.transport.kill(member.endpoint_id)
         self.channel.leave(member.address())
-        self.services.store.update(
-            f"{self.name}$members",
-            lambda ids: {
-                uid: ref for uid, ref in (ids or {}).items() if uid != member.uid
-            },
-            default={},
-        )
+        # Reclaim every distributed lock the member still held: a lease
+        # whose owner crashed must be released eagerly, not discovered
+        # stale by whichever waiter happens to touch the name next.
+        self.services.locks.release_owner(f"{self.name}:member-{member.uid}")
+        try:
+            self.services.store.update(
+                f"{self.name}$members",
+                lambda ids: {
+                    uid: ref
+                    for uid, ref in (ids or {}).items()
+                    if uid != member.uid
+                },
+                default={},
+            )
+        except StoreError:
+            # Same best-effort mirror as on activation.
+            pass
         self._bump_epoch()
         if release_slice:
             try:
@@ -432,24 +461,68 @@ class ElasticObjectPool:
         if victim is not None:
             self._terminate(victim, release_slice=False)
 
-    def detect_dead_members(self) -> list[PoolMember]:
-        """Find active members whose endpoint died (JVM crash); terminate
-        them so the sentinel re-election (implicit in :meth:`sentinel`)
-        and the client stubs see a consistent membership."""
-        dead = []
-        for member in self.active_members():
-            if member.endpoint_id is None:
+    def reap_failures(self) -> list[PoolMember]:
+        """Detect and remove failed members; return the members reaped.
+
+        Covers the three ways a member dies out from under us:
+
+        - **slice lost** — the cluster node hosting the slice failed; the
+          slice is gone, so it must not be released back to the master;
+        - **endpoint dead** — the "JVM" crashed while the node lives on;
+          the slice is still ours and is returned for reuse;
+        - **crashed drain** — either of the above while the member was
+          DRAINING.  Without this case a drain whose member died would
+          never finalize: ``_finalize_removal`` waits on a skeleton that
+          will never report drained, the slice is never released, and
+          the pool wedges below ``min``.
+
+        Termination releases the member's distributed-lock leases, bumps
+        the membership epoch (client stubs refresh), and — because the
+        sentinel is simply the lowest-uid *active* member — re-election
+        is implicit in the next :meth:`sentinel` call.
+        """
+        now = self.services.scheduler.clock.now()
+        with self._lock:
+            candidates = sorted(
+                (
+                    m
+                    for m in self.members.values()
+                    if m.state in (MemberState.ACTIVE, MemberState.DRAINING)
+                ),
+                key=lambda m: m.uid,
+            )
+        reaped: list[PoolMember] = []
+        for member in candidates:
+            lost = member.slice.state is SliceState.LOST
+            dead = False
+            if not lost and member.endpoint_id is not None:
+                try:
+                    dead = not self.services.transport.endpoint(
+                        member.endpoint_id
+                    ).alive
+                except RemoteError:
+                    dead = True
+            if not lost and not dead:
                 continue
-            try:
-                endpoint = self.services.transport.endpoint(member.endpoint_id)
-                alive = endpoint.alive
-            except Exception:
-                alive = False
-            if not alive:
-                dead.append(member)
-        for member in dead:
-            self._terminate(member)
-        return dead
+            if member.state is MemberState.DRAINING:
+                kind = "drain-crashed"
+            elif lost:
+                kind = "slice-lost"
+            else:
+                kind = "endpoint-dead"
+            # A lost slice no longer exists at the master; releasing it
+            # would double-free (the master already reclaimed the node).
+            self._terminate(member, release_slice=not lost)
+            self.failure_records.append(
+                FailureRecord(at=now, pool=self.name, uid=member.uid, kind=kind)
+            )
+            reaped.append(member)
+        return reaped
+
+    def detect_dead_members(self) -> list[PoolMember]:
+        """Legacy name for :meth:`reap_failures` (kept for callers that
+        predate the unified failure path)."""
+        return self.reap_failures()
 
     # ------------------------------------------------------------------
     # monitoring windows

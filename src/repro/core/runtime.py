@@ -25,6 +25,7 @@ Construction helpers give the two operating modes:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -42,6 +43,7 @@ from repro.core.pool import ElasticObjectPool, PoolMember
 from repro.core.scaling import ScalingPolicy, select_policy
 from repro.core.sentinel import SentinelAgent
 from repro.errors import MasterUnavailableError, PoolConfigurationError
+from repro.faults.policy import RetryPolicy
 from repro.kvstore.locks import LockManager
 from repro.kvstore.store import HyperStore
 from repro.rmi.registry import Registry
@@ -98,6 +100,7 @@ class ElasticRuntime:
         samples_per_burst: int = 6,
         store_monitor_interval: float = 60.0,
         store_ops_per_node_limit: int | None = 500_000,
+        failure_check_interval: float | None = None,
     ) -> None:
         self.master = master
         self.scheduler = scheduler
@@ -111,6 +114,17 @@ class ElasticRuntime:
         )
         self.framework_name = framework_name
         self.samples_per_burst = max(1, samples_per_burst)
+        # Failure-detection cadence.  ``None`` (the default) keeps the
+        # legacy behaviour — failures are noticed once per burst interval
+        # by the control tick.  Setting it runs a dedicated repair loop
+        # on this finer period *and* arms membership-change-triggered
+        # repair, so a crash is healed without waiting out the burst.
+        if failure_check_interval is not None and failure_check_interval <= 0:
+            raise ValueError(
+                f"failure_check_interval must be positive: "
+                f"{failure_check_interval}"
+            )
+        self.failure_check_interval = failure_check_interval
         self._pools: dict[str, PoolRecord] = {}
         self._lock = threading.RLock()
         self._closed = False
@@ -265,6 +279,7 @@ class ElasticRuntime:
         pool.start()
         self._schedule_sampling(record)
         self._schedule_tick(record)
+        self._schedule_repair(record)
         return pool
 
     def pool(self, name: str) -> ElasticObjectPool:
@@ -288,14 +303,21 @@ class ElasticRuntime:
         name: str,
         mode: BalancingMode = BalancingMode.ROUND_ROBIN,
         caller: str = "client",
+        retry_policy: RetryPolicy | None = None,
     ) -> ElasticStub:
         """Client stub for a pool: one remote object, load balanced.
 
         The stub caches member identities against the pool's membership
         epoch in the shared store, so its common path is lock-free and
         identities are only re-fetched when the pool actually changed.
+
+        Retries are bounded by ``retry_policy`` (defaults apply when
+        omitted): the runtime wires the stub to its own clock so the
+        policy's time budget runs on virtual time under simulation and
+        wall time live; backoff actually sleeps only in live mode.
         """
         epoch_key = f"{name}$epoch"
+        live = isinstance(self.scheduler, ThreadScheduler)
         return ElasticStub(
             transport=self.transport,
             sentinel_resolver=lambda: self.registry.lookup(name),
@@ -303,6 +325,9 @@ class ElasticRuntime:
             caller=caller,
             rng=self.rng.stream(f"stub:{name}:{caller}"),
             epoch_source=lambda: self.store.get(epoch_key, default=0),
+            retry_policy=retry_policy,
+            clock=self.scheduler.clock,
+            sleep=time.sleep if live else None,
         )
 
     # ------------------------------------------------------------------
@@ -321,7 +346,7 @@ class ElasticRuntime:
         if self._closed or pool.closed:
             return
         record.tick_count += 1
-        pool.detect_dead_members()
+        self._repair(record)
         pool.roll_window()
         try:
             delta = record.policy.decide(pool)
@@ -353,6 +378,44 @@ class ElasticRuntime:
             # objects until Mesos recovers; monitoring continues.
             record.paused_ticks += 1
         return 0
+
+    def _repair(self, record: PoolRecord) -> int:
+        """One failure-recovery pass: reap failed members, then
+        re-provision back toward the minimum pool size.
+
+        Growth only covers the gap below ``min`` — scaling *above* min
+        stays the policy's job — and never double-requests capacity that
+        is already booting.  A master outage pauses re-provisioning
+        (section 4.4) but never the reap: dead members must leave the
+        membership even when no replacement can be bought yet.
+        """
+        pool = record.pool
+        if self._closed or pool.closed:
+            return 0
+        pool.reap_failures()
+        deficit = pool.config.min_pool_size - pool.provisioned_size()
+        if deficit <= 0:
+            return 0
+        try:
+            return pool.grow(deficit, reason="failure-recovery")
+        except MasterUnavailableError:
+            record.paused_ticks += 1
+            return 0
+
+    def _schedule_repair(self, record: PoolRecord) -> None:
+        """Run the dedicated repair loop when a cadence is configured."""
+        if self.failure_check_interval is None:
+            return
+        if self._closed or record.pool.closed:
+            return
+
+        def check() -> None:
+            if self._closed or record.pool.closed:
+                return
+            self._repair(record)
+            self.scheduler.call_after(self.failure_check_interval, check)
+
+        self.scheduler.call_after(self.failure_check_interval, check)
 
     def _schedule_sampling(self, record: PoolRecord) -> None:
         if self._closed or record.pool.closed:
@@ -419,6 +482,21 @@ class ElasticRuntime:
                 self.registry.unbind(pool.name)
             except Exception:
                 pass
+        # With a repair cadence armed, a membership change that leaves
+        # the pool short of ``min`` triggers repair immediately instead
+        # of waiting out the interval.  Deferred via the scheduler: this
+        # callback fires from inside _terminate/_activate and growing the
+        # pool mid-termination would re-enter the pool's lifecycle.
+        if (
+            self.failure_check_interval is not None
+            and not self._closed
+            and not pool.closed
+            and pool.provisioned_size() < pool.config.min_pool_size
+        ):
+            with self._lock:
+                record = self._pools.get(pool.name)
+            if record is not None:
+                self.scheduler.call_after(0.0, lambda: self._repair(record))
 
     def _on_slice_lost(self, sl: Slice) -> None:
         with self._lock:

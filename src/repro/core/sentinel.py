@@ -43,6 +43,10 @@ class SentinelAgent:
         Called by the runtime on its monitoring cadence; a no-op when the
         pool currently has no active sentinel (e.g. mid-recovery).
         """
+        # Reap before electing/broadcasting: a dead member must neither
+        # be elected sentinel nor appear in the identities the broadcast
+        # (and through it, client stubs) would otherwise keep alive.
+        self.pool.reap_failures()
         sentinel = self.pool.sentinel()
         if sentinel is None:
             return None

@@ -1,0 +1,25 @@
+"""Failure-path machinery: retry policy and fault injection.
+
+The elasticity contract (paper sections 2.4, 2.5, 4.2) only holds if the
+pool survives what the cluster does to it: lost slices, dead endpoints,
+store partition loss, and sentinel re-election must be masked from
+clients.  This package holds the two halves of that story:
+
+- :mod:`repro.faults.policy` — the single :class:`RetryPolicy` (timeout +
+  capped exponential backoff + jitter, budget-bounded) that governs every
+  client-side retry loop;
+- :mod:`repro.faults.injector` — a deterministic, seeded fault injector
+  that crashes members, fails cluster/store nodes, drops and delays
+  messages, and slows endpoints — at configurable rates or at scripted
+  instants.
+
+The scripted chaos scenario (``python -m repro chaos``) lives in
+:mod:`repro.faults.scenario`; it is imported lazily by the CLI rather
+than here so that :mod:`repro.core` modules can depend on the policy and
+injector without an import cycle.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import RetryPolicy, RetryState
+
+__all__ = ["FaultInjector", "RetryPolicy", "RetryState"]

@@ -1,0 +1,260 @@
+"""Deterministic fault injection for an elastic runtime.
+
+One :class:`FaultInjector` drives every fault primitive the substrates
+expose — ``Transport.kill`` (JVM crash), ``MesosMaster.fail_node`` /
+``fail`` (machine crash, master outage), ``HyperStore.fail_node``
+(partition loss) — plus the message-level faults the transport's fault
+hook enables: probabilistic drops, delays, and injected invocation
+timeouts for *slow* (not dead) endpoints.
+
+Two usage styles compose freely:
+
+- **scripted** — :meth:`schedule` queues a fault at an absolute instant
+  on the runtime's scheduler (virtual or wall time), which is how the
+  reproducible chaos scenario drives the system;
+- **rate-based** — :meth:`set_drop_rate` / :meth:`slow_endpoint` install
+  standing behaviour consulted per message.
+
+Every random choice (victim selection, per-message drop draws) comes
+from the injector's own :class:`random.Random`, which callers seed via
+:class:`~repro.sim.rng.RngStreams` — the same (seed, script) pair always
+injects the same faults at the same instants, so a chaos run's event
+trace is bit-for-bit reproducible.
+
+The event trace records *logical* identities only (member uids, node
+names, endpoint names) — never process-global ids like ``ep-17`` or
+``slice-42``, whose counters depend on what else ran in the process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConnectError, RemoteError
+from repro.rmi.transport import Request
+
+if TYPE_CHECKING:
+    from repro.core.runtime import ElasticRuntime
+
+
+@dataclass
+class FaultEvent:
+    """One entry of the reproducible fault/event trace."""
+
+    at: float
+    kind: str
+    detail: str
+
+    def as_tuple(self) -> tuple[float, str, str]:
+        return (round(self.at, 6), self.kind, self.detail)
+
+
+@dataclass
+class InjectorStats:
+    """Aggregate message-fault counters (kept out of the scripted trace
+    so rate-based noise does not drown the scripted milestones)."""
+
+    dropped: int = 0
+    delayed: int = 0
+    timed_out: int = 0
+    delay_total: float = 0.0
+    by_endpoint: dict[str, int] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Injects faults into one runtime, recording a deterministic trace."""
+
+    def __init__(
+        self,
+        runtime: "ElasticRuntime",
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] | None = None,
+        trace: list[FaultEvent] | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.rng = rng or random.Random(0)
+        self.trace: list[FaultEvent] = trace if trace is not None else []
+        self.stats = InjectorStats()
+        # Live mode passes time.sleep so injected delays really stall the
+        # caller; under the simulation kernel delays are accounted only
+        # (virtual time cannot advance inside a synchronous delivery).
+        self._sleep = sleep
+        self._drop_rates: dict[str | None, float] = {}
+        self._delays: dict[str | None, float] = {}
+        self._slow: dict[str, float] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # transport hook (message drops / delays / slow endpoints)
+    # ------------------------------------------------------------------
+
+    def install(self) -> "FaultInjector":
+        """Attach the message-fault hook to the runtime's transport."""
+        self.runtime.transport.install_fault_hook(self._hook)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.runtime.transport.install_fault_hook(None)
+            self._installed = False
+
+    def set_drop_rate(self, rate: float, endpoint_id: str | None = None) -> None:
+        """Drop a fraction of messages (to one endpoint, or all with None)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1]: {rate}")
+        self._drop_rates[endpoint_id] = rate
+
+    def set_delay(self, seconds: float, endpoint_id: str | None = None) -> None:
+        """Delay every message (to one endpoint, or all with None)."""
+        if seconds < 0:
+            raise ValueError(f"negative delay: {seconds}")
+        self._delays[endpoint_id] = seconds
+
+    def slow_endpoint(self, endpoint_id: str, timeout_after: float = 1.0) -> None:
+        """Make an endpoint *slow but alive*: every invocation of it
+        surfaces as an invocation timeout (:class:`RemoteError`), the
+        failure mode a bounded retry budget exists for."""
+        self._slow[endpoint_id] = timeout_after
+
+    def clear_message_faults(self) -> None:
+        self._drop_rates.clear()
+        self._delays.clear()
+        self._slow.clear()
+
+    def _hook(self, endpoint_id: str, request: Request) -> None:
+        name = self._endpoint_name(endpoint_id)
+        rate = self._drop_rates.get(endpoint_id, self._drop_rates.get(None, 0.0))
+        if rate > 0.0 and self.rng.random() < rate:
+            self.stats.dropped += 1
+            self.stats.by_endpoint[name] = self.stats.by_endpoint.get(name, 0) + 1
+            raise ConnectError(
+                f"injected: message {request.method!r} to {name} dropped"
+            )
+        delay = self._delays.get(endpoint_id, self._delays.get(None, 0.0))
+        if delay > 0.0:
+            self.stats.delayed += 1
+            self.stats.delay_total += delay
+            if self._sleep is not None:
+                self._sleep(delay)
+        timeout = self._slow.get(endpoint_id)
+        if timeout is not None:
+            self.stats.timed_out += 1
+            raise RemoteError(
+                f"injected: invocation of {request.method!r} on slow "
+                f"endpoint {name} timed out after {timeout}s"
+            )
+
+    # ------------------------------------------------------------------
+    # scripted faults
+    # ------------------------------------------------------------------
+
+    def schedule(self, at: float, fault: Callable[[], object]) -> None:
+        """Run ``fault`` at absolute time ``at`` on the runtime's scheduler."""
+        now = self.runtime.scheduler.clock.now()
+        self.runtime.scheduler.call_after(max(0.0, at - now), fault)
+
+    def crash_members(
+        self,
+        pool_name: str,
+        count: int = 1,
+        include_sentinel: bool = False,
+    ) -> list[int]:
+        """Kill the endpoints (JVM crash) of ``count`` pool members,
+        chosen deterministically from the injector's RNG.  Returns the
+        victims' uids."""
+        pool = self.runtime.pool(pool_name)
+        candidates = pool.active_members()
+        if not include_sentinel and len(candidates) > 1:
+            sentinel = pool.sentinel()
+            candidates = [m for m in candidates if m is not sentinel]
+        count = min(count, len(candidates))
+        victims = sorted(
+            self.rng.sample(sorted(candidates, key=lambda m: m.uid), count),
+            key=lambda m: m.uid,
+        )
+        for member in victims:
+            if member.endpoint_id is not None:
+                self.runtime.transport.kill(member.endpoint_id)
+        uids = [m.uid for m in victims]
+        self._record("member-crash", f"pool={pool_name} uids={uids}")
+        return uids
+
+    def fail_cluster_node(self, node_id: str | None = None) -> str:
+        """Crash one cluster machine (its in-use slices are LOST)."""
+        if node_id is None:
+            alive = sorted(n.node_id for n in self.runtime.master.nodes if n.alive)
+            if not alive:
+                raise ValueError("no alive cluster node to fail")
+            node_id = self.rng.choice(alive)
+        self.runtime.master.fail_node(node_id)
+        self._record("cluster-node-fail", f"node={node_id}")
+        return node_id
+
+    def recover_cluster_node(self, node_id: str) -> None:
+        self.runtime.master.recover_node(node_id)
+        self._record("cluster-node-recover", f"node={node_id}")
+
+    def master_outage(self, duration: float) -> None:
+        """Take the master down now and recover it after ``duration``."""
+        self.runtime.master.fail()
+        self._record("master-fail", f"duration={duration}")
+        self.runtime.scheduler.call_after(duration, self._recover_master)
+
+    def _recover_master(self) -> None:
+        self.runtime.master.recover()
+        self._record("master-recover", "")
+
+    def fail_store_node(
+        self,
+        node: str | None = None,
+        avoid_keys: tuple[str, ...] = (),
+    ) -> str:
+        """Fail one KV-store partition.
+
+        ``avoid_keys`` excludes the owners of listed keys from the victim
+        pool — the scripted scenario uses it to fail a partition that
+        does *not* own the pool's control keys, so the loss is masked
+        (per the paper, operations on a failed partition's own keys
+        propagate :class:`StoreUnavailableError` by design).
+        """
+        store = self.runtime.store
+        avoid = {store.owner_node(key) for key in avoid_keys}
+        failed = set(store.failed_nodes())
+        candidates = sorted(
+            name
+            for name in store.node_names()
+            if name not in avoid and name not in failed
+        )
+        if not candidates:
+            raise ValueError("no store node satisfies the avoid/alive filter")
+        victim = node if node is not None else self.rng.choice(candidates)
+        store.fail_node(victim)
+        self._record("store-node-fail", f"node={victim}")
+        return victim
+
+    def recover_store_node(self, node: str) -> None:
+        self.runtime.store.recover_node(node)
+        self._record("store-node-recover", f"node={node}")
+
+    # ------------------------------------------------------------------
+    # trace
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, detail: str) -> None:
+        """Add a caller-supplied milestone to the trace (the scenario
+        records recovery milestones next to the injected faults)."""
+        self._record(kind, detail)
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.trace.append(
+            FaultEvent(self.runtime.scheduler.clock.now(), kind, detail)
+        )
+
+    def _endpoint_name(self, endpoint_id: str) -> str:
+        try:
+            return self.runtime.transport.endpoint(endpoint_id).name
+        except Exception:
+            return endpoint_id

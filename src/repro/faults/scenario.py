@@ -1,0 +1,262 @@
+"""The scripted chaos scenario: crash the pool under load, measure recovery.
+
+One reproducible experiment (``python -m repro chaos``) that exercises
+the whole failure path end to end:
+
+- a simulated runtime hosts one elastic pool (``min=4``) on a 6-node
+  cluster with a 3-node :class:`~repro.kvstore.store.HyperStore`, with
+  the runtime's failure-detection loop armed on a 0.5 s cadence;
+- a client pings the pool every 0.25 s through an epoch-cached
+  :class:`~repro.core.balancer.ElasticStub` under the default
+  :class:`~repro.faults.policy.RetryPolicy`;
+- at ``fault_at`` (default t=5 s) the injector crashes two non-sentinel
+  members (JVM kill) *and* fails one store partition chosen to not own
+  the pool's control keys (losing a partition that owns data keys is
+  *not* masked, by design — see DESIGN.md);
+- the failed store node recovers at t=30 s.
+
+Success means: **zero client-visible errors** (every failure masked by
+stub retry), the pool detected the crashes, re-elected its sentinel, and
+re-provisioned back to ``min``; and the fault/event trace is identical
+across two runs with the same seed.
+
+The recovery latency reported is the paper-relevant number: the interval
+from fault injection to the first instant the pool again serves at its
+minimum size (detection + re-provisioning, Figure 8's interval applied
+to the failure path rather than scale-up).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.provisioner import ContainerProvisioner
+from repro.core.api import ElasticObject
+from repro.core.runtime import ElasticRuntime
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import RetryPolicy
+from repro.kvstore.store import HyperStore
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+
+SCHEMA = "repro.chaos/v1"
+
+POOL_NAME = "chaos"
+POOL_MIN = 4
+POOL_MAX = 8
+CONTROL_KEYS = (f"{POOL_NAME}$epoch", f"{POOL_NAME}$members")
+
+
+class ChaosWorkload(ElasticObject):
+    """The elastic class under test: a pure echo, so every client-side
+    observation is attributable to the failure path, not the workload."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.set_min_pool_size(POOL_MIN)
+        self.set_max_pool_size(POOL_MAX)
+
+    def ping(self, value: int) -> int:
+        return value
+
+
+@dataclass
+class ChaosReport:
+    """Everything the chaos run measured, JSON-serializable."""
+
+    schema: str
+    seed: int
+    duration: float
+    fault_at: float
+    pool: dict[str, Any]
+    client: dict[str, Any]
+    recovery: dict[str, Any]
+    trace: list[tuple[float, str, str]]
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    sizes: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery["recovered_at"] is not None
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance gate: no client-visible error, no wrong result,
+        and the pool back at its minimum size."""
+        return (
+            self.client["errors"] == 0
+            and self.client["wrong_results"] == 0
+            and self.recovered
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "seed": self.seed,
+            "duration": self.duration,
+            "fault_at": self.fault_at,
+            "ok": self.ok,
+            "pool": self.pool,
+            "client": self.client,
+            "recovery": self.recovery,
+            "failures": self.failures,
+            "trace": [list(entry) for entry in self.trace],
+            "sizes": [list(entry) for entry in self.sizes],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def summary(self) -> str:
+        rec = self.recovery
+        latency = (
+            "never"
+            if rec["recovery_latency"] is None
+            else f"{rec['recovery_latency']:.2f}s"
+        )
+        return (
+            f"chaos seed={self.seed}: {self.client['calls']} calls, "
+            f"{self.client['errors']} errors, "
+            f"{len(self.failures)} members reaped, "
+            f"recovery latency {latency}, "
+            f"final size {self.pool['final_size']}/{self.pool['min']} "
+            f"({'OK' if self.ok else 'FAILED'})"
+        )
+
+
+def run_chaos_scenario(
+    seed: int = 0,
+    duration: float = 60.0,
+    fault_at: float = 5.0,
+    client_interval: float = 0.25,
+    sample_interval: float = 0.5,
+    retry_policy: RetryPolicy | None = None,
+) -> ChaosReport:
+    """Run the scripted scenario once; deterministic in ``seed``."""
+    if duration <= fault_at:
+        raise ValueError(
+            f"duration {duration} must exceed fault_at {fault_at}"
+        )
+    kernel = Kernel()
+    rng = RngStreams(seed)
+    runtime = ElasticRuntime.simulated(
+        kernel,
+        nodes=6,
+        slices_per_node=4,
+        provisioner=ContainerProvisioner(
+            rng.stream("provisioner"),
+            base_s=1.0,
+            slope_s=3.0,
+            jitter_s=0.5,
+            cap_s=6.0,
+        ),
+        rng=rng,
+        store=HyperStore(nodes=3),
+        failure_check_interval=0.5,
+    )
+    pool = runtime.new_pool(ChaosWorkload, name=POOL_NAME)
+    injector = FaultInjector(runtime, rng=rng.stream("injector")).install()
+    stub = runtime.stub(
+        POOL_NAME, caller="chaos-client", retry_policy=retry_policy
+    )
+
+    client = {"calls": 0, "errors": 0, "wrong_results": 0}
+    client_errors: list[tuple[float, str]] = []
+
+    def ping() -> None:
+        client["calls"] += 1
+        seqno = client["calls"]
+        try:
+            if stub.ping(seqno) != seqno:
+                client["wrong_results"] += 1
+        except Exception as exc:  # any escape IS the failure being measured
+            client["errors"] += 1
+            client_errors.append(
+                (round(kernel.clock.now(), 6), f"{type(exc).__name__}: {exc}")
+            )
+        if kernel.clock.now() + client_interval <= duration:
+            kernel.call_after(client_interval, ping)
+
+    kernel.call_at(2.0, ping)
+
+    sizes: list[tuple[float, int]] = []
+
+    def sample() -> None:
+        sizes.append((round(kernel.clock.now(), 6), pool.size()))
+        if kernel.clock.now() + sample_interval <= duration:
+            kernel.call_after(sample_interval, sample)
+
+    kernel.call_at(0.0, sample)
+
+    # The script: at ``fault_at`` two member JVMs die and one store
+    # partition is lost; the partition comes back at t=30 s.
+    injector.schedule(
+        fault_at, lambda: injector.crash_members(POOL_NAME, count=2)
+    )
+    store_victim: dict[str, str] = {}
+
+    def fail_store() -> None:
+        store_victim["node"] = injector.fail_store_node(
+            avoid_keys=CONTROL_KEYS
+        )
+
+    injector.schedule(fault_at, fail_store)
+    store_recover_at = 30.0
+    if store_recover_at < duration:
+
+        def recover_store() -> None:
+            node = store_victim.get("node")
+            if node is not None:
+                injector.recover_store_node(node)
+
+        injector.schedule(store_recover_at, recover_store)
+
+    kernel.run_until(duration)
+
+    # Recovery milestones from the size samples: the first post-fault
+    # sample below min marks detection (the reap), the first sample at or
+    # above min after that marks full recovery.
+    degraded_at = next(
+        (t for t, s in sizes if t >= fault_at and s < POOL_MIN), None
+    )
+    recovered_at = None
+    if degraded_at is not None:
+        recovered_at = next(
+            (t for t, s in sizes if t > degraded_at and s >= POOL_MIN), None
+        )
+    final_size = pool.size()
+    report = ChaosReport(
+        schema=SCHEMA,
+        seed=seed,
+        duration=duration,
+        fault_at=fault_at,
+        pool={
+            "name": POOL_NAME,
+            "min": POOL_MIN,
+            "max": POOL_MAX,
+            "final_size": final_size,
+        },
+        client={
+            **client,
+            "first_errors": client_errors[:10],
+        },
+        recovery={
+            "degraded_at": degraded_at,
+            "recovered_at": recovered_at,
+            "recovery_latency": (
+                None if recovered_at is None else round(recovered_at - fault_at, 6)
+            ),
+            "store_node_failed": store_victim.get("node"),
+        },
+        trace=[event.as_tuple() for event in injector.trace],
+        failures=[
+            {"at": round(r.at, 6), "uid": r.uid, "kind": r.kind}
+            for r in pool.failure_records
+        ],
+        sizes=sizes,
+    )
+    injector.uninstall()
+    runtime.shutdown()
+    return report

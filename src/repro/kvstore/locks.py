@@ -92,17 +92,25 @@ class LockManager:
                 token = self._try_lock_locked(name, owner, ttl)
                 if token is not None:
                     return token
-                remaining = None
-                if deadline is not None:
-                    remaining = deadline - self._clock.now()
-                    if remaining <= 0:
-                        raise LockTimeoutError(
-                            f"lock {name!r}: not acquired within {timeout}s"
-                        )
-                if not self._cv.wait(timeout=remaining):
+                now = self._clock.now()
+                if deadline is not None and now >= deadline:
                     raise LockTimeoutError(
                         f"lock {name!r}: not acquired within {timeout}s"
                     )
+                wait_for = None if deadline is None else deadline - now
+                # Also wake when the blocking lease's TTL lapses: a waiter
+                # must observe expiry on its own, not depend on some
+                # unrelated lock operation touching this name first.
+                lease = self._leases.get(name)
+                if lease is not None and lease.expires_at is not None:
+                    until_expiry = max(0.0, lease.expires_at - now)
+                    if wait_for is None or until_expiry < wait_for:
+                        wait_for = until_expiry
+                    if wait_for <= 0:
+                        continue  # lease already expired; retry immediately
+                self._cv.wait(timeout=wait_for)
+                # Loop: the caller deadline is re-checked at the top, so a
+                # wake caused by lease expiry never miscounts as timeout.
 
     def _try_lock_locked(self, name: str, owner: str, ttl: float | None) -> int | None:
         self._expire(name)
@@ -142,6 +150,26 @@ class LockManager:
             if existed:
                 self._cv.notify_all()
             return existed
+
+    def release_owner(self, owner: str) -> list[str]:
+        """Eagerly reclaim every lease held by ``owner``.
+
+        The pool calls this when it reaps a failed member, so a lock
+        whose holder crashed is released *now* — queued waiters wake
+        immediately instead of spinning until lease expiry (or, worse,
+        forever, when the lease had no TTL).  Returns the released names.
+        """
+        with self._cv:
+            released = [
+                name
+                for name, lease in self._leases.items()
+                if lease.owner == owner
+            ]
+            for name in released:
+                del self._leases[name]
+            if released:
+                self._cv.notify_all()
+            return released
 
     # -- introspection --------------------------------------------------------------
 

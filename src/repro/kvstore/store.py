@@ -141,8 +141,23 @@ class HyperStore:
     def node_count(self) -> int:
         return len(self._partitions)
 
+    def node_names(self) -> list[str]:
+        return list(self._partitions)
+
     def partition_sizes(self) -> dict[str, int]:
         return {name: len(p) for name, p in self._partitions.items()}
+
+    def owner_node(self, key: str) -> str:
+        """Name of the node whose partition owns ``key``.
+
+        Pure ring lookup — works whether or not the owner is alive, so
+        fault scripts can pick a victim partition *relative to* the keys
+        they must keep reachable.
+        """
+        return self._ring.owner(key)
+
+    def failed_nodes(self) -> list[str]:
+        return [name for name, p in self._partitions.items() if not p.alive]
 
     # -- failure injection ------------------------------------------------------
 

@@ -273,6 +273,27 @@ def marshal_result(value: Any) -> Any:
     return marshal_value(value)
 
 
+def marshal_error(exc: BaseException) -> Any:
+    """Marshal an exception for an ``error`` reply, never failing.
+
+    An application exception that is itself unpicklable (it captured a
+    lock, a socket, a thread) must not escape the skeleton as a raw
+    :class:`MarshalError` — that would turn an application failure into
+    what looks like a transport failure and feed the client's retry
+    loop a call that will fail identically everywhere.  Fall back to a
+    picklable :class:`RemoteError` describing the original.
+    """
+    from repro.errors import MarshalError, RemoteError
+
+    try:
+        return marshal_result(exc)
+    except MarshalError:
+        fallback = RemoteError(
+            f"remote raised unmarshallable {type(exc).__name__}: {exc}"
+        )
+        return marshal_result(fallback)
+
+
 def unmarshal_result(payload: Any) -> Any:
     """Recover the return value on the client side."""
     if type(payload) is FastPayload:

@@ -27,6 +27,7 @@ from typing import Any, Callable
 from repro.errors import ApplicationError, MemberDrainedError, NoSuchObjectError
 from repro.rmi.fastpath import (
     marshal_call,
+    marshal_error,
     marshal_result,
     register_immutable,
     unmarshal_call,
@@ -209,7 +210,7 @@ class Skeleton:
                 self.stats.record(
                     request.method, self.clock.now() - started, error=True
                 )
-                return Response(kind="error", payload=marshal_result(exc))
+                return Response(kind="error", payload=marshal_error(exc))
             self.stats.record(request.method, self.clock.now() - started)
             return Response(kind="result", payload=marshal_result(result))
         finally:

@@ -128,6 +128,12 @@ class Transport(Protocol):
     def endpoint(self, endpoint_id: str) -> Endpoint: ...
 
 
+# A fault hook sees every request about to be delivered and may raise
+# (ConnectError for a drop, RemoteError for an injected timeout) or sleep
+# to model network faults.  Returning normally lets the request through.
+FaultHook = Callable[[str, Request], None]
+
+
 class _TransportBase:
     def __init__(self) -> None:
         # Read-mostly map: reads are lock-free, mutations copy-on-write
@@ -135,6 +141,16 @@ class _TransportBase:
         self._endpoints: dict[str, Endpoint] = {}
         self._admin_lock = threading.RLock()
         self._messages = StripedCounter()
+        self._fault_hook: FaultHook | None = None
+
+    def install_fault_hook(self, hook: FaultHook | None) -> None:
+        """Install (or clear, with None) a fault-injection hook.
+
+        The hook runs after the endpoint resolves but before delivery
+        counts, so an injected drop is indistinguishable on the wire
+        from a message that never arrived.
+        """
+        self._fault_hook = hook
 
     @property
     def messages_sent(self) -> int:
@@ -198,6 +214,9 @@ class DirectTransport(_TransportBase):
 
     def invoke(self, endpoint_id: str, request: Request) -> Response:
         handler = self._resolve(endpoint_id, request)
+        hook = self._fault_hook
+        if hook is not None:
+            hook(endpoint_id, request)
         self._messages.increment()
         if self._on_message is not None:
             self._on_message(endpoint_id, request)
@@ -236,6 +255,9 @@ class ThreadedTransport(_TransportBase):
             ep = self._endpoints.get(endpoint_id)
             name = ep.name if ep is not None else "?"
             raise ConnectError(f"endpoint {endpoint_id} ({name}) is down")
+        hook = self._fault_hook
+        if hook is not None:
+            hook(endpoint_id, request)
         self._messages.increment()
         future = executor.submit(handler, request)
         try:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.balancer import ElasticStub
+from repro.errors import StoreError
 from repro.rmi.remote import Remote, Skeleton
 from repro.rmi.transport import DirectTransport
 from tests.core.conftest import EchoService, settle
@@ -103,7 +104,9 @@ def rig():
 
     def epoch_source():
         if state["fail"]:
-            raise RuntimeError("store outage")
+            raise StoreError("store outage")
+        if state.get("broken"):
+            raise TypeError("miswired epoch source")
         return state["epoch"]
 
     stub = ElasticStub(
@@ -131,6 +134,16 @@ class TestEpochRefresh:
         for i in range(5):
             assert stub.echo(i) == i
         assert sentinel.fetches == 1  # no refresh attempted during outage
+
+    def test_epoch_source_programming_error_propagates(self, rig):
+        """Only store/transport failures degrade to the cached epoch; a
+        miswired epoch source is a bug and must surface, not silently
+        pin the stub to a stale membership forever."""
+        _, _, _, state, stub = rig
+        stub.echo("warm-up")
+        state["broken"] = True
+        with pytest.raises(TypeError):
+            stub.echo("boom")
 
     def test_dead_member_failover_still_works(self, rig):
         transport, _, members, _, stub = rig

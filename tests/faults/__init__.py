@@ -1,0 +1,1 @@
+"""Chaos suite: fault injection, retry policy, and recovery machinery."""

@@ -1,0 +1,59 @@
+"""Fixtures for the chaos suite: simulated runtimes with and without the
+dedicated failure-repair loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.api import ElasticObject
+from repro.core.runtime import ElasticRuntime
+from repro.kvstore.store import HyperStore
+from repro.sim.kernel import Kernel
+
+
+class PingService(ElasticObject):
+    """Minimal elastic class for failure-path tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.set_min_pool_size(2)
+        self.set_max_pool_size(6)
+
+    def ping(self, value):
+        return value
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel):
+    """Simulated runtime, legacy failure detection (per burst tick)."""
+    return ElasticRuntime.simulated(
+        kernel,
+        nodes=8,
+        slices_per_node=4,
+        provisioner=InstantProvisioner(),
+        store=HyperStore(nodes=3),
+    )
+
+
+@pytest.fixture
+def repairing_runtime(kernel):
+    """Simulated runtime with the dedicated repair loop armed (0.5 s)."""
+    return ElasticRuntime.simulated(
+        kernel,
+        nodes=8,
+        slices_per_node=4,
+        provisioner=InstantProvisioner(),
+        store=HyperStore(nodes=3),
+        failure_check_interval=0.5,
+    )
+
+
+def settle(kernel, seconds=1.0):
+    """Run the kernel briefly so zero-delay activations complete."""
+    kernel.run_until(kernel.clock.now() + seconds)

@@ -1,0 +1,125 @@
+"""The drain-vs-failure race (satellite test coverage).
+
+A member can die *while* it is DRAINING — either its endpoint crashes or
+the node under its slice fails.  Either way the slice must be accounted
+for exactly once: released back to the master exactly once when it still
+exists, zero times when it was LOST, and the pending drain finalization
+must become a no-op rather than a second release (SliceError) or a
+wedged pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import SliceState
+from repro.core.pool import MemberState
+
+from tests.faults.conftest import PingService, settle
+
+
+@pytest.fixture
+def pool(kernel, repairing_runtime):
+    p = repairing_runtime.new_pool(PingService, name="svc")
+    settle(kernel)
+    p.grow(1)
+    settle(kernel)
+    assert p.size() == 3
+    return p
+
+
+class ReleaseCounter:
+    def __init__(self, master):
+        self.calls = {}
+        self._original = master.release_slice
+        master.release_slice = self._wrapped
+
+    def _wrapped(self, framework, sl):
+        self.calls[id(sl)] = self.calls.get(id(sl), 0) + 1
+        return self._original(framework, sl)
+
+    def count(self, sl):
+        return self.calls.get(id(sl), 0)
+
+
+def draining_member(pool):
+    """Start a drain and return the victim while it is still DRAINING
+    (the finalization event is queued but has not run)."""
+    assert pool.shrink(1) == 1
+    victims = [
+        m for m in pool.members.values() if m.state is MemberState.DRAINING
+    ]
+    assert len(victims) == 1
+    return victims[0]
+
+
+class TestEndpointCrashMidDrain:
+    def test_slice_released_exactly_once(
+        self, kernel, repairing_runtime, pool
+    ):
+        counter = ReleaseCounter(repairing_runtime.master)
+        victim = draining_member(pool)
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        reaped = pool.reap_failures()
+        assert [m.uid for m in reaped] == [victim.uid]
+        assert pool.failure_records[-1].kind == "drain-crashed"
+        assert counter.count(victim.slice) == 1
+        # The queued drain finalization fires now — and must be a no-op.
+        settle(kernel)
+        assert counter.count(victim.slice) == 1
+        assert victim.state is MemberState.TERMINATED
+
+    def test_no_leak_slice_returns_to_the_free_pool(
+        self, kernel, repairing_runtime, pool
+    ):
+        victim = draining_member(pool)
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        pool.reap_failures()
+        settle(kernel)
+        assert victim.slice.state is SliceState.FREE
+        fw = repairing_runtime.master.frameworks[
+            repairing_runtime.framework_name
+        ]
+        assert victim.slice not in fw.slices
+
+
+class TestNodeFailureMidDrain:
+    def test_lost_slice_never_released(self, kernel, repairing_runtime, pool):
+        counter = ReleaseCounter(repairing_runtime.master)
+        victim = draining_member(pool)
+        # The node under the draining member dies; the master's lost-slice
+        # callback terminates the member with release_slice=False.
+        repairing_runtime.master.fail_node(victim.slice.node.node_id)
+        assert victim.state is MemberState.TERMINATED
+        assert counter.count(victim.slice) == 0
+        # Neither the queued finalization nor a later reap releases it.
+        assert victim not in pool.reap_failures()
+        settle(kernel)
+        assert counter.count(victim.slice) == 0
+
+    def test_lost_slice_without_callback_handled_by_reap(
+        self, kernel, repairing_runtime, pool
+    ):
+        """Same race, but the master's notification never arrives: the
+        reap finds the LOST slice itself."""
+        counter = ReleaseCounter(repairing_runtime.master)
+        victim = draining_member(pool)
+        victim.slice.state = SliceState.LOST  # no callback fired
+        reaped = pool.reap_failures()
+        assert [m.uid for m in reaped] == [victim.uid]
+        assert pool.failure_records[-1].kind == "drain-crashed"
+        assert counter.count(victim.slice) == 0
+        settle(kernel)
+        assert counter.count(victim.slice) == 0
+        assert victim.state is MemberState.TERMINATED
+
+    def test_pool_does_not_wedge_below_min(
+        self, kernel, repairing_runtime, pool
+    ):
+        """End to end: a crashed drain must not leave the pool stuck —
+        the repair loop restores the minimum size."""
+        victim = draining_member(pool)
+        repairing_runtime.master.fail_node(victim.slice.node.node_id)
+        kernel.run_until(kernel.clock.now() + 3.0)
+        assert pool.size() >= pool.config.min_pool_size
+        stub = repairing_runtime.stub("svc")
+        assert stub.ping(1) == 1

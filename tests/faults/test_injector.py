@@ -1,0 +1,171 @@
+"""FaultInjector: message faults, scripted faults, and determinism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.provisioner import InstantProvisioner
+from repro.core.runtime import ElasticRuntime
+from repro.errors import ConnectError
+from repro.faults import FaultInjector, RetryPolicy
+from repro.sim.kernel import Kernel
+
+from tests.faults.conftest import PingService, settle
+
+
+@pytest.fixture
+def rig(kernel, runtime):
+    pool = runtime.new_pool(PingService, name="svc")
+    settle(kernel)
+    injector = FaultInjector(runtime, rng=random.Random(11)).install()
+    stub = runtime.stub("svc")
+    return kernel, runtime, pool, injector, stub
+
+
+class TestMessageFaults:
+    def test_no_faults_messages_flow(self, rig):
+        _, _, _, injector, stub = rig
+        assert stub.ping(1) == 1
+        assert injector.stats.dropped == 0
+
+    def test_full_drop_rate_surfaces_injected_connect_error(self, rig):
+        _, _, _, injector, stub = rig
+        injector.set_drop_rate(1.0)
+        with pytest.raises(ConnectError):
+            stub.ping(2)
+        assert injector.stats.dropped > 0
+
+    def test_partial_drop_rate_is_masked_by_retry(self, rig):
+        _, runtime, _, injector, _ = rig
+        injector.set_drop_rate(0.3)
+        stub = runtime.stub(
+            "svc", caller="droptest",
+            retry_policy=RetryPolicy(max_attempts=64, max_rounds=8),
+        )
+        results = [stub.ping(i) for i in range(50)]
+        assert results == list(range(50))
+        assert injector.stats.dropped > 0  # faults happened, all masked
+
+    def test_drop_rate_can_target_one_endpoint(self, rig):
+        _, _, pool, injector, stub = rig
+        victim = pool.active_members()[-1]
+        injector.set_drop_rate(1.0, endpoint_id=victim.endpoint_id)
+        results = [stub.ping(i) for i in range(10)]
+        assert results == list(range(10))  # other members cover
+
+    def test_slow_endpoints_exhaust_the_attempt_budget(self, rig):
+        kernel, runtime, pool, injector, _ = rig
+        stub = runtime.stub(
+            "svc", caller="slowtest",
+            retry_policy=RetryPolicy(max_attempts=6, max_rounds=10),
+        )
+        stub.ping(0)  # warm the member cache before slowing the pool
+        for member in pool.active_members():
+            injector.slow_endpoint(member.endpoint_id)
+        with pytest.raises(ConnectError) as err:
+            stub.ping(1)
+        assert "attempt budget exhausted" in str(err.value)
+        assert injector.stats.timed_out >= 6
+
+    def test_slow_member_stays_in_the_stub_cache(self, rig):
+        """Slowness is transient; death is not.  A slow member costs
+        budget but is not discarded."""
+        _, _, pool, injector, stub = rig
+        stub.ping(0)  # warm the member cache
+        victim = pool.active_members()[-1]
+        injector.slow_endpoint(victim.endpoint_id)
+        for i in range(6):
+            assert stub.ping(i) == i  # other member masks the slowness
+        assert len(stub.members_snapshot()) == 2
+
+    def test_delay_accounting(self, rig):
+        _, _, _, injector, stub = rig
+        injector.set_delay(0.05)
+        stub.ping(1)
+        assert injector.stats.delayed >= 1
+        assert injector.stats.delay_total >= 0.05
+
+    def test_clear_message_faults(self, rig):
+        _, _, _, injector, stub = rig
+        injector.set_drop_rate(1.0)
+        injector.clear_message_faults()
+        assert stub.ping(3) == 3
+
+    def test_uninstall_detaches_the_hook(self, rig):
+        _, _, _, injector, stub = rig
+        injector.set_drop_rate(1.0)
+        injector.uninstall()
+        assert stub.ping(4) == 4
+
+
+class TestScriptedFaults:
+    def test_scheduled_fault_fires_at_the_scripted_instant(self, rig):
+        kernel, _, pool, injector, _ = rig
+        injector.schedule(5.0, lambda: injector.crash_members("svc", count=1))
+        kernel.run_until(4.9)
+        assert all(
+            m.endpoint_id
+            and injector.runtime.transport.endpoint(m.endpoint_id).alive
+            for m in pool.active_members()
+        )
+        kernel.run_until(5.1)
+        assert injector.trace[0].at == 5.0
+        assert injector.trace[0].kind == "member-crash"
+
+    def test_crash_members_spares_the_sentinel_by_default(self, rig):
+        _, runtime, pool, injector, _ = rig
+        sentinel_uid = pool.sentinel().uid
+        uids = injector.crash_members("svc", count=1)
+        assert sentinel_uid not in uids
+
+    def test_cluster_node_fail_marks_slices_lost(self, rig):
+        _, runtime, pool, injector, _ = rig
+        member = pool.active_members()[-1]
+        node_id = member.slice.node.node_id
+        injector.fail_cluster_node(node_id)
+        assert any("cluster-node-fail" == e.kind for e in injector.trace)
+
+    def test_store_node_fail_avoids_owners_of_control_keys(self, rig):
+        _, runtime, _, injector, _ = rig
+        runtime.store.put("svc$epoch", 1)
+        victim = injector.fail_store_node(avoid_keys=("svc$epoch",))
+        assert victim != runtime.store.owner_node("svc$epoch")
+        # The control key stays readable through the partition loss.
+        assert runtime.store.get("svc$epoch") == 1
+
+    def test_master_outage_recovers_after_duration(self, rig):
+        kernel, runtime, _, injector, _ = rig
+        injector.master_outage(2.0)
+        assert not runtime.master.available
+        kernel.run_until(kernel.clock.now() + 2.1)
+        assert runtime.master.available
+        kinds = [e.kind for e in injector.trace]
+        assert kinds.count("master-fail") == 1
+        assert kinds.count("master-recover") == 1
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        kernel = Kernel()
+        runtime = ElasticRuntime.simulated(
+            kernel, nodes=8, slices_per_node=4,
+            provisioner=InstantProvisioner(),
+        )
+        runtime.new_pool(PingService, name="svc", max_size=6)
+        settle(kernel)
+        runtime.pool("svc").grow(3)
+        settle(kernel)
+        injector = FaultInjector(runtime, rng=random.Random(seed)).install()
+        uids = injector.crash_members("svc", count=2)
+        node = injector.fail_store_node()
+        return uids, node, [e.as_tuple() for e in injector.trace]
+
+    def test_same_seed_same_victims_same_trace(self):
+        assert self._run_once(3) == self._run_once(3)
+
+    def test_trace_uses_logical_identities_only(self):
+        _, _, trace = self._run_once(3)
+        for _, _, detail in trace:
+            assert "ep-" not in detail  # process-global endpoint ids banned

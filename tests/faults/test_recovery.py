@@ -1,0 +1,201 @@
+"""Recovery machinery: reap, re-elect, re-provision, release leases."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.node import SliceState
+from repro.kvstore.locks import LockManager
+from repro.sim.clock import WallClock
+
+from tests.faults.conftest import PingService, settle
+
+
+@pytest.fixture
+def pool(kernel, repairing_runtime):
+    p = repairing_runtime.new_pool(PingService, name="svc")
+    settle(kernel)
+    assert p.size() == 2
+    return p
+
+
+class ReleaseCounter:
+    """Counts master.release_slice calls per slice."""
+
+    def __init__(self, master):
+        self.calls = {}
+        self._original = master.release_slice
+        master.release_slice = self._wrapped
+
+    def _wrapped(self, framework, sl):
+        self.calls[id(sl)] = self.calls.get(id(sl), 0) + 1
+        return self._original(framework, sl)
+
+    def count(self, sl):
+        return self.calls.get(id(sl), 0)
+
+
+class TestReap:
+    def test_lost_slice_reaped_without_master_callback(
+        self, kernel, repairing_runtime, pool
+    ):
+        """A slice can be LOST without the master ever invoking the
+        lost-slice callback (e.g. the notification itself was lost); the
+        pool's own reap must still find it — and must NOT release the
+        slice back to the master (it no longer exists there)."""
+        counter = ReleaseCounter(repairing_runtime.master)
+        victim = pool.active_members()[-1]
+        victim.slice.state = SliceState.LOST
+        reaped = pool.reap_failures()
+        assert [m.uid for m in reaped] == [victim.uid]
+        assert victim.state.value == "terminated"
+        assert counter.count(victim.slice) == 0
+        assert pool.failure_records[-1].kind == "slice-lost"
+        assert pool.failure_records[-1].uid == victim.uid
+
+    def test_dead_endpoint_reaped_and_slice_released(
+        self, kernel, repairing_runtime, pool
+    ):
+        counter = ReleaseCounter(repairing_runtime.master)
+        victim = pool.active_members()[-1]
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        reaped = pool.reap_failures()
+        assert [m.uid for m in reaped] == [victim.uid]
+        assert counter.count(victim.slice) == 1  # JVM died, machine lives
+        assert pool.failure_records[-1].kind == "endpoint-dead"
+
+    def test_healthy_pool_reaps_nothing(self, pool):
+        assert pool.reap_failures() == []
+        assert pool.failure_records == []
+
+    def test_reap_bumps_epoch_so_stubs_refresh(
+        self, kernel, repairing_runtime, pool
+    ):
+        key = pool.membership_epoch_key()
+        before = repairing_runtime.store.get(key, default=0)
+        victim = pool.active_members()[-1]
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        pool.reap_failures()
+        assert repairing_runtime.store.get(key, default=0) > before
+
+
+class TestRepairLoop:
+    def test_pool_reprovisions_back_to_min(
+        self, kernel, repairing_runtime, pool
+    ):
+        victim = pool.active_members()[-1]
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        kernel.run_until(kernel.clock.now() + 2.0)
+        assert pool.size() == pool.config.min_pool_size
+        assert any(
+            e.reason == "failure-recovery" for e in pool.scaling_events
+        )
+
+    def test_sentinel_reelected_after_sentinel_crash(
+        self, kernel, repairing_runtime, pool
+    ):
+        old = pool.sentinel()
+        survivors = [m.uid for m in pool.active_members() if m is not old]
+        repairing_runtime.transport.kill(old.endpoint_id)
+        kernel.run_until(kernel.clock.now() + 2.0)
+        new = pool.sentinel()
+        assert new.uid != old.uid
+        assert new.uid == min(survivors + [new.uid])  # royal hierarchy
+        # The registry bootstrap address follows the new sentinel.
+        assert repairing_runtime.registry.lookup("svc").uid == new.uid
+
+    def test_client_calls_survive_member_crash(
+        self, kernel, repairing_runtime, pool
+    ):
+        stub = repairing_runtime.stub("svc")
+        assert stub.ping(0) == 0
+        victim = pool.active_members()[-1]
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        # Before the repair loop even runs, retry masks the dead member.
+        assert stub.ping(1) == 1
+        kernel.run_until(kernel.clock.now() + 2.0)
+        assert stub.ping(2) == 2
+        assert pool.size() == pool.config.min_pool_size
+
+    def test_master_outage_pauses_reprovision_but_not_reap(
+        self, kernel, repairing_runtime, pool
+    ):
+        victim = pool.active_members()[-1]
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        repairing_runtime.master.fail()
+        kernel.run_until(kernel.clock.now() + 2.0)
+        # Reaped (membership shrank) but could not re-provision.
+        assert victim.state.value == "terminated"
+        assert pool.size() < pool.config.min_pool_size
+        repairing_runtime.master.recover()
+        kernel.run_until(kernel.clock.now() + 2.0)
+        assert pool.size() == pool.config.min_pool_size
+
+
+class TestLeaseRelease:
+    def test_reaping_a_member_releases_its_leases(
+        self, kernel, repairing_runtime, pool
+    ):
+        victim = pool.active_members()[-1]
+        owner = f"{pool.name}:member-{victim.uid}"
+        locks = repairing_runtime.locks
+        locks.lock("PingService", owner)
+        assert locks.holder("PingService") == owner
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        pool.reap_failures()
+        assert locks.holder("PingService") is None
+
+    def test_waiter_wakes_when_crashed_owner_is_reaped(
+        self, kernel, repairing_runtime, pool
+    ):
+        """The wedge this PR removes: a waiter queued behind a crashed
+        member's lease is released by the reap, not by luck."""
+        victim = pool.active_members()[-1]
+        owner = f"{pool.name}:member-{victim.uid}"
+        locks = repairing_runtime.locks
+        locks.lock("shared", owner)
+        acquired = threading.Event()
+
+        def waiter():
+            locks.lock("shared", "survivor", timeout=5.0)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        repairing_runtime.transport.kill(victim.endpoint_id)
+        pool.reap_failures()
+        assert acquired.wait(timeout=2.0)
+        thread.join(timeout=2.0)
+
+
+class TestLeaseExpiry:
+    def test_waiter_wakes_on_ttl_expiry_without_unrelated_ops(self):
+        """A waiter must observe lease expiry on its own: no other lock
+        operation touches the name while it waits."""
+        locks = LockManager(clock=WallClock())
+        locks.lock("L", "crashed-member", ttl=0.1)
+        started = time.monotonic()
+        token = locks.lock("L", "waiter", timeout=5.0)
+        elapsed = time.monotonic() - started
+        assert token is not None
+        assert elapsed < 2.0  # woke on expiry, not on the 5 s deadline
+
+    def test_expired_lease_is_gone_for_try_lock(self):
+        locks = LockManager(clock=WallClock())
+        locks.lock("L", "a", ttl=0.01)
+        time.sleep(0.02)
+        assert locks.try_lock("L", "b") is not None
+
+    def test_release_owner_returns_released_names(self):
+        locks = LockManager(clock=WallClock())
+        locks.lock("L1", "m")
+        locks.lock("L2", "m")
+        locks.lock("L3", "other")
+        released = locks.release_owner("m")
+        assert sorted(released) == ["L1", "L2"]
+        assert locks.holder("L3") == "other"
