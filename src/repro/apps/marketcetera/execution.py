@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.apps.marketcetera.orders import Order, OrderType, Side

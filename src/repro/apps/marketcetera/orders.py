@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 
@@ -47,7 +47,7 @@ class Order:
             raise ValueError(f"quantity must be positive: {self.quantity}")
         if self.order_type is OrderType.LIMIT:
             if self.price is None or self.price <= 0:
-                raise ValueError(f"limit order needs a positive price")
+                raise ValueError("limit order needs a positive price")
         if self.order_type is OrderType.MARKET and self.price is not None:
             raise ValueError("market orders must not carry a price")
 

@@ -20,7 +20,7 @@ essentials the comparison depends on, all modeled here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.provisioner import Provisioner
 

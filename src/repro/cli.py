@@ -15,6 +15,13 @@ Commands:
   ``CHAOS_report.json`` recovery-latency report (schema
   ``repro.chaos/v1``); exits non-zero if any failure leaked to the
   client or the pool did not recover to its minimum size.
+- ``trace`` — run the seeded traced scenario (``repro.obs``) and write
+  the structured event timeline as JSONL; byte-identical across runs
+  with the same seed.
+- ``metrics`` — fold a trace (a saved JSONL file, or a fresh seeded
+  run) into the ``repro.obs/v1`` summary document, whose agility /
+  provisioning / QoS numbers come from the same ``repro.metrics``
+  trackers the experiments use.
 """
 
 from __future__ import annotations
@@ -165,6 +172,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=None,
         help="iteration scale factor (default: ERMI_BENCH_SCALE or 1.0)",
     )
+    bench_cmd.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a committed baseline report; exit non-zero "
+        "on a regression beyond the tolerance",
+    )
+    bench_cmd.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional throughput drop per record (default 0.30)",
+    )
+    bench_cmd.add_argument(
+        "--normalize", action="store_true",
+        help="normalize each record by the run's marshal-pickle baseline "
+        "before comparing (absorbs machine-speed differences in CI)",
+    )
     bench_cmd.set_defaults(fn=_cmd_bench)
 
     chaos_cmd = sub.add_parser(
@@ -180,6 +201,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="report path (default: CHAOS_report.json)",
     )
     chaos_cmd.set_defaults(fn=_cmd_chaos)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="run the seeded traced scenario, write a JSONL trace"
+    )
+    trace_cmd.add_argument("--seed", type=int, default=0)
+    trace_cmd.add_argument(
+        "--duration", type=float, default=90.0,
+        help="virtual seconds to simulate (default: 90)",
+    )
+    trace_cmd.add_argument(
+        "-o", "--output", default="TRACE_events.jsonl",
+        help="trace path (default: TRACE_events.jsonl)",
+    )
+    trace_cmd.add_argument(
+        "--summary", default=None, metavar="PATH",
+        help="also write the repro.obs/v1 summary JSON here",
+    )
+    trace_cmd.set_defaults(fn=_cmd_trace)
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="fold a trace into the repro.obs/v1 summary"
+    )
+    metrics_cmd.add_argument(
+        "-i", "--input", default=None, metavar="TRACE",
+        help="JSONL trace to summarize (default: run a fresh seeded scenario)",
+    )
+    metrics_cmd.add_argument("--seed", type=int, default=0)
+    metrics_cmd.add_argument(
+        "--duration", type=float, default=90.0,
+        help="virtual seconds when running fresh (default: 90)",
+    )
+    metrics_cmd.add_argument(
+        "-o", "--output", default=None,
+        help="write the summary JSON here instead of stdout",
+    )
+    metrics_cmd.set_defaults(fn=_cmd_metrics)
 
     return parser
 
@@ -200,15 +257,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.benchreport import (
+        compare_reports,
         format_table,
+        load_report,
         run_hotpath_suite,
         write_report,
     )
 
+    # Load the baseline up front: when --output and --check name the
+    # same file, writing first would silently compare the run to itself.
+    baseline = None if args.check is None else load_report(args.check)
     records = run_hotpath_suite(scale=args.scale)
     write_report(args.output, "rmi_hotpath", records)
     print(format_table(records))
     print(f"wrote {args.output}")
+    if baseline is None:
+        return 0
+    result = compare_reports(
+        baseline,
+        records,
+        tolerance=args.tolerance,
+        normalize=args.normalize,
+    )
+    for line in result.lines:
+        print(line)
+    if not result.ok:
+        failed = result.regressions + [f"{m} (missing)" for m in result.missing]
+        print(
+            f"REGRESSION: {len(failed)} record(s) beyond "
+            f"-{args.tolerance:.0%}: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench check OK against {args.check}")
     return 0
 
 
@@ -224,6 +305,50 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"wrote {args.output}")
     return 0 if report.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Lazy import; repro.obs.scenario imports repro.core (layering note
+    # in that module's docstring).
+    from repro.obs.scenario import run_traced_scenario
+
+    run = run_traced_scenario(seed=args.seed, duration=args.duration)
+    with open(args.output, "w") as handle:
+        handle.write(run.to_jsonl())
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            handle.write(run.summary_json() + "\n")
+    print(run.describe())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import load_trace, summarize_trace, validate_summary
+
+    if args.input is not None:
+        events = load_trace(args.input)
+        summary = summarize_trace(events)
+    else:
+        from repro.obs.scenario import run_traced_scenario
+
+        run = run_traced_scenario(seed=args.seed, duration=args.duration)
+        summary = run.summary()
+    problems = validate_summary(summary)
+    if problems:
+        for problem in problems:
+            print(f"invalid summary: {problem}", file=sys.stderr)
+        return 1
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:

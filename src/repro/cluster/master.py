@@ -53,6 +53,16 @@ class MesosMaster:
         self.available = True
         self._watches: list[UtilizationWatch] = []
         self._lost_callbacks: dict[str, Callable[[Slice], None]] = {}
+        # Observability: None keeps allocation at one extra branch.
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a :class:`repro.obs.Tracer`.
+
+        Slice events record *node names* and counts — never slice ids,
+        which come from a process-global counter and would make seeded
+        traces differ across runs."""
+        self._tracer = tracer
 
     # -- cluster construction helpers ---------------------------------------
 
@@ -121,6 +131,17 @@ class MesosMaster:
             idx += 1
             if idx > len(pools) and not any(pools):
                 break
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "master", "slice-offer",
+                framework=framework, requested=count,
+            )
+            tracer.emit(
+                "master", "slice-grant",
+                framework=framework, granted=len(granted),
+                nodes=sorted(sl.node.node_id for sl in granted),
+            )
         self._check_watches()
         return granted
 
@@ -132,6 +153,12 @@ class MesosMaster:
             raise SliceError(f"{sl} is not held by framework {framework}")
         fw.slices.remove(sl)
         sl.node.release(sl)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "master", "slice-release",
+                framework=framework, node=sl.node.node_id,
+            )
         self._check_watches()
 
     # -- introspection -------------------------------------------------------
@@ -159,7 +186,7 @@ class MesosMaster:
         on_low: Callable[[float], None],
     ) -> UtilizationWatch:
         if not 0.0 <= low <= high <= 1.0:
-            raise ValueError(f"watermarks must satisfy 0 <= low <= high <= 1")
+            raise ValueError("watermarks must satisfy 0 <= low <= high <= 1")
         watch = UtilizationWatch(high, low, on_high, on_low)
         self._watches.append(watch)
         return watch

@@ -17,7 +17,7 @@ semantics are the paper's:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import PoolConfigurationError, ScalingDisabledError

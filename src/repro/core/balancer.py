@@ -81,6 +81,7 @@ class ElasticStub:
         retry_policy: RetryPolicy | None = None,
         clock: Clock | None = None,
         sleep: Callable[[float], None] | None = None,
+        obs: Any = None,
     ) -> None:
         self._transport = transport
         self._resolve_sentinel = sentinel_resolver
@@ -97,6 +98,11 @@ class ElasticStub:
         self._retry_policy = retry_policy or RetryPolicy()
         self._clock = clock
         self._sleep = sleep
+        # Observability (repro.obs.Observability): call/retry events and
+        # the client-side counters.  Attempt counts are recorded even
+        # when the *final* attempt succeeds — retries that recovery
+        # masked used to vanish without record.
+        self._obs = obs
         self._epoch = -1  # epoch the cached members belong to
         self._members: list[RemoteRef] = []
         self._rr = itertools.count()
@@ -188,6 +194,7 @@ class ElasticStub:
         state = self._retry_policy.start(
             clock=self._clock, rng=self._rng, sleep=self._sleep
         )
+        started = None if self._clock is None else self._clock.now()
         last_error: Exception | None = None
         while True:
             try:
@@ -205,19 +212,28 @@ class ElasticStub:
                     break
                 state.note_attempt()
                 try:
-                    return self._invoke_one(ref, method, payload)
+                    result = self._invoke_one(ref, method, payload)
                 except (ConnectError, MemberDrainedError) as exc:
                     # Dead or draining member: drop it from the cache and
                     # move on to the next identity.
                     last_error = exc
                     self._discard(ref)
+                    self._note_failed_attempt(method, state, exc)
+                    continue
                 except ApplicationError:
                     # The remote method itself raised; never retried.
+                    # Delivery succeeded, so the attempt count still
+                    # lands in the registry.
+                    self._note_call(method, state, started, "app-error")
                     raise
                 except RemoteError as exc:
                     # Slow member (invocation timeout): costs budget but
                     # stays cached — slowness is transient, death is not.
                     last_error = exc
+                    self._note_failed_attempt(method, state, exc)
+                    continue
+                self._note_call(method, state, started, "ok")
+                return result
             # All cached members failed: back off, refresh identities,
             # and try once more within budget (paper: "the stub then
             # retries the invocation on other objects including the
@@ -232,10 +248,54 @@ class ElasticStub:
                 # cost budget; keep going from the cached membership
                 # rather than aborting the invocation.
                 last_error = exc
+        self._note_call(method, state, started, "failed")
         raise ConnectError(
             f"all members of the elastic pool failed for {method!r}: "
             f"{state.exhausted_reason()}",
             cause=last_error,
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def _note_failed_attempt(
+        self, method: str, state: Any, error: Exception
+    ) -> None:
+        """One send failed and will (budget permitting) be retried."""
+        obs = self._obs
+        if obs is None:
+            return
+        obs.tracer.emit(
+            "client", "retry",
+            method=method, attempt=state.attempts,
+            error=type(error).__name__, caller=self._caller,
+        )
+
+    def _note_call(
+        self, method: str, state: Any, started: float | None, outcome: str
+    ) -> None:
+        """Record one *logical* invocation — including the attempts a
+        masked recovery spent, which previously left no record when the
+        final attempt succeeded."""
+        obs = self._obs
+        if obs is None:
+            return
+        registry = obs.registry
+        registry.counter("rmi.client.calls").inc()
+        registry.counter("rmi.client.attempts").inc(state.attempts)
+        if state.attempts > 1:
+            registry.counter("rmi.client.retried_calls").inc()
+            registry.counter("rmi.client.retries").inc(state.attempts - 1)
+        if outcome == "failed":
+            registry.counter("rmi.client.errors").inc()
+        latency = (
+            0.0 if started is None or self._clock is None
+            else self._clock.now() - started
+        )
+        obs.tracer.emit(
+            "client", "call",
+            method=method, attempts=state.attempts, rounds=state.rounds,
+            ok=(outcome == "ok"), outcome=outcome,
+            latency=round(latency, 9), caller=self._caller,
         )
 
     def _invoke_one(self, ref: RemoteRef, method: str, payload: Any) -> Any:

@@ -165,6 +165,30 @@ class ElasticObjectPool:
         self.last_broadcast_state: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        """Trace one pool lifecycle event (no-op without an Observability).
+
+        Events carry member *uids* (per-pool, deterministic) and the pool
+        name — never endpoint ids or slice ids, which come from
+        process-global counters and would break trace reproducibility."""
+        obs = self.services.obs
+        if obs is not None:
+            obs.tracer.emit("pool", kind, pool=self.name, **fields)
+
+    def _note_size(self) -> None:
+        """Record the post-change pool size (trace event + gauge)."""
+        obs = self.services.obs
+        if obs is None:
+            return
+        size = self.size()
+        now = self.services.scheduler.clock.now()
+        obs.tracer.emit("pool", "pool-size", pool=self.name, size=size)
+        obs.registry.gauge(f"pool.size.{self.name}").set(size, at=now)
+
+    # ------------------------------------------------------------------
     # membership queries
     # ------------------------------------------------------------------
 
@@ -264,6 +288,11 @@ class ElasticObjectPool:
                 reason=reason,
             )
         )
+        self._emit(
+            "pool-grow",
+            requested=count, granted=len(slices),
+            reason=reason, size_before=size_before,
+        )
         return len(slices)
 
     def _activate(self, member: PoolMember) -> None:
@@ -280,6 +309,7 @@ class ElasticObjectPool:
             clock=self.services.scheduler.clock,
             object_id=f"{self.name}/{member.uid}",
             uid=member.uid,
+            obs=self.services.obs,
         )
         member.endpoint_id = endpoint.endpoint_id
         member.skeleton = skeleton
@@ -316,6 +346,11 @@ class ElasticObjectPool:
                 active_at=now,
             )
         )
+        self._emit(
+            "member-active",
+            uid=member.uid, requested_at=round(member.requested_at, 9),
+        )
+        self._note_size()
         # Record the member identity in the shared store, as the paper's
         # runtime stores skeleton uids/identities in HyperDex.  The store
         # copy is a best-effort mirror — identities flow to clients from
@@ -368,6 +403,11 @@ class ElasticObjectPool:
                 reason=reason,
             )
         )
+        self._emit(
+            "pool-shrink",
+            requested=count, victims=[m.uid for m in victims],
+            reason=reason, size_before=size_before,
+        )
         return len(victims)
 
     def _begin_drain(self, member: PoolMember) -> None:
@@ -379,6 +419,7 @@ class ElasticObjectPool:
         if member.skeleton is not None:
             member.skeleton.start_drain()
         drain_started = self.services.scheduler.clock.now()
+        self._emit("member-drain", uid=member.uid)
         latency = self.services.provisioner.sample_down_latency(self.load_factor())
         self.services.scheduler.call_after(
             latency,
@@ -386,6 +427,7 @@ class ElasticObjectPool:
         )
         self._bump_epoch()
         self.services.on_membership_change(self)
+        self._note_size()
 
     def _finalize_removal(self, member: PoolMember, drain_started: float) -> None:
         """Step 2: pending invocations have finished (or were given the
@@ -406,6 +448,10 @@ class ElasticObjectPool:
                 active_at=now,
                 direction="down",
             )
+        )
+        self._emit(
+            "member-removed",
+            uid=member.uid, drain_started=round(drain_started, 9),
         )
 
     def _terminate(self, member: PoolMember, release_slice: bool = True) -> None:
@@ -447,6 +493,7 @@ class ElasticObjectPool:
                 # to us until recovery (section 4.4 pauses scaling then).
                 pass
         self.services.on_membership_change(self)
+        self._note_size()
 
     # ------------------------------------------------------------------
     # failure handling
@@ -516,6 +563,7 @@ class ElasticObjectPool:
             self.failure_records.append(
                 FailureRecord(at=now, pool=self.name, uid=member.uid, kind=kind)
             )
+            self._emit("member-reaped", uid=member.uid, cause=kind)
             reaped.append(member)
         return reaped
 

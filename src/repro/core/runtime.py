@@ -66,6 +66,9 @@ class RuntimeServices:
     framework_name: str
     on_membership_change: Callable[[ElasticObjectPool], None]
     default_utilization: Callable[[PoolMember], UtilizationSource | None] | None = None
+    # The runtime's Observability (repro.obs), or None — pools check this
+    # once per event site, so a runtime without one pays a single branch.
+    obs: Any = None
 
 
 @dataclass
@@ -101,6 +104,7 @@ class ElasticRuntime:
         store_monitor_interval: float = 60.0,
         store_ops_per_node_limit: int | None = 500_000,
         failure_check_interval: float | None = None,
+        observability: Any = None,
     ) -> None:
         self.master = master
         self.scheduler = scheduler
@@ -108,6 +112,20 @@ class ElasticRuntime:
         self.rng = rng or RngStreams(0)
         self.store = store or HyperStore(nodes=1)
         self.locks = locks or LockManager(clock=scheduler.clock)
+        # Observability fan-out: one repro.obs.Observability (or None)
+        # shared by every layer.  Wiring happens here, once, so no layer
+        # needs to know whether tracing is on.
+        self.obs = observability
+        if observability is not None:
+            tracer = observability.tracer
+            set_tracer = getattr(transport, "set_tracer", None)
+            if set_tracer is not None:
+                set_tracer(tracer)
+            master.set_tracer(tracer)
+            self.locks.set_tracer(tracer)
+        # Last known sentinel uid per pool, to trace elections exactly
+        # when leadership actually moves.
+        self._last_sentinel: dict[str, int | None] = {}
         self.registry = registry or Registry()
         self.provisioner = provisioner or ContainerProvisioner(
             self.rng.stream("provisioner")
@@ -262,6 +280,7 @@ class ElasticRuntime:
             on_membership_change=self._on_membership_change,
             default_utilization=utilization_factory
             or self._default_utilization,
+            obs=self.obs,
         )
         pool = ElasticObjectPool(
             name=pool_name,
@@ -328,6 +347,7 @@ class ElasticRuntime:
             retry_policy=retry_policy,
             clock=self.scheduler.clock,
             sleep=time.sleep if live else None,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -353,6 +373,12 @@ class ElasticRuntime:
         except Exception:
             delta = 0  # a broken policy must not stop monitoring
         applied = self._apply_delta(record, delta)
+        if self.obs is not None:
+            self.obs.tracer.emit(
+                "runtime", "scale-decision",
+                pool=pool.name, policy=record.policy.name,
+                delta=delta, applied=applied, size=pool.size(),
+            )
         record.sentinel_agent.tick()
         for hook in list(record.on_tick):
             hook(pool)
@@ -475,6 +501,17 @@ class ElasticRuntime:
 
     def _on_membership_change(self, pool: ElasticObjectPool) -> None:
         sentinel = pool.sentinel()
+        if self.obs is not None:
+            # Royal-hierarchy election: leadership moved iff the lowest
+            # active uid changed since we last looked.
+            uid = None if sentinel is None else sentinel.uid
+            if uid != self._last_sentinel.get(pool.name):
+                self._last_sentinel[pool.name] = uid
+                if uid is not None:
+                    self.obs.tracer.emit(
+                        "runtime", "sentinel-elected",
+                        pool=pool.name, uid=uid,
+                    )
         if sentinel is not None:
             self.registry.rebind(pool.name, sentinel.ref())
         else:

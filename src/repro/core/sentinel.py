@@ -67,4 +67,16 @@ class SentinelAgent:
             sentinel.address(), {"kind": "rebalance", "plan": decision.plan}
         )
         self.last_decision = decision
+        obs = self.pool.services.obs
+        if obs is not None:
+            obs.tracer.emit(
+                "sentinel", "broadcast",
+                pool=self.pool.name, sentinel=sentinel.uid, size=len(refs),
+            )
+            if decision.plan:
+                obs.tracer.emit(
+                    "sentinel", "rebalance",
+                    pool=self.pool.name,
+                    overloaded=sorted(decision.plan.keys()),
+                )
         return decision

@@ -26,7 +26,6 @@ from repro.cluster.provisioner import ContainerProvisioner, VMProvisioner
 from repro.core.runtime import ElasticRuntime
 from repro.experiments.appmodels import AppModel
 from repro.experiments.deployments import (
-    ALARM_PERIOD_S,
     CpuMemService,
     _SharedUtilization,
 )

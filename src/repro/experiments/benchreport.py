@@ -364,6 +364,89 @@ def validate_report(doc: dict[str, Any]) -> list[str]:
     return problems
 
 
+@dataclass
+class CompareResult:
+    """Outcome of one baseline comparison (``repro bench --check``)."""
+
+    lines: list[str]
+    regressions: list[str]
+    missing: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+
+def _record_throughputs(
+    report_or_records: dict[str, Any] | list[BenchRecord],
+) -> dict[str, float]:
+    """name → calls_per_sec, from a report document or live records."""
+    if isinstance(report_or_records, dict):
+        records = report_or_records.get("records", [])
+        return {r["name"]: float(r["calls_per_sec"]) for r in records}
+    return {r.name: r.calls_per_sec for r in report_or_records}
+
+
+def compare_reports(
+    baseline: dict[str, Any] | list[BenchRecord],
+    current: dict[str, Any] | list[BenchRecord],
+    tolerance: float = 0.30,
+    normalize: bool = False,
+) -> CompareResult:
+    """Flag records whose throughput dropped more than ``tolerance``.
+
+    With ``normalize`` each record is divided by its own run's
+    ``marshal-pickle`` throughput first, so the comparison is in units of
+    "times the pickle baseline" — absorbing absolute machine-speed
+    differences between the committed baseline and the CI runner while
+    still catching *relative* hot-path regressions.  The trade-off: a
+    slowdown that hits every record equally (including marshal-pickle
+    itself) is invisible to the normalized check, which is why the
+    benchmark suite's own ratio assertions (e.g. zerocopy ≥ 3× pickle)
+    stay in place alongside it.
+
+    Records present only in ``current`` (newly added benches) pass;
+    records present only in ``baseline`` are reported as missing.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1): {tolerance}")
+    base = _record_throughputs(baseline)
+    cur = _record_throughputs(current)
+    if normalize:
+        for series in (base, cur):
+            anchor = series.get("marshal-pickle", 0.0)
+            if anchor <= 0.0:
+                raise ValueError(
+                    "cannot normalize: marshal-pickle record missing or zero"
+                )
+            for name in series:
+                series[name] = series[name] / anchor
+    unit = "x pickle" if normalize else "calls/s"
+    lines = [
+        f"{'config':<20} {'baseline':>12} {'current':>12} {'delta':>8}"
+    ]
+    regressions: list[str] = []
+    missing: list[str] = []
+    for name, base_value in base.items():
+        if name not in cur:
+            missing.append(name)
+            lines.append(f"{name:<20} {base_value:>12.2f} {'MISSING':>12}")
+            continue
+        cur_value = cur[name]
+        delta = (
+            (cur_value - base_value) / base_value if base_value > 0 else 0.0
+        )
+        verdict = ""
+        if delta < -tolerance:
+            regressions.append(name)
+            verdict = "  REGRESSION"
+        lines.append(
+            f"{name:<20} {base_value:>12.2f} {cur_value:>12.2f} "
+            f"{delta:>+7.1%}{verdict}  ({unit})"
+        )
+    return CompareResult(lines=lines, regressions=regressions, missing=missing)
+
+
 def format_table(records: list[BenchRecord]) -> str:
     """Human-readable summary of one suite run."""
     lines = [

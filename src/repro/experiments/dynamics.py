@@ -39,7 +39,6 @@ def step_response(
 ) -> StepResponse:
     """Measure one deployment's response to the abrupt jump."""
     result = run_deployment(app_name, "abrupt", deployment, seed=seed)
-    app = APP_MODELS[app_name]
     requirement = max(req for _, req in result.req_series)
     caps = dict(result.capacity_series)
     reqs = dict(result.req_series)

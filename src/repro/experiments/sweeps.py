@@ -17,7 +17,6 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.experiments.figures import FIGURE7_PANELS, figure7_agility
-from repro.experiments.harness import run_deployment
 
 
 @dataclass

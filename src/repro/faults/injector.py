@@ -252,6 +252,11 @@ class FaultInjector:
         self.trace.append(
             FaultEvent(self.runtime.scheduler.clock.now(), kind, detail)
         )
+        # Mirror every injected fault into the runtime's observability
+        # trace, so one timeline shows faults next to their consequences.
+        obs = getattr(self.runtime, "obs", None)
+        if obs is not None:
+            obs.tracer.emit("faults", kind, detail=detail)
 
     def _endpoint_name(self, endpoint_id: str) -> str:
         try:

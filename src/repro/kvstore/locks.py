@@ -48,6 +48,19 @@ class LockManager:
         self._cv = threading.Condition()
         self._leases: dict[str, Lease] = {}
         self._next_token = 1
+        # Observability: None keeps acquisition at one extra branch.  The
+        # tracer's lock is a leaf (emit never calls back into this
+        # manager), so emitting while holding ``_cv`` cannot deadlock.
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a :class:`repro.obs.Tracer`."""
+        self._tracer = tracer
+
+    def _trace(self, kind: str, **fields) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit("locks", kind, **fields)
 
     # -- acquisition -----------------------------------------------------------
 
@@ -70,11 +83,13 @@ class LockManager:
                     hold_count=1,
                     expires_at=self._deadline(ttl),
                 )
+                self._trace("lock-acquire", name=name, owner=owner, token=token)
                 return token
             if lease.owner == owner:
                 lease.hold_count += 1
                 lease.expires_at = self._deadline(ttl) or lease.expires_at
                 return lease.token
+            self._trace("lock-contend", name=name, owner=owner, holder=lease.owner)
             return None
 
     def lock(
@@ -119,10 +134,12 @@ class LockManager:
             token = self._next_token
             self._next_token += 1
             self._leases[name] = Lease(name, owner, token, 1, self._deadline(ttl))
+            self._trace("lock-acquire", name=name, owner=owner, token=token)
             return token
         if lease.owner == owner:
             lease.hold_count += 1
             return lease.token
+        self._trace("lock-contend", name=name, owner=owner, holder=lease.owner)
         return None
 
     # -- release ----------------------------------------------------------------

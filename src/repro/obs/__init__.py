@@ -1,0 +1,67 @@
+"""``repro.obs`` — the runtime observability layer.
+
+One :class:`Observability` object bundles the two windows into a running
+system:
+
+- a :class:`~repro.obs.tracer.Tracer` of structured events (what
+  happened, in order, with seeded-run-reproducible timestamps);
+- a :class:`~repro.obs.registry.MetricsRegistry` of live numbers
+  (counters, gauges with timelines, latency histograms).
+
+Hand one to :class:`~repro.core.runtime.ElasticRuntime` via its
+``observability=`` parameter and every layer — transports, skeletons,
+elastic stubs, pools, the sentinel, the Mesos master, the lock manager,
+the fault injector — reports into it.  Without one, instrumentation
+sites see ``None`` and the invocation hot path pays exactly one branch
+(the overhead budget ``benchmarks/test_obs_overhead.py`` enforces).
+
+Exporters live in :mod:`repro.obs.export`; the seeded traced scenario
+behind ``python -m repro trace`` lives in :mod:`repro.obs.scenario`
+(kept out of this namespace to avoid importing :mod:`repro.core` here).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import DEFAULT_CAPACITY, RingBuffer, TraceEvent, Tracer
+from repro.sim.clock import Clock
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_LATENCY_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "RingBuffer",
+    "TraceEvent",
+    "Tracer",
+]
+
+
+class Observability:
+    """The tracer + registry pair a runtime reports into."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: bool = True,
+    ) -> None:
+        self.tracer = Tracer(clock=clock, capacity=capacity, enabled=enabled)
+        self.registry = MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.tracer.enabled = value

@@ -1,0 +1,207 @@
+"""Live metrics: counters, gauges, and histograms behind one registry.
+
+The :class:`MetricsRegistry` is the runtime's numeric window — pool
+sizes, queue depths, per-method latency, retry counts — complementing
+the tracer's event window.  Instruments are created on first use and
+addressed by name, so instrumentation sites never need setup code:
+
+    registry.counter("rmi.client.calls").inc()
+    registry.gauge("pool.orders.size").set(4, at=clock.now())
+    registry.histogram("rmi.server.latency").observe(0.0031)
+
+Design points:
+
+- **gauges keep a series** — when ``set`` is given a timestamp, the
+  (time, value) pair is appended to ``series``, which is exactly the
+  pool-size timeline :class:`~repro.metrics.agility.AgilityTracker` and
+  Figure 8's provisioning analysis consume;
+- **histogram buckets are upper-inclusive** — an observation equal to a
+  bucket edge lands in that edge's bucket (``edges[i-1] < v <=
+  edges[i]``), with a final overflow bucket above the last edge; edges
+  must be strictly increasing;
+- **snapshots are deterministic** — :meth:`MetricsRegistry.snapshot`
+  sorts by instrument name, so two identical runs serialize identically.
+
+Every instrument is thread-safe via a small per-instrument lock; these
+are *not* on the un-instrumented hot path (sites guard with the same
+single ``tracer is None``-style branch documented in
+:mod:`repro.obs.tracer`).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+# Spanning 1 µs .. 10 s: wide enough for marshal micro-latencies and for
+# provisioning-scale intervals in the same registry.
+DEFAULT_LATENCY_EDGES = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value, optionally accumulating a timeline."""
+
+    __slots__ = ("name", "_value", "series", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self.series: list[tuple[float, float]] = []
+        self._lock = threading.Lock()
+
+    def set(self, value: float, at: float | None = None) -> None:
+        with self._lock:
+            self._value = value
+            if at is not None:
+                self.series.append((at, value))
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with upper-inclusive edges.
+
+    ``bucket_counts`` has ``len(edges) + 1`` entries: one per edge plus
+    the overflow bucket for observations above the last edge.
+    """
+
+    __slots__ = (
+        "name", "edges", "bucket_counts", "count", "total",
+        "min", "max", "_lock",
+    )
+
+    def __init__(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES
+    ) -> None:
+        edges = tuple(edges)
+        if not edges:
+            raise ValueError(f"histogram {name!r}: at least one edge required")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram {name!r}: edges must be strictly increasing"
+            )
+        self.name = name
+        self.edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.edges, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def overflow(self) -> int:
+        """Observations above the last edge."""
+        return self.bucket_counts[-1]
+
+
+class MetricsRegistry:
+    """Name-addressed instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls: type, *args: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = self._instruments[name] = cls(name, *args)
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES
+    ) -> Histogram:
+        return self._get(name, Histogram, edges)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A deterministic, JSON-ready view of every instrument."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        counters: dict[str, int] = {}
+        gauges: dict[str, Any] = {}
+        histograms: dict[str, Any] = {}
+        for name, instrument in items:
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = {
+                    "value": instrument.value,
+                    "series": [list(point) for point in instrument.series],
+                }
+            elif isinstance(instrument, Histogram):
+                histograms[name] = {
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                    "buckets": [
+                        [edge, count]
+                        for edge, count in zip(
+                            instrument.edges, instrument.bucket_counts
+                        )
+                    ],
+                    "overflow": instrument.overflow,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

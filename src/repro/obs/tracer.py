@@ -1,0 +1,199 @@
+"""Structured event tracing with per-component ring buffers.
+
+A :class:`Tracer` records :class:`TraceEvent` entries — invocation
+start/end, retry attempts, pool grow/shrink/drain/reap, slice
+offer/grant/release, sentinel elections, lock acquire/contend, fault
+injections — into one bounded :class:`RingBuffer` per component, so a
+long run can never exhaust memory: when a buffer wraps, the oldest
+events of *that component* are dropped while every other component's
+history is untouched.
+
+Determinism is the design constraint that shapes everything here:
+
+- event *times* come from a caller-supplied :class:`~repro.sim.clock.Clock`
+  — virtual time under the simulation kernel, monotonic wall time live —
+  so a seeded simulated run stamps identical times on every run;
+- event *order* is a process-wide sequence number drawn from one
+  ``itertools.count`` (atomic in CPython), so the merged timeline of all
+  components has a single total order that survives ring-buffer drops;
+- event *fields* are stored as a sorted tuple of pairs, so two runs
+  emitting the same fields serialize byte-identically regardless of
+  keyword-argument order at the call site.
+
+Cost discipline: instrumentation sites hold a ``_tracer`` attribute that
+is ``None`` by default, and guard every emit with one ``is not None``
+branch — the disabled invocation path pays a single predictable branch
+and nothing else (asserted by ``benchmarks/test_obs_overhead.py``).  A
+tracer that is installed but ``enabled=False`` returns from
+:meth:`Tracer.emit` before taking any lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.clock import Clock, WallClock
+
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence: when, where, what, and the details.
+
+    ``fields`` is a sorted tuple of ``(key, value)`` pairs — hashable,
+    immutable, and deterministic to serialize.
+    """
+
+    at: float
+    seq: int
+    component: str
+    kind: str
+    fields: tuple[tuple[str, Any], ...] = ()
+
+    def field_dict(self) -> dict[str, Any]:
+        return dict(self.fields)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSONL representation (times rounded so formatting is
+        stable across platforms' float printing of sim arithmetic)."""
+        return {
+            "at": round(self.at, 9),
+            "seq": self.seq,
+            "component": self.component,
+            "kind": self.kind,
+            "fields": dict(self.fields),
+        }
+
+
+class RingBuffer:
+    """A bounded append-only buffer that overwrites its oldest entries.
+
+    ``appended`` counts every append ever made; ``dropped`` is how many
+    of those were overwritten, so exporters can report truncation
+    honestly instead of pretending the window is the whole history.
+    """
+
+    __slots__ = ("capacity", "_items", "_cursor", "appended")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._cursor = 0  # next slot to overwrite once full
+        self.appended = 0
+
+    def append(self, item: Any) -> None:
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+        else:
+            self._items[self._cursor] = item
+            self._cursor = (self._cursor + 1) % self.capacity
+        self.appended += 1
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.appended - self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def snapshot(self) -> list[Any]:
+        """The retained entries, oldest first."""
+        return self._items[self._cursor :] + self._items[: self._cursor]
+
+
+class Tracer:
+    """Records structured events into per-component ring buffers."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self._clock = clock or WallClock()
+        self._capacity = capacity
+        self.enabled = enabled
+        self._seq = itertools.count()
+        self._buffers: dict[str, RingBuffer] = {}
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, component: str, kind: str, **fields: Any) -> TraceEvent | None:
+        """Record one event; returns it, or None when tracing is off."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            at=self._clock.now(),
+            seq=next(self._seq),
+            component=component,
+            kind=kind,
+            fields=tuple(sorted(fields.items())),
+        )
+        with self._lock:
+            buffer = self._buffers.get(component)
+            if buffer is None:
+                buffer = self._buffers[component] = RingBuffer(self._capacity)
+            buffer.append(event)
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def components(self) -> list[str]:
+        with self._lock:
+            return sorted(self._buffers)
+
+    def buffer(self, component: str) -> RingBuffer | None:
+        with self._lock:
+            return self._buffers.get(component)
+
+    def events(
+        self, component: str | None = None, kind: str | None = None
+    ) -> list[TraceEvent]:
+        """Retained events in global order (by sequence number)."""
+        with self._lock:
+            if component is not None:
+                buffer = self._buffers.get(component)
+                merged = list(buffer.snapshot()) if buffer is not None else []
+            else:
+                merged = [
+                    event
+                    for buf in self._buffers.values()
+                    for event in buf.snapshot()
+                ]
+        merged.sort(key=lambda event: event.seq)
+        if kind is not None:
+            merged = [event for event in merged if event.kind == kind]
+        return merged
+
+    def counts(self) -> dict[str, int]:
+        """Retained event counts by kind (sorted keys)."""
+        tally: dict[str, int] = {}
+        for event in self.events():
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def dropped(self) -> int:
+        """Events lost to ring wraparound, summed over components."""
+        with self._lock:
+            return sum(buf.dropped for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        """Discard every buffer (the sequence counter keeps advancing, so
+        ordering remains globally consistent across a clear)."""
+        with self._lock:
+            self._buffers.clear()

@@ -124,6 +124,7 @@ class Skeleton:
         clock: Clock | None = None,
         object_id: str | None = None,
         uid: int = 0,
+        obs: Any = None,
     ) -> None:
         self.impl = impl
         self.transport = transport
@@ -131,6 +132,9 @@ class Skeleton:
         self.object_id = object_id or f"obj-{next(_object_ids)}"
         self.uid = uid
         self.clock = clock or WallClock()
+        # Observability (repro.obs.Observability): None keeps dispatch
+        # at one extra branch per call.
+        self._obs = obs
         self.stats = CallStats()
         self.draining = False
         self.pending = 0
@@ -166,6 +170,28 @@ class Skeleton:
     def unexport(self) -> None:
         self.transport.endpoint(self.endpoint_id).unexport(self.object_id)
 
+    # -- observability ------------------------------------------------------
+
+    def _observe(self, method: str, latency: float, error: bool) -> None:
+        """Record one completed dispatch into the observability layer.
+
+        Only reached when an Observability is attached: the event carries
+        the active fastpath mode (so a trace shows *how* payloads moved)
+        and the latency lands in the per-method server histogram.
+        """
+        from repro.rmi.fastpath import mode
+
+        self._obs.tracer.emit(
+            "skeleton", "invoke",
+            object=self.object_id, method=method,
+            latency=round(latency, 9), error=error, mode=mode(),
+        )
+        self._obs.registry.histogram(
+            f"rmi.server.latency.{self.object_id}.{method}"
+        ).observe(latency)
+        if error:
+            self._obs.registry.counter("rmi.server.errors").inc()
+
     # -- dispatch ---------------------------------------------------------------
 
     def handle(self, request: Request) -> Response:
@@ -194,6 +220,8 @@ class Skeleton:
                     f"interface of {type(self.impl).__name__}"
                 )
                 self.stats.record(request.method, 0.0, error=True)
+                if self._obs is not None:
+                    self._observe(request.method, 0.0, error=True)
                 return Response(kind="error", payload=marshal_result(refused))
             method = getattr(self.impl, request.method, None)
             if method is None or not callable(method):
@@ -202,16 +230,22 @@ class Skeleton:
                     f"{request.method!r}"
                 )
                 self.stats.record(request.method, 0.0, error=True)
+                if self._obs is not None:
+                    self._observe(request.method, 0.0, error=True)
                 return Response(kind="error", payload=marshal_result(missing))
             args, kwargs = unmarshal_call(request.payload)
             try:
                 result = method(*args, **kwargs)
             except Exception as exc:
-                self.stats.record(
-                    request.method, self.clock.now() - started, error=True
-                )
+                elapsed = self.clock.now() - started
+                self.stats.record(request.method, elapsed, error=True)
+                if self._obs is not None:
+                    self._observe(request.method, elapsed, error=True)
                 return Response(kind="error", payload=marshal_error(exc))
-            self.stats.record(request.method, self.clock.now() - started)
+            elapsed = self.clock.now() - started
+            self.stats.record(request.method, elapsed)
+            if self._obs is not None:
+                self._observe(request.method, elapsed, error=False)
             return Response(kind="result", payload=marshal_result(result))
         finally:
             with self._pending_lock:

@@ -142,6 +142,15 @@ class _TransportBase:
         self._admin_lock = threading.RLock()
         self._messages = StripedCounter()
         self._fault_hook: FaultHook | None = None
+        # Observability: None keeps the invoke path at one extra branch.
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a :class:`repro.obs.Tracer`.
+
+        Message events record endpoint *names*, never process-global
+        ``ep-N`` ids, so seeded traces are identical across runs."""
+        self._tracer = tracer
 
     def install_fault_hook(self, hook: FaultHook | None) -> None:
         """Install (or clear, with None) a fault-injection hook.
@@ -187,7 +196,9 @@ class _TransportBase:
             with ep.lock:
                 ep.alive = True
 
-    def _resolve(self, endpoint_id: str, request: Request) -> RequestHandler:
+    def _resolve(
+        self, endpoint_id: str, request: Request
+    ) -> tuple[Endpoint, RequestHandler]:
         ep = self.endpoint(endpoint_id)
         if not ep.alive:
             raise ConnectError(f"endpoint {endpoint_id} ({ep.name}) is down")
@@ -196,7 +207,7 @@ class _TransportBase:
             raise ConnectError(
                 f"no object {request.object_id!r} at endpoint {ep.name}"
             )
-        return handler
+        return ep, handler
 
 
 class DirectTransport(_TransportBase):
@@ -213,11 +224,17 @@ class DirectTransport(_TransportBase):
         self._on_message = on_message
 
     def invoke(self, endpoint_id: str, request: Request) -> Response:
-        handler = self._resolve(endpoint_id, request)
+        ep, handler = self._resolve(endpoint_id, request)
         hook = self._fault_hook
         if hook is not None:
             hook(endpoint_id, request)
         self._messages.increment()
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "transport", "message",
+                endpoint=ep.name, method=request.method, caller=request.caller,
+            )
         if self._on_message is not None:
             self._on_message(endpoint_id, request)
         return handler(request)
@@ -246,19 +263,23 @@ class ThreadedTransport(_TransportBase):
         return ep
 
     def invoke(self, endpoint_id: str, request: Request) -> Response:
-        handler = self._resolve(endpoint_id, request)
+        ep, handler = self._resolve(endpoint_id, request)
         executor = self._executors.get(endpoint_id)
         if executor is None:
             # The dispatcher is gone but the endpoint resolved: we raced
             # a kill()/shutdown().  Surface the same ConnectError a dead
             # endpoint raises so retry loops treat both identically.
-            ep = self._endpoints.get(endpoint_id)
-            name = ep.name if ep is not None else "?"
-            raise ConnectError(f"endpoint {endpoint_id} ({name}) is down")
+            raise ConnectError(f"endpoint {endpoint_id} ({ep.name}) is down")
         hook = self._fault_hook
         if hook is not None:
             hook(endpoint_id, request)
         self._messages.increment()
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "transport", "message",
+                endpoint=ep.name, method=request.method, caller=request.caller,
+            )
         future = executor.submit(handler, request)
         try:
             return future.result(timeout=self._timeout)

@@ -66,7 +66,7 @@ class TestClientBalancing:
             def bad(self):
                 raise ValueError("app bug")
 
-        pool = runtime.new_pool(Flaky)
+        runtime.new_pool(Flaky)
         settle(kernel)
         stub = runtime.stub("Flaky")
         with pytest.raises(ApplicationError) as info:

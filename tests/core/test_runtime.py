@@ -112,7 +112,7 @@ class TestControlLoop:
 
     def test_on_tick_hooks_observe_pool(self, runtime, kernel):
         sizes = []
-        pool = runtime.new_pool(EchoService)
+        runtime.new_pool(EchoService)
         settle(kernel)
         runtime.record("EchoService").on_tick.append(
             lambda p: sizes.append(p.size())

@@ -209,6 +209,78 @@ class TestStubBudgetSurfacing:
         assert "time budget exhausted" in str(err.value)
 
 
+class TestMaskedRetrySurfacing:
+    """Satellite: a call whose *final* attempt succeeds must not make its
+    earlier failed attempts vanish — the metrics registry records them."""
+
+    @pytest.fixture
+    def half_dead_rig(self):
+        """Two workers; the one the rotation tries first is dead."""
+        transport = DirectTransport()
+        members = []
+        for i in range(2):
+            ep = transport.add_endpoint(f"worker-{i}")
+            members.append(Skeleton(_Worker(), transport, ep.endpoint_id).ref())
+        sentinel = _FakeSentinel(members)
+        sep = transport.add_endpoint("sentinel")
+        sentinel_ref = Skeleton(sentinel, transport, sep.endpoint_id).ref()
+        transport.kill(members[0].endpoint_id)
+        return transport, sentinel_ref
+
+    def test_successful_call_still_records_its_attempts(self, half_dead_rig):
+        from repro.obs import Observability
+        from repro.sim.clock import SimClock
+
+        transport, sentinel_ref = half_dead_rig
+        obs = Observability(clock=SimClock())
+        stub = ElasticStub(
+            transport,
+            lambda: sentinel_ref,
+            retry_policy=RetryPolicy(max_attempts=4, max_rounds=2),
+            obs=obs,
+        )
+        assert stub.echo("still here") == "still here"
+
+        counters = obs.registry.snapshot()["counters"]
+        assert counters["rmi.client.calls"] == 1
+        assert counters["rmi.client.attempts"] == 2
+        assert counters["rmi.client.retried_calls"] == 1
+        assert counters["rmi.client.retries"] == 1
+        assert counters.get("rmi.client.errors", 0) == 0
+
+        retries = obs.tracer.events(kind="retry")
+        assert len(retries) == 1
+        assert retries[0].get("error") == "ConnectError"
+        calls = obs.tracer.events(kind="call")
+        assert len(calls) == 1
+        assert calls[0].get("ok") is True
+        assert calls[0].get("attempts") == 2
+
+    def test_clean_call_records_no_retry(self):
+        from repro.obs import Observability
+        from repro.sim.clock import SimClock
+
+        transport = DirectTransport()
+        ep = transport.add_endpoint("worker-0")
+        worker = Skeleton(_Worker(), transport, ep.endpoint_id).ref()
+        sep = transport.add_endpoint("sentinel")
+        sentinel_ref = Skeleton(
+            _FakeSentinel([worker]), transport, sep.endpoint_id
+        ).ref()
+        obs = Observability(clock=SimClock())
+        stub = ElasticStub(
+            transport,
+            lambda: sentinel_ref,
+            retry_policy=RetryPolicy(max_attempts=4, max_rounds=2),
+            obs=obs,
+        )
+        assert stub.echo("ok") == "ok"
+        counters = obs.registry.snapshot()["counters"]
+        assert counters["rmi.client.attempts"] == counters["rmi.client.calls"]
+        assert counters.get("rmi.client.retried_calls", 0) == 0
+        assert obs.tracer.events(kind="retry") == []
+
+
 class TestRetryStateType:
     def test_start_returns_retry_state(self):
         assert isinstance(RetryPolicy().start(), RetryState)

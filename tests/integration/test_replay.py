@@ -99,7 +99,7 @@ class TestFullStackReplay:
         """Replay the Figure 7a trace (scaled) as real invocations; the
         pool must grow toward the peak and shrink back afterwards, on
         measured statistics alone."""
-        pool = runtime.new_pool(TraceService)
+        runtime.new_pool(TraceService)
         kernel.run_until(1.0)
         stub = runtime.stub("TraceService")
 

@@ -1,0 +1,157 @@
+"""The trace-derived summary must match hand-assembled metrics to 1e-9.
+
+``python -m repro metrics`` computes agility / provisioning / QoS by
+feeding trace events into the *same* tracker classes these tests
+assemble by hand — so any drift between the two accounting paths is a
+bug in the adapters, not a tolerance question.  Hence the tight bound.
+"""
+
+import pytest
+
+from repro.core.pool import ProvisioningRecord
+from repro.metrics.agility import AgilityTracker
+from repro.metrics.provisioning import ProvisioningSeries
+from repro.metrics.qos import QoSTracker
+from repro.obs import Tracer
+from repro.obs.export import summarize_trace
+from repro.sim.clock import SimClock
+
+TOL = 1e-9
+
+# The hand-written run: (at, cap_prov, req_min) agility samples,
+# member lifecycle intervals, and client calls.
+AGILITY_POINTS = [
+    (0.0, 2, 2),
+    (10.0, 2, 5),   # shortage 3
+    (20.0, 4, 5),   # shortage 1
+    (30.0, 7, 5),   # excess 2
+    (40.0, 5, 5),
+]
+UP_INTERVALS = [  # (uid, requested_at, active_at)
+    (1, 0.0, 1.25),
+    (2, 0.0, 2.5),
+    (3, 12.0, 15.75),
+]
+DOWN_INTERVALS = [  # (uid, drain_started, removed_at)
+    (3, 33.0, 34.5),
+]
+CALLS = [  # (at, latency, ok, attempts)
+    (5.0, 0.001, True, 1),
+    (15.0, 0.004, True, 3),
+    (25.0, 0.002, True, 1),
+    (35.0, 0.009, False, 4),
+]
+
+
+def build_trace():
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    moments = []
+    for at, cap, req in AGILITY_POINTS:
+        moments.append((at, "metrics", "agility-sample",
+                        {"cap_prov": cap, "req_min": req}))
+    for uid, requested, active in UP_INTERVALS:
+        moments.append((active, "pool", "member-active",
+                        {"pool": "p", "uid": uid, "requested_at": requested}))
+    for uid, drain, removed in DOWN_INTERVALS:
+        moments.append((removed, "pool", "member-removed",
+                        {"pool": "p", "uid": uid, "drain_started": drain}))
+    for at, latency, ok, attempts in CALLS:
+        moments.append((at, "client", "call",
+                        {"method": "ping", "latency": latency, "ok": ok,
+                         "attempts": attempts, "rounds": 1,
+                         "outcome": "ok" if ok else "failed"}))
+    for at, component, kind, fields in sorted(moments, key=lambda m: m[0]):
+        clock.advance(at)
+        tracer.emit(component, kind, **fields)
+    return tracer.events()
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return summarize_trace(build_trace())
+
+
+class TestAgilityMatchesHandAssembled:
+    def test_all_agility_numbers(self, summary):
+        tracker = AgilityTracker()
+        for at, cap, req in AGILITY_POINTS:
+            tracker.record(at, cap_prov=cap, req_min=req)
+        section = summary["agility"]
+        assert section["samples"] == len(AGILITY_POINTS)
+        assert section["average"] == pytest.approx(
+            tracker.average_agility(), abs=TOL
+        )
+        assert section["average_excess"] == pytest.approx(
+            tracker.average_excess(), abs=TOL
+        )
+        assert section["average_shortage"] == pytest.approx(
+            tracker.average_shortage(), abs=TOL
+        )
+        assert section["max"] == pytest.approx(tracker.max_agility(), abs=TOL)
+        assert section["zero_fraction"] == pytest.approx(
+            tracker.zero_fraction(), abs=TOL
+        )
+
+    def test_spot_check_against_arithmetic(self, summary):
+        # (3 + 1 + 2) / 5, computed by hand from AGILITY_POINTS.
+        assert summary["agility"]["average"] == pytest.approx(1.2, abs=TOL)
+        assert summary["agility"]["zero_fraction"] == pytest.approx(
+            0.4, abs=TOL
+        )
+
+
+class TestProvisioningMatchesHandAssembled:
+    def test_up_and_down_latencies(self, summary):
+        records = [
+            ProvisioningRecord("p", uid, requested, active)
+            for uid, requested, active in UP_INTERVALS
+        ] + [
+            ProvisioningRecord("p", uid, drain, removed, direction="down")
+            for uid, drain, removed in DOWN_INTERVALS
+        ]
+        series = ProvisioningSeries(records)
+        section = summary["provisioning"]
+        assert section["up"] == len(UP_INTERVALS)
+        assert section["down"] == len(DOWN_INTERVALS)
+        assert section["mean_up_latency"] == pytest.approx(
+            series.mean_latency(), abs=TOL
+        )
+        assert section["max_up_latency"] == pytest.approx(
+            series.max_latency(), abs=TOL
+        )
+
+    def test_spot_check_against_arithmetic(self, summary):
+        # mean of 1.25, 2.5, 3.75 = 2.5; max = 3.75.
+        assert summary["provisioning"]["mean_up_latency"] == pytest.approx(
+            2.5, abs=TOL
+        )
+        assert summary["provisioning"]["max_up_latency"] == pytest.approx(
+            3.75, abs=TOL
+        )
+
+
+class TestInvocationsMatchHandAssembled:
+    def test_qos_numbers(self, summary):
+        tracker = QoSTracker()
+        for at, latency, ok, _attempts in CALLS:
+            if ok:
+                tracker.record(at=at, latency=latency)
+        section = summary["invocations"]
+        assert section["throughput"] == pytest.approx(
+            tracker.throughput(), abs=TOL
+        )
+        assert section["mean_latency"] == pytest.approx(
+            tracker.mean_latency(), abs=TOL
+        )
+
+    def test_call_accounting(self, summary):
+        section = summary["invocations"]
+        assert section["calls"] == 4
+        assert section["errors"] == 1
+        assert section["retried_calls"] == 2      # attempts 3 and 4
+        assert section["retry_attempts"] == (3 - 1) + (4 - 1)
+        # mean latency over the three ok calls, by hand.
+        assert section["mean_latency"] == pytest.approx(
+            (0.001 + 0.004 + 0.002) / 3, abs=TOL
+        )

@@ -1,0 +1,98 @@
+"""Tests for JSONL export, the trace adapters, and the summary schema."""
+
+import json
+
+from repro.obs import Tracer
+from repro.obs.export import (
+    SCHEMA,
+    agility_from_trace,
+    provisioning_from_trace,
+    qos_from_trace,
+    read_jsonl,
+    summarize_trace,
+    to_jsonl,
+    validate_summary,
+)
+from repro.sim.clock import SimClock
+
+
+def make_trace():
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    tracer.emit("pool", "member-active", pool="p", uid=1, requested_at=0.0)
+    clock.advance(1.0)
+    tracer.emit("client", "call", method="ping", attempts=1, ok=True,
+                latency=0.002, outcome="ok", rounds=1)
+    clock.advance(2.0)
+    tracer.emit("client", "call", method="ping", attempts=3, ok=True,
+                latency=0.004, outcome="ok", rounds=2)
+    tracer.emit("metrics", "agility-sample", cap_prov=4, req_min=2)
+    clock.advance(3.0)
+    tracer.emit("pool", "member-removed", pool="p", uid=2, drain_started=2.5)
+    tracer.emit("pool", "pool-size", pool="p", size=3)
+    return tracer.events()
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        events = make_trace()
+        text = to_jsonl(events)
+        parsed = read_jsonl(text)
+        assert len(parsed) == len(events)
+        assert parsed[0]["kind"] == "member-active"
+        assert parsed[1]["fields"]["method"] == "ping"
+
+    def test_lines_have_sorted_keys_and_compact_separators(self):
+        text = to_jsonl(make_trace())
+        line = text.splitlines()[0]
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_empty_trace_is_empty_string(self):
+        assert to_jsonl([]) == ""
+
+    def test_adapters_accept_dicts_and_events_identically(self):
+        events = make_trace()
+        dicts = read_jsonl(to_jsonl(events))
+        assert summarize_trace(events) == summarize_trace(dicts)
+
+
+class TestAdapters:
+    def test_agility_from_trace(self):
+        tracker = agility_from_trace(make_trace())
+        assert len(tracker.samples) == 1
+        assert tracker.samples[0].cap_prov == 4
+        assert tracker.samples[0].req_min == 2
+        assert tracker.average_agility() == 2.0
+
+    def test_provisioning_from_trace(self):
+        series = provisioning_from_trace(make_trace())
+        up = series.up_events()
+        down = series.down_events()
+        assert len(up) == 1 and len(down) == 1
+        assert up[0].latency == 0.0        # requested and active at t=0
+        assert down[0].requested_at == 2.5
+        assert down[0].active_at == 3.0
+
+    def test_qos_from_trace_counts_only_ok_calls(self):
+        tracker = qos_from_trace(make_trace())
+        assert tracker.operations == 2
+        assert tracker.mean_latency() == (0.002 + 0.004) / 2
+
+
+class TestSummary:
+    def test_summary_schema_and_invocations(self):
+        doc = summarize_trace(make_trace(), seed=7, dropped=0)
+        assert validate_summary(doc) == []
+        assert doc["schema"] == SCHEMA
+        assert doc["seed"] == 7
+        assert doc["invocations"]["calls"] == 2
+        assert doc["invocations"]["retried_calls"] == 1
+        assert doc["invocations"]["retry_attempts"] == 2
+        assert doc["pool_sizes"] == [[3.0, 3]]
+
+    def test_validate_flags_wrong_schema(self):
+        doc = summarize_trace(make_trace())
+        doc["schema"] = "other/v9"
+        assert validate_summary(doc)

@@ -1,0 +1,105 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_without_timestamp_keeps_no_series(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        assert gauge.value == 3.0
+        assert gauge.series == []
+
+    def test_set_with_timestamp_accumulates_series(self):
+        gauge = Gauge("g")
+        gauge.set(2, at=0.0)
+        gauge.set(4, at=1.5)
+        assert gauge.value == 4
+        assert gauge.series == [(0.0, 2), (1.5, 4)]
+
+
+class TestHistogramBucketEdges:
+    def test_edges_are_upper_inclusive(self):
+        """An observation equal to an edge lands in that edge's bucket."""
+        hist = Histogram("h", edges=(1.0, 2.0, 4.0))
+        hist.observe(1.0)   # == first edge -> bucket 0
+        hist.observe(2.0)   # == second edge -> bucket 1
+        hist.observe(4.0)   # == last edge -> bucket 2, NOT overflow
+        assert hist.bucket_counts == [1, 1, 1, 0]
+        assert hist.overflow == 0
+
+    def test_values_between_edges(self):
+        hist = Histogram("h", edges=(1.0, 2.0, 4.0))
+        hist.observe(0.5)   # below first edge -> bucket 0
+        hist.observe(1.5)   # (1, 2] -> bucket 1
+        hist.observe(3.0)   # (2, 4] -> bucket 2
+        assert hist.bucket_counts == [1, 1, 1, 0]
+
+    def test_overflow_above_last_edge(self):
+        hist = Histogram("h", edges=(1.0, 2.0))
+        hist.observe(2.000001)
+        hist.observe(100.0)
+        assert hist.bucket_counts == [0, 0, 2]
+        assert hist.overflow == 2
+
+    def test_stats(self):
+        hist = Histogram("h", edges=(1.0,))
+        for value in (0.5, 2.0, 3.5):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.mean() == pytest.approx(2.0)
+        assert hist.min == 0.5
+        assert hist.max == 3.5
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(2.0, 1.0))
+
+    def test_rejects_empty_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+
+class TestMetricsRegistry:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 1
+        assert registry.names() == ["a"]
+
+    def test_name_reuse_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("z.calls").inc(2)
+        registry.counter("a.calls").inc()
+        registry.gauge("pool.size").set(3, at=1.0)
+        registry.histogram("lat", edges=(0.1, 1.0)).observe(0.05)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.calls", "z.calls"]
+        assert snap["gauges"]["pool.size"]["series"] == [[1.0, 3]]
+        assert snap["histograms"]["lat"]["buckets"] == [[0.1, 1], [1.0, 0]]
+        json.dumps(snap)  # must serialize without a custom encoder

@@ -1,0 +1,85 @@
+"""Tests for the seeded traced scenario (``python -m repro trace``)."""
+
+import pytest
+
+from repro.obs.export import validate_summary
+from repro.obs.scenario import run_traced_scenario
+
+# One short run shared by the class: the scenario is deterministic, so
+# caching it is safe and keeps the suite fast.  The fault lands after
+# three scale-up bursts so the pool is large enough to lose three
+# members and still serve.
+DURATION = 45.0
+FAULT_AT = 38.1
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_traced_scenario(seed=3, duration=DURATION, fault_at=FAULT_AT)
+
+
+class TestTracedScenario:
+    def test_same_seed_is_byte_identical(self, run):
+        again = run_traced_scenario(
+            seed=3, duration=DURATION, fault_at=FAULT_AT
+        )
+        assert run.to_jsonl() == again.to_jsonl()
+        assert run.summary_json() == again.summary_json()
+
+    def test_different_seed_diverges(self, run):
+        other = run_traced_scenario(
+            seed=4, duration=DURATION, fault_at=FAULT_AT
+        )
+        assert run.to_jsonl() != other.to_jsonl()
+
+    def test_no_client_visible_failures(self, run):
+        assert run.client["errors"] == 0
+        assert run.client["wrong_results"] == 0
+        assert run.client["calls"] > 0
+
+    def test_event_taxonomy_present(self, run):
+        kinds = {event.kind for event in run.events}
+        for expected in (
+            "call", "invoke", "message",          # invocation path
+            "pool-grow", "member-active", "pool-size",
+            "member-reaped", "member-crash",      # failure path
+            "sentinel-elected", "broadcast",
+            "slice-offer", "slice-grant",
+            "lock-acquire",
+            "scale-decision", "agility-sample",
+        ):
+            assert expected in kinds, f"missing {expected} events"
+
+    def test_crash_left_a_masked_retry_in_the_trace(self, run):
+        """The fault is structurally client-visible: at least one call
+        needed more than one attempt, and the trace says so."""
+        assert any(event.kind == "retry" for event in run.events)
+        retried = [
+            event
+            for event in run.events
+            if event.kind == "call" and event.get("attempts", 1) > 1
+        ]
+        assert retried, "no call recorded its masked retry attempts"
+        assert all(event.get("ok") for event in retried)
+
+    def test_summary_validates_and_counts_match(self, run):
+        summary = run.summary()
+        assert validate_summary(summary) == []
+        assert summary["events"] == len(run.events)
+        assert summary["invocations"]["calls"] == run.client["calls"]
+        assert summary["seed"] == 3
+        assert summary["dropped"] == 0
+
+    def test_registry_client_counters_match_trace(self, run):
+        counters = run.metrics["counters"]
+        calls = [e for e in run.events if e.kind == "call"]
+        attempts = sum(e.get("attempts", 1) for e in calls)
+        assert counters["rmi.client.calls"] == len(calls)
+        assert counters["rmi.client.attempts"] == attempts
+        assert counters["rmi.client.retries"] == attempts - len(calls)
+
+    def test_events_only_carry_logical_identities(self, run):
+        """No process-global ids (``ep-N``) may leak into the trace —
+        they would differ between two in-process runs."""
+        text = run.to_jsonl()
+        assert "ep-" not in text

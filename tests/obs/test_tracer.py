@@ -1,0 +1,116 @@
+"""Tests for the tracer: ring buffers, ordering, clocks, the off switch."""
+
+import pytest
+
+from repro.obs import RingBuffer, Tracer
+from repro.sim.clock import SimClock
+
+
+class TestRingBuffer:
+    def test_holds_up_to_capacity(self):
+        ring = RingBuffer(capacity=3)
+        for i in range(3):
+            ring.append(i)
+        assert ring.snapshot() == [0, 1, 2]
+        assert ring.dropped == 0
+
+    def test_wraparound_overwrites_oldest(self):
+        ring = RingBuffer(capacity=3)
+        for i in range(5):
+            ring.append(i)
+        assert ring.snapshot() == [2, 3, 4]
+        assert len(ring) == 3
+        assert ring.appended == 5
+        assert ring.dropped == 2
+
+    def test_wraparound_exactly_at_capacity_boundary(self):
+        """The first overwrite lands on the oldest slot, not slot 1."""
+        ring = RingBuffer(capacity=2)
+        ring.append("a")
+        ring.append("b")
+        ring.append("c")
+        assert ring.snapshot() == ["b", "c"]
+        assert ring.dropped == 1
+
+    def test_multiple_full_cycles(self):
+        ring = RingBuffer(capacity=4)
+        for i in range(11):
+            ring.append(i)
+        assert ring.snapshot() == [7, 8, 9, 10]
+        assert ring.dropped == 7
+
+    def test_capacity_one(self):
+        ring = RingBuffer(capacity=1)
+        for i in range(3):
+            ring.append(i)
+        assert ring.snapshot() == [2]
+        assert ring.dropped == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0)
+
+
+class TestTracer:
+    def test_events_carry_sim_time(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        tracer.emit("a", "start")
+        clock.advance(1.5)
+        tracer.emit("a", "stop")
+        times = [event.at for event in tracer.events()]
+        assert times == [0.0, 1.5]
+
+    def test_global_order_across_components(self):
+        tracer = Tracer(clock=SimClock())
+        tracer.emit("pool", "grow")
+        tracer.emit("client", "call")
+        tracer.emit("pool", "shrink")
+        kinds = [event.kind for event in tracer.events()]
+        assert kinds == ["grow", "call", "shrink"]
+
+    def test_per_component_buffers_drop_independently(self):
+        tracer = Tracer(clock=SimClock(), capacity=2)
+        for i in range(5):
+            tracer.emit("noisy", "tick", i=i)
+        tracer.emit("quiet", "once")
+        assert len(tracer.events("noisy")) == 2
+        assert len(tracer.events("quiet")) == 1
+        assert tracer.dropped() == 3
+        # The quiet component's history survived the noisy one's wrap.
+        assert tracer.events("quiet")[0].kind == "once"
+
+    def test_fields_sorted_regardless_of_call_order(self):
+        tracer = Tracer(clock=SimClock())
+        a = tracer.emit("c", "k", zebra=1, apple=2)
+        b = tracer.emit("c", "k", apple=2, zebra=1)
+        assert a.fields == b.fields == (("apple", 2), ("zebra", 1))
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(clock=SimClock(), enabled=False)
+        assert tracer.emit("c", "k") is None
+        assert tracer.events() == []
+        assert tracer.components() == []
+
+    def test_filter_by_kind(self):
+        tracer = Tracer(clock=SimClock())
+        tracer.emit("c", "call")
+        tracer.emit("c", "retry")
+        tracer.emit("c", "call")
+        assert len(tracer.events(kind="call")) == 2
+        assert tracer.counts() == {"call": 2, "retry": 1}
+
+    def test_clear_keeps_sequence_monotonic(self):
+        tracer = Tracer(clock=SimClock())
+        first = tracer.emit("c", "k")
+        tracer.clear()
+        second = tracer.emit("c", "k")
+        assert second.seq > first.seq
+        assert len(tracer.events()) == 1
+
+    def test_event_as_dict_rounds_times(self):
+        clock = SimClock()
+        clock.advance(0.1 + 0.2)  # classic float residue
+        tracer = Tracer(clock=clock)
+        event = tracer.emit("c", "k")
+        assert event.as_dict()["at"] == round(0.1 + 0.2, 9)
