@@ -1,0 +1,124 @@
+"""Batched-invocation benchmark: async windows vs one-message-per-call.
+
+Runs :func:`repro.experiments.benchreport.run_batching_suite` once,
+writes ``BENCH_rmi_batching.json`` at the repo root, and asserts the
+headline claims:
+
+- at 64 concurrent callers, batched pipelined invocation sustains
+  >= 2x the unbatched throughput on the threaded transport (the
+  committed full-scale report shows ~3x);
+- the batcher actually coalesces under concurrency (mean batch size
+  well above 1) and respects its in-flight window;
+- an attached-but-disabled batcher keeps the synchronous single-caller
+  path within a few percent of the seed path (idle-cost neutrality);
+- the emitted JSON is well-formed against the ``repro.bench/v1`` schema.
+
+Set ``ERMI_BENCH_SCALE`` (e.g. ``0.05``) to shrink iteration counts for
+CI smoke runs; the assertions are scale-independent except where noted
+with generous smoke-proof margins.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.benchreport import (
+    BATCH_INFLIGHT,
+    bench_scale,
+    format_table,
+    load_report,
+    run_batching_suite,
+    validate_report,
+    write_report,
+)
+
+REPORT_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_rmi_batching.json"
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    extra: dict = {}
+    suite = run_batching_suite(extra_out=extra)
+    write_report(str(REPORT_PATH), "rmi_batching", suite, extra=extra)
+    print("\n" + format_table(suite))
+    return {record.name: record for record in suite}, extra
+
+
+class TestBatchingBenchmark:
+    def test_report_emitted_and_wellformed(self, report):
+        assert REPORT_PATH.exists()
+        doc = load_report(str(REPORT_PATH))
+        assert validate_report(doc) == []
+        names = {record["name"] for record in doc["records"]}
+        assert {
+            "batch-off-c1",
+            "batch-on-c1",
+            "batch-off-c8",
+            "batch-on-c8",
+            "batch-off-c64",
+            "batch-on-c64",
+            "sync-c1-nobatcher",
+            "sync-c1-batcher-off",
+        } <= names
+        assert "batch-on-c64" in doc.get("extra", {})
+
+    def test_batching_at_least_2x_at_64_callers(self, report):
+        """The tentpole claim: coalescing concurrent same-endpoint calls
+        into shared wire messages at least doubles throughput under
+        heavy fan-in."""
+        records, _ = report
+        batched = records["batch-on-c64"].calls_per_sec
+        unbatched = records["batch-off-c64"].calls_per_sec
+        # At full scale the ratio is ~3x and 2x is the acceptance bar.
+        # Smoke scale runs a single window per caller, where thread
+        # startup dominates; keep a reduced-but-real margin there.
+        floor = 2.0 if bench_scale() >= 1.0 else 1.4
+        assert batched >= floor * unbatched, (
+            f"batched {batched:.0f} calls/s vs unbatched {unbatched:.0f} "
+            f"calls/s: ratio {batched / unbatched:.2f}x < {floor}x"
+        )
+
+    def test_batching_helps_at_moderate_fanin_too(self, report):
+        records, _ = report
+        batched = records["batch-on-c8"].calls_per_sec
+        unbatched = records["batch-off-c8"].calls_per_sec
+        # Smoke-proof margin: the win at c=8 is real but smaller.
+        assert batched >= 1.2 * unbatched
+
+    def test_coalescing_happened_under_concurrency(self, report):
+        _, extra = report
+        stats = extra["batch-on-c64"]
+        assert stats["coalesce_ratio"] > 4.0
+        assert stats["batches"] > 0
+        assert 1 <= stats["inflight_hwm"] <= BATCH_INFLIGHT
+
+    def test_single_caller_windows_not_pessimized(self, report):
+        records, _ = report
+        batched = records["batch-on-c1"].calls_per_sec
+        unbatched = records["batch-off-c1"].calls_per_sec
+        # A lone pipelining caller must not pay for the combiner:
+        # generous smoke margin, the committed report is ~parity.
+        assert batched >= 0.7 * unbatched
+
+    def test_sync_idle_cost_neutrality(self, report):
+        """An attached-but-disabled batcher must be free: the sync
+        single-caller path stays within noise of the seed path."""
+        records, _ = report
+        seed_path = records["sync-c1-nobatcher"].calls_per_sec
+        with_off = records["sync-c1-batcher-off"].calls_per_sec
+        # CI smoke margin 25%; the committed full-scale report is <= 5%.
+        assert with_off >= 0.75 * seed_path, (
+            f"disabled batcher {with_off:.0f} calls/s vs seed "
+            f"{seed_path:.0f} calls/s"
+        )
+
+    def test_percentiles_are_coherent(self, report):
+        records, _ = report
+        for record in records.values():
+            assert 0 < record.p50_us <= record.p99_us
+            assert record.calls > 0
+            assert record.elapsed_s > 0

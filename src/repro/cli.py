@@ -9,8 +9,8 @@ Commands:
   on an elastic class and print the report;
 - ``transform <file.py>`` — apply the Figure 6 source rewrite and print
   (or write) the transformed module;
-- ``bench`` — run the RMI hot-path benchmark suite and emit a
-  ``BENCH_*.json`` report (schema documented in README.md);
+- ``bench`` — run the RMI benchmark suites (hot path + batching) and
+  emit their ``BENCH_*.json`` reports (schema documented in README.md);
 - ``chaos`` — run the scripted fault-injection scenario and emit a
   ``CHAOS_report.json`` recovery-latency report (schema
   ``repro.chaos/v1``); exits non-zero if any failure leaked to the
@@ -162,11 +162,19 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(fn=_cmd_report)
 
     bench_cmd = sub.add_parser(
-        "bench", help="run the RMI hot-path benchmark suite"
+        "bench", help="run the RMI benchmark suites (hot-path + batching)"
+    )
+    bench_cmd.add_argument(
+        "--suite", choices=("all", "hotpath", "batching"), default="all",
+        help="which suite(s) to run (default: all)",
     )
     bench_cmd.add_argument(
         "-o", "--output", default="BENCH_rmi_hotpath.json",
-        help="report path (default: BENCH_rmi_hotpath.json)",
+        help="hot-path report path (default: BENCH_rmi_hotpath.json)",
+    )
+    bench_cmd.add_argument(
+        "--batching-output", default="BENCH_rmi_batching.json",
+        help="batching report path (default: BENCH_rmi_batching.json)",
     )
     bench_cmd.add_argument(
         "--scale", type=float, default=None,
@@ -174,8 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument(
         "--check", metavar="BASELINE", default=None,
-        help="compare against a committed baseline report; exit non-zero "
-        "on a regression beyond the tolerance",
+        help="compare the hot-path run against a committed baseline "
+        "report; exit non-zero on a regression beyond the tolerance",
+    )
+    bench_cmd.add_argument(
+        "--check-batching", metavar="BASELINE", default=None,
+        help="compare the batching run against a committed baseline report",
     )
     bench_cmd.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -183,8 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument(
         "--normalize", action="store_true",
-        help="normalize each record by the run's marshal-pickle baseline "
-        "before comparing (absorbs machine-speed differences in CI)",
+        help="normalize each record by the run's anchor record "
+        "(marshal-pickle / batch-off-c1) before comparing — absorbs "
+        "machine-speed differences in CI",
     )
     bench_cmd.set_defaults(fn=_cmd_bench)
 
@@ -260,37 +273,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         compare_reports,
         format_table,
         load_report,
+        run_batching_suite,
         run_hotpath_suite,
         write_report,
     )
 
-    # Load the baseline up front: when --output and --check name the
-    # same file, writing first would silently compare the run to itself.
-    baseline = None if args.check is None else load_report(args.check)
-    records = run_hotpath_suite(scale=args.scale)
-    write_report(args.output, "rmi_hotpath", records)
-    print(format_table(records))
-    print(f"wrote {args.output}")
-    if baseline is None:
-        return 0
-    result = compare_reports(
-        baseline,
-        records,
-        tolerance=args.tolerance,
-        normalize=args.normalize,
-    )
-    for line in result.lines:
-        print(line)
-    if not result.ok:
-        failed = result.regressions + [f"{m} (missing)" for m in result.missing]
-        print(
-            f"REGRESSION: {len(failed)} record(s) beyond "
-            f"-{args.tolerance:.0%}: {', '.join(failed)}",
-            file=sys.stderr,
+    # Load baselines up front: when --output and --check name the same
+    # file, writing first would silently compare the run to itself.
+    runs = []  # (suite, records, extra, output, baseline, anchor)
+    if args.suite in ("all", "hotpath"):
+        baseline = None if args.check is None else load_report(args.check)
+        records = run_hotpath_suite(scale=args.scale)
+        runs.append(
+            ("rmi_hotpath", records, None, args.output, baseline,
+             "marshal-pickle")
         )
-        return 1
-    print(f"bench check OK against {args.check}")
-    return 0
+    if args.suite in ("all", "batching"):
+        baseline = (
+            None if args.check_batching is None
+            else load_report(args.check_batching)
+        )
+        extra: dict = {}
+        records = run_batching_suite(scale=args.scale, extra_out=extra)
+        runs.append(
+            ("rmi_batching", records, extra, args.batching_output, baseline,
+             "batch-off-c1")
+        )
+
+    status = 0
+    for suite, records, extra, output, baseline, anchor in runs:
+        write_report(output, suite, records, extra=extra)
+        print(format_table(records))
+        print(f"wrote {output}")
+        if baseline is None:
+            continue
+        result = compare_reports(
+            baseline,
+            records,
+            tolerance=args.tolerance,
+            normalize=args.normalize,
+            anchor=anchor,
+        )
+        for line in result.lines:
+            print(line)
+        if not result.ok:
+            failed = (
+                result.regressions
+                + [f"{m} (missing)" for m in result.missing]
+            )
+            print(
+                f"REGRESSION ({suite}): {len(failed)} record(s) beyond "
+                f"-{args.tolerance:.0%}: {', '.join(failed)}",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(f"bench check OK ({suite})")
+    return status
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:

@@ -8,11 +8,21 @@ exact overhead the fast-path work removes) or striping.  We stripe:
 - :class:`StripedCounter` — every thread owns a private cell it alone
   writes, so increments are contention-free and never lost; reads sum
   the cells (a consistent-enough snapshot for metrics).
+- :class:`ThreadStripes` — the same sharding generalized to arbitrary
+  per-thread stripe objects, for state richer than one integer (e.g. the
+  skeleton's per-method call statistics).  Writers touch only their own
+  stripe; readers enumerate all stripes and merge.  Unlike the counter,
+  a stripe may carry its own lock when readers must *reset* it exactly
+  once (windowed statistics) — that lock is still uncontended on the hot
+  path, because no two writer threads ever share a stripe.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import Callable, Generic, TypeVar
+
+S = TypeVar("S")
 
 
 class StripedCounter:
@@ -52,3 +62,44 @@ class StripedCounter:
 
     def __repr__(self) -> str:
         return f"StripedCounter({self.value()})"
+
+
+class ThreadStripes(Generic[S]):
+    """A registry of per-thread stripe objects.
+
+    ``factory`` builds one stripe the first time each thread calls
+    :meth:`stripe`; after that the thread reaches its stripe through a
+    ``threading.local`` lookup with no shared-lock acquisition.  Stripes
+    outlive their threads (like :class:`StripedCounter` cells) so merged
+    reads never lose history; the registry grows with the number of
+    distinct writer threads, bounded in practice by pool/executor sizes.
+
+    Readers call :meth:`stripes` for a point-in-time list of every
+    stripe ever created and merge/reset them under whatever per-stripe
+    discipline the stripe type provides.
+    """
+
+    __slots__ = ("_factory", "_stripes", "_local", "_register_lock")
+
+    def __init__(self, factory: Callable[[], S]) -> None:
+        self._factory = factory
+        self._stripes: list[S] = []
+        self._local = threading.local()
+        self._register_lock = threading.Lock()
+
+    def stripe(self) -> S:
+        """The calling thread's stripe (created and registered on first
+        use)."""
+        try:
+            return self._local.stripe
+        except AttributeError:
+            stripe = self._factory()
+            with self._register_lock:
+                self._stripes.append(stripe)
+            self._local.stripe = stripe
+            return stripe
+
+    def stripes(self) -> list[S]:
+        """Every stripe ever registered (snapshot copy)."""
+        with self._register_lock:
+            return list(self._stripes)

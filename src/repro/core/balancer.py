@@ -36,10 +36,12 @@ from repro.errors import (
     RemoteError,
     StoreError,
 )
-from repro.faults.policy import RetryPolicy
+from repro.faults.policy import RetryPolicy, should_discard_member
+from repro.rmi.batching import RequestBatcher, batch_max_from_env
 from repro.rmi.fastpath import marshal_call, unmarshal_result
+from repro.rmi.future import RmiFuture, run_async
 from repro.rmi.remote import RemoteRef, Stub
-from repro.rmi.transport import Request, Transport
+from repro.rmi.transport import Request, Response, Transport
 from repro.sim.clock import Clock
 
 if TYPE_CHECKING:
@@ -82,6 +84,7 @@ class ElasticStub:
         clock: Clock | None = None,
         sleep: Callable[[float], None] | None = None,
         obs: Any = None,
+        batcher: RequestBatcher | None = None,
     ) -> None:
         self._transport = transport
         self._resolve_sentinel = sentinel_resolver
@@ -103,6 +106,14 @@ class ElasticStub:
         # when the *final* attempt succeeds — retries that recovery
         # masked used to vanish without record.
         self._obs = obs
+        # Request batching: an explicit batcher wins; otherwise one is
+        # built when ERMI_BATCH_MAX enables coalescing.  Disabled (the
+        # default) keeps the invoke path at a single is-None branch.
+        if batcher is None and batch_max_from_env() > 1:
+            batcher = RequestBatcher(transport, caller=caller, obs=obs)
+        self._batcher = (
+            batcher if batcher is not None and batcher.enabled else None
+        )
         self._epoch = -1  # epoch the cached members belong to
         self._members: list[RemoteRef] = []
         self._rr = itertools.count()
@@ -164,7 +175,16 @@ class ElasticStub:
             members = self._members
             epoch = self._read_epoch()
             if not members or epoch != self._epoch:
-                self._refresh_members(epoch=epoch)
+                try:
+                    self._refresh_members(epoch=epoch)
+                except (ConnectError, MemberDrainedError, RemoteError):
+                    # The sentinel may be dead mid-re-election (the
+                    # epoch moved because its members were reaped).
+                    # Serve the stale cache — dead entries get
+                    # discarded by per-member retry — and leave the
+                    # epoch unchanged so the next call re-fetches.
+                    if not self._members:
+                        raise
                 members = self._members
         else:
             # Legacy path: count-based periodic refresh.
@@ -189,12 +209,71 @@ class ElasticStub:
 
     # -- invocation --------------------------------------------------------------
 
-    def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+    def invoke_async(self, method: str, *args: Any, **kwargs: Any) -> RmiFuture:
+        """Start ``method(*args, **kwargs)``; return an :class:`RmiFuture`.
+
+        The synchronous proxy surface is ``invoke_async(...).result()``
+        in semantics: both run the same bounded retry loop (the sync
+        form short-circuits the future allocation to keep the hot path
+        lean).  Execution style:
+
+        - **batched** — the call is *deferred*: its entry queues for
+          pipelining with other async calls (and with concurrent
+          callers' calls bound for the same member) and is sent when
+          the batch fills, the stub flushes, or the future is awaited.
+          The caller's thread never parks at submission, which is what
+          lets a window of async calls share wire messages.
+        - **concurrent transport, no batcher** — the invocation body
+          runs on the shared async pool.
+        - **deterministic, no batcher** — runs eagerly in the caller
+          thread; an already-completed future is returned.
+        """
         payload = marshal_call(args, kwargs)
-        state = self._retry_policy.start(
-            clock=self._clock, rng=self._rng, sleep=self._sleep
-        )
-        started = None if self._clock is None else self._clock.now()
+        if self._batcher is not None:
+            return self._invoke_deferred(method, payload)
+        if getattr(self._transport, "concurrent", False):
+            return run_async(
+                lambda: self._invoke_with_payload(method, payload)
+            )
+        try:
+            return RmiFuture.completed(
+                self._invoke_with_payload(method, payload)
+            )
+        except Exception as exc:
+            return RmiFuture.failed(exc)
+
+    def flush_pending(self) -> None:
+        """Send queued batch entries now (drain / membership change)."""
+        if self._batcher is not None:
+            self._batcher.flush()
+
+    @property
+    def batcher(self) -> RequestBatcher | None:
+        return self._batcher
+
+    def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+        return self._invoke_with_payload(method, marshal_call(args, kwargs))
+
+    def _invoke_with_payload(
+        self,
+        method: str,
+        payload: Any,
+        state: Any = None,
+        started: float | None = None,
+    ) -> Any:
+        """The bounded retry loop for one logical invocation.
+
+        ``state``/``started`` are normally fresh; the deferred-batch
+        path passes the state it already charged its first (batched)
+        attempt to, so a logical call retries exactly per policy no
+        matter how its first send travelled.
+        """
+        if state is None:
+            state = self._retry_policy.start(
+                clock=self._clock, rng=self._rng, sleep=self._sleep
+            )
+        if started is None:
+            started = None if self._clock is None else self._clock.now()
         last_error: Exception | None = None
         while True:
             try:
@@ -213,23 +292,21 @@ class ElasticStub:
                 state.note_attempt()
                 try:
                     result = self._invoke_one(ref, method, payload)
-                except (ConnectError, MemberDrainedError) as exc:
-                    # Dead or draining member: drop it from the cache and
-                    # move on to the next identity.
-                    last_error = exc
-                    self._discard(ref)
-                    self._note_failed_attempt(method, state, exc)
-                    continue
                 except ApplicationError:
-                    # The remote method itself raised; never retried.
+                    # The remote method itself raised; never retried
+                    # (policy.is_retryable): retrying would re-execute.
                     # Delivery succeeded, so the attempt count still
                     # lands in the registry.
                     self._note_call(method, state, started, "app-error")
                     raise
-                except RemoteError as exc:
-                    # Slow member (invocation timeout): costs budget but
-                    # stays cached — slowness is transient, death is not.
+                except (ConnectError, MemberDrainedError, RemoteError) as exc:
+                    # Retryable delivery failure.  Dead or draining
+                    # members are dropped from the cache; a merely slow
+                    # one (timeout) costs budget but stays cached —
+                    # slowness is transient, death is not.
                     last_error = exc
+                    if should_discard_member(exc):
+                        self._discard(ref)
                     self._note_failed_attempt(method, state, exc)
                     continue
                 self._note_call(method, state, started, "ok")
@@ -298,18 +375,32 @@ class ElasticStub:
             latency=round(latency, 9), caller=self._caller,
         )
 
-    def _invoke_one(self, ref: RemoteRef, method: str, payload: Any) -> Any:
+    def _dispatch(self, endpoint_id: str, request: Request) -> Response:
+        """One send: through the batcher when attached, else direct."""
+        batcher = self._batcher
+        if batcher is not None:
+            return batcher.dispatch(endpoint_id, request)
+        return self._transport.invoke(endpoint_id, request)
+
+    def _invoke_one(
+        self,
+        ref: RemoteRef,
+        method: str,
+        payload: Any,
+        response: Response | None = None,
+    ) -> Any:
         from repro.errors import ApplicationError  # local to avoid cycle noise
 
         hops = 0
         while True:
-            request = Request(
-                object_id=ref.object_id,
-                method=method,
-                payload=payload,
-                caller=self._caller,
-            )
-            response = self._transport.invoke(ref.endpoint_id, request)
+            if response is None:
+                request = Request(
+                    object_id=ref.object_id,
+                    method=method,
+                    payload=payload,
+                    caller=self._caller,
+                )
+                response = self._dispatch(ref.endpoint_id, request)
             if response.kind == "result":
                 return unmarshal_result(response.payload)
             if response.kind == "error":
@@ -324,6 +415,7 @@ class ElasticStub:
                 if hops > 8:
                     raise ConnectError(f"redirect loop invoking {method!r}")
                 ref = response.value
+                response = None  # re-dispatch at the redirect target
                 continue
             if response.kind == "drained":
                 raise MemberDrainedError(f"{ref.describe()} is draining")
@@ -334,6 +426,88 @@ class ElasticStub:
             # Replace (never mutate) the list: readers hold no lock.
             self._members = [m for m in self._members if m != ref]
             self._discarded.add(ref)
+
+    # -- deferred (pipelined) invocation -----------------------------------
+
+    def _invoke_deferred(self, method: str, payload: Any) -> RmiFuture:
+        """Queue one invocation for pipelined dispatch.
+
+        The entry targets the balancing choice made *now*; the batched
+        send is the logical call's first attempt and is charged to its
+        retry state, so if the batch fails — dropped wire message, the
+        target drained mid-flight — the call falls back into the normal
+        retry loop with that attempt already spent: exactly the policy's
+        budget, independently per logical call.
+        """
+        state = self._retry_policy.start(
+            clock=self._clock, rng=self._rng, sleep=self._sleep
+        )
+        started = None if self._clock is None else self._clock.now()
+        try:
+            targets = self._targets()
+        except (ConnectError, MemberDrainedError, RemoteError):
+            # Bootstrap failure: the sync loop owns round/refresh
+            # semantics; run it eagerly.
+            try:
+                return RmiFuture.completed(
+                    self._invoke_with_payload(method, payload, state, started)
+                )
+            except Exception as exc:
+                return RmiFuture.failed(exc)
+        ref = targets[0]
+        request = Request(
+            object_id=ref.object_id,
+            method=method,
+            payload=payload,
+            caller=self._caller,
+        )
+        state.note_attempt()
+
+        def complete(
+            future: RmiFuture,
+            response: Response | None,
+            error: BaseException | None,
+        ) -> None:
+            try:
+                value = self._finish_deferred(
+                    ref, method, payload, state, started, response, error
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed to waiter
+                future.set_exception(exc)
+            else:
+                future.set_result(value)
+
+        return self._batcher.submit(ref.endpoint_id, request, complete)
+
+    def _finish_deferred(
+        self,
+        ref: RemoteRef,
+        method: str,
+        payload: Any,
+        state: Any,
+        started: float | None,
+        response: Response | None,
+        error: BaseException | None,
+    ) -> Any:
+        """Interpret a deferred entry's outcome; runs in the sender
+        thread (deterministic transports: the waiter itself)."""
+        try:
+            if error is not None:
+                raise error
+            result = self._invoke_one(ref, method, payload, response=response)
+        except ApplicationError:
+            self._note_call(method, state, started, "app-error")
+            raise
+        except (ConnectError, MemberDrainedError, RemoteError) as exc:
+            # The batched first attempt failed (whole-batch drop, dead
+            # endpoint, drained or unresolved entry): re-enter the sync
+            # retry loop with the attempt already charged.
+            if should_discard_member(exc):
+                self._discard(ref)
+            self._note_failed_attempt(method, state, exc)
+            return self._invoke_with_payload(method, payload, state, started)
+        self._note_call(method, state, started, "ok")
+        return result
 
 
 class FractionalRedirect:

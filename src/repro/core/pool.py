@@ -418,6 +418,12 @@ class ElasticObjectPool:
             member.state = MemberState.DRAINING
         if member.skeleton is not None:
             member.skeleton.start_drain()
+        # Client batchers may hold calls queued for this member; push
+        # them out now so each entry gets its per-call drained/redirect
+        # answer and retries elsewhere, instead of idling through the
+        # drain window behind the batcher's in-flight backpressure.
+        if self.services.flush_client_batches is not None:
+            self.services.flush_client_batches()
         drain_started = self.services.scheduler.clock.now()
         self._emit("member-drain", uid=member.uid)
         latency = self.services.provisioner.sample_down_latency(self.load_factor())

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -46,6 +47,7 @@ from repro.errors import MasterUnavailableError, PoolConfigurationError
 from repro.faults.policy import RetryPolicy
 from repro.kvstore.locks import LockManager
 from repro.kvstore.store import HyperStore
+from repro.rmi.batching import RequestBatcher
 from repro.rmi.registry import Registry
 from repro.rmi.transport import DirectTransport, ThreadedTransport, Transport
 from repro.sim.kernel import Kernel
@@ -66,6 +68,12 @@ class RuntimeServices:
     framework_name: str
     on_membership_change: Callable[[ElasticObjectPool], None]
     default_utilization: Callable[[PoolMember], UtilizationSource | None] | None = None
+    # Flush client-side request batchers (drain protocol): a member that
+    # starts draining must see the calls already queued for it *now*, so
+    # they get their per-entry drained/redirect answers and retry
+    # elsewhere instead of sitting out the drain window.  None when no
+    # runtime-made stub batches.
+    flush_client_batches: Callable[[], None] | None = None
     # The runtime's Observability (repro.obs), or None — pools check this
     # once per event site, so a runtime without one pays a single branch.
     obs: Any = None
@@ -143,6 +151,10 @@ class ElasticRuntime:
                 f"{failure_check_interval}"
             )
         self.failure_check_interval = failure_check_interval
+        # Stubs handed out by .stub(): weakly held so abandoned stubs
+        # die normally, strongly reachable ones get their pending batch
+        # entries flushed on every membership change (drain protocol).
+        self._client_stubs: "weakref.WeakSet[ElasticStub]" = weakref.WeakSet()
         self._pools: dict[str, PoolRecord] = {}
         self._lock = threading.RLock()
         self._closed = False
@@ -280,6 +292,7 @@ class ElasticRuntime:
             on_membership_change=self._on_membership_change,
             default_utilization=utilization_factory
             or self._default_utilization,
+            flush_client_batches=self._flush_client_batches,
             obs=self.obs,
         )
         pool = ElasticObjectPool(
@@ -323,6 +336,7 @@ class ElasticRuntime:
         mode: BalancingMode = BalancingMode.ROUND_ROBIN,
         caller: str = "client",
         retry_policy: RetryPolicy | None = None,
+        batcher: RequestBatcher | None = None,
     ) -> ElasticStub:
         """Client stub for a pool: one remote object, load balanced.
 
@@ -334,10 +348,15 @@ class ElasticRuntime:
         omitted): the runtime wires the stub to its own clock so the
         policy's time budget runs on virtual time under simulation and
         wall time live; backoff actually sleeps only in live mode.
+
+        Pass ``batcher`` to coalesce this stub's calls explicitly; with
+        no argument a batcher is attached only when ``ERMI_BATCH_MAX``
+        enables one.  Batched stubs are tracked so the drain protocol
+        can flush their queued entries.
         """
         epoch_key = f"{name}$epoch"
         live = isinstance(self.scheduler, ThreadScheduler)
-        return ElasticStub(
+        stub = ElasticStub(
             transport=self.transport,
             sentinel_resolver=lambda: self.registry.lookup(name),
             mode=mode,
@@ -348,7 +367,18 @@ class ElasticRuntime:
             clock=self.scheduler.clock,
             sleep=time.sleep if live else None,
             obs=self.obs,
+            batcher=batcher,
         )
+        if stub.batcher is not None:
+            # Track it so the drain protocol can flush its queued batch
+            # entries (pool._begin_drain → services.flush_client_batches).
+            self._client_stubs.add(stub)
+        return stub
+
+    def _flush_client_batches(self) -> None:
+        """Flush every live stub's pending batch entries (drain hook)."""
+        for stub in list(self._client_stubs):
+            stub.flush_pending()
 
     # ------------------------------------------------------------------
     # control loop

@@ -114,6 +114,69 @@ def bench(
     return summarize(name, config, time_calls(fn, calls))
 
 
+def summarize_wall(
+    name: str,
+    config: dict[str, Any],
+    durations: list[float],
+    wall_s: float,
+) -> BenchRecord:
+    """Fold a *concurrent* run into one record.
+
+    Unlike :func:`summarize`, throughput is total calls over wall-clock
+    time — with N callers the per-call durations overlap, so summing
+    them would understate throughput N-fold.  Latency percentiles still
+    come from the individual call durations.
+    """
+    calls = len(durations)
+    return BenchRecord(
+        name=name,
+        config=config,
+        calls=calls,
+        elapsed_s=wall_s,
+        calls_per_sec=calls / wall_s if wall_s > 0 else 0.0,
+        p50_us=percentile(durations, 0.50) * 1e6,
+        p99_us=percentile(durations, 0.99) * 1e6,
+        mean_us=(sum(durations) / calls) * 1e6 if calls else 0.0,
+    )
+
+
+def time_concurrent(
+    make_worker: Callable[[int], Callable[[], list[float]]],
+    callers: int,
+) -> tuple[list[float], float]:
+    """Run ``callers`` worker threads and collect their call durations.
+
+    ``make_worker(i)`` returns the i-th caller's body, which performs
+    its share of calls and returns their individual durations.  All
+    workers start together (barrier) and the wall clock covers first
+    start to last finish.  Returns ``(all_durations, wall_seconds)``.
+    """
+    import threading
+
+    workers = [make_worker(i) for i in range(callers)]
+    results: list[list[float]] = [[] for _ in range(callers)]
+    barrier = threading.Barrier(callers + 1)
+
+    def body(i: int) -> None:
+        barrier.wait()
+        results[i] = workers[i]()
+
+    threads = [
+        threading.Thread(target=body, args=(i,)) for i in range(callers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    merged: list[float] = []
+    for partial in results:
+        merged.extend(partial)
+    return merged, wall
+
+
 # ----------------------------------------------------------------------
 # the hot-path suite
 # ----------------------------------------------------------------------
@@ -284,6 +347,88 @@ def run_elastic_fanout_bench(
     return records
 
 
+def run_stats_bench(scale: float = 1.0, callers: int = 8) -> list[BenchRecord]:
+    """Concurrent ``CallStats.record`` under a polling snapshotter.
+
+    This is the shape skeleton stats actually run in: many dispatch
+    threads recording, while the sentinel polls ``snapshot()`` for its
+    rebalancing decisions.  The reference implementation is the
+    pre-striping design — one lock serializing every record *and* the
+    whole snapshot copy, so each poll stalls every recorder — measured
+    against the thread-striped :class:`~repro.rmi.remote.CallStats`,
+    where recorders only ever touch their own stripe's (uncontended)
+    lock and the poll takes stripes one at a time.
+    """
+    import threading
+    from copy import deepcopy
+
+    from repro.rmi.remote import CallStats, MethodStats
+
+    class LockedStats:
+        """The old design: one lock for recorders and snapshots alike."""
+
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._methods: dict[str, MethodStats] = {}
+
+        def record(self, method: str, elapsed: float, error: bool = False) -> None:
+            with self._lock:
+                stats = self._methods.setdefault(method, MethodStats())
+                stats.calls += 1
+                stats.total_latency += elapsed
+                if error:
+                    stats.errors += 1
+
+        def snapshot(self) -> dict[str, MethodStats]:
+            with self._lock:
+                return deepcopy(self._methods)
+
+    methods = [f"method-{i}" for i in range(32)]
+    per_caller = _scaled(20_000, scale)
+    records = []
+    for name, stats in (
+        ("stats-locked", LockedStats()),
+        ("stats-striped", CallStats()),
+    ):
+        stop = threading.Event()
+
+        def poll(stats: Any = stats, stop: threading.Event = stop) -> None:
+            while not stop.is_set():
+                stats.snapshot()
+
+        def make_worker(i: int, stats: Any = stats) -> Callable[[], list[float]]:
+            def worker() -> list[float]:
+                clock = time.perf_counter
+                durations = []
+                append = durations.append
+                for j in range(per_caller):
+                    method = methods[j & 31]
+                    started = clock()
+                    stats.record(method, 0.001)
+                    append(clock() - started)
+                return durations
+
+            return worker
+
+        poller = threading.Thread(target=poll, daemon=True)
+        poller.start()
+        try:
+            durations, wall = time_concurrent(make_worker, callers)
+        finally:
+            stop.set()
+            poller.join()
+        records.append(
+            summarize_wall(
+                f"{name}-c{callers}",
+                {"layer": "stats", "impl": name, "callers": callers,
+                 "snapshotter": True, "methods": len(methods)},
+                durations,
+                wall,
+            )
+        )
+    return records
+
+
 def run_hotpath_suite(scale: float | None = None) -> list[BenchRecord]:
     """The full RMI hot-path suite in one run."""
     if scale is None:
@@ -292,6 +437,172 @@ def run_hotpath_suite(scale: float | None = None) -> list[BenchRecord]:
     records += run_marshal_microbench(scale)
     records += run_unicast_bench(scale)
     records += run_elastic_fanout_bench(scale)
+    records += run_stats_bench(scale)
+    return records
+
+
+# ----------------------------------------------------------------------
+# the batching suite
+# ----------------------------------------------------------------------
+
+BATCH_CALLERS = (1, 8, 64)
+BATCH_WINDOW = 16
+BATCH_MAX = 64
+BATCH_INFLIGHT = 4
+
+
+def _make_batch_harness(batched: bool) -> tuple[Any, Any, Any]:
+    """A ThreadedTransport echo service plus the stub under test."""
+    from repro.rmi.batching import RequestBatcher
+    from repro.rmi.remote import Remote, Skeleton, Stub
+    from repro.rmi.transport import ThreadedTransport
+
+    class Echo(Remote):
+        def echo(self, op, key, blob, seq):
+            return seq
+
+    transport = ThreadedTransport(workers_per_endpoint=4)
+    ep = transport.add_endpoint("bench-batch")
+    skel = Skeleton(Echo(), transport, ep.endpoint_id)
+    batcher = (
+        RequestBatcher(
+            transport,
+            max_batch=BATCH_MAX,
+            inflight_limit=BATCH_INFLIGHT,
+            linger=0.0,
+        )
+        if batched
+        else None
+    )
+    stub = Stub(transport, skel.ref(), batcher=batcher)
+    return transport, stub, batcher
+
+
+def run_batching_suite(
+    scale: float | None = None, extra_out: dict[str, Any] | None = None
+) -> list[BenchRecord]:
+    """Batched vs unbatched invocation throughput and latency.
+
+    The workload is the pipelined-async shape the batching layer is
+    built for: every caller issues a window of ``BATCH_WINDOW``
+    ``invoke_async`` calls, gathers, repeats.  Both legs run the *same*
+    caller code — the only toggle is whether the stub carries a
+    :class:`~repro.rmi.batching.RequestBatcher` — so the record ratio
+    isolates what coalescing buys (``batch-on-c64`` vs ``batch-off-c64``
+    is the headline).  Latency samples are per *window* (submit of the
+    first call to gather completion), the latency a pipelined caller
+    actually observes.
+
+    Two further records pin down idle-cost neutrality: a synchronous
+    single caller with no batcher attached (``sync-c1-nobatcher``, the
+    seed-identical path) vs the same caller with a batcher attached but
+    disabled (``sync-c1-batcher-off``, ``max_batch=1``) — their
+    latencies must stay within a few percent, showing the feature costs
+    nothing until it is switched on.
+    """
+    from repro.rmi.batching import RequestBatcher
+    from repro.rmi.future import gather
+
+    if scale is None:
+        scale = bench_scale()
+
+    records = []
+    extra: dict[str, Any] = {} if extra_out is None else extra_out
+    for callers in BATCH_CALLERS:
+        per_caller = _scaled(
+            {1: 4_000, 8: 2_000}.get(callers, 500), scale
+        )
+        # Whole windows only, so every latency sample covers a full window.
+        per_caller -= per_caller % BATCH_WINDOW
+        per_caller = max(BATCH_WINDOW, per_caller)
+        for batched in (False, True):
+            transport, stub, batcher = _make_batch_harness(batched)
+            try:
+                def make_worker(i: int, stub: Any = stub) -> Callable[[], list[float]]:
+                    def worker() -> list[float]:
+                        clock = time.perf_counter
+                        windows = []
+                        append = windows.append
+                        for base in range(0, per_caller, BATCH_WINDOW):
+                            started = clock()
+                            futures = [
+                                stub.invoke_async(
+                                    "echo", *_PAYLOAD_ARGS[:3], base + j
+                                )
+                                for j in range(BATCH_WINDOW)
+                            ]
+                            gather(futures)
+                            append(clock() - started)
+                        return windows
+
+                    return worker
+
+                # Warm one window per caller outside the clock.
+                gather([
+                    stub.invoke_async("echo", *_PAYLOAD_ARGS[:3], j)
+                    for j in range(BATCH_WINDOW)
+                ])
+                windows, wall = time_concurrent(make_worker, callers)
+                name = f"batch-{'on' if batched else 'off'}-c{callers}"
+                record = summarize_wall(
+                    name,
+                    {
+                        "transport": "threaded",
+                        "callers": callers,
+                        "window": BATCH_WINDOW,
+                        "batching": batched,
+                        "max_batch": BATCH_MAX if batched else 1,
+                        "inflight": BATCH_INFLIGHT if batched else 0,
+                    },
+                    windows,
+                    wall,
+                )
+                # Throughput is logical calls/s, not windows/s.
+                record.calls = len(windows) * BATCH_WINDOW
+                record.calls_per_sec = record.calls / wall if wall > 0 else 0.0
+                records.append(record)
+                if batcher is not None:
+                    extra[name] = {
+                        "coalesce_ratio": round(
+                            batcher.stats.coalesce_ratio(), 2
+                        ),
+                        "batches": batcher.stats.batches,
+                        "inflight_hwm": batcher.stats.inflight_hwm,
+                    }
+            finally:
+                transport.shutdown()
+
+    # Idle-cost neutrality: sync single caller, batching disabled.
+    from repro.rmi.remote import Stub
+
+    sync_calls = _scaled(2_000, scale)
+    for name, with_batcher in (
+        ("sync-c1-nobatcher", False),
+        ("sync-c1-batcher-off", True),
+    ):
+        transport, stub, _ = _make_batch_harness(False)
+        try:
+            if with_batcher:
+                stub = Stub(
+                    transport,
+                    stub.ref,
+                    batcher=RequestBatcher(transport, max_batch=1),
+                )
+            records.append(
+                bench(
+                    name,
+                    {
+                        "transport": "threaded",
+                        "callers": 1,
+                        "batching": False,
+                        "batcher_attached": with_batcher,
+                    },
+                    lambda: stub.echo(*_PAYLOAD_ARGS),
+                    sync_calls,
+                )
+            )
+        finally:
+            transport.shutdown()
     return records
 
 
@@ -392,18 +703,20 @@ def compare_reports(
     current: dict[str, Any] | list[BenchRecord],
     tolerance: float = 0.30,
     normalize: bool = False,
+    anchor: str = "marshal-pickle",
 ) -> CompareResult:
     """Flag records whose throughput dropped more than ``tolerance``.
 
     With ``normalize`` each record is divided by its own run's
-    ``marshal-pickle`` throughput first, so the comparison is in units of
-    "times the pickle baseline" — absorbing absolute machine-speed
-    differences between the committed baseline and the CI runner while
-    still catching *relative* hot-path regressions.  The trade-off: a
-    slowdown that hits every record equally (including marshal-pickle
+    ``anchor`` record throughput first (``marshal-pickle`` for the
+    hot-path suite, ``batch-off-c1`` for the batching suite), so the
+    comparison is in units of "times the anchor" — absorbing absolute
+    machine-speed differences between the committed baseline and the CI
+    runner while still catching *relative* regressions.  The trade-off:
+    a slowdown that hits every record equally (including the anchor
     itself) is invisible to the normalized check, which is why the
-    benchmark suite's own ratio assertions (e.g. zerocopy ≥ 3× pickle)
-    stay in place alongside it.
+    benchmark suites' own ratio assertions (e.g. zerocopy ≥ 3× pickle,
+    batched ≥ 2× unbatched) stay in place alongside it.
 
     Records present only in ``current`` (newly added benches) pass;
     records present only in ``baseline`` are reported as missing.
@@ -414,14 +727,14 @@ def compare_reports(
     cur = _record_throughputs(current)
     if normalize:
         for series in (base, cur):
-            anchor = series.get("marshal-pickle", 0.0)
-            if anchor <= 0.0:
+            anchor_value = series.get(anchor, 0.0)
+            if anchor_value <= 0.0:
                 raise ValueError(
-                    "cannot normalize: marshal-pickle record missing or zero"
+                    f"cannot normalize: {anchor!r} record missing or zero"
                 )
             for name in series:
-                series[name] = series[name] / anchor
-    unit = "x pickle" if normalize else "calls/s"
+                series[name] = series[name] / anchor_value
+    unit = f"x {anchor}" if normalize else "calls/s"
     lines = [
         f"{'config':<20} {'baseline':>12} {'current':>12} {'delta':>8}"
     ]

@@ -35,7 +35,42 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import (
+    ApplicationError,
+    ConnectError,
+    MemberDrainedError,
+    RemoteError,
+)
 from repro.sim.clock import Clock
+
+
+def is_retryable(error: BaseException) -> bool:
+    """May the stub mask this failure with a retry?
+
+    The taxonomy every retry loop (sync, async, batched) must agree on:
+    transport-level failures (:class:`ConnectError`, timeouts, other
+    :class:`RemoteError`) and drain refusals are retryable — the call
+    never ran, or ran somewhere that told us to go elsewhere.  An
+    :class:`ApplicationError` means the remote method *did* run and
+    raised; retrying would double-execute, so it is never retryable.
+    This classification is per **logical call**: a batched entry whose
+    wire message was dropped is retryable even though sibling entries in
+    the same message failed with it.
+    """
+    if isinstance(error, ApplicationError):
+        return False
+    return isinstance(error, (RemoteError, MemberDrainedError))
+
+
+def should_discard_member(error: BaseException) -> bool:
+    """Should the failing member be dropped from cached membership?
+
+    Dead (:class:`ConnectError`) and draining
+    (:class:`MemberDrainedError`) members are discarded before the
+    retry; a merely *slow* member (plain :class:`RemoteError` timeout)
+    stays cached — slowness is transient, death is not.
+    """
+    return isinstance(error, (ConnectError, MemberDrainedError))
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,23 @@ from repro.kvstore.ring import HashRing
 
 _MISSING = object()
 
+# Key-layout separators: "PingPool$epoch", "user:42", "jobs/7" all open a
+# namespace with their first separator.  The prefix index buckets keys by
+# the namespace token so prefix scans touch only the matching buckets.
+_SEPARATORS = frozenset("$:/")
+
+
+def key_token(key: str) -> str:
+    """The key's namespace token: everything up to and *including* the
+    first separator (``$``, ``:`` or ``/``), or the whole key when it has
+    none.  Every key in a bucket shares its token as a prefix, which is
+    what lets :meth:`HyperStore.keys` bound a prefix scan to buckets
+    instead of walking the partition."""
+    for i, ch in enumerate(key):
+        if ch in _SEPARATORS:
+            return key[: i + 1]
+    return key
+
 
 @dataclass
 class VersionedValue:
@@ -60,12 +77,31 @@ class Partition:
         self._mask = stripes - 1
         self._stripes = [threading.RLock() for _ in range(stripes)]
         self._op_counts = [0] * stripes
+        # Prefix index: namespace token -> the partition's keys opening
+        # with it.  Spans stripes, so it has its own lock; it is touched
+        # only on key *creation/removal* (and migration), never on the
+        # read/overwrite hot path.
+        self.buckets: dict[str, set[str]] = {}
+        self.index_lock = threading.Lock()
 
     def stripe_of(self, key: str) -> int:
         return hash(key) & self._mask
 
     def lock_for(self, key: str) -> threading.RLock:
         return self._stripes[self.stripe_of(key)]
+
+    def index_add(self, key: str) -> None:
+        with self.index_lock:
+            self.buckets.setdefault(key_token(key), set()).add(key)
+
+    def index_discard(self, key: str) -> None:
+        token = key_token(key)
+        with self.index_lock:
+            bucket = self.buckets.get(token)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self.buckets[token]
 
     @property
     def op_count(self) -> int:
@@ -101,6 +137,11 @@ class HyperStore:
         self._track_hot = track_hot_keys
         self._key_hits: dict[str, int] = {}
         self._hot_lock = threading.Lock()
+        # Scan accounting for the bounded-prefix-scan benchmark: how
+        # many candidate keys scans have examined (scans are rare, so a
+        # plain lock-guarded counter is fine here).
+        self._keys_visited = 0
+        self._scan_lock = threading.Lock()
         for i in range(nodes):
             self._add_partition(f"store-{i}")
 
@@ -136,6 +177,8 @@ class HyperStore:
                         entry = src.data.pop(key, None)
                         if entry is not None:
                             dst.data[key] = entry
+                            src.index_discard(key)
+                            dst.index_add(key)
             return node
 
     def node_count(self) -> int:
@@ -202,6 +245,8 @@ class HyperStore:
             entry = part.data.get(key)
             version = 1 if entry is None else entry.version + 1
             part.data[key] = VersionedValue(value, version)
+            if entry is None:
+                part.index_add(key)
             return version
 
     def cas(self, key: str, expected: Any, value: Any) -> int:
@@ -220,6 +265,8 @@ class HyperStore:
                 )
             version = 1 if entry is None else entry.version + 1
             part.data[key] = VersionedValue(value, version)
+            if entry is None:
+                part.index_add(key)
             return version
 
     def incr(self, key: str, delta: int = 1) -> int:
@@ -234,6 +281,8 @@ class HyperStore:
                 raise TypeError(f"incr on non-integer key {key!r}: {current!r}")
             version = 1 if entry is None else entry.version + 1
             part.data[key] = VersionedValue(current + delta, version)
+            if entry is None:
+                part.index_add(key)
             return current + delta
 
     def delete(self, key: str) -> bool:
@@ -241,7 +290,10 @@ class HyperStore:
         part = self._owner(key)
         with part.lock_for(key):
             self._account("delete", key, part)
-            return part.data.pop(key, None) is not None
+            existed = part.data.pop(key, None) is not None
+            if existed:
+                part.index_discard(key)
+            return existed
 
     def exists(self, key: str) -> bool:
         part = self._owner(key)
@@ -263,19 +315,44 @@ class HyperStore:
             new = fn(current)
             version = 1 if entry is None else entry.version + 1
             part.data[key] = VersionedValue(new, version)
+            if entry is None:
+                part.index_add(key)
             return new
 
     # -- scans and search -----------------------------------------------------------
 
     def keys(self, prefix: str = "") -> Iterator[str]:
-        """All keys (optionally filtered by prefix), across partitions."""
+        """All keys (optionally filtered by prefix), across partitions.
+
+        A non-empty prefix is served from the per-partition namespace
+        index: only buckets whose token is prefix-compatible with the
+        query are visited, so ``keys("PingPool$")`` in a store carrying
+        a million session keys walks the handful of ``PingPool$…``
+        entries, not the whole partition.  Completeness holds because a
+        matching key's token and the query prefix are both prefixes of
+        that key, hence one is always a prefix of the other.
+        """
+        if not prefix:
+            for part in list(self._partitions.values()):
+                self._check_alive(part)
+                # list(dict) is a single C-level operation under the GIL,
+                # so this snapshot is safe against concurrent striped
+                # writers without taking (and stalling) every stripe lock.
+                snapshot = list(part.data)
+                self._note_scan(len(snapshot))
+                yield from iter(snapshot)
+            return
         for part in list(self._partitions.values()):
             self._check_alive(part)
-            # list(dict) is a single C-level operation under the GIL, so
-            # this snapshot is safe against concurrent striped writers
-            # without taking (and thereby stalling) every stripe lock.
-            snapshot = list(part.data)
-            yield from (k for k in snapshot if k.startswith(prefix))
+            with part.index_lock:
+                candidates = [
+                    key
+                    for token, bucket in part.buckets.items()
+                    if token.startswith(prefix) or prefix.startswith(token)
+                    for key in bucket
+                ]
+            self._note_scan(len(candidates))
+            yield from (k for k in candidates if k.startswith(prefix))
 
     def search(self, prefix: str, **predicates: Any) -> list[tuple[str, Any]]:
         """HyperDex-style secondary-attribute search over dict values.
@@ -318,6 +395,19 @@ class HyperStore:
 
     def total_ops(self) -> int:
         return sum(p.op_count for p in self._partitions.values())
+
+    def keys_visited_by_scans(self) -> int:
+        """Total candidate keys examined by prefix scans since creation.
+
+        The bounded-scan micro-benchmark asserts this grows by the
+        bucket size, not the partition size, per prefixed scan.
+        """
+        with self._scan_lock:
+            return self._keys_visited
+
+    def _note_scan(self, visited: int) -> None:
+        with self._scan_lock:
+            self._keys_visited += visited
 
     # -- internals -------------------------------------------------------------------
 

@@ -173,6 +173,7 @@ def summarize_trace(
     pool_sizes: list[list[float]] = []
     calls = errors = retried_calls = retry_attempts = 0
     server_invocations = server_errors = 0
+    batches = batched_entries = batch_inflight_hwm = 0
     for event in events:
         d = event_dict(event)
         kind = d["kind"]
@@ -193,6 +194,13 @@ def summarize_trace(
             server_invocations += 1
             if fields.get("error"):
                 server_errors += 1
+        elif kind == "batch":
+            # One per client-side wire message the batcher flew.
+            batches += 1
+            batched_entries += fields.get("size", 0)
+            batch_inflight_hwm = max(
+                batch_inflight_hwm, fields.get("inflight", 0)
+            )
     agility = agility_from_trace(events)
     provisioning = provisioning_from_trace(events)
     qos = qos_from_trace(events)
@@ -228,6 +236,19 @@ def summarize_trace(
             "invocations": server_invocations,
             "errors": server_errors,
         },
+        "batching": {
+            "batches": batches,
+            "entries": batched_entries,
+            "mean_batch_size": (
+                batched_entries / batches if batches else 0.0
+            ),
+            # Logical calls per wire message: how much the batcher
+            # actually coalesced (1.0 = nothing, the unbatched shape).
+            "coalesce_ratio": (
+                batched_entries / batches if batches else 1.0
+            ),
+            "inflight_hwm": batch_inflight_hwm,
+        },
     }
     if seed is not None:
         doc["seed"] = seed
@@ -243,7 +264,9 @@ def validate_summary(doc: dict[str, Any]) -> list[str]:
     problems = []
     if doc.get("schema") != SCHEMA:
         problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
-    for section in ("counts", "agility", "provisioning", "invocations"):
+    for section in (
+        "counts", "agility", "provisioning", "invocations", "batching"
+    ):
         if not isinstance(doc.get(section), dict):
             problems.append(f"{section} missing")
     if not isinstance(doc.get("events"), int):

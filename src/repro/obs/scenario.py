@@ -3,7 +3,10 @@
 A deterministic simulated run instrumented end to end with one
 :class:`~repro.obs.Observability`: an elastic pool rides a scripted load
 curve (grow under load, shrink when it fades), a client pings it through
-the retrying :class:`~repro.core.balancer.ElasticStub`, a lock-guarded
+the retrying :class:`~repro.core.balancer.ElasticStub`, a second client
+issues pipelined ``invoke_async`` bursts through an explicit
+:class:`~repro.rmi.batching.RequestBatcher` (so the summary's
+"batching" section is populated), a lock-guarded
 counter method exercises the distributed lock manager, and mid-run the
 *sentinel* and its two lowest-uid neighbours are crashed so the trace
 captures failure detection, reaping, re-election, recovery growth, and
@@ -36,6 +39,8 @@ from repro.faults.injector import FaultInjector
 from repro.kvstore.store import HyperStore
 from repro.obs import Observability
 from repro.obs.export import summarize_trace, to_jsonl
+from repro.rmi.batching import RequestBatcher
+from repro.rmi.future import gather
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngStreams
 
@@ -43,6 +48,15 @@ POOL_NAME = "obs"
 POOL_MIN = 2
 POOL_MAX = 8
 BURST_INTERVAL = 5.0
+
+# The batched client: every BATCH_TICK seconds it issues BATCH_WINDOW
+# pipelined ``invoke_async`` pings and gathers them, so each burst
+# coalesces into batch wire messages (BATCH_WINDOW < BATCH_MAX keeps the
+# final flush on the gather's wait hook — the deferred discipline the
+# summary's "batching" section measures).
+BATCH_WINDOW = 6
+BATCH_MAX = 8
+BATCH_TICK = 1.0
 
 # The scripted load curve: (start time, member CPU %, members required).
 # ``required`` is the ground-truth demand the agility samples compare
@@ -161,8 +175,24 @@ def run_traced_scenario(
     pool = runtime.new_pool(ObsWorkload, name=POOL_NAME)
     injector = FaultInjector(runtime, rng=rng.stream("injector")).install()
     stub = runtime.stub(POOL_NAME, caller="obs-client")
+    # A second, batched client: its pings coalesce through an explicit
+    # RequestBatcher (env-independent, so traces don't vary with
+    # ERMI_BATCH_* settings) wired to the same Observability — every
+    # flushed wire message emits a ``batch`` event the summary folds
+    # into its "batching" section.
+    batch_stub = runtime.stub(
+        POOL_NAME,
+        caller="obs-batch",
+        batcher=RequestBatcher(
+            runtime.transport,
+            max_batch=BATCH_MAX,
+            linger=0.0,
+            caller="obs-batch",
+            obs=obs,
+        ),
+    )
 
-    client = {"calls": 0, "errors": 0, "wrong_results": 0}
+    client = {"calls": 0, "errors": 0, "wrong_results": 0, "batched": 0}
 
     def tick_client() -> None:
         client["calls"] += 1
@@ -180,6 +210,24 @@ def run_traced_scenario(
             kernel.call_after(client_interval, tick_client)
 
     kernel.call_at(2.0, tick_client)
+
+    def tick_batch() -> None:
+        base = client["batched"]
+        futures = [
+            batch_stub.invoke_async("ping", base + j)
+            for j in range(BATCH_WINDOW)
+        ]
+        client["batched"] += BATCH_WINDOW
+        try:
+            results = gather(futures)
+            if results != [base + j for j in range(BATCH_WINDOW)]:
+                client["wrong_results"] += 1
+        except Exception:
+            client["errors"] += 1
+        if kernel.clock.now() + BATCH_TICK <= duration:
+            kernel.call_after(BATCH_TICK, tick_batch)
+
+    kernel.call_at(3.0, tick_batch)
 
     def drive_load() -> None:
         now = kernel.clock.now()

@@ -16,18 +16,25 @@ machinery; this package rebuilds that machinery in Python:
   (the hooks ElasticRMI's sentinel drives for load balancing).
 - :class:`Stub` — client-side dynamic proxy raising
   :class:`~repro.errors.RemoteError` subclasses.
+- :class:`RmiFuture` / :class:`RequestBatcher` — the asynchronous
+  surface: ``invoke_async`` futures, and the adaptive batcher that
+  coalesces concurrent same-endpoint calls into single
+  :class:`BatchRequest` wire messages.
 """
 
+from repro.rmi.batching import BatcherStats, RequestBatcher
 from repro.rmi.fastpath import (
     FastPayload,
     MarshalCache,
     is_immutable,
+    is_zero_copy,
     marshal_call,
     marshal_result,
     register_immutable,
     unmarshal_call,
     unmarshal_result,
 )
+from repro.rmi.future import InvocationTimeout, RmiFuture, gather
 from repro.rmi.marshal import marshal_value, unmarshal_value
 from repro.rmi.registry import Registry
 from repro.rmi.remote import (
@@ -39,6 +46,8 @@ from repro.rmi.remote import (
     Stub,
 )
 from repro.rmi.transport import (
+    BatchRequest,
+    BatchResponse,
     DirectTransport,
     Endpoint,
     ThreadedTransport,
@@ -46,20 +55,28 @@ from repro.rmi.transport import (
 )
 
 __all__ = [
+    "BatchRequest",
+    "BatchResponse",
+    "BatcherStats",
     "CallStats",
     "DirectTransport",
     "Endpoint",
     "FastPayload",
+    "InvocationTimeout",
     "MarshalCache",
     "MethodStats",
     "Registry",
     "Remote",
     "RemoteRef",
+    "RequestBatcher",
+    "RmiFuture",
     "Skeleton",
     "Stub",
     "ThreadedTransport",
     "Transport",
+    "gather",
     "is_immutable",
+    "is_zero_copy",
     "marshal_call",
     "marshal_result",
     "marshal_value",

@@ -1,0 +1,460 @@
+"""Adaptive client-side request batching (the stub's coalescing layer).
+
+Every call used to be one wire message.  The batcher sits between the
+stub's retry loop and the transport and coalesces concurrent calls bound
+for the *same endpoint* into one :class:`BatchRequest`, amortizing
+per-message overhead (fault-hook consultation, message accounting,
+executor submission) across many logical invocations — the JCloudScale/
+Swift observation that elastic-RMI cost is dominated by per-message
+setup, not by payload bytes.
+
+Two dispatch disciplines, chosen by ``transport.concurrent``:
+
+- **combiner** (live, :class:`ThreadedTransport`) — an arriving caller
+  enqueues its entry and, if fewer than ``inflight_limit`` *senders*
+  are active for the endpoint, becomes one: it loops taking batches of
+  up to ``max_batch`` entries off the queue and flying them, retiring
+  only once the queue is empty.  Everyone else parks on their own
+  future alone — no shared condition, so a batch completion wakes
+  exactly the callers it resolved.  The sender cap is the bounded
+  in-flight window: backpressure, and the mechanism that grows batches
+  (while every sender slot is busy, arrivals accumulate and the next
+  take sweeps them all).  A lone caller elects itself, flies a
+  singleton, finds the queue empty and retires — one lock handoff over
+  the unbatched path.
+- **deferred** (deterministic, :class:`DirectTransport`) — nothing runs
+  on other threads.  ``submit`` queues the entry and returns a future
+  whose *wait hook* flushes the queue: the batch is sent in the waiting
+  thread the moment someone calls ``result()`` (or the queue reaches
+  ``max_batch``, or the stub flushes on drain).  Single-threaded and
+  reproducible, which keeps the obs determinism gate honest.
+
+Per-call semantics are preserved exactly: each entry's future resolves
+to that entry's own :class:`Response` (result / error / redirect /
+drained), which the stub interprets just as it would an unbatched reply.
+A whole-batch transport failure (an injected drop, a dead endpoint, a
+batch timeout) fails every entry's future with the same exception, so
+every logical call re-enters its own retry loop independently.  An
+``unresolved`` entry (object not exported at the endpoint) is converted
+here to the :class:`ConnectError` the unbatched path would have raised.
+
+Entry payloads — pickled bytes or zero-copy ``FastPayload`` — ride the
+batch exactly as marshalled; the batcher never touches them.
+
+Configuration (all read once, at stub construction):
+
+- ``ERMI_BATCH_MAX`` — max entries per batch; ``1`` (default) disables
+  batching entirely (stubs skip the batcher, zero new branches hot).
+- ``ERMI_BATCH_LINGER_MS`` — how long an elected sender waits for the
+  queue to fill before flying a partial batch; ``0`` (default) never
+  waits.
+- ``ERMI_BATCH_INFLIGHT`` — in-flight batch window per endpoint
+  (default 2: one on the wire, one forming).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConnectError, RemoteError
+from repro.rmi.future import RmiFuture
+from repro.rmi.transport import BatchRequest, Request, Response, Transport
+
+DEFAULT_INFLIGHT = 2
+
+# A completer owns finishing one entry's future: called by the sender
+# thread with exactly one of (response, error) non-None, it must call
+# set_result/set_exception itself.  Stubs use completers to interpret
+# the raw Response (unmarshal, follow redirects, feed the retry loop)
+# without a second chained future per call.
+Completer = Callable[
+    [RmiFuture, "Response | None", "BaseException | None"], None
+]
+
+# One queued logical call: its wire request, the future the caller
+# holds, and the optional completer that finishes it.
+_Entry = tuple[Request, RmiFuture, "Completer | None"]
+
+
+def batch_max_from_env() -> int:
+    return max(1, int(os.environ.get("ERMI_BATCH_MAX", "1")))
+
+
+def batch_linger_from_env() -> float:
+    """Linger in *seconds* (the env var is milliseconds)."""
+    return max(0.0, float(os.environ.get("ERMI_BATCH_LINGER_MS", "0"))) / 1e3
+
+
+def batch_inflight_from_env() -> int:
+    return max(
+        1, int(os.environ.get("ERMI_BATCH_INFLIGHT", str(DEFAULT_INFLIGHT)))
+    )
+
+
+@dataclass
+class BatcherStats:
+    """Counters a batcher accumulates (cheap: touched once per *batch*)."""
+
+    batches: int = 0
+    entries: int = 0
+    inflight_hwm: int = 0
+
+    def coalesce_ratio(self) -> float:
+        """Mean logical calls per wire message; 1.0 when nothing coalesced."""
+        return 1.0 if self.batches == 0 else self.entries / self.batches
+
+
+class _EndpointQueue:
+    """Pending entries + active senders for one endpoint.
+
+    ``senders`` counts the caller threads currently draining this queue
+    (each has at most one batch on the wire, so it is also the in-flight
+    batch window).  Invariant, maintained under ``cond``: a pending
+    entry implies at least one active sender — an enqueuer that sees a
+    free sender slot takes it, and a sender only retires after finding
+    the queue empty under the same lock.
+    """
+
+    __slots__ = ("cond", "pending", "senders")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.pending: list[_Entry] = []
+        self.senders = 0
+
+
+class RequestBatcher:
+    """Coalesces same-endpoint invocations into batch wire messages."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        max_batch: int | None = None,
+        linger: float | None = None,
+        inflight_limit: int | None = None,
+        caller: str = "client",
+        obs: Any = None,
+    ) -> None:
+        self._transport = transport
+        self._max_batch = batch_max_from_env() if max_batch is None else max_batch
+        self._linger = batch_linger_from_env() if linger is None else linger
+        self._inflight_limit = (
+            batch_inflight_from_env() if inflight_limit is None
+            else max(1, inflight_limit)
+        )
+        self._caller = caller
+        self._obs = obs
+        self.stats = BatcherStats()
+        self._stats_lock = threading.Lock()
+        self._queues: dict[str, _EndpointQueue] = {}
+        self._admin_lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._max_batch > 1
+
+    # -- entry points ------------------------------------------------------
+
+    def dispatch(self, endpoint_id: str, request: Request) -> Response:
+        """Send one call through the batcher and block for its reply.
+
+        This is the drop-in replacement for ``transport.invoke`` on the
+        stub's synchronous path; raises whatever the wire raised.
+        """
+        if self._max_batch <= 1:
+            return self._transport.invoke(endpoint_id, request)
+        if not self._transport.concurrent:
+            # Deterministic transport: a sync call flushes whatever
+            # deferred entries are already queued for this endpoint,
+            # pipelined together with its own entry — in this thread.
+            future = self._enqueue(endpoint_id, request)
+            self.flush(endpoint_id)
+            return future.result()
+        return self._combine(endpoint_id, request)
+
+    def submit(
+        self,
+        endpoint_id: str,
+        request: Request,
+        completer: Completer | None = None,
+    ) -> RmiFuture:
+        """Deferred enqueue (the async path).
+
+        Without a ``completer`` the returned future resolves to this
+        entry's raw :class:`Response`.  With one, the sender thread
+        calls ``completer(future, response, error)`` instead — exactly
+        one of ``response``/``error`` is non-None — and the completer
+        owns completing the future (stubs use this to interpret the
+        response in place, so one future carries the call end to end).
+
+        The entry is sent when the queue reaches ``max_batch``, when the
+        owning stub flushes (drain, membership change), or — via the
+        bound wait hook — the moment anyone waits on the future.  The
+        submitting thread never parks, so a caller can pipeline a
+        window of submissions and gather once; on concurrent transports
+        active combiner senders may also sweep deferred entries into
+        their batches.
+        """
+        future = self._enqueue(endpoint_id, request, completer)
+        future.bind_wait_hook(lambda: self.pump(endpoint_id))
+        if self._transport.concurrent:
+            # Waiters *kick* rather than force-flush: at most
+            # ``inflight_limit`` senders fly concurrently, and each
+            # sweeps every gatherer's entries into shared batches.
+            self.kick(endpoint_id, only_if_full=True)
+        else:
+            q = self._queue(endpoint_id)
+            with q.cond:
+                full = len(q.pending) >= self._max_batch
+            if full:
+                self.flush(endpoint_id)
+        return future
+
+    def pump(self, endpoint_id: str) -> None:
+        """What a waiter does to get its entry moving: a windowed
+        :meth:`kick` on concurrent transports, a forced :meth:`flush`
+        on deterministic ones (nobody else will send).  This is the
+        wait hook stubs bind on deferred futures.
+        """
+        if self._transport.concurrent:
+            self.kick(endpoint_id)
+        else:
+            self.flush(endpoint_id)
+
+    def kick(self, endpoint_id: str, only_if_full: bool = False) -> None:
+        """Elect this thread as a sender if the window has room.
+
+        Unlike :meth:`flush` this respects the in-flight window: when
+        every sender slot is busy the caller returns immediately and
+        relies on the active senders' drain loops, which by invariant
+        sweep the queue before retiring.
+        """
+        q = self._queues.get(endpoint_id)
+        if q is None:
+            return
+        with q.cond:
+            if not q.pending or q.senders >= self._inflight_limit:
+                return
+            if only_if_full and len(q.pending) < self._max_batch:
+                return
+            q.senders += 1
+        self._drain(endpoint_id, q, forced=False)
+
+    def flush(self, endpoint_id: str | None = None) -> None:
+        """Send every pending entry now (drain protocol / wait hooks).
+
+        Forced: ignores the in-flight window so a draining stub can
+        never strand queued calls behind backpressure.
+        """
+        if endpoint_id is None:
+            with self._admin_lock:
+                queued = list(self._queues)
+            for eid in queued:
+                self.flush(eid)
+            return
+        q = self._queues.get(endpoint_id)
+        if q is None:
+            return
+        with q.cond:
+            if not q.pending:
+                return
+            q.senders += 1  # forced: may exceed the window
+        self._drain(endpoint_id, q, forced=True)
+
+    def pending_count(self, endpoint_id: str | None = None) -> int:
+        with self._admin_lock:
+            queues = (
+                list(self._queues.values()) if endpoint_id is None
+                else [q for eid, q in self._queues.items() if eid == endpoint_id]
+            )
+        total = 0
+        for q in queues:
+            with q.cond:
+                total += len(q.pending)
+        return total
+
+    # -- combiner (live mode) ----------------------------------------------
+
+    def _combine(self, endpoint_id: str, request: Request) -> Response:
+        q = self._queue(endpoint_id)
+        future = RmiFuture()
+        serve = False
+        with q.cond:
+            q.pending.append((request, future, None))
+            if q.senders < self._inflight_limit:
+                q.senders += 1
+                serve = True
+            elif self._linger > 0:
+                q.cond.notify()  # a lingering sender is holding the door
+        if serve:
+            self._drain(endpoint_id, q, forced=False)
+        return future.result()
+
+    def _drain(self, endpoint_id: str, q: _EndpointQueue, forced: bool) -> None:
+        """Sender loop: fly batches until the queue is empty, then retire.
+
+        The empty-check and the sender-slot release are atomic (under
+        ``q.cond``), so an enqueuer can never observe an active sender
+        that will not see its entry — pending work always has a sender.
+        A sender's own future typically resolves in its first batch; it
+        keeps serving whatever accumulated behind it, which is exactly
+        the back-to-back pipelining that amortizes per-message cost.
+        """
+        retired = False
+        try:
+            while True:
+                with q.cond:
+                    if (
+                        not forced
+                        and self._linger > 0
+                        and q.pending
+                        and len(q.pending) < self._max_batch
+                    ):
+                        # Hold the door for concurrent enqueuers
+                        # (they notify when a sender might be lingering).
+                        q.cond.wait(self._linger)
+                    batch = q.pending[: self._max_batch]
+                    if not batch:
+                        q.senders -= 1
+                        q.cond.notify_all()
+                        retired = True
+                        return
+                    del q.pending[: len(batch)]
+                    inflight = q.senders
+                self._deliver(endpoint_id, batch, inflight)
+        finally:
+            if not retired:  # exception unwound past the loop
+                with q.cond:
+                    q.senders -= 1
+                    q.cond.notify_all()
+
+    # -- the wire ----------------------------------------------------------
+
+    def _deliver(
+        self,
+        endpoint_id: str,
+        batch: list[_Entry],
+        inflight: int,
+    ) -> None:
+        self._note_batch(endpoint_id, len(batch), inflight)
+        try:
+            if len(batch) == 1:
+                # A singleton is wire-identical to the unbatched path.
+                responses: tuple[Response, ...] = (
+                    self._transport.invoke(endpoint_id, batch[0][0]),
+                )
+            else:
+                requests = tuple(request for request, _, _ in batch)
+                responses = self._transport.invoke_batch(
+                    endpoint_id,
+                    BatchRequest(entries=requests, caller=self._caller),
+                ).entries
+        except BaseException as exc:  # noqa: BLE001 - relayed per entry
+            # Whole-batch failure (drop, dead endpoint, timeout): every
+            # logical call fails identically and retries independently.
+            for _, future, completer in batch:
+                self._resolve(future, completer, None, exc)
+            return
+        if len(responses) != len(batch):
+            error = RemoteError(
+                f"batch reply shape mismatch: {len(batch)} entries, "
+                f"{len(responses)} responses"
+            )
+            for _, future, completer in batch:
+                self._resolve(future, completer, None, error)
+            return
+        for (request, future, completer), response in zip(batch, responses):
+            if response.kind == "unresolved":
+                # Same error the unbatched resolve path raises.
+                missing = ConnectError(
+                    f"no object {request.object_id!r} at endpoint "
+                    f"{self._endpoint_name(endpoint_id)}"
+                )
+                self._resolve(future, completer, None, missing)
+            else:
+                self._resolve(future, completer, response, None)
+
+    @staticmethod
+    def _resolve(
+        future: RmiFuture,
+        completer: Completer | None,
+        response: Response | None,
+        error: BaseException | None,
+    ) -> None:
+        """Complete one entry, delegating to its completer when bound.
+
+        Completers own the future and must not raise; a defensive catch
+        keeps one bad completion from failing the whole batch's
+        remaining entries.
+        """
+        try:
+            if completer is not None:
+                completer(future, response, error)
+            elif error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(response)
+        except BaseException as exc:  # noqa: BLE001 - last-resort relay
+            if not future.done():
+                future.set_exception(exc)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _queue(self, endpoint_id: str) -> _EndpointQueue:
+        q = self._queues.get(endpoint_id)
+        if q is not None:
+            return q
+        with self._admin_lock:
+            q = self._queues.get(endpoint_id)
+            if q is None:
+                q = _EndpointQueue()
+                # Copy-on-write, matching the transports' read-mostly maps.
+                queues = dict(self._queues)
+                queues[endpoint_id] = q
+                self._queues = queues
+            return q
+
+    def _enqueue(
+        self,
+        endpoint_id: str,
+        request: Request,
+        completer: Completer | None = None,
+    ) -> RmiFuture:
+        q = self._queue(endpoint_id)
+        future = RmiFuture()
+        with q.cond:
+            q.pending.append((request, future, completer))
+            if self._linger > 0:
+                q.cond.notify()  # a lingering sender may be waiting for us
+        return future
+
+    def _endpoint_name(self, endpoint_id: str) -> str:
+        try:
+            return self._transport.endpoint(endpoint_id).name
+        except ConnectError:
+            return endpoint_id
+
+    def _note_batch(self, endpoint_id: str, size: int, inflight: int) -> None:
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.entries += size
+            hwm = self.stats.inflight_hwm = max(
+                self.stats.inflight_hwm, inflight
+            )
+        obs = self._obs
+        if obs is None:
+            return
+        registry = obs.registry
+        registry.counter("rmi.client.batches").inc()
+        registry.counter("rmi.client.batched_entries").inc(size)
+        registry.histogram("rmi.client.batch_size").observe(float(size))
+        registry.gauge("rmi.client.batch_inflight").set(float(inflight))
+        registry.gauge("rmi.client.batch_inflight_hwm").set(float(hwm))
+        obs.tracer.emit(
+            "batcher", "batch",
+            endpoint=self._endpoint_name(endpoint_id),
+            size=size, inflight=inflight, caller=self._caller,
+        )

@@ -126,6 +126,17 @@ class FastPayload:
 Payload = "bytes | FastPayload"
 
 
+def is_zero_copy(payload: Any) -> bool:
+    """True when a wire payload rides the zero-copy fast path.
+
+    The request batcher (and its tests) use this to assert passthrough:
+    entries coalesced into a batch must carry the very payload object
+    the stub marshalled — batching never re-wraps, re-pickles, or copies
+    a :class:`FastPayload`.
+    """
+    return type(payload) is FastPayload
+
+
 class MarshalCache:
     """LRU of pickled bytes for immutable payloads.
 

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.concurrency import ThreadStripes
 from repro.errors import ApplicationError, MemberDrainedError, NoSuchObjectError
 from repro.rmi.fastpath import (
     marshal_call,
@@ -33,6 +34,7 @@ from repro.rmi.fastpath import (
     unmarshal_call,
     unmarshal_result,
 )
+from repro.rmi.future import RmiFuture, run_async
 from repro.rmi.transport import Request, Response, Transport
 from repro.sim.clock import Clock, WallClock
 
@@ -79,38 +81,83 @@ class MethodStats:
         return 0.0 if self.calls == 0 else self.total_latency / self.calls
 
 
-@dataclass
-class CallStats:
-    """Per-method statistics with window reset (burst-interval semantics)."""
+class _StatsStripe:
+    """One writer thread's private window of per-method statistics.
 
-    methods: dict[str, MethodStats] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    The stripe lock exists for the *reader* (window rolls must take each
+    stripe exactly once); on the record path it is uncontended by
+    construction — no two writer threads ever share a stripe."""
+
+    __slots__ = ("lock", "methods")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.methods: dict[str, MethodStats] = {}
+
+
+class CallStats:
+    """Per-method statistics with window reset (burst-interval semantics).
+
+    Thread-striped (:class:`~repro.concurrency.ThreadStripes`): the old
+    implementation took one global lock per recorded call, which made the
+    skeleton's stats the residual contention point on the dispatch hot
+    path once the transports were striped.  Now each dispatcher thread
+    records into its own stripe; the stripe lock it takes is never
+    contended by another writer, only — briefly — by a window roll.
+    Snapshots merge the stripes, and because a roll claims each stripe's
+    window under that stripe's lock, every recorded call lands in exactly
+    one window: nothing lost, nothing double-counted.
+    """
+
+    def __init__(self) -> None:
+        self._stripes: ThreadStripes[_StatsStripe] = ThreadStripes(_StatsStripe)
 
     def record(self, method: str, latency: float, error: bool = False) -> None:
-        with self._lock:
-            stats = self.methods.setdefault(method, MethodStats())
+        stripe = self._stripes.stripe()
+        with stripe.lock:
+            stats = stripe.methods.setdefault(method, MethodStats())
             stats.calls += 1
             stats.total_latency += latency
             if error:
                 stats.errors += 1
 
+    @staticmethod
+    def _merge(
+        into: dict[str, MethodStats], window: dict[str, MethodStats]
+    ) -> None:
+        for name, stats in window.items():
+            agg = into.setdefault(name, MethodStats())
+            agg.calls += stats.calls
+            agg.total_latency += stats.total_latency
+            agg.errors += stats.errors
+
     def snapshot_and_reset(self) -> dict[str, MethodStats]:
         """Return the window's stats and start a fresh window."""
-        with self._lock:
-            window = self.methods
-            self.methods = {}
-            return window
+        merged: dict[str, MethodStats] = {}
+        for stripe in self._stripes.stripes():
+            with stripe.lock:
+                window = stripe.methods
+                stripe.methods = {}
+            self._merge(merged, window)
+        return merged
 
     def snapshot(self) -> dict[str, MethodStats]:
-        with self._lock:
-            return {
-                name: MethodStats(s.calls, s.total_latency, s.errors)
-                for name, s in self.methods.items()
-            }
+        merged: dict[str, MethodStats] = {}
+        for stripe in self._stripes.stripes():
+            with stripe.lock:
+                window = {
+                    name: MethodStats(s.calls, s.total_latency, s.errors)
+                    for name, s in stripe.methods.items()
+                }
+            self._merge(merged, window)
+        return merged
 
     def total_calls(self) -> int:
-        with self._lock:
-            return sum(s.calls for s in self.methods.values())
+        total = 0
+        for stripe in self._stripes.stripes():
+            with stripe.lock:
+                total += sum(s.calls for s in stripe.methods.values())
+        return total
 
 
 class Skeleton:
@@ -265,10 +312,20 @@ class Stub:
 
     _MAX_REDIRECTS = 8
 
-    def __init__(self, transport: Transport, ref: RemoteRef, caller: str = "client"):
+    def __init__(
+        self,
+        transport: Transport,
+        ref: RemoteRef,
+        caller: str = "client",
+        batcher: Any = None,
+    ):
         self._transport = transport
         self._ref = ref
         self._caller = caller
+        # Optional repro.rmi.batching.RequestBatcher: when attached,
+        # sends route through it and may coalesce with concurrent calls
+        # to the same endpoint.  None keeps the path identical to seed.
+        self._batcher = batcher
 
     @property
     def ref(self) -> RemoteRef:
@@ -284,17 +341,83 @@ class Stub:
         invoker.__name__ = method
         return invoker
 
-    def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+    def invoke_async(self, method: str, *args: Any, **kwargs: Any) -> RmiFuture:
+        """Start ``method(*args, **kwargs)`` and return its future.
+
+        The synchronous proxy surface is equivalent to
+        ``invoke_async(...).result()``: both interpret the same
+        :class:`Response`, the sync form simply short-circuits the
+        future allocation.  With a batcher attached the entry is
+        *pipelined*: it joins the batch queue without parking this
+        thread and flies when the queue fills or the caller gathers —
+        so a window of async calls (and any concurrent callers' calls)
+        shares wire messages.  Otherwise, on a concurrent transport the
+        invocation runs on the shared async pool; on a deterministic
+        transport it runs eagerly in the caller thread and an
+        already-completed future is returned.
+        """
+        batcher = self._batcher
+        if batcher is not None and batcher.enabled:
+            return self._invoke_deferred(method, args, kwargs)
+        if getattr(self._transport, "concurrent", False):
+            return run_async(lambda: self._invoke(method, args, kwargs))
+        try:
+            return RmiFuture.completed(self._invoke(method, args, kwargs))
+        except Exception as exc:
+            return RmiFuture.failed(exc)
+
+    def _invoke_deferred(self, method: str, args: tuple, kwargs: dict) -> RmiFuture:
         payload = marshal_call(args, kwargs)
         ref = self._ref
+        request = Request(
+            object_id=ref.object_id,
+            method=method,
+            payload=payload,
+            caller=self._caller,
+        )
+        def complete(
+            future: RmiFuture,
+            response: Response | None,
+            error: BaseException | None,
+        ) -> None:
+            if error is not None:
+                future.set_exception(error)
+                return
+            try:
+                future.set_result(self._interpret(method, payload, response))
+            except BaseException as exc:  # noqa: BLE001 - relayed to waiter
+                future.set_exception(exc)
+
+        return self._batcher.submit(ref.endpoint_id, request, complete)
+
+    def _send(self, endpoint_id: str, request: Request) -> Response:
+        batcher = self._batcher
+        if batcher is not None:
+            return batcher.dispatch(endpoint_id, request)
+        return self._transport.invoke(endpoint_id, request)
+
+    def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+        return self._interpret(method, marshal_call(args, kwargs))
+
+    def _interpret(
+        self, method: str, payload: Any, response: Response | None = None
+    ) -> Any:
+        """Interpret a response, following redirects (bounded).
+
+        With ``response=None`` this is the full sync path: build the
+        request, send, interpret.  A deferred completion passes the
+        already-received first-hop response and resumes from there.
+        """
+        ref = self._ref
         for _ in range(self._MAX_REDIRECTS):
-            request = Request(
-                object_id=ref.object_id,
-                method=method,
-                payload=payload,
-                caller=self._caller,
-            )
-            response = self._transport.invoke(ref.endpoint_id, request)
+            if response is None:
+                request = Request(
+                    object_id=ref.object_id,
+                    method=method,
+                    payload=payload,
+                    caller=self._caller,
+                )
+                response = self._send(ref.endpoint_id, request)
             if response.kind == "result":
                 return unmarshal_result(response.payload)
             if response.kind == "error":
@@ -306,6 +429,7 @@ class Stub:
                 )
             if response.kind == "redirect":
                 ref = response.value
+                response = None  # re-dispatch at the redirect target
                 continue
             if response.kind == "drained":
                 raise MemberDrainedError(

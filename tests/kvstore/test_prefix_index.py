@@ -1,0 +1,116 @@
+"""Tests for the namespace (key-prefix) index behind bounded scans.
+
+``HyperStore.keys(prefix)`` and ``search(prefix, ...)`` must visit only
+the candidate keys in prefix-compatible buckets — not the whole
+partition — and the index must stay correct through put/delete and
+node membership changes.
+"""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.kvstore.store import HyperStore, key_token
+
+
+class TestKeyToken:
+    def test_token_is_namespace_through_separator(self):
+        assert key_token("pool$epoch") == "pool$"
+        assert key_token("pool$member$3") == "pool$"
+
+    def test_token_of_flat_key_is_the_key(self):
+        assert key_token("plainkey") == "plainkey"
+
+    def test_token_is_a_prefix_of_its_key(self):
+        for key in ("a$b", "x", "svc$counter", "ns$deep$nest$leaf"):
+            assert key.startswith(key_token(key))
+
+
+class TestBoundedScans:
+    @pytest.fixture
+    def store(self):
+        store = HyperStore(nodes=3)
+        for i in range(50):
+            store.put(f"session${i}", {"i": i})
+        for i in range(8):
+            store.put(f"pool${i}", {"uid": i})
+        return store
+
+    def test_prefix_scan_finds_exactly_the_namespace(self, store):
+        keys = sorted(store.keys("pool$"))
+        assert keys == sorted(f"pool${i}" for i in range(8))
+
+    def test_prefix_scan_visits_only_matching_buckets(self, store):
+        before = store.keys_visited_by_scans()
+        found = list(store.keys("pool$"))
+        visited = store.keys_visited_by_scans() - before
+        assert len(found) == 8
+        # Bounded: candidates are the pool$ bucket (8 keys), not the 58
+        # keys the store carries.  Equality, not <=: the bucket *is*
+        # the candidate set.
+        assert visited == 8
+
+    def test_unprefixed_scan_still_visits_everything(self, store):
+        before = store.keys_visited_by_scans()
+        found = list(store.keys())
+        visited = store.keys_visited_by_scans() - before
+        assert len(found) == 58
+        assert visited == 58
+
+    def test_search_is_bounded_by_the_prefix_bucket(self, store):
+        before = store.keys_visited_by_scans()
+        hits = store.search("pool$", uid=lambda u: u >= 6)
+        visited = store.keys_visited_by_scans() - before
+        assert sorted(key for key, _ in hits) == ["pool$6", "pool$7"]
+        assert visited == 8
+
+    def test_scan_with_sub_bucket_prefix_stays_bounded(self, store):
+        # A prefix longer than the token ("pool$3" vs bucket "pool$")
+        # visits the bucket's candidates, then filters exactly.
+        before = store.keys_visited_by_scans()
+        assert list(store.keys("pool$3")) == ["pool$3"]
+        assert store.keys_visited_by_scans() - before == 8
+
+
+class TestIndexMaintenance:
+    def test_delete_removes_key_from_its_bucket(self):
+        store = HyperStore(nodes=2)
+        store.put("ns$a", 1)
+        store.put("ns$b", 2)
+        assert store.delete("ns$a")
+        assert list(store.keys("ns$")) == ["ns$b"]
+        before = store.keys_visited_by_scans()
+        list(store.keys("ns$"))
+        assert store.keys_visited_by_scans() - before == 1
+
+    def test_overwrite_does_not_duplicate_index_entries(self):
+        store = HyperStore(nodes=2)
+        for _ in range(5):
+            store.put("ns$a", "v")
+        assert list(store.keys("ns$")) == ["ns$a"]
+        before = store.keys_visited_by_scans()
+        list(store.keys("ns$"))
+        assert store.keys_visited_by_scans() - before == 1
+
+    def test_add_node_migration_preserves_the_index(self):
+        store = HyperStore(nodes=2)
+        for i in range(40):
+            store.put(f"ns${i}", i)
+        store.add_node()
+        # Every key still findable by prefix after keys migrated to the
+        # new partition's buckets.
+        assert sorted(store.keys("ns$")) == sorted(f"ns${i}" for i in range(40))
+        for i in range(40):
+            assert store.get(f"ns${i}") == i
+        # And the scan is still bounded to candidates, not doubled by
+        # stale bucket entries on the old partitions.
+        before = store.keys_visited_by_scans()
+        list(store.keys("ns$"))
+        assert store.keys_visited_by_scans() - before == 40
+
+    def test_deleted_key_not_resurrected_by_search(self):
+        store = HyperStore(nodes=2)
+        store.put("ns$gone", {"x": 1})
+        store.delete("ns$gone")
+        assert store.search("ns$", x=1) == []
+        with pytest.raises(KeyNotFoundError):
+            store.get("ns$gone")

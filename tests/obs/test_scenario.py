@@ -66,9 +66,37 @@ class TestTracedScenario:
         summary = run.summary()
         assert validate_summary(summary) == []
         assert summary["events"] == len(run.events)
-        assert summary["invocations"]["calls"] == run.client["calls"]
+        # Trace-derived call count covers both clients: the sync ticker
+        # and the batched burst client's logical calls.
+        assert (
+            summary["invocations"]["calls"]
+            == run.client["calls"] + run.client["batched"]
+        )
         assert summary["seed"] == 3
         assert summary["dropped"] == 0
+
+    def test_summary_batching_section_is_populated(self, run):
+        batching = run.summary()["batching"]
+        assert batching["batches"] > 0
+        # Coalescing actually happened: more logical entries than wire
+        # messages (round-robin spreads each burst across members, so
+        # the mean is per-endpoint, well below the window of 6).
+        assert batching["entries"] > batching["batches"]
+        assert batching["mean_batch_size"] > 1.0
+        assert batching["inflight_hwm"] >= 1
+        # Every batched logical call resolved: the burst client saw no
+        # errors even across the crash window (masked by per-call
+        # retry after the batch-level failure).
+        assert run.client["batched"] > 0
+
+    def test_batch_events_carry_logical_identities(self, run):
+        batch_events = [e for e in run.events if e.kind == "batch"]
+        assert batch_events
+        for event in batch_events:
+            assert event.get("caller") == "obs-batch"
+            assert event.get("size") >= 1
+            # Endpoint names are member names, never process-global ids.
+            assert str(event.get("endpoint")).startswith("member-")
 
     def test_registry_client_counters_match_trace(self, run):
         counters = run.metrics["counters"]
