@@ -1,0 +1,96 @@
+"""Async-transport benchmark: the event-loop scalability claims.
+
+Runs :func:`repro.experiments.benchreport.run_async_suite` once, writes
+``BENCH_rmi_async.json`` at the repo root, and asserts the headline
+claims:
+
+- the asyncio transport sustains >= 2048 concurrent in-flight calls
+  (measured by the gated in-flight probe, where every handler parks
+  until the full window is admitted);
+- at high concurrency (c1024 and c4096) the asyncio transport beats the
+  threaded transport's throughput on the same 1 ms echo workload;
+- the emitted JSON is well-formed against the ``repro.bench/v1``
+  schema.
+
+Set ``ERMI_BENCH_SCALE`` (e.g. ``0.05``) to shrink iteration counts for
+CI smoke runs; the assertions are scale-independent.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.benchreport import (
+    ASYNC_CONCURRENCY,
+    format_table,
+    load_report,
+    run_async_suite,
+    validate_report,
+    write_report,
+)
+
+REPORT_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_rmi_async.json"
+)
+
+SUSTAINED_INFLIGHT_FLOOR = 2048
+
+
+@pytest.fixture(scope="module")
+def suite():
+    extra: dict = {}
+    records = run_async_suite(extra_out=extra)
+    write_report(str(REPORT_PATH), "rmi_async", records, extra=extra)
+    print("\n" + format_table(records))
+    return {record.name: record for record in records}, extra
+
+
+class TestAsyncBenchmark:
+    def test_report_emitted_and_wellformed(self, suite):
+        assert REPORT_PATH.exists()
+        doc = load_report(str(REPORT_PATH))
+        assert validate_report(doc) == []
+        names = {record["name"] for record in doc["records"]}
+        expected = {
+            f"{kind}-c{c}"
+            for kind in ("threaded", "aio")
+            for c in ASYNC_CONCURRENCY
+        }
+        assert expected <= names
+
+    def test_sustains_thousands_of_inflight_calls(self, suite):
+        """The tentpole claim: one event loop holds thousands of calls
+        in flight at once (the threaded transport tops out at its
+        worker count)."""
+        _, extra = suite
+        probe = extra["inflight-probe"]
+        assert probe["inflight_hwm"] >= SUSTAINED_INFLIGHT_FLOOR, (
+            f"in-flight high-water mark {probe['inflight_hwm']} < "
+            f"{SUSTAINED_INFLIGHT_FLOOR}"
+        )
+
+    def test_aio_beats_threaded_at_high_concurrency(self, suite):
+        records, _ = suite
+        for concurrency in (1024, 4096):
+            aio = records[f"aio-c{concurrency}"].calls_per_sec
+            threaded = records[f"threaded-c{concurrency}"].calls_per_sec
+            assert aio > threaded, (
+                f"c{concurrency}: aio {aio:.0f} calls/s <= threaded "
+                f"{threaded:.0f} calls/s"
+            )
+
+    def test_window_metadata_recorded(self, suite):
+        records, extra = suite
+        for concurrency in ASYNC_CONCURRENCY:
+            meta = extra[f"aio-c{concurrency}"]
+            assert meta["inflight_hwm"] > 0
+            assert meta["window"] >= meta["inflight_hwm"]
+
+    def test_percentiles_are_coherent(self, suite):
+        records, _ = suite
+        for record in records.values():
+            assert 0 < record.p50_us <= record.p99_us
+            assert record.calls > 0
+            assert record.elapsed_s > 0

@@ -9,8 +9,9 @@ Commands:
   on an elastic class and print the report;
 - ``transform <file.py>`` — apply the Figure 6 source rewrite and print
   (or write) the transformed module;
-- ``bench`` — run the RMI benchmark suites (hot path + batching) and
-  emit their ``BENCH_*.json`` reports (schema documented in README.md);
+- ``bench`` — run the RMI benchmark suites (hot path + batching +
+  async transport) and emit their ``BENCH_*.json`` reports (schema
+  documented in README.md);
 - ``chaos`` — run the scripted fault-injection scenario and emit a
   ``CHAOS_report.json`` recovery-latency report (schema
   ``repro.chaos/v1``); exits non-zero if any failure leaked to the
@@ -162,10 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(fn=_cmd_report)
 
     bench_cmd = sub.add_parser(
-        "bench", help="run the RMI benchmark suites (hot-path + batching)"
+        "bench",
+        help="run the RMI benchmark suites (hot-path + batching + async)",
     )
     bench_cmd.add_argument(
-        "--suite", choices=("all", "hotpath", "batching"), default="all",
+        "--suite", choices=("all", "hotpath", "batching", "async"),
+        default="all",
         help="which suite(s) to run (default: all)",
     )
     bench_cmd.add_argument(
@@ -175,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--batching-output", default="BENCH_rmi_batching.json",
         help="batching report path (default: BENCH_rmi_batching.json)",
+    )
+    bench_cmd.add_argument(
+        "--async-output", default="BENCH_rmi_async.json",
+        help="async-transport report path (default: BENCH_rmi_async.json)",
     )
     bench_cmd.add_argument(
         "--scale", type=float, default=None,
@@ -190,14 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare the batching run against a committed baseline report",
     )
     bench_cmd.add_argument(
+        "--check-async", metavar="BASELINE", default=None,
+        help="compare the async-transport run against a committed baseline",
+    )
+    bench_cmd.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fractional throughput drop per record (default 0.30)",
     )
     bench_cmd.add_argument(
         "--normalize", action="store_true",
         help="normalize each record by the run's anchor record "
-        "(marshal-pickle / batch-off-c1) before comparing — absorbs "
-        "machine-speed differences in CI",
+        "(marshal-pickle / batch-off-c1 / threaded-c64) before comparing "
+        "— absorbs machine-speed differences in CI",
     )
     bench_cmd.set_defaults(fn=_cmd_bench)
 
@@ -273,6 +284,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         compare_reports,
         format_table,
         load_report,
+        run_async_suite,
         run_batching_suite,
         run_hotpath_suite,
         write_report,
@@ -298,6 +310,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         runs.append(
             ("rmi_batching", records, extra, args.batching_output, baseline,
              "batch-off-c1")
+        )
+    if args.suite in ("all", "async"):
+        baseline = (
+            None if args.check_async is None
+            else load_report(args.check_async)
+        )
+        extra = {}
+        records = run_async_suite(scale=args.scale, extra_out=extra)
+        runs.append(
+            ("rmi_async", records, extra, args.async_output, baseline,
+             "threaded-c64")
         )
 
     status = 0

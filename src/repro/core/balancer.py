@@ -39,7 +39,7 @@ from repro.errors import (
 from repro.faults.policy import RetryPolicy, should_discard_member
 from repro.rmi.batching import RequestBatcher, batch_max_from_env
 from repro.rmi.fastpath import marshal_call, unmarshal_result
-from repro.rmi.future import RmiFuture, run_async
+from repro.rmi.future import RmiFuture, async_executor, run_async
 from repro.rmi.remote import RemoteRef, Stub
 from repro.rmi.transport import Request, Response, Transport
 from repro.sim.clock import Clock
@@ -114,6 +114,10 @@ class ElasticStub:
         self._batcher = (
             batcher if batcher is not None and batcher.enabled else None
         )
+        # Asynchronous transports complete via loop callbacks: the happy
+        # path never parks a thread, only retry/redirect recovery does
+        # (offloaded to the shared async pool, off the event loop).
+        self._loop_native = bool(getattr(transport, "asynchronous", False))
         self._epoch = -1  # epoch the cached members belong to
         self._members: list[RemoteRef] = []
         self._rr = itertools.count()
@@ -231,6 +235,8 @@ class ElasticStub:
         payload = marshal_call(args, kwargs)
         if self._batcher is not None:
             return self._invoke_deferred(method, payload)
+        if self._loop_native:
+            return self._invoke_loop_native(method, payload)
         if getattr(self._transport, "concurrent", False):
             return run_async(
                 lambda: self._invoke_with_payload(method, payload)
@@ -463,7 +469,7 @@ class ElasticStub:
         )
         state.note_attempt()
 
-        def complete(
+        def finish(
             future: RmiFuture,
             response: Response | None,
             error: BaseException | None,
@@ -476,6 +482,24 @@ class ElasticStub:
                 future.set_exception(exc)
             else:
                 future.set_result(value)
+
+        def complete(
+            future: RmiFuture,
+            response: Response | None,
+            error: BaseException | None,
+        ) -> None:
+            terminal = (
+                error is None
+                and response is not None
+                and response.kind in ("result", "error")
+            )
+            if self._loop_native and not terminal:
+                # Recovery re-enters the blocking retry loop; under the
+                # loop drain discipline this completer runs on the event
+                # loop, so the shared async pool carries it.
+                async_executor().submit(finish, future, response, error)
+                return
+            finish(future, response, error)
 
         return self._batcher.submit(ref.endpoint_id, request, complete)
 
@@ -508,6 +532,80 @@ class ElasticStub:
             return self._invoke_with_payload(method, payload, state, started)
         self._note_call(method, state, started, "ok")
         return result
+
+    # -- loop-native invocation (asynchronous transports) ------------------
+
+    def _invoke_loop_native(self, method: str, payload: Any) -> RmiFuture:
+        """One invocation with no thread parked while it flies.
+
+        The request goes straight to the asyncio transport; the future
+        completes from the transport's callback on the event loop.  The
+        happy path — the chosen member answers ``result`` — unmarshals
+        and completes inline (CPU-light, loop-safe).  *Every* other
+        outcome (application error, redirect, drained, delivery
+        failure) re-enters :meth:`_finish_deferred` on the shared async
+        pool with the first attempt already charged, so recovery
+        semantics are byte-for-byte those of the threaded path and the
+        loop never blocks.
+        """
+        transport = self._transport
+        state = self._retry_policy.start(
+            clock=self._clock, rng=self._rng, sleep=self._sleep
+        )
+        started = None if self._clock is None else self._clock.now()
+        try:
+            targets = self._targets()
+        except (ConnectError, MemberDrainedError, RemoteError):
+            # Bootstrap failure: the sync loop owns round/refresh
+            # semantics; run it on the pool.
+            return run_async(
+                lambda: self._invoke_with_payload(
+                    method, payload, state, started
+                )
+            )
+        ref = targets[0]
+        request = Request(
+            object_id=ref.object_id,
+            method=method,
+            payload=payload,
+            caller=self._caller,
+        )
+        state.note_attempt()
+        future = RmiFuture()
+        future.bind_wait_guard(transport.wait_guard)
+
+        def finish(
+            response: Response | None, error: BaseException | None
+        ) -> None:
+            try:
+                value = self._finish_deferred(
+                    ref, method, payload, state, started, response, error
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed to waiter
+                future.set_exception(exc)
+            else:
+                future.set_result(value)
+
+        def on_done(
+            response: Response | None, error: BaseException | None
+        ) -> None:  # runs on the event loop; must not block
+            if (
+                error is None
+                and response is not None
+                and response.kind == "result"
+            ):
+                try:
+                    value = unmarshal_result(response.payload)
+                except BaseException as exc:  # noqa: BLE001 - to waiter
+                    future.set_exception(exc)
+                    return
+                self._note_call(method, state, started, "ok")
+                future.set_result(value)
+                return
+            async_executor().submit(finish, response, error)
+
+        transport.submit(ref.endpoint_id, request, on_done)
+        return future
 
 
 class FractionalRedirect:

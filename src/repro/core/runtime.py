@@ -24,6 +24,7 @@ Construction helpers give the two operating modes:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import weakref
@@ -53,6 +54,36 @@ from repro.rmi.transport import DirectTransport, ThreadedTransport, Transport
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngStreams
 from repro.sim.scheduler import Scheduler, ThreadScheduler
+
+
+def transport_from_env(
+    choice: "Transport | str | None" = None,
+) -> Transport:
+    """Resolve the live transport: an instance passes through, a name
+    (or ``ERMI_TRANSPORT`` when ``choice`` is None) selects one.
+
+    - ``threaded`` (default) — :class:`ThreadedTransport`, one blocked
+      OS thread per in-flight call;
+    - ``asyncio`` (alias ``aio``) — :class:`~repro.rmi.aio.AsyncioTransport`,
+      loop-native, thousands of in-flight calls per process.
+
+    The simulated runtime ignores this entirely: determinism lives on
+    :class:`DirectTransport` regardless of the env.
+    """
+    if choice is None:
+        choice = os.environ.get("ERMI_TRANSPORT", "threaded")
+    if not isinstance(choice, str):
+        return choice
+    name = choice.strip().lower()
+    if name in ("", "threaded"):
+        return ThreadedTransport()
+    if name in ("asyncio", "aio"):
+        from repro.rmi.aio import AsyncioTransport
+
+        return AsyncioTransport()
+    raise PoolConfigurationError(
+        f"unknown transport {choice!r}: expected 'threaded' or 'asyncio'"
+    )
 
 
 @dataclass
@@ -126,9 +157,15 @@ class ElasticRuntime:
         self.obs = observability
         if observability is not None:
             tracer = observability.tracer
-            set_tracer = getattr(transport, "set_tracer", None)
-            if set_tracer is not None:
-                set_tracer(tracer)
+            set_obs = getattr(transport, "set_obs", None)
+            if set_obs is not None:
+                # Full wiring: tracer plus transport-owned metrics
+                # (dispatch saturation gauges, loop-lag histograms).
+                set_obs(observability)
+            else:
+                set_tracer = getattr(transport, "set_tracer", None)
+                if set_tracer is not None:
+                    set_tracer(tracer)
             master.set_tracer(tracer)
             self.locks.set_tracer(tracer)
         # Last known sentinel uid per pool, to trace elections exactly
@@ -190,15 +227,19 @@ class ElasticRuntime:
         slices_per_node: int = 4,
         seed: int = 0,
         provisioner: Provisioner | None = None,
+        transport: "Transport | str | None" = None,
         **kwargs: Any,
     ) -> "ElasticRuntime":
-        """Live runtime: wall clock, timer threads, blocking transport.
+        """Live runtime: wall clock, timer threads, live transport.
 
-        Provisioning is instantaneous by default so examples and tests
-        are snappy; pass a provisioner to model container-start delays.
+        ``transport`` picks the invocation substrate: a Transport
+        instance, a name (``"threaded"``/``"asyncio"``), or None to
+        read ``ERMI_TRANSPORT`` (default threaded).  Provisioning is
+        instantaneous by default so examples and tests are snappy; pass
+        a provisioner to model container-start delays.
         """
         scheduler = ThreadScheduler()
-        transport = ThreadedTransport()
+        transport = transport_from_env(transport)
         master = MesosMaster.homogeneous(nodes, slices_per_node)
         return cls(
             master,
@@ -574,9 +615,11 @@ class ElasticRuntime:
     def _default_utilization(
         self, member: PoolMember
     ) -> UtilizationSource | None:
-        if isinstance(self.transport, ThreadedTransport) and member.skeleton:
+        # Any live (concurrent) transport gets queue-depth utilization;
+        # simulation installs its own sources.
+        if getattr(self.transport, "concurrent", False) and member.skeleton:
             return QueueUtilization(member.skeleton)
-        return None  # simulation installs its own sources
+        return None
 
     # ------------------------------------------------------------------
     # shutdown
@@ -598,5 +641,6 @@ class ElasticRuntime:
                 pass
         if isinstance(self.scheduler, ThreadScheduler):
             self.scheduler.shutdown()
-        if isinstance(self.transport, ThreadedTransport):
-            self.transport.shutdown()
+        stop_transport = getattr(self.transport, "shutdown", None)
+        if stop_transport is not None:
+            stop_transport()

@@ -19,7 +19,12 @@ The suite measures calls/sec and p50/p99 latency for:
   (``elastic-poolN``), driven on a simulated runtime so results are
   deterministic in shape.
 
-Run it via ``python -m repro bench`` or through
+Two further suites share the harness and schema:
+:func:`run_batching_suite` (batched vs unbatched pipelining, anchored
+on ``batch-off-c1``) and :func:`run_async_suite` (asyncio vs threaded
+transport at c64–c4096 in-flight calls, anchored on ``threaded-c64``).
+
+Run them via ``python -m repro bench`` or through
 ``benchmarks/test_rmi_hotpath.py``; ``--scale`` (or the
 ``ERMI_BENCH_SCALE`` environment variable) shrinks iteration counts for
 CI smoke runs.
@@ -603,6 +608,177 @@ def run_batching_suite(
             )
         finally:
             transport.shutdown()
+    return records
+
+
+# ----------------------------------------------------------------------
+# the async (event-loop) suite
+# ----------------------------------------------------------------------
+
+ASYNC_CONCURRENCY = (64, 256, 1024, 4096)
+ASYNC_SERVICE_S = 0.001
+ASYNC_TRANSPORT_WORKERS = 4
+ASYNC_PROBE_TARGET = 4096
+
+
+def _make_async_harness(kind: str) -> tuple[Any, Any]:
+    """An echo service with a 1 ms *coroutine* service time.
+
+    The service is I/O-shaped on purpose: each call spends its life
+    suspended, so throughput measures how many calls a transport keeps
+    in flight, not how fast Python runs the handler body.  The threaded
+    transport drives each coroutine with a private ``asyncio.run`` on a
+    dispatch worker (one blocked thread per in-flight call — exactly the
+    ceiling under test); the asyncio transport awaits it on the loop.
+    """
+    import asyncio
+
+    from repro.rmi.aio import AsyncioTransport
+    from repro.rmi.remote import Remote, Skeleton, Stub
+    from repro.rmi.transport import ThreadedTransport
+
+    class SlowEcho(Remote):
+        async def echo(self, seq):
+            await asyncio.sleep(ASYNC_SERVICE_S)
+            return seq
+
+    if kind == "aio":
+        transport: Any = AsyncioTransport()
+    else:
+        transport = ThreadedTransport(
+            workers_per_endpoint=ASYNC_TRANSPORT_WORKERS
+        )
+    ep = transport.add_endpoint("bench-async")
+    skel = Skeleton(SlowEcho(), transport, ep.endpoint_id)
+    stub = Stub(transport, skel.ref())
+    return transport, stub
+
+
+def _probe_inflight(target: int = ASYNC_PROBE_TARGET) -> dict[str, Any]:
+    """Prove the asyncio transport *sustains* ``target`` in-flight calls.
+
+    The throughput sweep cannot show this — at a 1 ms service time the
+    submission rate drains calls about as fast as they are admitted, so
+    steady-state concurrency sits far below the window.  Here every
+    dispatch parks on a gate until all ``target`` calls are in flight
+    at once (observed via the transport's in-flight gauge), then the
+    gate opens and everything completes.
+    """
+    import asyncio
+
+    from repro.rmi.aio import AsyncioTransport
+    from repro.rmi.future import gather
+    from repro.rmi.remote import Remote, Skeleton, Stub
+
+    class Parked(Remote):
+        def __init__(self) -> None:
+            self.gate = asyncio.Event()
+
+        async def park(self, seq):
+            await self.gate.wait()
+            return seq
+
+    # No dispatch deadline: the calls park deliberately.
+    transport = AsyncioTransport(timeout=None)
+    impl = Parked()
+    try:
+        ep = transport.add_endpoint("bench-park")
+        skel = Skeleton(impl, transport, ep.endpoint_id)
+        stub = Stub(transport, skel.ref())
+        started = time.perf_counter()
+        futures = [stub.invoke_async("park", seq) for seq in range(target)]
+        deadline = time.perf_counter() + 60.0
+        while (
+            transport.inflight < target and time.perf_counter() < deadline
+        ):
+            time.sleep(0.002)
+        hwm = transport.inflight_hwm
+        transport.schedule(impl.gate.set)
+        gather(futures, timeout=60.0)
+        elapsed = time.perf_counter() - started
+        return {
+            "target": target,
+            "inflight_hwm": hwm,
+            "open_close_s": round(elapsed, 3),
+        }
+    finally:
+        transport.shutdown()
+
+
+def run_async_suite(
+    scale: float | None = None, extra_out: dict[str, Any] | None = None
+) -> list[BenchRecord]:
+    """Asyncio vs threaded transport at c64–c4096 concurrent calls.
+
+    One caller thread pipelines ``concurrency`` ``invoke_async`` calls
+    and gathers — the elastic fan-out shape at high in-flight counts.
+    Latency samples are per *window* (first submit to gather
+    completion); throughput is logical calls over wall time.  The
+    threaded records saturate at roughly
+    ``workers / service_time`` calls/s no matter the concurrency (one
+    blocked thread per in-flight call); the asyncio records keep
+    scaling, which is the transport's reason to exist.
+
+    ``extra_out`` (surfaced as the report's ``extra`` section) records
+    each asyncio run's in-flight high-water mark and the gated
+    ``inflight-probe`` result proving the ≥ 2048-sustained claim.
+    """
+    from repro.rmi.future import gather
+
+    if scale is None:
+        scale = bench_scale()
+    rounds = max(1, int(round(3 * scale)))
+    records = []
+    extra: dict[str, Any] = {} if extra_out is None else extra_out
+    for kind in ("threaded", "aio"):
+        for concurrency in ASYNC_CONCURRENCY:
+            transport, stub = _make_async_harness(kind)
+            try:
+                # Warm outside the clock (pools, loop, marshal caches).
+                gather([
+                    stub.invoke_async("echo", seq)
+                    for seq in range(min(concurrency, 64))
+                ])
+                clock = time.perf_counter
+                windows = []
+                for _ in range(rounds):
+                    started = clock()
+                    futures = [
+                        stub.invoke_async("echo", seq)
+                        for seq in range(concurrency)
+                    ]
+                    gather(futures)
+                    windows.append(clock() - started)
+                wall = sum(windows)
+                record = summarize_wall(
+                    f"{kind}-c{concurrency}",
+                    {
+                        "transport": kind,
+                        "concurrency": concurrency,
+                        "rounds": rounds,
+                        "service_ms": ASYNC_SERVICE_S * 1e3,
+                        "workers": (
+                            ASYNC_TRANSPORT_WORKERS if kind == "threaded"
+                            else 0
+                        ),
+                    },
+                    windows,
+                    wall,
+                )
+                # Throughput is logical calls/s, not windows/s.
+                record.calls = rounds * concurrency
+                record.calls_per_sec = (
+                    record.calls / wall if wall > 0 else 0.0
+                )
+                records.append(record)
+                if kind == "aio":
+                    extra[f"aio-c{concurrency}"] = {
+                        "inflight_hwm": transport.inflight_hwm,
+                        "window": transport.inflight_limit,
+                    }
+            finally:
+                transport.shutdown()
+    extra["inflight-probe"] = _probe_inflight()
     return records
 
 

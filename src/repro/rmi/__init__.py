@@ -10,7 +10,9 @@ machinery; this package rebuilds that machinery in Python:
 - :class:`Endpoint` / transports — each pool member lives at an endpoint
   ("a JVM"); :class:`DirectTransport` delivers calls synchronously and
   deterministically (unit tests, simulation), :class:`ThreadedTransport`
-  gives every endpoint a real dispatch thread (live examples).
+  gives every endpoint a real dispatch thread (live examples), and
+  :class:`AsyncioTransport` dispatches every endpoint on one shared
+  event loop (high fan-out live mode: thousands of in-flight calls).
 - :class:`Skeleton` — server-side dispatcher: per-method call statistics,
   drain state (reject-with-retry while shutting down) and redirect tables
   (the hooks ElasticRMI's sentinel drives for load balancing).
@@ -22,6 +24,7 @@ machinery; this package rebuilds that machinery in Python:
   :class:`BatchRequest` wire messages.
 """
 
+from repro.rmi.aio import AsyncioTransport, blocking
 from repro.rmi.batching import BatcherStats, RequestBatcher
 from repro.rmi.fastpath import (
     FastPayload,
@@ -55,6 +58,7 @@ from repro.rmi.transport import (
 )
 
 __all__ = [
+    "AsyncioTransport",
     "BatchRequest",
     "BatchResponse",
     "BatcherStats",
@@ -74,6 +78,7 @@ __all__ = [
     "Stub",
     "ThreadedTransport",
     "Transport",
+    "blocking",
     "gather",
     "is_immutable",
     "is_zero_copy",

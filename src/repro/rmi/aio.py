@@ -1,0 +1,503 @@
+"""Asyncio-native transport: one event loop drives every endpoint.
+
+:class:`ThreadedTransport` charges one blocked OS thread per in-flight
+call (an async-invoker worker parked on ``future.result()`` plus a
+dispatch-pool worker running the handler), so its concurrency ceiling is
+thread count — a few hundred calls at best.  :class:`AsyncioTransport`
+removes that ceiling: sends are loop callbacks, dispatches are
+coroutines, and an in-flight call costs one ``asyncio.Task`` (~KBs, no
+stack, no scheduler pressure), so one process sustains tens of
+thousands of concurrent calls.
+
+Loop ownership
+    The process owns exactly one transport event loop, created lazily on
+    a daemon thread (mirroring :func:`repro.rmi.future.async_executor`)
+    and shared by every :class:`AsyncioTransport` instance.  Transport
+    ``shutdown()`` cancels that transport's outstanding dispatches but
+    leaves the loop running — it is process infrastructure, like the
+    async-invoker pool.
+
+Dispatch rules
+    Each endpoint's skeleton dispatches *on the loop* via its
+    ``handle_async`` coroutine: coroutine remote methods are awaited in
+    place, plain methods run inline (they must be CPU-light), and
+    methods marked with the :func:`blocking` decorator are offloaded to
+    a small default executor so they never stall the loop.
+
+Bridging
+    ``submit()``/``submit_batch()`` are the native, callback-based API
+    (the stub's loop-native path and the batcher's loop drain discipline
+    use them).  ``invoke()``/``invoke_batch()`` bridge synchronously for
+    Transport-protocol compatibility; calling them *from* the loop
+    thread raises immediately instead of deadlocking, and
+    :meth:`wait_guard` gives futures the same protection.
+
+The in-flight window (``ERMI_AIO_INFLIGHT``, generous by default) is an
+``asyncio.Semaphore`` bounding concurrent dispatches — backpressure
+against unbounded task pileup, not a throttle.  With an
+:class:`~repro.obs.Observability` attached the transport exports an
+in-flight gauge (plus high-water mark) and an event-loop lag histogram
+sampled by a periodic loop task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.errors import ConnectError, RemoteError
+from repro.rmi.transport import (
+    BatchRequest,
+    BatchResponse,
+    Endpoint,
+    Request,
+    Response,
+    _TransportBase,
+    batch_envelope,
+)
+
+# Callback invoked on the loop when one submitted call (or batch)
+# completes: exactly one of (result, error) is non-None.  It must not
+# block — anything that would park the loop thread belongs on a pool.
+DoneCallback = Callable[[Any, "BaseException | None"], None]
+
+DEFAULT_INFLIGHT_WINDOW = 16_384
+DEFAULT_OFFLOAD_WORKERS = 8
+LAG_SAMPLE_INTERVAL_S = 0.05
+
+
+def aio_inflight_from_env() -> int:
+    """Dispatch-window size from ``ERMI_AIO_INFLIGHT`` (default 16384)."""
+    return max(
+        1,
+        int(os.environ.get("ERMI_AIO_INFLIGHT", str(DEFAULT_INFLIGHT_WINDOW))),
+    )
+
+
+def blocking(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Mark a remote method as genuinely blocking (file/socket/sleep).
+
+    The asyncio skeleton dispatch offloads marked methods to the loop's
+    small default executor instead of running them inline — the *only*
+    sanctioned way to block inside a loop-dispatched handler.  Sync
+    transports ignore the marker (their dispatch threads may block).
+    """
+    fn.__ermi_blocking__ = True
+    return fn
+
+
+# ----------------------------------------------------------------------
+# the process-wide loop runtime
+# ----------------------------------------------------------------------
+
+
+class _LoopRuntime:
+    """The shared event loop, its thread, and the offload executor."""
+
+    def __init__(self, offload_workers: int) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.offload = ThreadPoolExecutor(
+            max_workers=offload_workers,
+            thread_name_prefix="ermi-aio-offload",
+        )
+        # Blocking-marked handlers and fault hooks run on the *default*
+        # executor, so skeletons stay transport-agnostic
+        # (``run_in_executor(None, ...)``).
+        self.loop.set_default_executor(self.offload)
+        self.thread = threading.Thread(
+            target=self._run, name="ermi-aio-loop", daemon=True
+        )
+        self.thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def is_loop_thread(self) -> bool:
+        return threading.current_thread() is self.thread
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` on the loop; safe from any thread."""
+        self.loop.call_soon_threadsafe(fn, *args)
+
+
+_runtime: _LoopRuntime | None = None
+_runtime_lock = threading.Lock()
+
+
+def loop_runtime() -> _LoopRuntime:
+    """The process-wide loop runtime, created on first use."""
+    global _runtime
+    if _runtime is None:
+        with _runtime_lock:
+            if _runtime is None:
+                _runtime = _LoopRuntime(DEFAULT_OFFLOAD_WORKERS)
+    return _runtime
+
+
+# ----------------------------------------------------------------------
+# the transport
+# ----------------------------------------------------------------------
+
+
+class AsyncioTransport(_TransportBase):
+    """Live transport: every endpoint dispatches on one shared loop.
+
+    ``timeout`` bounds each dispatch (None disables the deadline —
+    deterministic tests use that to keep dispatch coroutines
+    suspension-free).  ``inflight_limit`` is the dispatch window.
+    """
+
+    concurrent = True
+    # Capability flag the stub/batcher layers key on: completions are
+    # loop-native callbacks, so callers must never block the loop thread.
+    asynchronous = True
+
+    def __init__(
+        self,
+        timeout: float | None = 30.0,
+        inflight_limit: int | None = None,
+    ) -> None:
+        super().__init__()
+        self._timeout = timeout
+        self._runtime = loop_runtime()
+        self.inflight_limit = (
+            aio_inflight_from_env() if inflight_limit is None
+            else max(1, inflight_limit)
+        )
+        self._sema = asyncio.Semaphore(self.inflight_limit)
+        # Loop-thread-only state (no lock needed): admitted dispatches.
+        self._inflight = 0
+        self._inflight_hwm = 0
+        self._tasks: set[asyncio.Task] = set()
+        self._lag_task: asyncio.Task | None = None
+        self._closed = False
+
+    # -- capability surface -------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Calls currently inside the dispatch window (monitoring)."""
+        return self._inflight
+
+    @property
+    def inflight_hwm(self) -> int:
+        """High-water mark of concurrent in-flight calls."""
+        return self._inflight_hwm
+
+    def schedule(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the event loop; safe from any thread.
+
+        The batcher's loop drain discipline schedules its sweeps here.
+        """
+        self._runtime.call_soon(fn)
+
+    def wait_guard(self) -> None:
+        """Raise when the calling thread must not block on a future.
+
+        Stubs bind this on loop-native futures: a ``result()`` from the
+        loop thread itself can only deadlock (the completion it waits
+        for would run on the very thread it parked), so it fails fast.
+        """
+        if self._runtime.is_loop_thread():
+            raise RemoteError(
+                "blocking wait on the asyncio transport's event-loop "
+                "thread would deadlock; complete via callbacks or wait "
+                "from another thread"
+            )
+
+    # -- observability ------------------------------------------------------
+
+    def set_obs(self, obs: Any) -> None:
+        super().set_obs(obs)
+        if obs is not None:
+            self._runtime.call_soon(self._ensure_lag_sampler)
+
+    def _ensure_lag_sampler(self) -> None:  # loop thread
+        if self._lag_task is not None and not self._lag_task.done():
+            return
+        self._lag_task = self._runtime.loop.create_task(
+            self._sample_loop_lag()
+        )
+
+    async def _sample_loop_lag(self) -> None:
+        """Periodic loop-lag probe: how late a timer actually fires.
+
+        The overshoot of a plain ``sleep`` is scheduling latency — the
+        time runnable callbacks waited behind whatever held the loop.
+        Only runs while an Observability is attached.
+        """
+        loop = asyncio.get_running_loop()
+        while self._obs is not None and not self._closed:
+            before = loop.time()
+            await asyncio.sleep(LAG_SAMPLE_INTERVAL_S)
+            lag_ms = max(
+                0.0, (loop.time() - before - LAG_SAMPLE_INTERVAL_S) * 1e3
+            )
+            obs = self._obs
+            if obs is None:
+                break
+            obs.registry.histogram("rmi.aio.loop_lag_ms").observe(lag_ms)
+
+    def _note_inflight(self, delta: int) -> None:  # loop thread
+        self._inflight += delta
+        if self._inflight > self._inflight_hwm:
+            self._inflight_hwm = self._inflight
+        obs = self._obs
+        if obs is not None:
+            registry = obs.registry
+            registry.gauge("rmi.aio.inflight").set(float(self._inflight))
+            registry.gauge("rmi.aio.inflight_hwm").set(
+                float(self._inflight_hwm)
+            )
+
+    # -- native (loop-callback) API -----------------------------------------
+
+    def submit(
+        self, endpoint_id: str, request: Request, on_done: DoneCallback
+    ) -> None:
+        """Start one call; ``on_done(response, error)`` runs on the loop.
+
+        Thread-safe and non-blocking: the caller never parks, which is
+        what lets one thread keep thousands of calls in flight.
+        """
+        self._runtime.call_soon(self._start, endpoint_id, request, on_done)
+
+    def submit_batch(
+        self, endpoint_id: str, batch: BatchRequest, on_done: DoneCallback
+    ) -> None:
+        """Batch analogue of :meth:`submit`; completes with a
+        :class:`BatchResponse`."""
+        self._runtime.call_soon(self._start_batch, endpoint_id, batch, on_done)
+
+    def _start(
+        self, endpoint_id: str, request: Request, on_done: DoneCallback
+    ) -> None:  # loop thread
+        self._spawn(self._run_one(endpoint_id, request, on_done))
+
+    def _start_batch(
+        self, endpoint_id: str, batch: BatchRequest, on_done: DoneCallback
+    ) -> None:  # loop thread
+        self._spawn(self._run_batch(endpoint_id, batch, on_done))
+
+    def _spawn(self, coro: Any) -> None:  # loop thread
+        # Tasks need a strong reference until done; _reap also surfaces
+        # completion-callback bugs via the loop's exception handler
+        # instead of a silent "exception never retrieved".
+        task = self._runtime.loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._reap)
+
+    def _reap(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self._runtime.loop.call_exception_handler(
+                {"message": "ermi aio completion callback failed",
+                 "exception": exc}
+            )
+
+    async def _run_one(
+        self, endpoint_id: str, request: Request, on_done: DoneCallback
+    ) -> None:
+        try:
+            response = await self._invoke_async(endpoint_id, request)
+        except asyncio.CancelledError:
+            on_done(None, ConnectError("asyncio transport shut down"))
+        except BaseException as exc:  # noqa: BLE001 - relayed to completer
+            on_done(None, exc)
+        else:
+            on_done(response, None)
+
+    async def _run_batch(
+        self, endpoint_id: str, batch: BatchRequest, on_done: DoneCallback
+    ) -> None:
+        try:
+            response = await self._invoke_batch_async(endpoint_id, batch)
+        except asyncio.CancelledError:
+            on_done(None, ConnectError("asyncio transport shut down"))
+        except BaseException as exc:  # noqa: BLE001 - relayed to completer
+            on_done(None, exc)
+        else:
+            on_done(response, None)
+
+    # -- dispatch coroutines ------------------------------------------------
+
+    def _resolve_aio(
+        self, endpoint_id: str, request: Request
+    ) -> tuple[Endpoint, Any]:
+        """Resolve to the endpoint's *async* handler when exported, the
+        raw sync handler otherwise (tests export plain callables)."""
+        ep = self.endpoint(endpoint_id)
+        if not ep.alive:
+            raise ConnectError(f"endpoint {endpoint_id} ({ep.name}) is down")
+        handler = ep.ahandlers.get(request.object_id)
+        if handler is None:
+            handler = ep.handlers.get(request.object_id)
+            if handler is None:
+                raise ConnectError(
+                    f"no object {request.object_id!r} at endpoint {ep.name}"
+                )
+        return ep, handler
+
+    async def _invoke_async(
+        self, endpoint_id: str, request: Request
+    ) -> Response:
+        if self._closed:
+            raise ConnectError("asyncio transport shut down")
+        ep, handler = self._resolve_aio(endpoint_id, request)
+        async with self._sema:
+            self._note_inflight(+1)
+            try:
+                hook = self._fault_hook
+                if hook is not None:
+                    # Hooks may sleep (injected delays); keep the loop
+                    # live by consulting them on the offload executor.
+                    await self._runtime.loop.run_in_executor(
+                        None, hook, endpoint_id, request
+                    )
+                self._messages.increment()
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "transport", "message",
+                        endpoint=ep.name, method=request.method,
+                        caller=request.caller,
+                    )
+                return await self._timed(
+                    self._call_handler(handler, request),
+                    f"invocation of {request.method!r}",
+                )
+            finally:
+                self._note_inflight(-1)
+
+    async def _invoke_batch_async(
+        self, endpoint_id: str, batch: BatchRequest
+    ) -> BatchResponse:
+        if self._closed:
+            raise ConnectError("asyncio transport shut down")
+        ep = self._resolve_endpoint(endpoint_id)
+        async with self._sema:  # one wire message, one window slot
+            self._note_inflight(+len(batch.entries))
+            try:
+                hook = self._fault_hook
+                if hook is not None:
+                    await self._runtime.loop.run_in_executor(
+                        None, hook, endpoint_id, batch_envelope(batch)
+                    )
+                self._messages.increment()
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "transport", "batch-message",
+                        endpoint=ep.name, size=len(batch.entries),
+                        caller=batch.caller,
+                    )
+                return await self._timed(
+                    self._dispatch_batch(ep, batch),
+                    f"batch of {len(batch.entries)} invocations",
+                )
+            finally:
+                self._note_inflight(-len(batch.entries))
+
+    async def _timed(self, coro: Any, what: str) -> Any:
+        if self._timeout is None:
+            return await coro
+        try:
+            async with asyncio.timeout(self._timeout):
+                return await coro
+        except TimeoutError as exc:
+            raise RemoteError(
+                f"{what} timed out after {self._timeout}s"
+            ) from exc
+
+    @staticmethod
+    async def _call_handler(handler: Any, request: Request) -> Response:
+        result = handler(request)
+        if asyncio.iscoroutine(result):
+            return await result
+        return result
+
+    async def _dispatch_batch(
+        self, ep: Endpoint, batch: BatchRequest
+    ) -> BatchResponse:
+        """Unbatch on the loop: entries dispatch concurrently, results
+        reassemble in entry order (the loop-native analogue of the
+        threaded transport's chunked parallel dispatch)."""
+        responses = await asyncio.gather(
+            *(self._dispatch_entry_async(ep, request)
+              for request in batch.entries)
+        )
+        return BatchResponse(entries=tuple(responses))
+
+    async def _dispatch_entry_async(
+        self, ep: Endpoint, request: Request
+    ) -> Response:
+        handler = ep.ahandlers.get(request.object_id)
+        if handler is None:
+            handler = ep.handlers.get(request.object_id)
+            if handler is None:
+                return Response(kind="unresolved", value=request.object_id)
+        return await self._call_handler(handler, request)
+
+    # -- sync bridges (Transport protocol) ----------------------------------
+
+    def invoke(self, endpoint_id: str, request: Request) -> Response:
+        self.wait_guard()
+        waiter: Future[Response] = Future()
+        self.submit(endpoint_id, request, _bridge(waiter))
+        return self._bridge_result(waiter, request.method)
+
+    def invoke_batch(
+        self, endpoint_id: str, batch: BatchRequest
+    ) -> BatchResponse:
+        self.wait_guard()
+        waiter: Future[BatchResponse] = Future()
+        self.submit_batch(endpoint_id, batch, _bridge(waiter))
+        return self._bridge_result(waiter, f"batch[{len(batch.entries)}]")
+
+    def _bridge_result(self, waiter: Future, what: str) -> Any:
+        # The dispatch deadline lives on the loop; the grace period only
+        # covers a loop that died and can never complete the waiter.
+        grace = None if self._timeout is None else self._timeout + 5.0
+        try:
+            return waiter.result(timeout=grace)
+        except TimeoutError as exc:
+            raise RemoteError(
+                f"invocation of {what} got no completion within {grace}s"
+            ) from exc
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Cancel this transport's outstanding dispatches.
+
+        The shared loop and offload executor keep running — they are
+        process infrastructure, reused by the next transport.
+        """
+        self._closed = True
+        self._runtime.call_soon(self._cancel_all)
+
+    def _cancel_all(self) -> None:  # loop thread
+        if self._lag_task is not None:
+            self._lag_task.cancel()
+            self._lag_task = None
+        for task in list(self._tasks):
+            task.cancel()
+
+
+def _bridge(waiter: Future) -> DoneCallback:
+    """Adapt a completion callback onto a concurrent future."""
+
+    def on_done(result: Any, error: BaseException | None) -> None:
+        if error is not None:
+            waiter.set_exception(error)
+        else:
+            waiter.set_result(result)
+
+    return on_done

@@ -8,7 +8,7 @@ executor submission) across many logical invocations — the JCloudScale/
 Swift observation that elastic-RMI cost is dominated by per-message
 setup, not by payload bytes.
 
-Two dispatch disciplines, chosen by ``transport.concurrent``:
+Three dispatch disciplines, chosen by the transport's capabilities:
 
 - **combiner** (live, :class:`ThreadedTransport`) — an arriving caller
   enqueues its entry and, if fewer than ``inflight_limit`` *senders*
@@ -28,6 +28,14 @@ Two dispatch disciplines, chosen by ``transport.concurrent``:
   thread the moment someone calls ``result()`` (or the queue reaches
   ``max_batch``, or the stub flushes on drain).  Single-threaded and
   reproducible, which keeps the obs determinism gate honest.
+- **loop drain** (asynchronous, :class:`~repro.rmi.aio.AsyncioTransport`)
+  — nobody's thread becomes a sender.  Enqueues schedule one deduped
+  drain sweep *on the transport's event loop*; the sweep takes batches
+  off the queue up to the in-flight window (``flying`` tracks wire
+  batches, completions re-kick while entries remain) and submits them
+  via the transport's callback API.  Entries settle on the loop, so a
+  full pipeline — submit window, coalesce, fly, complete — runs without
+  parking a single thread.
 
 Per-call semantics are preserved exactly: each entry's future resolves
 to that entry's own :class:`Response` (result / error / redirect /
@@ -116,14 +124,20 @@ class _EndpointQueue:
     entry implies at least one active sender — an enqueuer that sees a
     free sender slot takes it, and a sender only retires after finding
     the queue empty under the same lock.
+
+    The loop drain discipline uses ``scheduled`` (a sweep is queued on
+    the event loop; dedups kicks) and ``flying`` (wire batches in
+    flight; the loop-side in-flight window) instead of ``senders``.
     """
 
-    __slots__ = ("cond", "pending", "senders")
+    __slots__ = ("cond", "pending", "senders", "scheduled", "flying")
 
     def __init__(self) -> None:
         self.cond = threading.Condition()
         self.pending: list[_Entry] = []
         self.senders = 0
+        self.scheduled = False
+        self.flying = 0
 
 
 class RequestBatcher:
@@ -147,6 +161,9 @@ class RequestBatcher:
         )
         self._caller = caller
         self._obs = obs
+        # Asynchronous transports drain on their event loop; callers
+        # never become senders and never park while a batch flies.
+        self._loop_native = bool(getattr(transport, "asynchronous", False))
         self.stats = BatcherStats()
         self._stats_lock = threading.Lock()
         self._queues: dict[str, _EndpointQueue] = {}
@@ -166,6 +183,13 @@ class RequestBatcher:
         """
         if self._max_batch <= 1:
             return self._transport.invoke(endpoint_id, request)
+        if self._loop_native:
+            # The loop drains; this thread only waits (guarded: waiting
+            # *on* the loop thread would deadlock and raises instead).
+            future = self._enqueue(endpoint_id, request)
+            future.bind_wait_guard(self._transport.wait_guard)
+            self._kick_loop(endpoint_id)
+            return future.result()
         if not self._transport.concurrent:
             # Deterministic transport: a sync call flushes whatever
             # deferred entries are already queued for this endpoint,
@@ -200,7 +224,14 @@ class RequestBatcher:
         """
         future = self._enqueue(endpoint_id, request, completer)
         future.bind_wait_hook(lambda: self.pump(endpoint_id))
-        if self._transport.concurrent:
+        if self._loop_native:
+            future.bind_wait_guard(self._transport.wait_guard)
+            q = self._queue(endpoint_id)
+            with q.cond:
+                full = len(q.pending) >= self._max_batch
+            if full:
+                self._kick_loop(endpoint_id)
+        elif self._transport.concurrent:
             # Waiters *kick* rather than force-flush: at most
             # ``inflight_limit`` senders fly concurrently, and each
             # sweeps every gatherer's entries into shared batches.
@@ -219,7 +250,11 @@ class RequestBatcher:
         on deterministic ones (nobody else will send).  This is the
         wait hook stubs bind on deferred futures.
         """
-        if self._transport.concurrent:
+        if self._loop_native:
+            # A sweep moves what the window allows now; completions
+            # re-kick until the waiter's entry has flown.
+            self._kick_loop(endpoint_id)
+        elif self._transport.concurrent:
             self.kick(endpoint_id)
         else:
             self.flush(endpoint_id)
@@ -257,6 +292,9 @@ class RequestBatcher:
             return
         q = self._queues.get(endpoint_id)
         if q is None:
+            return
+        if self._loop_native:
+            self._kick_loop(endpoint_id, forced=True)
             return
         with q.cond:
             if not q.pending:
@@ -331,6 +369,88 @@ class RequestBatcher:
                     q.senders -= 1
                     q.cond.notify_all()
 
+    # -- loop drain (asynchronous mode) ------------------------------------
+
+    def _kick_loop(self, endpoint_id: str, forced: bool = False) -> None:
+        """Schedule one drain sweep on the transport's event loop.
+
+        Deduped via ``q.scheduled``: a burst of submitters costs one
+        loop callback, and that sweep takes everything the in-flight
+        window allows.  ``forced`` sweeps past the window (the drain
+        protocol's flush must never strand entries behind backpressure)
+        and bypasses the dedup — a plain sweep may already be queued,
+        but only a forced one is guaranteed to move everything.
+        """
+        q = self._queues.get(endpoint_id)
+        if q is None:
+            return
+        with q.cond:
+            if not q.pending:
+                return
+            if q.scheduled and not forced:
+                return
+            q.scheduled = True
+        self._transport.schedule(
+            lambda: self._loop_drain(endpoint_id, q, forced)
+        )
+
+    def _loop_drain(
+        self, endpoint_id: str, q: _EndpointQueue, forced: bool
+    ) -> None:
+        """One sweep, on the event loop: fly batches up to the window.
+
+        Unlike a combiner sender this never parks — it takes what the
+        window allows, submits via the transport's callback API, and
+        returns to the loop.  Completions re-kick while entries remain,
+        so pending work always has a sweep coming.
+        """
+        batches: list[tuple[list[_Entry], int]] = []
+        with q.cond:
+            q.scheduled = False
+            while q.pending and (forced or q.flying < self._inflight_limit):
+                batch = q.pending[: self._max_batch]
+                del q.pending[: len(batch)]
+                q.flying += 1
+                batches.append((batch, q.flying))
+        for batch, inflight in batches:
+            self._deliver_loop(endpoint_id, q, batch, inflight)
+
+    def _deliver_loop(
+        self,
+        endpoint_id: str,
+        q: _EndpointQueue,
+        batch: list[_Entry],
+        inflight: int,
+    ) -> None:
+        """Fly one batch via the callback API; settle on the loop."""
+        self._note_batch(endpoint_id, len(batch), inflight)
+
+        def on_done(result, error: BaseException | None) -> None:
+            # Runs on the event loop.  Completers must not block here;
+            # stubs offload anything that re-dispatches synchronously.
+            with q.cond:
+                q.flying -= 1
+                repend = bool(q.pending)
+            if error is not None:
+                self._settle(endpoint_id, batch, None, error)
+            elif len(batch) == 1:
+                self._settle(endpoint_id, batch, (result,), None)
+            else:
+                self._settle(endpoint_id, batch, result.entries, None)
+            if repend:
+                self._kick_loop(endpoint_id)
+
+        if len(batch) == 1:
+            # A singleton is wire-identical to the unbatched path.
+            self._transport.submit(endpoint_id, batch[0][0], on_done)
+        else:
+            requests = tuple(request for request, _, _ in batch)
+            self._transport.submit_batch(
+                endpoint_id,
+                BatchRequest(entries=requests, caller=self._caller),
+                on_done,
+            )
+
     # -- the wire ----------------------------------------------------------
 
     def _deliver(
@@ -353,22 +473,40 @@ class RequestBatcher:
                     BatchRequest(entries=requests, caller=self._caller),
                 ).entries
         except BaseException as exc:  # noqa: BLE001 - relayed per entry
-            # Whole-batch failure (drop, dead endpoint, timeout): every
-            # logical call fails identically and retries independently.
+            self._settle(endpoint_id, batch, None, exc)
+            return
+        self._settle(endpoint_id, batch, responses, None)
+
+    def _settle(
+        self,
+        endpoint_id: str,
+        batch: list[_Entry],
+        responses: "tuple[Response, ...] | None",
+        error: BaseException | None,
+    ) -> None:
+        """Complete every entry of one delivered (or failed) batch.
+
+        Per-call semantics live here, shared by the sender-thread and
+        loop-drain paths: a whole-batch failure (drop, dead endpoint,
+        timeout) fails every entry identically so each logical call
+        re-enters its own retry loop; a shape mismatch is a wire-protocol
+        error for all; an ``unresolved`` entry becomes the ConnectError
+        the unbatched resolve path would have raised.
+        """
+        if error is not None:
             for _, future, completer in batch:
-                self._resolve(future, completer, None, exc)
+                self._resolve(future, completer, None, error)
             return
         if len(responses) != len(batch):
-            error = RemoteError(
+            mismatch = RemoteError(
                 f"batch reply shape mismatch: {len(batch)} entries, "
                 f"{len(responses)} responses"
             )
             for _, future, completer in batch:
-                self._resolve(future, completer, None, error)
+                self._resolve(future, completer, None, mismatch)
             return
         for (request, future, completer), response in zip(batch, responses):
             if response.kind == "unresolved":
-                # Same error the unbatched resolve path raises.
                 missing = ConnectError(
                     f"no object {request.object_id!r} at endpoint "
                     f"{self._endpoint_name(endpoint_id)}"

@@ -63,7 +63,7 @@ class RmiFuture:
 
     __slots__ = (
         "_lock", "_event", "_done", "_value", "_error",
-        "_callbacks", "_wait_hook",
+        "_callbacks", "_wait_hook", "_wait_guard",
     )
 
     def __init__(self) -> None:
@@ -74,6 +74,7 @@ class RmiFuture:
         self._error: BaseException | None = None
         self._callbacks: list[Callable[["RmiFuture"], None]] | None = None
         self._wait_hook: Callable[[], None] | None = None
+        self._wait_guard: Callable[[], None] | None = None
 
     # -- completion (producer side) ---------------------------------------
 
@@ -118,6 +119,17 @@ class RmiFuture:
             self._wait_hook = None  # flush once; re-entry would recurse
             hook()
 
+    def bind_wait_guard(self, guard: Callable[[], None]) -> None:
+        """Install a check every blocking wait runs before parking.
+
+        The asyncio transport binds its loop-thread guard here: a
+        ``result()`` from the event-loop thread would deadlock (the
+        completion it waits for runs on that very thread), so the guard
+        raises instead.  Waits from any other thread are untouched, and
+        an already-done future never consults the guard.
+        """
+        self._wait_guard = guard
+
     # -- consumption (caller side) ----------------------------------------
 
     def done(self) -> bool:
@@ -127,6 +139,9 @@ class RmiFuture:
         """Block until completed (or ``timeout``); True when done."""
         if self._done:
             return True
+        guard = self._wait_guard
+        if guard is not None:
+            guard()
         self._run_wait_hook()
         if self._done:  # the hook's flush often completes us right here
             return True

@@ -19,6 +19,8 @@ the pool-aware elastic stub with client-side load balancing lives in
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import itertools
 import threading
 from dataclasses import dataclass
@@ -34,7 +36,7 @@ from repro.rmi.fastpath import (
     unmarshal_call,
     unmarshal_result,
 )
-from repro.rmi.future import RmiFuture, run_async
+from repro.rmi.future import RmiFuture, async_executor, run_async
 from repro.rmi.transport import Request, Response, Transport
 from repro.sim.clock import Clock, WallClock
 
@@ -191,7 +193,9 @@ class Skeleton:
         # Redirect table installed by the sentinel: a callable deciding,
         # per call, whether to bounce it to another member.
         self.redirect_policy: Callable[[Request], RemoteRef | None] | None = None
-        transport.endpoint(endpoint_id).export(self.object_id, self.handle)
+        transport.endpoint(endpoint_id).export(
+            self.object_id, self.handle, self.handle_async
+        )
 
     def ref(self) -> RemoteRef:
         return RemoteRef(self.endpoint_id, self.object_id, self.uid)
@@ -241,48 +245,122 @@ class Skeleton:
 
     # -- dispatch ---------------------------------------------------------------
 
-    def handle(self, request: Request) -> Response:
+    def _admission(self, request: Request) -> Response | None:
+        """Drain/redirect gate, shared by both dispatch paths."""
         if self.draining:
             return Response(kind="drained")
         if self.redirect_policy is not None:
             target = self.redirect_policy(request)
             if target is not None and target != self.ref():
                 return Response(kind="redirect", value=target)
+        return None
+
+    def _resolve_method(
+        self, request: Request
+    ) -> tuple[Any, Response | None]:
+        """Resolve the invocable method, or the refusal Response.
+
+        Elastic-interface enforcement (paper section 3.1): when the
+        class declares its remote surface, only those methods (plus the
+        framework's stub-bootstrap call) are invocable.  Refusals are
+        recorded as zero-latency errored calls here, once, for both
+        dispatch paths.
+        """
+        declared = getattr(type(self.impl), "__elastic_interface__", None)
+        if (
+            declared is not None
+            and request.method not in declared
+            and request.method != "ermi_member_identities"
+        ):
+            refused = NoSuchObjectError(
+                f"{request.method!r} is not declared in the elastic "
+                f"interface of {type(self.impl).__name__}"
+            )
+            self.stats.record(request.method, 0.0, error=True)
+            if self._obs is not None:
+                self._observe(request.method, 0.0, error=True)
+            return None, Response(kind="error", payload=marshal_result(refused))
+        method = getattr(self.impl, request.method, None)
+        if method is None or not callable(method):
+            missing = NoSuchObjectError(
+                f"{type(self.impl).__name__} has no remote method "
+                f"{request.method!r}"
+            )
+            self.stats.record(request.method, 0.0, error=True)
+            if self._obs is not None:
+                self._observe(request.method, 0.0, error=True)
+            return None, Response(kind="error", payload=marshal_result(missing))
+        return method, None
+
+    def handle(self, request: Request) -> Response:
+        refusal = self._admission(request)
+        if refusal is not None:
+            return refusal
         with self._pending_lock:
             self.pending += 1
             self._drained.clear()
         started = self.clock.now()
         try:
-            # Elastic-interface enforcement (paper section 3.1): when the
-            # class declares its remote surface, only those methods (plus
-            # the framework's stub-bootstrap call) are invocable.
-            declared = getattr(type(self.impl), "__elastic_interface__", None)
-            if (
-                declared is not None
-                and request.method not in declared
-                and request.method != "ermi_member_identities"
-            ):
-                refused = NoSuchObjectError(
-                    f"{request.method!r} is not declared in the elastic "
-                    f"interface of {type(self.impl).__name__}"
-                )
-                self.stats.record(request.method, 0.0, error=True)
-                if self._obs is not None:
-                    self._observe(request.method, 0.0, error=True)
-                return Response(kind="error", payload=marshal_result(refused))
-            method = getattr(self.impl, request.method, None)
-            if method is None or not callable(method):
-                missing = NoSuchObjectError(
-                    f"{type(self.impl).__name__} has no remote method "
-                    f"{request.method!r}"
-                )
-                self.stats.record(request.method, 0.0, error=True)
-                if self._obs is not None:
-                    self._observe(request.method, 0.0, error=True)
-                return Response(kind="error", payload=marshal_result(missing))
+            method, refusal = self._resolve_method(request)
+            if refusal is not None:
+                return refusal
             args, kwargs = unmarshal_call(request.payload)
             try:
                 result = method(*args, **kwargs)
+                if inspect.iscoroutine(result):
+                    # Coroutine remote methods stay invocable on the sync
+                    # transports: the dispatch thread owns no loop, so a
+                    # private one drives the coroutine to completion.
+                    result = asyncio.run(result)
+            except Exception as exc:
+                elapsed = self.clock.now() - started
+                self.stats.record(request.method, elapsed, error=True)
+                if self._obs is not None:
+                    self._observe(request.method, elapsed, error=True)
+                return Response(kind="error", payload=marshal_error(exc))
+            elapsed = self.clock.now() - started
+            self.stats.record(request.method, elapsed)
+            if self._obs is not None:
+                self._observe(request.method, elapsed, error=False)
+            return Response(kind="result", payload=marshal_result(result))
+        finally:
+            with self._pending_lock:
+                self.pending -= 1
+                if self.pending == 0 and self.draining:
+                    self._drained.set()
+
+    async def handle_async(self, request: Request) -> Response:
+        """Loop-native dispatch (the asyncio transport's path).
+
+        Mirrors :meth:`handle` exactly — drain, redirect, pending
+        accounting, statistics, observability — but awaits coroutine
+        remote methods in place and offloads methods marked with
+        :func:`repro.rmi.aio.blocking` to the loop's default executor.
+        Plain unmarked methods run inline on the loop and must be
+        CPU-light (the offload rules DESIGN.md documents).
+        """
+        refusal = self._admission(request)
+        if refusal is not None:
+            return refusal
+        with self._pending_lock:
+            self.pending += 1
+            self._drained.clear()
+        started = self.clock.now()
+        try:
+            method, refusal = self._resolve_method(request)
+            if refusal is not None:
+                return refusal
+            args, kwargs = unmarshal_call(request.payload)
+            try:
+                if getattr(method, "__ermi_blocking__", False):
+                    loop = asyncio.get_running_loop()
+                    result = await loop.run_in_executor(
+                        None, lambda: method(*args, **kwargs)
+                    )
+                else:
+                    result = method(*args, **kwargs)
+                    if inspect.iscoroutine(result):
+                        result = await result
             except Exception as exc:
                 elapsed = self.clock.now() - started
                 self.stats.record(request.method, elapsed, error=True)
@@ -326,6 +404,9 @@ class Stub:
         # sends route through it and may coalesce with concurrent calls
         # to the same endpoint.  None keeps the path identical to seed.
         self._batcher = batcher
+        # Asynchronous transports complete via loop callbacks — an
+        # in-flight call costs a task, not a parked thread.
+        self._loop_native = bool(getattr(transport, "asynchronous", False))
 
     @property
     def ref(self) -> RemoteRef:
@@ -359,12 +440,70 @@ class Stub:
         batcher = self._batcher
         if batcher is not None and batcher.enabled:
             return self._invoke_deferred(method, args, kwargs)
+        if self._loop_native:
+            return self._invoke_loop(method, args, kwargs)
         if getattr(self._transport, "concurrent", False):
             return run_async(lambda: self._invoke(method, args, kwargs))
         try:
             return RmiFuture.completed(self._invoke(method, args, kwargs))
         except Exception as exc:
             return RmiFuture.failed(exc)
+
+    def _invoke_loop(self, method: str, args: tuple, kwargs: dict) -> RmiFuture:
+        """Loop-native invocation: no thread parks while in flight.
+
+        The request is submitted straight to the asyncio transport; the
+        future completes from the transport's completion callback on the
+        event loop.  Redirects re-submit from the callback (still
+        non-blocking, still bounded), so a 10k-call window costs 10k
+        tasks and zero waiting threads.
+        """
+        transport = self._transport
+        payload = marshal_call(args, kwargs)
+        future = RmiFuture()
+        future.bind_wait_guard(transport.wait_guard)
+        hops = {"n": 0}
+
+        def send(ref: RemoteRef) -> None:
+            request = Request(
+                object_id=ref.object_id,
+                method=method,
+                payload=payload,
+                caller=self._caller,
+            )
+            transport.submit(
+                ref.endpoint_id,
+                request,
+                lambda response, error, ref=ref: on_done(ref, response, error),
+            )
+
+        def on_done(
+            ref: RemoteRef,
+            response: Response | None,
+            error: BaseException | None,
+        ) -> None:  # runs on the event loop; must not block
+            if error is not None:
+                future.set_exception(error)
+                return
+            if response.kind == "redirect":
+                hops["n"] += 1
+                if hops["n"] > self._MAX_REDIRECTS:
+                    future.set_exception(ApplicationError(
+                        f"redirect loop invoking {method!r} "
+                        f"(> {self._MAX_REDIRECTS} hops)"
+                    ))
+                    return
+                send(response.value)
+                return
+            try:
+                future.set_result(
+                    self._interpret_terminal(method, ref, response)
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed to waiter
+                future.set_exception(exc)
+
+        send(self._ref)
+        return future
 
     def _invoke_deferred(self, method: str, args: tuple, kwargs: dict) -> RmiFuture:
         payload = marshal_call(args, kwargs)
@@ -375,6 +514,14 @@ class Stub:
             payload=payload,
             caller=self._caller,
         )
+        def finish(
+            future: RmiFuture, response: Response | None
+        ) -> None:
+            try:
+                future.set_result(self._interpret(method, payload, response))
+            except BaseException as exc:  # noqa: BLE001 - relayed to waiter
+                future.set_exception(exc)
+
         def complete(
             future: RmiFuture,
             response: Response | None,
@@ -383,10 +530,14 @@ class Stub:
             if error is not None:
                 future.set_exception(error)
                 return
-            try:
-                future.set_result(self._interpret(method, payload, response))
-            except BaseException as exc:  # noqa: BLE001 - relayed to waiter
-                future.set_exception(exc)
+            if self._loop_native and response.kind == "redirect":
+                # Following a redirect re-dispatches through the batcher
+                # and blocks on the hop's result — never on the event
+                # loop (this completer runs there under the loop drain
+                # discipline); the shared async pool carries it.
+                async_executor().submit(finish, future, response)
+                return
+            finish(future, response)
 
         return self._batcher.submit(ref.endpoint_id, request, complete)
 
@@ -418,24 +569,30 @@ class Stub:
                     caller=self._caller,
                 )
                 response = self._send(ref.endpoint_id, request)
-            if response.kind == "result":
-                return unmarshal_result(response.payload)
-            if response.kind == "error":
-                cause = unmarshal_result(response.payload)
-                raise ApplicationError(
-                    f"remote method {method!r} raised "
-                    f"{type(cause).__name__}: {cause}",
-                    cause=cause,
-                )
             if response.kind == "redirect":
                 ref = response.value
                 response = None  # re-dispatch at the redirect target
                 continue
-            if response.kind == "drained":
-                raise MemberDrainedError(
-                    f"member {ref.describe()} is draining; retry elsewhere"
-                )
-            raise ApplicationError(f"unknown response kind: {response.kind}")
+            return self._interpret_terminal(method, ref, response)
         raise ApplicationError(
             f"redirect loop invoking {method!r} (> {self._MAX_REDIRECTS} hops)"
         )
+
+    def _interpret_terminal(
+        self, method: str, ref: RemoteRef, response: Response
+    ) -> Any:
+        """Interpret a non-redirect response (shared by every path)."""
+        if response.kind == "result":
+            return unmarshal_result(response.payload)
+        if response.kind == "error":
+            cause = unmarshal_result(response.payload)
+            raise ApplicationError(
+                f"remote method {method!r} raised "
+                f"{type(cause).__name__}: {cause}",
+                cause=cause,
+            )
+        if response.kind == "drained":
+            raise MemberDrainedError(
+                f"member {ref.describe()} is draining; retry elsewhere"
+            )
+        raise ApplicationError(f"unknown response kind: {response.kind}")

@@ -40,7 +40,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Protocol
+from typing import Any, Awaitable, Callable, Protocol
 
 from repro.concurrency import StripedCounter
 from repro.errors import ConnectError, RemoteError
@@ -118,6 +118,7 @@ class BatchResponse:
 
 
 RequestHandler = Callable[[Request], Response]
+AsyncRequestHandler = Callable[[Request], Awaitable[Response]]
 
 
 @dataclass
@@ -125,8 +126,10 @@ class Endpoint:
     """One process/JVM: an address plus the objects exported from it.
 
     Each endpoint carries its own lock for state transitions (export,
-    unexport, kill, revive); the handler map is copy-on-write so the
-    invoke path reads it without locking.
+    unexport, kill, revive); the handler maps are copy-on-write so the
+    invoke path reads them without locking.  ``ahandlers`` holds the
+    optional coroutine dispatch path a skeleton also exports — only the
+    asyncio transport reads it; sync transports use ``handlers`` alone.
     """
 
     name: str
@@ -134,24 +137,38 @@ class Endpoint:
         default_factory=lambda: f"ep-{next(_endpoint_ids)}"
     )
     handlers: dict[str, RequestHandler] = field(default_factory=dict)
+    ahandlers: dict[str, AsyncRequestHandler] = field(default_factory=dict)
     alive: bool = True
     lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
 
-    def export(self, object_id: str, handler: RequestHandler) -> None:
+    def export(
+        self,
+        object_id: str,
+        handler: RequestHandler,
+        async_handler: AsyncRequestHandler | None = None,
+    ) -> None:
         with self.lock:
             if object_id in self.handlers:
                 raise ValueError(f"object already exported: {object_id}")
             handlers = dict(self.handlers)
             handlers[object_id] = handler
             self.handlers = handlers
+            if async_handler is not None:
+                ahandlers = dict(self.ahandlers)
+                ahandlers[object_id] = async_handler
+                self.ahandlers = ahandlers
 
     def unexport(self, object_id: str) -> None:
         with self.lock:
             handlers = dict(self.handlers)
             handlers.pop(object_id, None)
             self.handlers = handlers
+            if object_id in self.ahandlers:
+                ahandlers = dict(self.ahandlers)
+                ahandlers.pop(object_id, None)
+                self.ahandlers = ahandlers
 
 
 class Transport(Protocol):
@@ -193,6 +210,7 @@ class _TransportBase:
         self._fault_hook: FaultHook | None = None
         # Observability: None keeps the invoke path at one extra branch.
         self._tracer = None
+        self._obs = None
 
     def set_tracer(self, tracer) -> None:
         """Attach (or detach, with None) a :class:`repro.obs.Tracer`.
@@ -200,6 +218,16 @@ class _TransportBase:
         Message events record endpoint *names*, never process-global
         ``ep-N`` ids, so seeded traces are identical across runs."""
         self._tracer = tracer
+
+    def set_obs(self, obs) -> None:
+        """Attach (or detach, with None) a full observability context.
+
+        Beyond the tracer this unlocks transport-owned metrics —
+        dispatch-pool saturation gauges here, loop-lag histograms on the
+        asyncio transport.  ``set_tracer`` alone stays available for
+        trace-only consumers (determinism tests)."""
+        self._obs = obs
+        self.set_tracer(None if obs is None else obs.tracer)
 
     def install_fault_hook(self, hook: FaultHook | None) -> None:
         """Install (or clear, with None) a fault-injection hook.
@@ -363,6 +391,30 @@ class DirectTransport(_TransportBase):
         return BatchResponse(entries=tuple(responses))
 
 
+class _DispatchStats:
+    """Saturation counters for one endpoint's dispatch pool.
+
+    Three monotone striped counters; the derived views are
+    ``queued = submitted - started`` (jobs waiting for a worker) and
+    ``busy = started - finished`` (workers running a job).  Reading
+    them is racy by nature — each counter is exact, the difference is a
+    point-in-time estimate, clamped at zero for the read-skew case.
+    """
+
+    __slots__ = ("submitted", "started", "finished")
+
+    def __init__(self) -> None:
+        self.submitted = StripedCounter()
+        self.started = StripedCounter()
+        self.finished = StripedCounter()
+
+    def queued(self) -> int:
+        return max(0, self.submitted.value() - self.started.value())
+
+    def busy(self) -> int:
+        return max(0, self.started.value() - self.finished.value())
+
+
 class ThreadedTransport(_TransportBase):
     """Live transport: per-endpoint dispatch pools, blocking invocations."""
 
@@ -374,6 +426,7 @@ class ThreadedTransport(_TransportBase):
         self._timeout = timeout
         # Read-mostly, like the endpoint map.
         self._executors: dict[str, ThreadPoolExecutor] = {}
+        self._dispatch: dict[str, _DispatchStats] = {}
 
     def add_endpoint(self, name: str) -> Endpoint:
         ep = super().add_endpoint(name)
@@ -385,7 +438,62 @@ class ThreadedTransport(_TransportBase):
             executors = dict(self._executors)
             executors[ep.endpoint_id] = executor
             self._executors = executors
+            dispatch = dict(self._dispatch)
+            dispatch[ep.endpoint_id] = _DispatchStats()
+            self._dispatch = dispatch
         return ep
+
+    def dispatch_stats(self, endpoint_id: str) -> dict[str, int] | None:
+        """Point-in-time saturation view of one endpoint's pool.
+
+        ``queued`` is jobs waiting for a worker, ``busy`` is workers
+        running one; ``queued > 0`` with ``busy == workers`` is the
+        saturation signature that motivates the asyncio transport.
+        """
+        stats = self._dispatch.get(endpoint_id)
+        if stats is None:
+            return None
+        return {
+            "queued": stats.queued(),
+            "busy": stats.busy(),
+            "workers": self._workers,
+        }
+
+    def _submit_job(
+        self,
+        executor: ThreadPoolExecutor,
+        stats: _DispatchStats | None,
+        ep: Endpoint,
+        job: Callable[[], Any],
+    ):
+        """Submit one dispatch job, tracking pool saturation.
+
+        Gauges are refreshed at submit time — the moment queue depth can
+        only have grown — so a saturated pool is visible in the metrics
+        timeline even between scrapes.
+        """
+        if stats is None:
+            return executor.submit(job)
+        stats.submitted.increment()
+
+        def run() -> Any:
+            stats.started.increment()
+            try:
+                return job()
+            finally:
+                stats.finished.increment()
+
+        future = executor.submit(run)
+        obs = self._obs
+        if obs is not None:
+            registry = obs.registry
+            registry.gauge(f"rmi.server.dispatch_queued.{ep.name}").set(
+                float(stats.queued())
+            )
+            registry.gauge(f"rmi.server.dispatch_busy.{ep.name}").set(
+                float(stats.busy())
+            )
+        return future
 
     def invoke(self, endpoint_id: str, request: Request) -> Response:
         ep, handler = self._resolve(endpoint_id, request)
@@ -405,7 +513,12 @@ class ThreadedTransport(_TransportBase):
                 "transport", "message",
                 endpoint=ep.name, method=request.method, caller=request.caller,
             )
-        future = executor.submit(handler, request)
+        future = self._submit_job(
+            executor,
+            self._dispatch.get(endpoint_id),
+            ep,
+            lambda: handler(request),
+        )
         try:
             return future.result(timeout=self._timeout)
         except TimeoutError as exc:
@@ -447,7 +560,14 @@ class ThreadedTransport(_TransportBase):
         def run_chunk(chunk: tuple[Request, ...]) -> list[Response]:
             return [self._dispatch_entry(ep, request) for request in chunk]
 
-        futures = [executor.submit(run_chunk, chunk) for chunk in chunks]
+        stats = self._dispatch.get(endpoint_id)
+        futures = [
+            self._submit_job(
+                executor, stats, ep,
+                lambda chunk=chunk: run_chunk(chunk),
+            )
+            for chunk in chunks
+        ]
         deadline = time.monotonic() + self._timeout
         responses: list[Response] = []
         try:

@@ -99,3 +99,98 @@ class TestLiveMode:
         victim = pool.active_members()[1]
         live.transport.kill(victim.endpoint_id)
         assert stub.get("after-failure") == "AFTER-FAILURE"
+
+
+class TestTransportSelection:
+    def test_env_default_is_threaded(self, monkeypatch):
+        from repro.core.runtime import transport_from_env
+        from repro.rmi import ThreadedTransport
+
+        monkeypatch.delenv("ERMI_TRANSPORT", raising=False)
+        transport = transport_from_env()
+        try:
+            assert isinstance(transport, ThreadedTransport)
+        finally:
+            transport.shutdown()
+
+    def test_env_selects_asyncio(self, monkeypatch):
+        from repro.core.runtime import transport_from_env
+        from repro.rmi import AsyncioTransport
+
+        monkeypatch.setenv("ERMI_TRANSPORT", "asyncio")
+        transport = transport_from_env()
+        try:
+            assert isinstance(transport, AsyncioTransport)
+        finally:
+            transport.shutdown()
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        from repro.core.runtime import transport_from_env
+        from repro.rmi import AsyncioTransport
+
+        monkeypatch.setenv("ERMI_TRANSPORT", "threaded")
+        transport = transport_from_env("aio")
+        try:
+            assert isinstance(transport, AsyncioTransport)
+        finally:
+            transport.shutdown()
+
+    def test_instance_passes_through(self):
+        from repro.core.runtime import transport_from_env
+        from repro.rmi import DirectTransport
+
+        transport = DirectTransport()
+        assert transport_from_env(transport) is transport
+
+    def test_unknown_name_rejected(self):
+        from repro.core.runtime import transport_from_env
+        from repro.errors import PoolConfigurationError
+
+        with pytest.raises(PoolConfigurationError, match="unknown transport"):
+            transport_from_env("carrier-pigeon")
+
+
+@pytest.fixture
+def aio_live():
+    runtime = ElasticRuntime.local(nodes=4, transport="asyncio")
+    yield runtime
+    runtime.shutdown()
+
+
+class TestAsyncioLiveMode:
+    """The same live-mode contract, on the event-loop transport."""
+
+    def test_pool_starts_and_serves(self, aio_live):
+        pool = aio_live.new_pool(LiveCache)
+        assert pool.size() == 2
+        stub = aio_live.stub("LiveCache")
+        assert stub.get("abc") == "ABC"
+        assert stub.put("k", "v") == "stored:k"
+
+    def test_shared_state_across_members(self, aio_live):
+        aio_live.new_pool(LiveCache)
+        stub = aio_live.stub("LiveCache")
+        for i in range(8):
+            stub.get(f"key-{i}")
+        assert aio_live.store.get("LiveCache$store_hits") == 8
+
+    def test_async_fanout_through_pool(self, aio_live):
+        from repro.rmi import gather
+
+        aio_live.new_pool(LiveCache)
+        stub = aio_live.stub("LiveCache")
+        futures = [stub.invoke_async("get", f"k{i}") for i in range(200)]
+        assert gather(futures) == [f"K{i}" for i in range(200)]
+
+    def test_synchronized_method_over_aio_pool(self, aio_live):
+        aio_live.new_pool(LiveCache)
+        stub = aio_live.stub("LiveCache")
+        assert stub.critical() == "exclusive"
+
+    def test_member_failure_masked_from_clients(self, aio_live):
+        pool = aio_live.new_pool(LiveCache)
+        stub = aio_live.stub("LiveCache")
+        stub.get("warm")
+        victim = pool.active_members()[1]
+        aio_live.transport.kill(victim.endpoint_id)
+        assert stub.get("after-failure") == "AFTER-FAILURE"

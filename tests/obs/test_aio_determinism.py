@@ -1,0 +1,73 @@
+"""Trace determinism on the asyncio transport.
+
+The loop drains submissions FIFO; with sync handlers and no dispatch
+deadline (``timeout=None``) the dispatch coroutines never suspend, so
+the transport's trace is a pure function of the submission order.  Two
+identical runs must serialize to byte-identical JSONL — the same
+guarantee the seeded scenario gives on the simulated substrate, held
+on the live event loop.
+"""
+
+from repro.obs import Tracer
+from repro.obs.export import to_jsonl
+from repro.rmi import (
+    AsyncioTransport,
+    RequestBatcher,
+    Skeleton,
+    Stub,
+    gather,
+)
+from repro.rmi.remote import Remote
+from repro.sim.clock import SimClock
+
+
+class Upper(Remote):
+    def shout(self, text):
+        return text.upper()
+
+
+def traced_run() -> str:
+    """One scripted client session; returns the trace as JSONL."""
+    transport = AsyncioTransport(timeout=None)
+    tracer = Tracer(clock=SimClock())
+    transport.set_tracer(tracer)
+    try:
+        endpoint = transport.add_endpoint("member-0")
+        skeleton = Skeleton(Upper(), transport, endpoint.endpoint_id)
+
+        # Unbatched: sync calls, then a pipelined async window.
+        stub = Stub(transport, skeleton.ref())
+        for i in range(3):
+            assert stub.shout(f"s{i}") == f"S{i}"
+        futures = [stub.invoke_async("shout", f"a{i}") for i in range(16)]
+        assert gather(futures) == [f"A{i}" for i in range(16)]
+
+        # Batched: exactly max_batch entries coalesce into one wire
+        # message, dispatched by the loop drain discipline.
+        batcher = RequestBatcher(transport, max_batch=8, linger=0.0)
+        batched = Stub(transport, skeleton.ref(), batcher=batcher)
+        futures = [batched.invoke_async("shout", f"b{i}") for i in range(8)]
+        assert gather(futures) == [f"B{i}" for i in range(8)]
+
+        return to_jsonl(tracer.events())
+    finally:
+        transport.shutdown()
+
+
+class TestAioTraceDeterminism:
+    def test_double_run_is_byte_identical(self):
+        assert traced_run() == traced_run()
+
+    def test_trace_shape(self):
+        text = traced_run()
+        lines = text.splitlines()
+        # 3 sync + 16 async unbatched messages, 1 batch message.
+        assert sum('"kind":"message"' in line for line in lines) == 19
+        assert sum('"kind":"batch-message"' in line for line in lines) == 1
+        assert '"size":8' in text
+
+    def test_no_endpoint_ids_leak(self):
+        """Traces name endpoints (``member-*``), never raw ``ep-*`` ids."""
+        text = traced_run()
+        assert "ep-" not in text
+        assert "member-0" in text

@@ -1,0 +1,314 @@
+"""Tests for the asyncio-native transport (``repro.rmi.aio``).
+
+Covers the dispatch surface (sync, coroutine, and ``@blocking``
+handlers), the failure modes (dead endpoints, missing objects,
+deadline, fault hooks), the loop-safety contract (wait guards on loop
+threads), the in-flight window, batcher coalescing on the loop drain
+discipline, and the end-to-end runtime integration
+(``ElasticRuntime.local(transport="asyncio")``).
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.errors import ApplicationError, ConnectError, RemoteError
+from repro.rmi.aio import (
+    DEFAULT_INFLIGHT_WINDOW,
+    AsyncioTransport,
+    aio_inflight_from_env,
+    blocking,
+    loop_runtime,
+)
+from repro.rmi.batching import RequestBatcher
+from repro.rmi.future import gather
+from repro.rmi.remote import Remote, Skeleton, Stub
+from repro.rmi.transport import Request, Response
+
+
+class Service(Remote):
+    """One remote class, three dispatch styles."""
+
+    def __init__(self):
+        self.offload_threads = set()
+
+    def double(self, n):
+        return 2 * n
+
+    async def adouble(self, n):
+        return 2 * n
+
+    @blocking
+    def nap(self, seconds):
+        self.offload_threads.add(threading.current_thread().name)
+        time.sleep(seconds)
+        return "rested"
+
+    def explode(self):
+        raise ValueError("kaboom")
+
+
+def exported(transport, impl=None):
+    endpoint = transport.add_endpoint("server")
+    skeleton = Skeleton(impl or Service(), transport, endpoint.endpoint_id)
+    return endpoint, skeleton
+
+
+@pytest.fixture
+def transport():
+    t = AsyncioTransport()
+    yield t
+    t.shutdown()
+
+
+class TestEnvConfig:
+    def test_default_window(self, monkeypatch):
+        monkeypatch.delenv("ERMI_AIO_INFLIGHT", raising=False)
+        assert aio_inflight_from_env() == DEFAULT_INFLIGHT_WINDOW
+
+    def test_env_override_and_floor(self, monkeypatch):
+        monkeypatch.setenv("ERMI_AIO_INFLIGHT", "128")
+        assert aio_inflight_from_env() == 128
+        monkeypatch.setenv("ERMI_AIO_INFLIGHT", "0")
+        assert aio_inflight_from_env() == 1
+
+    def test_blocking_marker(self):
+        assert getattr(Service.nap, "__ermi_blocking__", False)
+        assert not getattr(Service.double, "__ermi_blocking__", False)
+
+
+class TestDispatch:
+    def test_sync_method_roundtrip(self, transport):
+        _, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        assert stub.double(21) == 42
+
+    def test_coroutine_method_awaited_on_loop(self, transport):
+        _, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        assert stub.adouble(21) == 42
+
+    def test_blocking_method_offloaded(self, transport):
+        impl = Service()
+        _, skeleton = exported(transport, impl)
+        stub = Stub(transport, skeleton.ref())
+        assert stub.nap(0.01) == "rested"
+        # The marked method ran on the offload pool, not the loop thread.
+        assert impl.offload_threads
+        assert all(
+            name.startswith("ermi-aio-offload")
+            for name in impl.offload_threads
+        )
+
+    def test_application_error_propagates(self, transport):
+        _, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        with pytest.raises(ApplicationError, match="kaboom"):
+            stub.explode()
+
+    def test_blocking_calls_overlap_on_one_loop(self, transport):
+        """Two 150 ms sleeps through one event loop finish in well under
+        300 ms: the offload executor gives real concurrency."""
+        _, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        started = time.monotonic()
+        futures = [stub.invoke_async("nap", 0.15) for _ in range(2)]
+        assert gather(futures) == ["rested", "rested"]
+        assert time.monotonic() - started < 0.29
+
+
+class TestFailureModes:
+    def test_killed_endpoint_raises_connect_error(self, transport):
+        endpoint, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        transport.kill(endpoint.endpoint_id)
+        with pytest.raises(ConnectError):
+            stub.double(1)
+
+    def test_missing_object_raises_connect_error(self, transport):
+        endpoint = transport.add_endpoint("empty")
+        with pytest.raises(ConnectError):
+            transport.invoke(
+                endpoint.endpoint_id, Request("nope", "m", b"")
+            )
+
+    def test_dispatch_deadline_raises_remote_error(self):
+        transport = AsyncioTransport(timeout=0.05)
+        try:
+            endpoint = transport.add_endpoint("slow")
+
+            async def stall(request):
+                await asyncio.sleep(10.0)
+                return Response(kind="result", payload=request.payload)
+
+            endpoint.export("o", lambda request: stall(request))
+            with pytest.raises(RemoteError, match="timed out"):
+                transport.invoke(endpoint.endpoint_id, Request("o", "m", b""))
+        finally:
+            transport.shutdown()
+
+    def test_fault_hook_consulted_per_message(self, transport):
+        endpoint, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        seen = []
+
+        def hook(endpoint_id, request):
+            seen.append(request.method)
+            if request.method == "explode_link":
+                raise ConnectError("injected")
+
+        transport.install_fault_hook(hook)
+        assert stub.double(3) == 6
+        assert seen == ["double"]
+        object_id = skeleton.ref().object_id
+        with pytest.raises(ConnectError, match="injected"):
+            transport.invoke(
+                endpoint.endpoint_id,
+                Request(object_id, "explode_link", b""),
+            )
+
+    def test_closed_transport_refuses_new_calls(self):
+        transport = AsyncioTransport()
+        endpoint, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        assert stub.double(1) == 2
+        transport.shutdown()
+        with pytest.raises(ConnectError, match="shut down"):
+            stub.double(1)
+
+
+class TestLoopSafety:
+    def test_wait_guard_raises_on_loop_thread(self, transport):
+        failure = []
+        done = threading.Event()
+
+        def on_loop():
+            try:
+                transport.wait_guard()
+            except RemoteError as exc:
+                failure.append(exc)
+            done.set()
+
+        transport.schedule(on_loop)
+        assert done.wait(timeout=5.0)
+        assert failure and "deadlock" in str(failure[0])
+
+    def test_wait_guard_passes_off_loop(self, transport):
+        transport.wait_guard()  # must not raise
+
+    def test_sync_bridge_from_loop_thread_fails_fast(self, transport):
+        endpoint, skeleton = exported(transport)
+        outcome = []
+        done = threading.Event()
+
+        def on_loop():
+            try:
+                transport.invoke(
+                    endpoint.endpoint_id, Request("x", "double", b"")
+                )
+            except RemoteError as exc:
+                outcome.append(exc)
+            done.set()
+
+        transport.schedule(on_loop)
+        assert done.wait(timeout=5.0)
+        assert outcome, "invoke() on the loop thread must raise, not hang"
+
+    def test_shared_loop_runtime_is_a_singleton(self):
+        assert loop_runtime() is loop_runtime()
+        assert loop_runtime().thread.daemon
+
+
+class TestInflightWindow:
+    def test_window_bounds_concurrent_dispatches(self):
+        transport = AsyncioTransport(timeout=None, inflight_limit=4)
+        try:
+            endpoint = transport.add_endpoint("parked")
+            gate = asyncio.Event()
+
+            async def park(request):
+                await gate.wait()
+                return Response(kind="result", payload=request.payload)
+
+            endpoint.export("o", lambda request: park(request))
+            done = []
+            lock = threading.Lock()
+
+            def on_done(result, error):
+                with lock:
+                    done.append((result, error))
+
+            for seq in range(10):
+                transport.submit(
+                    endpoint.endpoint_id, Request("o", "m", b""), on_done
+                )
+            deadline = time.monotonic() + 5.0
+            while transport.inflight < 4 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            # The semaphore admits exactly the window, never more.
+            assert transport.inflight == 4
+            assert transport.inflight_hwm == 4
+            transport.schedule(gate.set)
+            while len(done) < 10 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(done) == 10
+            assert all(error is None for _, error in done)
+            assert transport.inflight == 0
+        finally:
+            transport.shutdown()
+
+
+class TestObservability:
+    def test_inflight_gauges_and_lag_histogram(self, transport):
+        from repro.obs import Observability
+
+        obs = Observability()
+        transport.set_obs(obs)
+        _, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        futures = [stub.invoke_async("adouble", i) for i in range(100)]
+        gather(futures)
+        assert obs.registry.gauge("rmi.aio.inflight_hwm").value >= 1
+        assert obs.registry.gauge("rmi.aio.inflight").value == 0
+        # The lag sampler fires every 50 ms while obs is attached.
+        deadline = time.monotonic() + 5.0
+        lag = obs.registry.histogram("rmi.aio.loop_lag_ms")
+        while lag.count == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert lag.count >= 1
+
+
+class TestBatcherOnLoop:
+    def test_loop_drain_coalesces(self, transport):
+        _, skeleton = exported(transport)
+        batcher = RequestBatcher(transport, max_batch=8, linger=0.0)
+        stub = Stub(transport, skeleton.ref(), batcher=batcher)
+        futures = [stub.invoke_async("double", i) for i in range(8)]
+        assert gather(futures) == [2 * i for i in range(8)]
+        assert batcher.stats.batches >= 1
+        assert batcher.stats.entries == 8
+
+    def test_sync_call_through_batcher(self, transport):
+        _, skeleton = exported(transport)
+        batcher = RequestBatcher(transport, max_batch=4, linger=0.0)
+        stub = Stub(transport, skeleton.ref(), batcher=batcher)
+        assert stub.double(5) == 10
+
+
+class TestFanout:
+    def test_thousand_inflight_calls(self, transport):
+        _, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        futures = [stub.invoke_async("adouble", i) for i in range(1000)]
+        assert gather(futures) == [2 * i for i in range(1000)]
+
+    def test_mixed_sync_and_async_handlers(self, transport):
+        _, skeleton = exported(transport)
+        stub = Stub(transport, skeleton.ref())
+        futures = [
+            stub.invoke_async("double" if i % 2 else "adouble", i)
+            for i in range(64)
+        ]
+        assert gather(futures) == [2 * i for i in range(64)]
