@@ -17,6 +17,18 @@ from dataclasses import dataclass
 
 from repro.apps.common import ThroughputScaledService
 from repro.core.fields import elastic_field
+from repro.routing import stable_hash
+
+
+def topic_affinity_key(topic: str) -> str:
+    """The sharding affinity key for hub traffic: the topic name.
+
+    Publish/consume for one topic lands on the same shard of a sharded
+    hub pool (``stub.invoke("publish", topic, msg, affinity_key=topic)``),
+    keeping a topic's sequence counter, log, and cursors served by one
+    shard's members.
+    """
+    return topic
 
 
 class TopicOwnershipError(Exception):
@@ -63,12 +75,18 @@ class Hub(ThroughputScaledService):
 
     def owner_uid(self, topic: str) -> int:
         """The pool member uid owning ``topic``: stable hash over the
-        current membership."""
+        current membership.
+
+        ``stable_hash``, not builtin ``hash``: the builtin is salted per
+        process, so members in different processes would have disagreed
+        about who owns a topic — strict ownership would then bounce
+        every call.
+        """
         ctx = self._ctx()
         uids = sorted(m.uid for m in ctx.pool.active_members())
         if not uids:
             raise RuntimeError("hub pool has no active members")
-        return uids[hash(topic) % len(uids)]
+        return uids[stable_hash(topic) % len(uids)]
 
     def owns(self, topic: str) -> bool:
         ctx = self._ctx()

@@ -17,6 +17,18 @@ from __future__ import annotations
 from repro.apps.common import ThroughputScaledService
 from repro.apps.marketcetera.orders import Order, OrderAck
 from repro.core.fields import elastic_field
+from repro.routing import stable_hash
+
+
+def order_affinity_key(order: Order) -> str:
+    """The sharding affinity key for an order: its symbol.
+
+    All orders for one symbol hit the same shard of a sharded router
+    pool (``stub.invoke("submit_order", order, affinity_key=...)``), so
+    per-symbol state — the venue session, the symbol's order book view —
+    stays hot on that shard's members.
+    """
+    return order.symbol
 
 
 class RejectedOrderError(Exception):
@@ -112,8 +124,14 @@ class OrderRouter(ThroughputScaledService):
         return self.orders_routed
 
     def route_for(self, symbol: str) -> str:
-        """Deterministic symbol -> market routing."""
-        return DESTINATIONS[hash(symbol) % len(DESTINATIONS)]
+        """Deterministic symbol -> market routing.
+
+        Uses :func:`repro.routing.stable_hash`, not builtin ``hash``:
+        the builtin is salted per process (PYTHONHASHSEED), so two pool
+        members — separate JVMs in the paper's deployment — would have
+        routed the same symbol to different markets.
+        """
+        return DESTINATIONS[stable_hash(symbol) % len(DESTINATIONS)]
 
     # ------------------------------------------------------------------
     # persistence (two nodes, paper section 5.2)

@@ -10,8 +10,8 @@ Commands:
 - ``transform <file.py>`` — apply the Figure 6 source rewrite and print
   (or write) the transformed module;
 - ``bench`` — run the RMI benchmark suites (hot path + batching +
-  async transport) and emit their ``BENCH_*.json`` reports (schema
-  documented in README.md);
+  async transport + sharded routing) and emit their ``BENCH_*.json``
+  reports (schema documented in README.md);
 - ``chaos`` — run the scripted fault-injection scenario and emit a
   ``CHAOS_report.json`` recovery-latency report (schema
   ``repro.chaos/v1``); exits non-zero if any failure leaked to the
@@ -164,10 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_cmd = sub.add_parser(
         "bench",
-        help="run the RMI benchmark suites (hot-path + batching + async)",
+        help="run the RMI benchmark suites "
+        "(hot-path + batching + async + shard)",
     )
     bench_cmd.add_argument(
-        "--suite", choices=("all", "hotpath", "batching", "async"),
+        "--suite", choices=("all", "hotpath", "batching", "async", "shard"),
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -182,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--async-output", default="BENCH_rmi_async.json",
         help="async-transport report path (default: BENCH_rmi_async.json)",
+    )
+    bench_cmd.add_argument(
+        "--shard-output", default="BENCH_rmi_shard.json",
+        help="sharded-routing report path (default: BENCH_rmi_shard.json)",
     )
     bench_cmd.add_argument(
         "--scale", type=float, default=None,
@@ -201,14 +206,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare the async-transport run against a committed baseline",
     )
     bench_cmd.add_argument(
+        "--check-shard", metavar="BASELINE", default=None,
+        help="compare the sharded-routing run against a committed baseline",
+    )
+    bench_cmd.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fractional throughput drop per record (default 0.30)",
     )
     bench_cmd.add_argument(
         "--normalize", action="store_true",
         help="normalize each record by the run's anchor record "
-        "(marshal-pickle / batch-off-c1 / threaded-c64) before comparing "
-        "— absorbs machine-speed differences in CI",
+        "(marshal-pickle / batch-off-c1 / threaded-c64 / shard-flat-c256) "
+        "before comparing — absorbs machine-speed differences in CI",
     )
     bench_cmd.set_defaults(fn=_cmd_bench)
 
@@ -287,6 +296,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_async_suite,
         run_batching_suite,
         run_hotpath_suite,
+        run_shard_suite,
         write_report,
     )
 
@@ -321,6 +331,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         runs.append(
             ("rmi_async", records, extra, args.async_output, baseline,
              "threaded-c64")
+        )
+    if args.suite in ("all", "shard"):
+        baseline = (
+            None if args.check_shard is None
+            else load_report(args.check_shard)
+        )
+        extra = {}
+        records = run_shard_suite(scale=args.scale, extra_out=extra)
+        runs.append(
+            ("rmi_shard", records, extra, args.shard_output, baseline,
+             "shard-flat-c256")
         )
 
     status = 0

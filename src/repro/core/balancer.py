@@ -42,6 +42,7 @@ from repro.rmi.fastpath import marshal_call, unmarshal_result
 from repro.rmi.future import RmiFuture, async_executor, run_async
 from repro.rmi.remote import RemoteRef, Stub
 from repro.rmi.transport import Request, Response, Transport
+from repro.routing import ShardRouter
 from repro.sim.clock import Clock
 
 if TYPE_CHECKING:
@@ -189,6 +190,28 @@ class ElasticStub:
                     # epoch unchanged so the next call re-fetches.
                     if not self._members:
                         raise
+                    if epoch != self._epoch and self._discarded:
+                        # The epoch moved, so the discard set describes
+                        # a membership that no longer exists.  Without
+                        # this, a long sentinel outage accumulated every
+                        # ref ever discarded (the set grew without
+                        # bound) and a member that recovered under the
+                        # same identity stayed out of the stale rotation
+                        # until a refresh finally succeeded.  Return the
+                        # discarded refs to the candidate list — per-
+                        # member retry re-discards the ones still dead —
+                        # and restart the cursor (positions shifted).
+                        with self._lock:
+                            revived = sorted(
+                                (
+                                    ref for ref in self._discarded
+                                    if ref not in self._members
+                                ),
+                                key=lambda r: (r.endpoint_id, r.object_id),
+                            )
+                            self._members = self._members + revived
+                            self._discarded.clear()
+                            self._rr = itertools.count()
                 members = self._members
         else:
             # Legacy path: count-based periodic refresh.
@@ -606,6 +629,111 @@ class ElasticStub:
 
         transport.submit(ref.endpoint_id, request, on_done)
         return future
+
+
+class ShardedElasticStub:
+    """Client-side proxy for a sharded elastic pool.
+
+    Holds one :class:`ElasticStub` per shard and a
+    :class:`~repro.routing.ShardRouter` built over the same shard names
+    the server side used, so client and server agree on every key's
+    owner without coordination.  Routing contract:
+
+    - ``affinity_key=K`` — ``K`` is hashed onto the shard ring; the call
+      round-robins *within* that shard only.  All calls carrying the
+      same key land on the same shard for the lifetime of the pool
+      (the shard set is fixed; per-shard membership churn never moves
+      a key).
+    - no affinity key — the call spreads round-robin across shards,
+      then round-robins within the chosen shard: flat spread, same as
+      an unsharded pool.
+
+    Each shard's stub owns its own membership cache, retry state, and —
+    when batching is enabled — its own :class:`RequestBatcher`, so
+    batches coalesce per shard endpoint and never across shards.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stubs: list[ElasticStub],
+        router: ShardRouter | None = None,
+    ) -> None:
+        if not stubs:
+            raise ValueError(f"sharded stub {name!r} needs >= 1 shard stub")
+        self._name = name
+        self._stubs = list(stubs)
+        self._router = router or ShardRouter.for_pool(name, len(stubs))
+        if self._router.shards != len(stubs):
+            raise ValueError(
+                f"router covers {self._router.shards} shards but "
+                f"{len(stubs)} stubs were given"
+            )
+
+    # -- routing ---------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return len(self._stubs)
+
+    def shard_for(self, key: str) -> int:
+        return self._router.shard_for(str(key))
+
+    def stub_for(self, key: str | None) -> ElasticStub:
+        """The shard stub serving ``key`` (keyless → spread)."""
+        if key is None:
+            return self._stubs[self._router.spread()]
+        return self._stubs[self.shard_for(key)]
+
+    def shard_stub(self, index: int) -> ElasticStub:
+        return self._stubs[index]
+
+    # -- public proxy surface --------------------------------------------
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def invoker(*args: Any, **kwargs: Any) -> Any:
+            # affinity_key is routing metadata, not a remote argument:
+            # strip it before the payload is marshalled.
+            key = kwargs.pop("affinity_key", None)
+            return self.stub_for(key)._invoke(method, args, kwargs)
+
+        invoker.__name__ = method
+        return invoker
+
+    def invoke(
+        self,
+        method: str,
+        *args: Any,
+        affinity_key: str | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        return self.stub_for(affinity_key)._invoke(method, args, kwargs)
+
+    def invoke_async(
+        self,
+        method: str,
+        *args: Any,
+        affinity_key: str | None = None,
+        **kwargs: Any,
+    ) -> RmiFuture:
+        return self.stub_for(affinity_key).invoke_async(
+            method, *args, **kwargs
+        )
+
+    def flush_pending(self) -> None:
+        """Flush every shard's queued batch entries."""
+        for stub in self._stubs:
+            stub.flush_pending()
+
+    def members_snapshot(self) -> list[RemoteRef]:
+        """All cached members across shards (diagnostics)."""
+        refs: list[RemoteRef] = []
+        for stub in self._stubs:
+            refs.extend(stub.members_snapshot())
+        return refs
 
 
 class FractionalRedirect:

@@ -31,6 +31,7 @@ from repro.core.monitor import ManualUtilization, MemberMonitor, UtilizationSour
 from repro.errors import PoolShutdownError, RemoteError, StoreError
 from repro.groupcomm.channel import Channel
 from repro.rmi.remote import RemoteRef, Skeleton
+from repro.routing import ShardRouter
 
 if TYPE_CHECKING:
     from repro.core.runtime import RuntimeServices
@@ -106,6 +107,20 @@ class ScalingEvent:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class ShardInfo:
+    """Where a member pool sits inside a sharded logical pool."""
+
+    parent: str   # logical pool name ("OrderRouter")
+    index: int    # this shard's index in [0, count)
+    count: int    # total shards of the parent
+
+    def map_entry_key(self) -> str:
+        """KV-store key of this shard's live shard-map entry (the
+        sentinel publishes here on its broadcast cadence)."""
+        return f"{self.parent}$shardmap/{self.index}"
+
+
 class MemberContext:
     """What an attached instance can reach: its pool and shared state."""
 
@@ -141,6 +156,7 @@ class ElasticObjectPool:
         factory: Callable[[], ElasticObject],
         config: ElasticConfig,
         services: "RuntimeServices",
+        shard_of: ShardInfo | None = None,
     ) -> None:
         config.validate()
         self.name = name
@@ -148,6 +164,10 @@ class ElasticObjectPool:
         self.factory = factory
         self.config = config
         self.services = services
+        # Set when this pool is one shard of a ShardedElasticPool: the
+        # sentinel then publishes this shard's map entry alongside its
+        # pool-state broadcast, and traces carry the shard index.
+        self.shard_of = shard_of
         self.channel = Channel(f"pool:{name}")
         self.members: dict[int, PoolMember] = {}
         self._uid_counter = itertools.count(1)
@@ -720,3 +740,98 @@ class ElasticObjectPool:
     def _check_open(self) -> None:
         if self.closed:
             raise PoolShutdownError(f"pool {self.name!r} is shut down")
+
+
+class ShardedElasticPool:
+    """One logical elastic object partitioned into N member pools.
+
+    The step from "one elastic pool" to "millions of users" (ROADMAP
+    item 1): instead of a single flat member list behind round-robin,
+    the logical pool is split into ``count`` *shards*, each a full
+    :class:`ElasticObjectPool` — its own member list, its own sentinel,
+    its own epoch key (``{name}/shard{i}$epoch``), and its own scaling
+    decisions under the paper's ``changePoolSize()``/Decider contract.
+    A hot shard grows while cold ones shrink; nothing is coordinated
+    across shards beyond sharing the cluster master's slice budget.
+
+    Key→shard routing lives in a :class:`~repro.routing.ShardRouter`
+    (consistent hashing over the shard names).  The shard *set* is
+    fixed at instantiation, so the route of every affinity key is
+    stable under any amount of per-shard membership churn — growing,
+    shrinking, or reaping members of shard *j* can never move a key
+    owned by shard *i*.
+
+    The shard map is published in the shared store at two levels:
+
+    - ``{name}$shards`` — the static topology (shard count + pool
+      names), written once at instantiation; a client in another
+      process reads this to build its router and per-shard stubs;
+    - ``{name}$shardmap/{i}`` — each shard's live entry (sentinel uid,
+      size, epoch), refreshed by that shard's sentinel on its broadcast
+      cadence (:meth:`SentinelAgent.tick`).
+    """
+
+    def __init__(
+        self, name: str, shards: list[ElasticObjectPool]
+    ) -> None:
+        if not shards:
+            raise ValueError(f"sharded pool {name!r} needs >= 1 shard")
+        self.name = name
+        self.shards = list(shards)
+        self.router = ShardRouter([p.name for p in self.shards])
+
+    # -- routing ---------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key`` (total and deterministic)."""
+        return self.router.shard_for(str(key))
+
+    def pool_for(self, key: str) -> ElasticObjectPool:
+        return self.shards[self.shard_for(key)]
+
+    # -- aggregate queries ----------------------------------------------
+
+    def size(self) -> int:
+        """Active members across every shard."""
+        return sum(p.size() for p in self.shards)
+
+    def sizes(self) -> list[int]:
+        """Per-shard active sizes, in shard order."""
+        return [p.size() for p in self.shards]
+
+    def provisioned_size(self) -> int:
+        return sum(p.provisioned_size() for p in self.shards)
+
+    @property
+    def closed(self) -> bool:
+        return all(p.closed for p in self.shards)
+
+    # -- shard map -------------------------------------------------------
+
+    def shard_map_key(self) -> str:
+        """KV-store key of the static shard topology."""
+        return f"{self.name}$shards"
+
+    def shard_map(self) -> dict[str, Any]:
+        return {
+            "pool": self.name,
+            "count": len(self.shards),
+            "pools": [p.name for p in self.shards],
+        }
+
+    def publish_shard_map(self) -> None:
+        """Write the static topology to the shared store (best effort,
+        like the member-identity mirror: clients can always fall back
+        to the per-shard registry bindings)."""
+        try:
+            self.shards[0].services.store.put(
+                self.shard_map_key(), self.shard_map()
+            )
+        except StoreError:
+            pass
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for pool in self.shards:
+            pool.shutdown()

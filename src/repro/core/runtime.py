@@ -39,9 +39,14 @@ from repro.cluster.provisioner import (
     Provisioner,
 )
 from repro.core.api import Decider, ElasticObject
-from repro.core.balancer import BalancingMode, ElasticStub
+from repro.core.balancer import BalancingMode, ElasticStub, ShardedElasticStub
 from repro.core.monitor import QueueUtilization, UtilizationSource
-from repro.core.pool import ElasticObjectPool, PoolMember
+from repro.core.pool import (
+    ElasticObjectPool,
+    PoolMember,
+    ShardedElasticPool,
+    ShardInfo,
+)
 from repro.core.scaling import ScalingPolicy, select_policy
 from repro.core.sentinel import SentinelAgent
 from repro.errors import MasterUnavailableError, PoolConfigurationError
@@ -51,6 +56,7 @@ from repro.kvstore.store import HyperStore
 from repro.rmi.batching import RequestBatcher
 from repro.rmi.registry import Registry
 from repro.rmi.transport import DirectTransport, ThreadedTransport, Transport
+from repro.routing import shard_names
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngStreams
 from repro.sim.scheduler import Scheduler, ThreadScheduler
@@ -193,6 +199,7 @@ class ElasticRuntime:
         # entries flushed on every membership change (drain protocol).
         self._client_stubs: "weakref.WeakSet[ElasticStub]" = weakref.WeakSet()
         self._pools: dict[str, PoolRecord] = {}
+        self._sharded: dict[str, ShardedElasticPool] = {}
         self._lock = threading.RLock()
         self._closed = False
         master.register_framework(
@@ -291,6 +298,7 @@ class ElasticRuntime:
             [PoolMember], UtilizationSource | None
         ]
         | None = None,
+        shard_of: ShardInfo | None = None,
         **kwargs: Any,
     ) -> ElasticObjectPool:
         """Instantiate an elastic class into a managed pool.
@@ -298,6 +306,9 @@ class ElasticRuntime:
         ``args``/``kwargs`` are passed to every member's constructor.  The
         configuration comes from the class's ``__init__`` setters, with
         ``min_size``/``max_size`` overrides for deployment-time tuning.
+
+        ``shard_of`` marks this pool as one shard of a sharded logical
+        pool; :meth:`new_sharded_pool` sets it — applications don't.
         """
         if not issubclass(cls_, ElasticObject):
             raise PoolConfigurationError(
@@ -342,6 +353,7 @@ class ElasticRuntime:
             factory=factory,
             config=config,
             services=services,
+            shard_of=shard_of,
         )
         policy = select_policy(cls_, config, effective_decider)
         record = PoolRecord(
@@ -370,6 +382,109 @@ class ElasticRuntime:
     def pools(self) -> list[ElasticObjectPool]:
         with self._lock:
             return [r.pool for r in self._pools.values()]
+
+    # ------------------------------------------------------------------
+    # sharded pools
+    # ------------------------------------------------------------------
+
+    def new_sharded_pool(
+        self,
+        cls_: type[ElasticObject],
+        *args: Any,
+        name: str | None = None,
+        shards: int = 4,
+        min_size: int | None = None,
+        max_size: int | None = None,
+        decider: Decider | None = None,
+        utilization_factory: Callable[
+            [PoolMember], UtilizationSource | None
+        ]
+        | None = None,
+        **kwargs: Any,
+    ) -> ShardedElasticPool:
+        """Instantiate an elastic class into ``shards`` independent pools.
+
+        Each shard is a full managed pool named ``{name}/shard{i}`` —
+        its own sentinel, epoch key, monitoring window, and scaling
+        ticks under ``decider`` — so a hot shard grows while cold ones
+        shrink.  ``min_size``/``max_size`` bound each shard
+        individually.  The static shard map is published to the store
+        at ``{name}$shards``.
+        """
+        if not issubclass(cls_, ElasticObject):
+            raise PoolConfigurationError(
+                f"{cls_.__name__} does not extend ElasticObject"
+            )
+        if shards < 1:
+            raise PoolConfigurationError(
+                f"sharded pool needs >= 1 shard, got {shards}"
+            )
+        pool_name = name or cls_.__name__
+        with self._lock:
+            if pool_name in self._sharded:
+                raise PoolConfigurationError(
+                    f"sharded pool name already in use: {pool_name}"
+                )
+        shard_pools = [
+            self.new_pool(
+                cls_,
+                *args,
+                name=shard,
+                min_size=min_size,
+                max_size=max_size,
+                decider=decider,
+                utilization_factory=utilization_factory,
+                shard_of=ShardInfo(pool_name, index, shards),
+                **kwargs,
+            )
+            for index, shard in enumerate(shard_names(pool_name, shards))
+        ]
+        sharded = ShardedElasticPool(pool_name, shard_pools)
+        with self._lock:
+            self._sharded[pool_name] = sharded
+        sharded.publish_shard_map()
+        return sharded
+
+    def sharded_pool(self, name: str) -> ShardedElasticPool:
+        with self._lock:
+            if name not in self._sharded:
+                raise KeyError(f"unknown sharded pool: {name}")
+            return self._sharded[name]
+
+    def sharded_stub(
+        self,
+        name: str,
+        mode: BalancingMode = BalancingMode.ROUND_ROBIN,
+        caller: str = "client",
+        retry_policy: RetryPolicy | None = None,
+    ) -> ShardedElasticStub:
+        """Key-affinity client stub for a sharded pool.
+
+        One :class:`ElasticStub` per shard (each with its own membership
+        cache and, when ``ERMI_BATCH_MAX`` enables coalescing, its own
+        batcher — batches form per shard endpoint, never across shards)
+        plus the shard router.  ``invoke(..., affinity_key=K)`` pins
+        ``K``'s calls to its shard; keyless calls spread round-robin
+        over shards.  The shard topology comes from this runtime's
+        record of the pool, or — for a pool instantiated elsewhere —
+        from the ``{name}$shards`` map in the shared store.
+        """
+        with self._lock:
+            sharded = self._sharded.get(name)
+        if sharded is not None:
+            names = [p.name for p in sharded.shards]
+        else:
+            entry = self.store.get(f"{name}$shards", default=None)
+            if not entry:
+                raise KeyError(f"unknown sharded pool: {name}")
+            names = list(entry["pools"])
+        stubs = [
+            self.stub(
+                shard, mode=mode, caller=caller, retry_policy=retry_policy
+            )
+            for shard in names
+        ]
+        return ShardedElasticStub(name, stubs)
 
     def stub(
         self,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.balancer import FirstFitRebalancer, RebalanceDecision
+from repro.errors import StoreError
 
 if TYPE_CHECKING:
     from repro.core.pool import ElasticObjectPool
@@ -60,6 +61,27 @@ class SentinelAgent:
             "pending": pending,
             "sentinel": sentinel.uid,
         }
+        shard = self.pool.shard_of
+        if shard is not None:
+            state["shard"] = shard.index
+            # Refresh this shard's live entry in the parent's shard map.
+            # Best effort, like the epoch mirror: the map is a routing
+            # hint, and a partitioned store must never stall the tick.
+            try:
+                store = self.pool.services.store
+                store.put(
+                    shard.map_entry_key(),
+                    {
+                        "pool": self.pool.name,
+                        "sentinel": sentinel.uid,
+                        "size": len(refs),
+                        "epoch": store.get(
+                            self.pool.membership_epoch_key(), default=0
+                        ),
+                    },
+                )
+            except StoreError:
+                pass
         self.pool.channel.broadcast(sentinel.address(), state)
         self.broadcasts += 1
         decision = self.rebalancer.plan(pending, refs)

@@ -783,6 +783,270 @@ def run_async_suite(
 
 
 # ----------------------------------------------------------------------
+# the shard (key-affinity routing) suite
+# ----------------------------------------------------------------------
+
+SHARD_COUNT = 4
+SHARD_MEMBERS = 2            # per shard; 4 x 2 = 8 members either way
+SHARD_KEYS = 512             # keyspace size
+SHARD_ZIPF_S = 1.0           # zipf exponent of the key popularity
+SHARD_HOT_RANKS = 48         # "hot keys" = the top-N most popular
+SHARD_CACHE_CAPACITY = 64    # per-member LRU capacity (< SHARD_KEYS)
+SHARD_MISS_S = 0.05          # cache-miss service time (≫ queueing noise)
+SHARD_CONCURRENCY = 256      # in-flight window (the c256 of the record)
+
+
+def _zipf_keys(count: int, keys: int, s: float, seed: int) -> list[str]:
+    """A deterministic zipf(``s``)-distributed key sequence."""
+    import random
+
+    weights = [1.0 / (rank ** s) for rank in range(1, keys + 1)]
+    population = [f"key-{rank:04d}" for rank in range(1, keys + 1)]
+    rng = random.Random(seed)
+    return rng.choices(population, weights=weights, k=count)
+
+
+def _make_shard_harness() -> tuple[Any, Any, Any]:
+    """A live sharded pool on the asyncio transport, plus its stub.
+
+    The service is the workload sharding exists for: per-member state
+    keyed by the affinity key.  Each member holds an LRU cache of
+    :data:`SHARD_CACHE_CAPACITY` keys; a hit answers immediately, a miss
+    pays :data:`SHARD_MISS_S` of (suspended) service time.  Under
+    affinity routing each member only ever sees its shard's slice of
+    the keyspace, so the working set fits and stays warm; under flat
+    round-robin every member sees all :data:`SHARD_KEYS` keys and the
+    tail churns the warm head out.
+    """
+    from collections import OrderedDict
+
+    from repro.core.api import ElasticObject
+    from repro.core.runtime import ElasticRuntime
+    from repro.rmi.aio import AsyncioTransport
+
+    class KeyedCache(ElasticObject):
+        def __init__(self) -> None:
+            super().__init__()
+            self.set_min_pool_size(SHARD_MEMBERS)
+            self.set_max_pool_size(SHARD_MEMBERS + 4)
+            # Keep control ticks out of the measured window.
+            self.set_burst_interval(3_600.0)
+            self._cache: OrderedDict[str, int] = OrderedDict()
+
+        async def lookup(self, key: str) -> bool:
+            """True on a cache hit, False after a (slow) miss fill."""
+            import asyncio
+
+            cache = self._cache
+            if key in cache:
+                cache.move_to_end(key)
+                return True
+            await asyncio.sleep(SHARD_MISS_S)
+            cache[key] = 1
+            if len(cache) > SHARD_CACHE_CAPACITY:
+                cache.popitem(last=False)
+            return False
+
+    runtime = ElasticRuntime.local(
+        nodes=8, slices_per_node=4, transport=AsyncioTransport()
+    )
+    pool = runtime.new_sharded_pool(
+        KeyedCache, name="bench-shard", shards=SHARD_COUNT
+    )
+    stub = runtime.sharded_stub("bench-shard")
+    return runtime, pool, stub
+
+
+def _run_shard_leg(
+    name: str,
+    affinity: bool,
+    keys: list[str],
+    warm_windows: int,
+    hot: set[str],
+) -> tuple[BenchRecord, dict[str, Any]]:
+    """One routing discipline over the shared key sequence.
+
+    Both legs run byte-identical caller code over the *same* keys on a
+    fresh pool; the only difference is whether ``invoke_async`` carries
+    ``affinity_key``.  Per-call latency is captured by completion
+    callback (submit → result), so the samples are true call latencies,
+    not window aggregates.
+    """
+    from repro.rmi.future import gather
+
+    runtime, _pool, stub = _make_shard_harness()
+    try:
+        clock = time.perf_counter
+        samples: list[tuple[str, float, bool]] = []  # (key, latency, hit)
+
+        def call(key: str, record: bool) -> Any:
+            started = clock()
+            future = stub.invoke_async(
+                "lookup", key, affinity_key=key if affinity else None
+            )
+            if record:
+
+                def note(f: Any, key: str = key, started: float = started) -> None:
+                    samples.append((key, clock() - started, bool(f.result())))
+
+                future.add_done_callback(note)
+            return future
+
+        windows = [
+            keys[base:base + SHARD_CONCURRENCY]
+            for base in range(0, len(keys), SHARD_CONCURRENCY)
+        ]
+        wall = 0.0
+        for index, window in enumerate(windows):
+            measured = index >= warm_windows
+            started = clock()
+            gather([call(key, measured) for key in window], timeout=120.0)
+            if measured:
+                wall += clock() - started
+        durations = [latency for _, latency, _ in samples]
+        record = summarize_wall(
+            name,
+            {
+                "transport": "aio",
+                "shards": SHARD_COUNT,
+                "members_per_shard": SHARD_MEMBERS,
+                "concurrency": SHARD_CONCURRENCY,
+                "keys": SHARD_KEYS,
+                "zipf_s": SHARD_ZIPF_S,
+                "cache_capacity": SHARD_CACHE_CAPACITY,
+                "miss_ms": SHARD_MISS_S * 1e3,
+                "affinity": affinity,
+            },
+            durations,
+            wall,
+        )
+        hot_lat = [lat for key, lat, _ in samples if key in hot]
+        hits = sum(1 for _, _, hit in samples if hit)
+        extra = {
+            "hit_rate": round(hits / max(1, len(samples)), 4),
+            "hot_key_calls": len(hot_lat),
+            "hot_key_p50_us": round(percentile(hot_lat, 0.50) * 1e6, 1),
+            "hot_key_p99_us": round(percentile(hot_lat, 0.99) * 1e6, 1),
+        }
+        return record, extra
+    finally:
+        runtime.shutdown()
+
+
+def _probe_shard_elasticity() -> dict[str, Any]:
+    """Prove per-shard elasticity: one hot shard grows, the rest hold.
+
+    Runs on the simulated runtime.  A :class:`~repro.core.api.Decider`
+    targets a larger size for the shard owning the hottest key and the
+    minimum for every other shard; after two burst intervals only that
+    shard has grown — each shard scales under its own Decider ticks,
+    with its own epoch key, exactly the independent-scaling contract.
+    """
+    from repro.cluster.provisioner import InstantProvisioner
+    from repro.core.api import Decider, ElasticObject
+    from repro.core.runtime import ElasticRuntime
+    from repro.sim.kernel import Kernel
+
+    class Slot(ElasticObject):
+        def __init__(self) -> None:
+            super().__init__()
+            self.set_min_pool_size(2)
+            self.set_max_pool_size(6)
+            self.set_burst_interval(5.0)
+
+        def ping(self) -> str:
+            return "pong"
+
+    hot_target = 5
+
+    class HotShardDecider(Decider):
+        def __init__(self) -> None:
+            self.hot_pool: str | None = None
+
+        def get_desired_pool_size(self, pool: Any) -> int:
+            return hot_target if pool.name == self.hot_pool else 2
+
+    kernel = Kernel()
+    runtime = ElasticRuntime.simulated(
+        kernel, nodes=12, slices_per_node=4,
+        provisioner=InstantProvisioner(),
+    )
+    try:
+        decider = HotShardDecider()
+        sharded = runtime.new_sharded_pool(
+            Slot, name="probe-shard", shards=SHARD_COUNT, decider=decider
+        )
+        kernel.run_until(kernel.clock.now() + 1.0)
+        sizes_before = sharded.sizes()
+        hot_index = sharded.shard_for("key-0001")
+        decider.hot_pool = sharded.shards[hot_index].name
+        kernel.run_until(kernel.clock.now() + 12.0)  # two+ burst intervals
+        sizes_after = sharded.sizes()
+        epoch_keys = [
+            pool.membership_epoch_key() for pool in sharded.shards
+        ]
+        return {
+            "shards": SHARD_COUNT,
+            "hot_shard": hot_index,
+            "hot_target": hot_target,
+            "sizes_before": sizes_before,
+            "sizes_after": sizes_after,
+            "epoch_keys": epoch_keys,
+            "shard_map": runtime.store.get(
+                sharded.shard_map_key(), default=None
+            ),
+        }
+    finally:
+        runtime.shutdown()
+
+
+def run_shard_suite(
+    scale: float | None = None, extra_out: dict[str, Any] | None = None
+) -> list[BenchRecord]:
+    """Key-affinity routing vs flat round-robin over a sharded pool.
+
+    The workload is a zipf(:data:`SHARD_ZIPF_S`) key popularity over
+    :data:`SHARD_KEYS` keys, issued in c:data:`SHARD_CONCURRENCY`
+    in-flight windows against a :data:`SHARD_COUNT`-shard pool.  The
+    headline is hot-key p99 latency (``extra``): with affinity routing
+    the hot keys' cache entries stay resident on their shard's members,
+    so their p99 sits at hit latency; under flat round-robin every
+    member sees the whole keyspace, warm entries churn, and the hot-key
+    p99 climbs toward the miss service time.  Anchor record for
+    normalized regression checks: ``shard-flat-c256``.
+    """
+    if scale is None:
+        scale = bench_scale()
+    extra: dict[str, Any] = {} if extra_out is None else extra_out
+
+    # Warmup is *not* scaled: the contrast under test is between warm
+    # steady states, so the caches must actually fill before sampling
+    # starts — 8 windows ≈ 2k calls, enough for every member to have
+    # seen its (affinity-routed) keyspace slice.  Only the measured
+    # portion shrinks with ``scale``.
+    warm_windows = 8
+    measured = max(4, _scaled(6_144, scale) // SHARD_CONCURRENCY)
+    windows = warm_windows + measured
+    keys = _zipf_keys(
+        windows * SHARD_CONCURRENCY, SHARD_KEYS, SHARD_ZIPF_S, seed=7
+    )
+    hot = {f"key-{rank:04d}" for rank in range(1, SHARD_HOT_RANKS + 1)}
+
+    records = []
+    for name, affinity in (
+        ("shard-flat-c256", False),
+        ("shard-affinity-c256", True),
+    ):
+        record, leg_extra = _run_shard_leg(
+            name, affinity, keys, warm_windows, hot
+        )
+        records.append(record)
+        extra[name] = leg_extra
+    extra["shard-elasticity"] = _probe_shard_elasticity()
+    return records
+
+
+# ----------------------------------------------------------------------
 # BENCH_*.json reporting
 # ----------------------------------------------------------------------
 

@@ -1,59 +1,17 @@
 """Consistent-hash ring used to partition the key space across store nodes.
 
-Virtual nodes (replicas per physical node) smooth the distribution; when a
-node joins only the keys falling into its arcs move, which is what lets the
-runtime grow the store without a full reshuffle.
+The implementation now lives in :mod:`repro.routing` — PR 6 promoted it
+into a shared routing primitive so sharded elastic pools hash affinity
+keys with exactly the machinery the store uses to place keys on
+partitions.  This module re-exports it for existing importers.
 """
 
 from __future__ import annotations
 
-import bisect
-import hashlib
+from repro.routing import HashRing, stable_hash
 
+# The store's historical private name for the hash function; kept so
+# downstream code (and tests) that reached for it keep working.
+_hash = stable_hash
 
-def _hash(value: str) -> int:
-    return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
-
-
-class HashRing:
-    """Classic consistent hashing with virtual nodes."""
-
-    def __init__(self, vnodes: int = 64) -> None:
-        if vnodes < 1:
-            raise ValueError(f"vnodes must be >= 1: {vnodes}")
-        self.vnodes = vnodes
-        self._ring: list[tuple[int, str]] = []  # sorted (hash, node)
-        self._nodes: set[str] = set()
-
-    @property
-    def nodes(self) -> set[str]:
-        return set(self._nodes)
-
-    def add_node(self, node: str) -> None:
-        """Place a node on the ring (``vnodes`` points)."""
-        if node in self._nodes:
-            raise ValueError(f"node already on ring: {node}")
-        self._nodes.add(node)
-        for i in range(self.vnodes):
-            point = (_hash(f"{node}#{i}"), node)
-            bisect.insort(self._ring, point)
-
-    def remove_node(self, node: str) -> None:
-        """Remove a node; its arcs fall to clockwise successors."""
-        if node not in self._nodes:
-            raise ValueError(f"node not on ring: {node}")
-        self._nodes.discard(node)
-        self._ring = [(h, n) for (h, n) in self._ring if n != node]
-
-    def owner(self, key: str) -> str:
-        """Node owning ``key``: first ring point clockwise of its hash."""
-        if not self._ring:
-            raise RuntimeError("empty hash ring")
-        h = _hash(key)
-        idx = bisect.bisect_right(self._ring, (h, "￿"))
-        if idx == len(self._ring):
-            idx = 0
-        return self._ring[idx][1]
-
-    def __len__(self) -> int:
-        return len(self._nodes)
+__all__ = ["HashRing", "stable_hash"]

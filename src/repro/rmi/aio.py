@@ -43,12 +43,12 @@ sampled by a periodic loop task.
 from __future__ import annotations
 
 import asyncio
-import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
 from repro.errors import ConnectError, RemoteError
+from repro.rmi.envcfg import env_int
 from repro.rmi.transport import (
     BatchRequest,
     BatchResponse,
@@ -71,10 +71,7 @@ LAG_SAMPLE_INTERVAL_S = 0.05
 
 def aio_inflight_from_env() -> int:
     """Dispatch-window size from ``ERMI_AIO_INFLIGHT`` (default 16384)."""
-    return max(
-        1,
-        int(os.environ.get("ERMI_AIO_INFLIGHT", str(DEFAULT_INFLIGHT_WINDOW))),
-    )
+    return env_int("ERMI_AIO_INFLIGHT", DEFAULT_INFLIGHT_WINDOW)
 
 
 def blocking(fn: Callable[..., Any]) -> Callable[..., Any]:

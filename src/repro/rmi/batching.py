@@ -62,12 +62,12 @@ Configuration (all read once, at stub construction):
 
 from __future__ import annotations
 
-import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ConnectError, RemoteError
+from repro.rmi.envcfg import env_float, env_int
 from repro.rmi.future import RmiFuture
 from repro.rmi.transport import BatchRequest, Request, Response, Transport
 
@@ -88,18 +88,16 @@ _Entry = tuple[Request, RmiFuture, "Completer | None"]
 
 
 def batch_max_from_env() -> int:
-    return max(1, int(os.environ.get("ERMI_BATCH_MAX", "1")))
+    return env_int("ERMI_BATCH_MAX", 1)
 
 
 def batch_linger_from_env() -> float:
     """Linger in *seconds* (the env var is milliseconds)."""
-    return max(0.0, float(os.environ.get("ERMI_BATCH_LINGER_MS", "0"))) / 1e3
+    return env_float("ERMI_BATCH_LINGER_MS", 0.0) / 1e3
 
 
 def batch_inflight_from_env() -> int:
-    return max(
-        1, int(os.environ.get("ERMI_BATCH_INFLIGHT", str(DEFAULT_INFLIGHT)))
-    )
+    return env_int("ERMI_BATCH_INFLIGHT", DEFAULT_INFLIGHT)
 
 
 @dataclass

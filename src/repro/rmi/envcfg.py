@@ -1,0 +1,54 @@
+"""Validated parsing of the ``ERMI_*`` tuning environment variables.
+
+Every knob is read once, at construction time (stub, batcher, or
+transport ``__init__``) — never on the invocation path — so a malformed
+value must fail *there*, loudly, naming the variable.  Before this
+module each reader called ``int()``/``float()`` bare, and a typo like
+``ERMI_BATCH_MAX=64k`` surfaced as an anonymous ``ValueError: invalid
+literal for int()`` from deep inside a stub constructor (or, for
+transports built lazily, mid-call), with nothing pointing at the
+environment as the culprit.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: int, minimum: int = 1) -> int:
+    """``int(os.environ[name])`` clamped to ``minimum``, or ``default``.
+
+    Raises a :class:`ValueError` that names the variable when the value
+    is set but not an integer.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    return max(minimum, value)
+
+
+def env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    """``float(os.environ[name])`` clamped to ``minimum``, or ``default``.
+
+    Raises a :class:`ValueError` that names the variable when the value
+    is set but not a number (NaN included — a NaN window or linger
+    would poison every comparison downstream).
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if value != value:  # NaN
+        raise ValueError(f"{name} must be a number, got {raw!r}")
+    return max(minimum, value)

@@ -1,0 +1,171 @@
+"""Shared routing primitives: stable hashing, the consistent-hash ring,
+and the shard router.
+
+Promoted out of ``repro.kvstore`` (which re-exports :class:`HashRing`
+for compatibility) because PR 6 makes the ring a *routing* substrate,
+not just a storage one: sharded elastic pools hash affinity keys over
+their shard set with exactly the machinery the store uses to place
+keys on partitions.  One implementation, two layers — a kvstore-backed
+field and the invocation that reads it hash the same way, which is
+what keeps field round-trips shard-local.
+
+Two long-standing ring defects are fixed here:
+
+- **removal cost** — ``remove_node`` rebuilt the whole sorted point
+  list, O(vnodes·N) scans per removal.  The ring now remembers each
+  node's points when they are placed and deletes exactly those entries
+  by bisection, never touching (or allocating) the rest of the ring;
+- **tie-breaking** — ``owner`` probed with a ``"￿"`` sentinel
+  string, which silently mis-ordered against node names containing
+  code points above U+FFFF (astral-plane names sorted *after* the
+  sentinel).  Lookup now bisects with ``(hash, "")`` — the infimum of
+  every possible point at that hash — so the successor choice depends
+  only on tuple order: equal point hashes break deterministically
+  toward the lexicographically smallest node name.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+
+
+def stable_hash(value: str) -> int:
+    """A process-independent 64-bit hash of ``value``.
+
+    Routing decisions must agree across processes, restarts, and test
+    runs; the builtin ``hash()`` is salted per process (PYTHONHASHSEED)
+    and therefore must never decide placement.
+    """
+    return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Classic consistent hashing with virtual nodes.
+
+    Virtual nodes (``vnodes`` points per physical node) smooth the
+    distribution; when a node joins only the keys falling into its arcs
+    move, which is what lets a runtime grow a store — or a sharded
+    pool — without a full reshuffle.
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1: {vnodes}")
+        self.vnodes = vnodes
+        self._ring: list[tuple[int, str]] = []  # sorted (hash, node)
+        # Each node's own points, remembered at placement so removal
+        # deletes exactly these entries instead of rebuilding the ring.
+        self._points: dict[str, list[tuple[int, str]]] = {}
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._points)
+
+    def add_node(self, node: str) -> None:
+        """Place a node on the ring (``vnodes`` points)."""
+        if node in self._points:
+            raise ValueError(f"node already on ring: {node}")
+        points = [
+            (stable_hash(f"{node}#{i}"), node) for i in range(self.vnodes)
+        ]
+        self._points[node] = points
+        for point in points:
+            bisect.insort(self._ring, point)
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node; its arcs fall to clockwise successors.
+
+        Incremental: deletes the node's own ``vnodes`` points by
+        bisection rather than filtering the whole ring.
+        """
+        points = self._points.pop(node, None)
+        if points is None:
+            raise ValueError(f"node not on ring: {node}")
+        for point in points:
+            idx = bisect.bisect_left(self._ring, point)
+            # The point was inserted at add time, so it is present; two
+            # vnode indices of one node may collide on the same hash, in
+            # which case each deletion takes one of the equal entries.
+            del self._ring[idx]
+
+    def owner(self, key: str) -> str:
+        """Node owning ``key``: first ring point clockwise of its hash.
+
+        Ties (a key hashing exactly onto one or more points) resolve to
+        the lexicographically smallest node name at that hash — pure
+        tuple order, no sentinel string involved.
+        """
+        if not self._ring:
+            raise RuntimeError("empty hash ring")
+        h = stable_hash(key)
+        # First point with hash >= h: ("" sorts below every node name).
+        idx = bisect.bisect_left(self._ring, (h, ""))
+        if idx == len(self._ring):
+            idx = 0
+        return self._ring[idx][1]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class ShardRouter:
+    """Key-affinity routing over a fixed shard set.
+
+    A sharded elastic pool has a *static* shard count (each shard is
+    independently elastic; membership churn happens inside shards, not
+    to the shard set), so the key→shard map is stable by construction:
+    growing or shrinking one shard never moves any key's route.  The
+    ring — rather than ``hash % n`` — keeps the door open for dynamic
+    shard counts later: adding a shard would move only the keys landing
+    on its arcs.
+
+    ``spread()`` supports keyless calls: a plain rotation over shard
+    indices, so affinity-free traffic still fans out evenly.
+    """
+
+    def __init__(self, shard_names: list[str], vnodes: int = 64) -> None:
+        if not shard_names:
+            raise ValueError("shard router needs at least one shard")
+        self.shard_names = list(shard_names)
+        self._index = {name: i for i, name in enumerate(self.shard_names)}
+        if len(self._index) != len(self.shard_names):
+            raise ValueError(f"duplicate shard names: {shard_names}")
+        self._ring = HashRing(vnodes=vnodes)
+        for name in self.shard_names:
+            self._ring.add_node(name)
+        self._rr = itertools.count()
+
+    @classmethod
+    def for_pool(
+        cls, pool_name: str, shards: int, vnodes: int = 64
+    ) -> "ShardRouter":
+        """The canonical router for ``pool_name`` split ``shards`` ways."""
+        return cls(shard_names(pool_name, shards), vnodes=vnodes)
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_names)
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key``; deterministic and total."""
+        return self._index[self._ring.owner(str(key))]
+
+    def shard_name_for(self, key: str) -> str:
+        return self._ring.owner(str(key))
+
+    def spread(self) -> int:
+        """Next shard index for a call with no affinity key."""
+        return next(self._rr) % len(self.shard_names)
+
+
+def shard_name(pool_name: str, index: int) -> str:
+    """The canonical name of one shard of ``pool_name``."""
+    return f"{pool_name}/shard{index}"
+
+
+def shard_names(pool_name: str, shards: int) -> list[str]:
+    if shards < 1:
+        raise ValueError(f"pool needs at least one shard: {shards}")
+    return [shard_name(pool_name, i) for i in range(shards)]

@@ -194,3 +194,64 @@ class TestTargetOrdering:
         stub._discard(members[2])
         snapshot = stub.members_snapshot()
         assert members[2] not in snapshot and len(snapshot) == 2
+
+
+class TestDiscardSetLifecycle:
+    """Satellite bugfix: during a sentinel outage the stale-cache
+    fallback used to keep every discarded ref forever — the set grew
+    without bound across epochs, and a member that recovered under the
+    same identity stayed out of the rotation until a refresh finally
+    succeeded."""
+
+    def test_recovered_member_rejoins_rotation_during_sentinel_outage(
+        self, rig
+    ):
+        transport, sentinel, members, state, stub = rig
+        stub.echo("warm-up")
+        # Member 1 dies; the per-member retry discards it.
+        transport.kill(members[1].endpoint_id)
+        assert stub.echo("x") == "x"
+        assert members[1] not in stub.members_snapshot()
+        assert len(stub._discarded) == 1
+        # The sentinel goes down too, then member 1 recovers and the
+        # epoch advances (its re-activation bumped it).  The refresh
+        # fails — the stub must serve the stale cache — but the epoch
+        # move means the discard set is obsolete: member 1 returns to
+        # the candidate list.
+        transport.kill(stub._resolve_sentinel().endpoint_id)
+        transport.revive(members[1].endpoint_id)
+        state["epoch"] += 1
+        assert stub.echo("y") == "y"
+        assert stub._discarded == set()
+        assert members[1] in stub.members_snapshot()
+        # And it genuinely serves again: a full rotation reaches it.
+        for i in range(6):
+            assert stub.echo(i) == i
+        assert sentinel.fetches == 1  # never refreshed during the outage
+
+    def test_discard_set_cleared_once_per_epoch_advance(self, rig):
+        """The revival runs once per epoch move, not once per call —
+        repeated stale-path calls with an unchanged discard set must
+        not keep resetting the round-robin cursor."""
+        transport, _, members, state, stub = rig
+        stub.echo("warm-up")
+        transport.kill(stub._resolve_sentinel().endpoint_id)
+        state["epoch"] += 1
+        assert stub.echo("a") == "a"  # stale path, nothing discarded
+        first = stub._targets()[0]
+        second = stub._targets()[0]
+        assert first != second  # cursor still advancing
+
+    def test_still_dead_member_is_rediscarded_after_revival(self, rig):
+        """Reviving the discard set is a probe, not a promise: a ref
+        that is still dead costs one failed attempt and is discarded
+        again, exactly the normal failover path."""
+        transport, _, members, state, stub = rig
+        stub.echo("warm-up")
+        transport.kill(members[1].endpoint_id)
+        assert stub.echo("x") == "x"
+        transport.kill(stub._resolve_sentinel().endpoint_id)
+        state["epoch"] += 1  # epoch moved, but member 1 is still dead
+        results = [stub.echo(i) for i in range(6)]
+        assert results == list(range(6))
+        assert members[1] not in stub.members_snapshot()

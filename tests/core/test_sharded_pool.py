@@ -1,0 +1,282 @@
+"""Sharded elastic pools and key-affinity routing.
+
+A sharded pool is N independent managed pools (``{name}/shard{i}``),
+each with its own sentinel, membership epoch key, and scaling ticks;
+the client-side :class:`~repro.core.balancer.ShardedElasticStub` hashes
+``affinity_key`` onto the static shard set and round-robins only within
+the owning shard, so a key's calls always land on the same slice of
+members regardless of churn in *other* shards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import Decider
+from repro.core.balancer import ShardedElasticStub
+from repro.errors import PoolConfigurationError
+from repro.routing import ShardRouter
+from tests.core.conftest import EchoService, settle
+
+
+SHARDS = 4
+
+
+@pytest.fixture
+def sharded(runtime, kernel):
+    pool = runtime.new_sharded_pool(EchoService, name="svc", shards=SHARDS)
+    settle(kernel)
+    return pool
+
+
+@pytest.fixture
+def sstub(runtime, sharded):
+    return runtime.sharded_stub("svc")
+
+
+def echo_calls(pool):
+    """Total ``echo`` invocations served by one shard's members."""
+    total = 0
+    for m in pool.active_members():
+        stats = m.skeleton.stats.snapshot().get("echo")
+        total += stats.calls if stats else 0
+    return total
+
+
+class TestShardTopology:
+    def test_shards_are_full_pools_with_own_epoch_keys(self, sharded):
+        assert [p.name for p in sharded.shards] == [
+            f"svc/shard{i}" for i in range(SHARDS)
+        ]
+        assert [p.membership_epoch_key() for p in sharded.shards] == [
+            f"svc/shard{i}$epoch" for i in range(SHARDS)
+        ]
+        # Each shard honours the class's own bounds independently.
+        assert sharded.sizes() == [2] * SHARDS
+        assert sharded.size() == 2 * SHARDS
+
+    def test_static_shard_map_published_to_store(self, runtime, sharded):
+        entry = runtime.store.get(sharded.shard_map_key())
+        assert entry == {
+            "pool": "svc",
+            "count": SHARDS,
+            "pools": [f"svc/shard{i}" for i in range(SHARDS)],
+        }
+
+    def test_sentinel_tick_refreshes_live_map_entry(self, runtime, sharded):
+        for index, pool in enumerate(sharded.shards):
+            runtime.record(pool.name).sentinel_agent.tick()
+            entry = runtime.store.get(f"svc$shardmap/{index}")
+            assert entry["pool"] == pool.name
+            assert entry["size"] == 2
+            assert entry["sentinel"] == pool.sentinel().uid
+            assert entry["epoch"] == runtime.store.get(
+                pool.membership_epoch_key(), default=0
+            )
+
+    def test_broadcast_state_carries_shard_index(self, runtime, sharded):
+        pool = sharded.shards[2]
+        runtime.record(pool.name).sentinel_agent.tick()
+        state = pool.last_broadcast_state
+        assert state["kind"] == "pool-state"
+        assert state["shard"] == 2
+
+    def test_unsharded_pool_publishes_no_map_entry(self, runtime, kernel):
+        pool = runtime.new_pool(EchoService, name="plain")
+        settle(kernel)
+        runtime.record("plain").sentinel_agent.tick()
+        assert pool.shard_of is None
+        assert "shard" not in pool.last_broadcast_state
+
+    def test_validation_rejects_bad_configs(self, runtime, sharded):
+        with pytest.raises(PoolConfigurationError):
+            runtime.new_sharded_pool(EchoService, name="bad", shards=0)
+        with pytest.raises(PoolConfigurationError):
+            runtime.new_sharded_pool(object, name="bad")  # type: ignore[arg-type]
+        with pytest.raises(PoolConfigurationError):
+            runtime.new_sharded_pool(EchoService, name="svc")  # duplicate
+
+    def test_sharded_pool_accessor(self, runtime, sharded):
+        assert runtime.sharded_pool("svc") is sharded
+        with pytest.raises(KeyError):
+            runtime.sharded_pool("nope")
+
+
+class TestAffinityRouting:
+    def test_affinity_calls_land_only_on_owning_shard(self, sharded, sstub):
+        key = "user-42"
+        owner = sstub.shard_for(key)
+        for i in range(8):
+            assert sstub.echo(i, affinity_key=key) == i
+        for index, pool in enumerate(sharded.shards):
+            expected = 8 if index == owner else 0
+            assert echo_calls(pool) == expected
+
+    def test_keyless_calls_spread_over_all_shards(self, sharded, sstub):
+        for i in range(2 * SHARDS):
+            assert sstub.echo(i) == i
+        # Spread rotates shards, then round-robins inside each: with two
+        # members per shard every member serves exactly one call.
+        for pool in sharded.shards:
+            assert echo_calls(pool) == 2
+            for m in pool.active_members():
+                stats = m.skeleton.stats.snapshot().get("echo")
+                assert stats is not None and stats.calls == 1
+
+    def test_affinity_key_is_not_marshalled(self, sstub):
+        # EchoService.echo takes exactly one argument: if the routing
+        # kwarg leaked into the payload the call would fail server-side.
+        assert sstub.echo("payload", affinity_key="k") == "payload"
+
+    def test_explicit_invoke_paths(self, sstub):
+        assert sstub.invoke("echo", "a", affinity_key="k") == "a"
+        future = sstub.invoke_async("echo", "b", affinity_key="k")
+        assert future.result() == "b"
+
+    def test_client_and_server_agree_on_owners(self, sharded, sstub):
+        for key in (f"key-{i}" for i in range(64)):
+            assert sstub.shard_for(key) == sharded.shard_for(key)
+
+    def test_routing_stable_while_other_shards_grow(
+        self, runtime, kernel, sharded, sstub
+    ):
+        key = "sticky"
+        owner = sstub.shard_for(key)
+        sstub.echo("warm-up", affinity_key=key)
+        other = sharded.shards[(owner + 1) % SHARDS]
+        other.grow(2)
+        settle(kernel)
+        assert sstub.shard_for(key) == owner
+        before = echo_calls(sharded.shards[owner])
+        for i in range(6):
+            assert sstub.echo(i, affinity_key=key) == i
+        assert echo_calls(sharded.shards[owner]) == before + 6
+        # The grown shard saw none of the keyed traffic.
+        assert echo_calls(other) == 0
+
+    def test_member_reap_does_not_move_keys_off_shard(
+        self, runtime, sharded, sstub
+    ):
+        key = "sticky"
+        owner = sstub.shard_for(key)
+        sstub.echo("warm-up", affinity_key=key)
+        pool = sharded.shards[owner]
+        victim = pool.active_members()[0]
+        runtime.transport.kill(victim.endpoint_id)
+        results = [sstub.echo(i, affinity_key=key) for i in range(6)]
+        assert results == list(range(6))
+        assert sstub.shard_for(key) == owner
+        for index, shard_pool in enumerate(sharded.shards):
+            if index != owner:
+                assert echo_calls(shard_pool) == 0
+
+
+class TestShardedStubConstruction:
+    def test_stub_from_store_map_fallback(self, runtime, sharded):
+        # A client runtime that did not create the pool bootstraps the
+        # topology from the {name}$shards map in the shared store.
+        runtime._sharded.pop("svc")
+        stub = runtime.sharded_stub("svc")
+        assert stub.shards == SHARDS
+        assert stub.echo("hello", affinity_key="k") == "hello"
+
+    def test_unknown_pool_raises(self, runtime):
+        with pytest.raises(KeyError):
+            runtime.sharded_stub("ghost")
+
+    def test_each_shard_stub_gets_its_own_batcher(
+        self, monkeypatch, runtime, sharded
+    ):
+        monkeypatch.setenv("ERMI_BATCH_MAX", "8")
+        stub = runtime.sharded_stub("svc")
+        batchers = [stub.shard_stub(i).batcher for i in range(SHARDS)]
+        assert all(b is not None for b in batchers)
+        # Distinct instances: batches coalesce per shard, never across.
+        assert len({id(b) for b in batchers}) == SHARDS
+
+    def test_router_shard_count_must_match_stubs(self, runtime, sharded):
+        stub = runtime.sharded_stub("svc")
+        with pytest.raises(ValueError):
+            ShardedElasticStub(
+                "svc",
+                [stub.shard_stub(0)],
+                router=ShardRouter.for_pool("svc", SHARDS),
+            )
+        with pytest.raises(ValueError):
+            ShardedElasticStub("svc", [])
+
+
+class BurstyEcho(EchoService):
+    """EchoService on a fast monitoring cadence for scaling tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.set_burst_interval(5.0)
+
+
+class HotShardDecider(Decider):
+    def __init__(self, hot_target=5):
+        self.hot_pool = None
+        self.hot_target = hot_target
+
+    def get_desired_pool_size(self, pool):
+        return self.hot_target if pool.name == self.hot_pool else 2
+
+
+class TestIndependentScaling:
+    def test_only_the_hot_shard_grows(self, runtime, kernel):
+        decider = HotShardDecider()
+        sharded = runtime.new_sharded_pool(
+            BurstyEcho, name="scaled", shards=SHARDS, decider=decider
+        )
+        settle(kernel)
+        assert sharded.sizes() == [2] * SHARDS
+        hot = sharded.shard_for("hot-key")
+        decider.hot_pool = sharded.shards[hot].name
+        settle(kernel, seconds=12.0)  # two+ burst intervals
+        sizes = sharded.sizes()
+        assert sizes[hot] == decider.hot_target
+        for index in range(SHARDS):
+            if index != hot:
+                assert sizes[index] == 2
+
+    def test_hot_shard_shrinks_back_when_cold(self, runtime, kernel):
+        decider = HotShardDecider()
+        sharded = runtime.new_sharded_pool(
+            BurstyEcho, name="cooled", shards=SHARDS, decider=decider
+        )
+        settle(kernel)
+        hot = sharded.shard_for("hot-key")
+        decider.hot_pool = sharded.shards[hot].name
+        settle(kernel, seconds=12.0)
+        assert sharded.sizes()[hot] == decider.hot_target
+        decider.hot_pool = None
+        settle(kernel, seconds=12.0)
+        assert sharded.sizes() == [2] * SHARDS
+
+    def test_scaling_bumps_only_that_shards_epoch(self, runtime, kernel):
+        decider = HotShardDecider()
+        sharded = runtime.new_sharded_pool(
+            BurstyEcho, name="epochs", shards=SHARDS, decider=decider
+        )
+        settle(kernel)
+        epochs = [
+            runtime.store.get(p.membership_epoch_key(), default=0)
+            for p in sharded.shards
+        ]
+        hot = sharded.shard_for("hot-key")
+        decider.hot_pool = sharded.shards[hot].name
+        settle(kernel, seconds=12.0)
+        after = [
+            runtime.store.get(p.membership_epoch_key(), default=0)
+            for p in sharded.shards
+        ]
+        assert after[hot] > epochs[hot]
+        for index in range(SHARDS):
+            if index != hot:
+                assert after[index] == epochs[index]
+
+    def test_shutdown_closes_every_shard(self, runtime, kernel, sharded):
+        sharded.shutdown()
+        assert sharded.closed
+        assert all(p.closed for p in sharded.shards)

@@ -79,3 +79,95 @@ class TestHashRing:
         ring.add_node("a")
         ring.add_node("b")
         assert len(ring) == 2
+
+
+class TestIncrementalRemoval:
+    """Satellite bugfix: removal deletes the node's own points by
+    bisection instead of rebuilding the whole sorted ring."""
+
+    def test_removal_equals_rebuild(self):
+        """Any removal order leaves the ring identical to one built
+        from scratch with the surviving nodes."""
+        nodes = [f"node-{i}" for i in range(8)]
+        ring = HashRing(vnodes=32)
+        for node in nodes:
+            ring.add_node(node)
+        for victim in ("node-3", "node-0", "node-7"):
+            ring.remove_node(victim)
+            nodes.remove(victim)
+            rebuilt = HashRing(vnodes=32)
+            for node in nodes:
+                rebuilt.add_node(node)
+            assert ring._ring == rebuilt._ring
+            assert ring.nodes == rebuilt.nodes
+
+    def test_remove_then_readd_roundtrips(self):
+        ring = HashRing(vnodes=16)
+        for node in ("a", "b", "c"):
+            ring.add_node(node)
+        before = {f"k{i}": ring.owner(f"k{i}") for i in range(300)}
+        ring.remove_node("b")
+        ring.add_node("b")
+        after = {f"k{i}": ring.owner(f"k{i}") for i in range(300)}
+        assert before == after
+
+    def test_keys_moving_on_removal_go_to_survivors(self):
+        ring = HashRing(vnodes=64)
+        for node in ("a", "b", "c"):
+            ring.add_node(node)
+        before = {f"k{i}": ring.owner(f"k{i}") for i in range(1000)}
+        ring.remove_node("b")
+        for key, owner in before.items():
+            now = ring.owner(key)
+            if owner == "b":
+                assert now in ("a", "c")
+            else:
+                assert now == owner  # survivors keep their keys
+
+
+class TestOwnerTieBreak:
+    """Satellite bugfix: lookup bisects with ``(hash, "")`` instead of a
+    U+FFFF sentinel string, so node names above the BMP order
+    correctly and equal-hash ties break deterministically."""
+
+    def test_astral_plane_node_names_route(self):
+        # "\U0001F600" (and friends) sort *above* the old "￿"
+        # sentinel, which used to skew successor choice at their points.
+        ring = HashRing(vnodes=32)
+        names = ["\U0001F600-node", "\U0001F680-node", "plain-node"]
+        for name in names:
+            ring.add_node(name)
+        counts = {name: 0 for name in names}
+        for i in range(3000):
+            counts[ring.owner(f"key-{i}")] += 1
+        # Every node — astral or not — owns a real share of the space.
+        for name, count in counts.items():
+            assert count > 300, f"{name!r} owns {count}/3000"
+
+    def test_astral_names_removal_equals_rebuild(self):
+        ring = HashRing(vnodes=16)
+        for name in ("\U0001F600", "z", "￿", "a"):
+            ring.add_node(name)
+        ring.remove_node("￿")
+        rebuilt = HashRing(vnodes=16)
+        for name in ("\U0001F600", "z", "a"):
+            rebuilt.add_node(name)
+        assert ring._ring == rebuilt._ring
+
+    def test_exact_point_hash_owns_deterministically(self):
+        """A key hashing exactly onto a ring point resolves to that
+        point (hash >= h, ties to the smallest node name) — the same
+        answer on every construction of the same ring."""
+        ring = HashRing(vnodes=8)
+        for name in ("alpha", "beta"):
+            ring.add_node(name)
+        # Synthesize an exact collision: bisect at each point's own hash
+        # must return that point's position, so the owner is the point's
+        # node (or, on an equal-hash run, the lexicographically first).
+        for point_hash, node in ring._ring:
+            hits = [n for h, n in ring._ring if h == point_hash]
+            idx = __import__("bisect").bisect_left(
+                ring._ring, (point_hash, "")
+            )
+            assert ring._ring[idx][0] == point_hash
+            assert ring._ring[idx][1] == min(hits)

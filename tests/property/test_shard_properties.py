@@ -1,0 +1,185 @@
+"""Property-based tests for shard routing (satellite of PR 6).
+
+The routing contract the sharded-pool layer leans on:
+
+- every key routes to exactly one shard, deterministically, and two
+  independently constructed routers for the same pool agree (the hash
+  is process-independent, never the salted builtin);
+- a key's route depends only on the static shard set — growing or
+  shrinking *other* shards (membership churn, or even ring nodes other
+  than the owner) never moves it;
+- incremental ring removal is observationally identical to rebuilding
+  the ring from the survivors, in any removal order;
+- per-shard round-robin stays balanced after a member reap: survivors
+  share the load exactly.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancer import ElasticStub
+from repro.rmi.remote import Remote, Skeleton
+from repro.rmi.transport import DirectTransport
+from repro.routing import HashRing, ShardRouter
+
+pool_names = st.text(
+    string.ascii_lowercase + string.digits + "-", min_size=1, max_size=12
+)
+keys = st.text(min_size=0, max_size=24)  # arbitrary unicode, empty ok
+node_names = st.lists(
+    st.text(min_size=1, max_size=8), min_size=2, max_size=8, unique=True
+)
+
+
+class TestRoutingTotality:
+    @given(pool_names, st.integers(1, 8), st.lists(keys, max_size=30))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_every_key_routes_to_exactly_one_shard(
+        self, pool, shards, key_list
+    ):
+        """Total and deterministic: any key yields one in-range index,
+        the same one on every call and on a fresh router — client and
+        server build their routers independently and must agree."""
+        router = ShardRouter.for_pool(pool, shards)
+        twin = ShardRouter.for_pool(pool, shards)
+        for key in key_list:
+            index = router.shard_for(key)
+            assert 0 <= index < shards
+            assert router.shard_for(key) == index
+            assert twin.shard_for(key) == index
+            assert router.shard_name_for(key) == f"{pool}/shard{index}"
+
+    @given(pool_names, st.integers(1, 6), st.integers(1, 40))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_spread_visits_all_shards_evenly(self, pool, shards, rounds):
+        router = ShardRouter.for_pool(pool, shards)
+        picks = [router.spread() for _ in range(rounds * shards)]
+        assert all(0 <= p < shards for p in picks)
+        assert all(picks.count(i) == rounds for i in range(shards))
+
+
+class TestRoutingStability:
+    @given(node_names, st.lists(keys, min_size=1, max_size=30), st.data())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_route_survives_churn_of_non_owning_nodes(
+        self, nodes, key_list, data
+    ):
+        """Removing and re-adding any node that is NOT a key's owner
+        never changes that key's route — churn inside other shards is
+        invisible to the key."""
+        ring = HashRing(vnodes=16)
+        for node in nodes:
+            ring.add_node(node)
+        owners = {key: ring.owner(key) for key in key_list}
+        victim = data.draw(st.sampled_from(nodes))
+        ring.remove_node(victim)
+        for key, owner in owners.items():
+            if owner != victim:
+                assert ring.owner(key) == owner
+        ring.add_node(victim)
+        assert {key: ring.owner(key) for key in key_list} == owners
+
+    @given(node_names, st.data())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_incremental_removal_equals_rebuild(self, nodes, data):
+        """Any removal sequence leaves ring state identical to a ring
+        built from scratch with the survivors."""
+        order = data.draw(st.permutations(nodes))
+        ring = HashRing(vnodes=16)
+        for node in nodes:
+            ring.add_node(node)
+        survivors = list(nodes)
+        for victim in order[:-1]:  # keep at least one node
+            ring.remove_node(victim)
+            survivors.remove(victim)
+            rebuilt = HashRing(vnodes=16)
+            for node in survivors:
+                rebuilt.add_node(node)
+            assert ring._ring == rebuilt._ring
+            assert ring.nodes == rebuilt.nodes
+
+
+class _Worker(Remote):
+    def echo(self, value):
+        return value
+
+
+class TestRoundRobinAfterReap:
+    @given(
+        st.integers(3, 6),  # pool size
+        st.data(),
+        st.integers(1, 4),  # measured rounds
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_survivors_share_load_exactly_after_reap(
+        self, size, data, rounds
+    ):
+        """Kill any one member of a shard's stub: once the per-member
+        retry has discarded it, ``rounds`` full rotations land exactly
+        ``rounds`` calls on every survivor."""
+        transport = DirectTransport()
+        skeletons = []
+        members = []
+        for i in range(size):
+            endpoint = transport.add_endpoint(f"worker-{i}")
+            skeleton = Skeleton(_Worker(), transport, endpoint.endpoint_id)
+            skeletons.append(skeleton)
+            members.append(skeleton.ref())
+
+        class _Sentinel(Remote):
+            def ermi_member_identities(self):
+                return list(members)
+
+        sep = transport.add_endpoint("sentinel")
+        sentinel_ref = Skeleton(_Sentinel(), transport, sep.endpoint_id).ref()
+        stub = ElasticStub(
+            transport, lambda: sentinel_ref, epoch_source=lambda: 1
+        )
+        stub.echo("warm-up")
+        victim = data.draw(st.integers(0, size - 1))
+        transport.kill(members[victim].endpoint_id)
+        # One full rotation of probes guarantees the dead member comes
+        # up as primary and gets discarded (the retry's landing spot is
+        # unspecified); then measure clean rotations over the survivors.
+        for i in range(size):
+            assert stub.echo(f"probe-{i}") == f"probe-{i}"
+        assert members[victim] not in stub.members_snapshot()
+        survivors = size - 1
+
+        def calls(skeleton):
+            stats = skeleton.stats.snapshot().get("echo")
+            return stats.calls if stats else 0
+
+        before = {
+            i: calls(skeleton)
+            for i, skeleton in enumerate(skeletons)
+            if i != victim
+        }
+        for i in range(rounds * survivors):
+            assert stub.echo(i) == i
+        for i, count in before.items():
+            assert calls(skeletons[i]) == count + rounds

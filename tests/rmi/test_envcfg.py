@@ -1,0 +1,97 @@
+"""Validated ``ERMI_*`` environment parsing (satellite bugfix).
+
+A malformed tuning knob must fail at construction with a ValueError
+naming the variable — not as an anonymous ``invalid literal`` surfacing
+from deep inside a stub constructor, and never silently mid-call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rmi.aio import aio_inflight_from_env
+from repro.rmi.batching import (
+    batch_inflight_from_env,
+    batch_linger_from_env,
+    batch_max_from_env,
+)
+from repro.rmi.envcfg import env_float, env_int
+
+KNOBS = [
+    ("ERMI_BATCH_MAX", batch_max_from_env),
+    ("ERMI_BATCH_LINGER_MS", batch_linger_from_env),
+    ("ERMI_BATCH_INFLIGHT", batch_inflight_from_env),
+    ("ERMI_AIO_INFLIGHT", aio_inflight_from_env),
+]
+
+
+class TestEnvHelpers:
+    def test_int_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("ERMI_TEST_KNOB", raising=False)
+        assert env_int("ERMI_TEST_KNOB", 7) == 7
+
+    def test_int_default_when_empty(self, monkeypatch):
+        monkeypatch.setenv("ERMI_TEST_KNOB", "")
+        assert env_int("ERMI_TEST_KNOB", 7) == 7
+
+    def test_int_parses_and_clamps(self, monkeypatch):
+        monkeypatch.setenv("ERMI_TEST_KNOB", "42")
+        assert env_int("ERMI_TEST_KNOB", 1) == 42
+        monkeypatch.setenv("ERMI_TEST_KNOB", "-5")
+        assert env_int("ERMI_TEST_KNOB", 1, minimum=1) == 1
+
+    def test_int_malformed_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("ERMI_TEST_KNOB", "64k")
+        with pytest.raises(ValueError, match="ERMI_TEST_KNOB"):
+            env_int("ERMI_TEST_KNOB", 1)
+
+    def test_float_parses_and_clamps(self, monkeypatch):
+        monkeypatch.setenv("ERMI_TEST_KNOB", "2.5")
+        assert env_float("ERMI_TEST_KNOB", 0.0) == 2.5
+        monkeypatch.setenv("ERMI_TEST_KNOB", "-1.0")
+        assert env_float("ERMI_TEST_KNOB", 0.0, minimum=0.0) == 0.0
+
+    def test_float_malformed_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("ERMI_TEST_KNOB", "fast")
+        with pytest.raises(ValueError, match="ERMI_TEST_KNOB"):
+            env_float("ERMI_TEST_KNOB", 0.0)
+
+    def test_float_rejects_nan(self, monkeypatch):
+        # float("nan") parses, but a NaN linger/window poisons every
+        # comparison downstream — reject it like any other bad value.
+        monkeypatch.setenv("ERMI_TEST_KNOB", "nan")
+        with pytest.raises(ValueError, match="ERMI_TEST_KNOB"):
+            env_float("ERMI_TEST_KNOB", 0.0)
+
+
+class TestKnobReaders:
+    @pytest.mark.parametrize("name,reader", KNOBS)
+    def test_malformed_value_raises_naming_the_variable(
+        self, monkeypatch, name, reader
+    ):
+        monkeypatch.setenv(name, "not-a-number")
+        with pytest.raises(ValueError, match=name):
+            reader()
+
+    @pytest.mark.parametrize("name,reader", KNOBS)
+    def test_unset_returns_default_silently(self, monkeypatch, name, reader):
+        monkeypatch.delenv(name, raising=False)
+        assert reader() >= 0
+
+    def test_batch_max_parses(self, monkeypatch):
+        monkeypatch.setenv("ERMI_BATCH_MAX", "64")
+        assert batch_max_from_env() == 64
+
+    def test_batch_linger_is_seconds_from_ms(self, monkeypatch):
+        monkeypatch.setenv("ERMI_BATCH_LINGER_MS", "2")
+        assert batch_linger_from_env() == pytest.approx(0.002)
+
+    def test_malformed_knob_fails_at_stub_construction(self, monkeypatch):
+        """The contract the fix exists for: a stub built under a typo'd
+        environment fails immediately, pointing at the variable."""
+        from repro.core.balancer import ElasticStub
+        from repro.rmi.transport import DirectTransport
+
+        monkeypatch.setenv("ERMI_BATCH_MAX", "64k")
+        with pytest.raises(ValueError, match="ERMI_BATCH_MAX"):
+            ElasticStub(DirectTransport(), lambda: None)
