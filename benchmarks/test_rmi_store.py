@@ -1,0 +1,104 @@
+"""Store watch/cache benchmark: push beats poll on the coordination path.
+
+Runs :func:`repro.experiments.benchreport.run_store_suite` once, writes
+``BENCH_rmi_store.json`` at the repo root, and asserts the headline
+claims:
+
+- the watched epoch path performs **zero** store reads per steady-state
+  invocation (the poll baseline pays exactly one ``get`` per call);
+- watched invoke latency is no worse than the poll baseline (p50, with
+  slack for CI noise);
+- membership convergence after an epoch bump is at least 2x faster for
+  256 watch-mode client caches than for the lease-mode (throttled-poll)
+  baseline under the c256 churn scenario;
+- the emitted JSON is well-formed against the ``repro.bench/v1`` schema.
+
+Set ``ERMI_BENCH_SCALE`` (e.g. ``0.05``) to shrink iteration counts for
+CI smoke runs; the read-per-call and convergence contrasts hold at any
+scale because they are structural, not throughput-dependent.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.benchreport import (
+    format_table,
+    load_report,
+    run_store_suite,
+    validate_report,
+    write_report,
+)
+
+REPORT_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_rmi_store.json"
+)
+
+#: Required convergence advantage of push over lease-poll.  Measured
+#: ratios sit around 100-250x (sub-ms push vs ~lease-length wait); 2x is
+#: the acceptance floor and keeps noisy CI runners honest.
+CONVERGENCE_SPEEDUP_FLOOR = 2.0
+
+#: Allowed p50 latency slack for the watch leg relative to poll: the
+#: watch path must be "no worse", measured with CI-noise headroom.
+WATCH_P50_SLACK = 1.20
+
+
+@pytest.fixture(scope="module")
+def suite():
+    extra: dict = {}
+    records = run_store_suite(extra_out=extra)
+    write_report(str(REPORT_PATH), "rmi_store", records, extra=extra)
+    print("\n" + format_table(records))
+    return {record.name: record for record in records}, extra
+
+
+class TestStoreBenchmark:
+    def test_report_emitted_and_wellformed(self, suite):
+        assert REPORT_PATH.exists()
+        doc = load_report(str(REPORT_PATH))
+        assert validate_report(doc) == []
+        names = {record["name"] for record in doc["records"]}
+        assert {
+            "epoch-poll-c1",
+            "epoch-watch-c1",
+            "churn-poll-c256",
+            "churn-watch-c256",
+        } <= names
+
+    def test_watched_epoch_path_does_zero_store_reads(self, suite):
+        """The tentpole claim: the per-call epoch ``get`` is gone —
+        membership changes are pushed into the stub's cache, so the
+        steady-state invocation path never touches the store."""
+        _, extra = suite
+        steady = extra["steady-state"]
+        assert steady["poll_epoch_reads_per_call"] == pytest.approx(1.0)
+        assert steady["watch_epoch_reads_per_call"] == 0.0
+
+    def test_watched_latency_no_worse_than_poll(self, suite):
+        records, _ = suite
+        poll = records["epoch-poll-c1"]
+        watch = records["epoch-watch-c1"]
+        assert watch.p50_us <= poll.p50_us * WATCH_P50_SLACK, (
+            f"watched p50 {watch.p50_us:.1f}us vs poll {poll.p50_us:.1f}us"
+        )
+
+    def test_push_convergence_beats_lease_poll(self, suite):
+        _, extra = suite
+        convergence = extra["convergence"]
+        assert convergence["speedup_p50"] >= CONVERGENCE_SPEEDUP_FLOOR, (
+            f"convergence speedup {convergence['speedup_p50']}x "
+            f"(< {CONVERGENCE_SPEEDUP_FLOOR}x floor): "
+            f"watch p50 {convergence['watch_convergence_p50_ms']}ms vs "
+            f"poll p50 {convergence['poll_convergence_p50_ms']}ms"
+        )
+
+    def test_convergence_measured_at_full_client_count(self, suite):
+        records, extra = suite
+        assert extra["convergence"]["clients"] == 256
+        # Every cache converged in every round: calls = clients * rounds.
+        rounds = extra["convergence"]["rounds"]
+        assert records["churn-watch-c256"].calls == 256 * rounds
+        assert records["churn-poll-c256"].calls == 256 * rounds

@@ -165,10 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd = sub.add_parser(
         "bench",
         help="run the RMI benchmark suites "
-        "(hot-path + batching + async + shard)",
+        "(hot-path + batching + async + shard + store)",
     )
     bench_cmd.add_argument(
-        "--suite", choices=("all", "hotpath", "batching", "async", "shard"),
+        "--suite",
+        choices=("all", "hotpath", "batching", "async", "shard", "store"),
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -187,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--shard-output", default="BENCH_rmi_shard.json",
         help="sharded-routing report path (default: BENCH_rmi_shard.json)",
+    )
+    bench_cmd.add_argument(
+        "--store-output", default="BENCH_rmi_store.json",
+        help="store watch/cache report path (default: BENCH_rmi_store.json)",
     )
     bench_cmd.add_argument(
         "--scale", type=float, default=None,
@@ -210,14 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare the sharded-routing run against a committed baseline",
     )
     bench_cmd.add_argument(
+        "--check-store", metavar="BASELINE", default=None,
+        help="compare the store watch/cache run against a committed baseline",
+    )
+    bench_cmd.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fractional throughput drop per record (default 0.30)",
     )
     bench_cmd.add_argument(
         "--normalize", action="store_true",
         help="normalize each record by the run's anchor record "
-        "(marshal-pickle / batch-off-c1 / threaded-c64 / shard-flat-c256) "
-        "before comparing — absorbs machine-speed differences in CI",
+        "(marshal-pickle / batch-off-c1 / threaded-c64 / shard-flat-c256 "
+        "/ epoch-poll-c1) before comparing — absorbs machine-speed "
+        "differences in CI",
     )
     bench_cmd.set_defaults(fn=_cmd_bench)
 
@@ -297,6 +307,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_batching_suite,
         run_hotpath_suite,
         run_shard_suite,
+        run_store_suite,
         write_report,
     )
 
@@ -342,6 +353,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         runs.append(
             ("rmi_shard", records, extra, args.shard_output, baseline,
              "shard-flat-c256")
+        )
+    if args.suite in ("all", "store"):
+        baseline = (
+            None if args.check_store is None
+            else load_report(args.check_store)
+        )
+        extra = {}
+        records = run_store_suite(scale=args.scale, extra_out=extra)
+        runs.append(
+            ("rmi_store", records, extra, args.store_output, baseline,
+             "epoch-poll-c1")
         )
 
     status = 0

@@ -79,6 +79,12 @@ class elastic_field:
         if ctx is None:
             local = obj.__dict__.get(_LOCAL_FIELDS, {})
             return local.get(self.name, self.default)
+        # Reads go through the runtime's watch cache when the member has
+        # one: steady-state field reads are then push-invalidated local
+        # hits instead of a store round-trip per access.
+        cache = getattr(ctx, "cache", None)
+        if cache is not None:
+            return cache.get(self.store_key, default=self.default)
         try:
             return ctx.store.get(self.store_key)
         except KeyNotFoundError:
@@ -88,6 +94,10 @@ class elastic_field:
         ctx = getattr(obj, "_ermi_ctx", None)
         if ctx is None:
             obj.__dict__.setdefault(_LOCAL_FIELDS, {})[self.name] = value
+            return
+        cache = getattr(ctx, "cache", None)
+        if cache is not None:
+            cache.put(self.store_key, value)  # write-through
         else:
             ctx.store.put(self.store_key, value)
 
@@ -104,6 +114,11 @@ class elastic_field:
             new = fn(local.get(self.name, self.default))
             local[self.name] = new
             return new
+        cache = getattr(ctx, "cache", None)
+        if cache is not None:
+            # The cache delegates the RMW to the store (atomicity lives
+            # there) and invalidates its local entry.
+            return cache.update(self.store_key, fn, default=self.default)
         return ctx.store.update(self.store_key, fn, default=self.default)
 
 

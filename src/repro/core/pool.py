@@ -129,6 +129,9 @@ class MemberContext:
         self.member = member
         self.store = pool.services.store
         self.locks = pool.services.locks
+        # The runtime's shared watch cache (None for hand-built
+        # services): elastic fields read through it when present.
+        self.cache = getattr(pool.services, "cache", None)
 
     def lock_owner_id(self) -> str:
         return f"{self.pool.name}:member-{self.member.uid}"

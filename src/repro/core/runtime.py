@@ -51,6 +51,7 @@ from repro.core.scaling import ScalingPolicy, select_policy
 from repro.core.sentinel import SentinelAgent
 from repro.errors import MasterUnavailableError, PoolConfigurationError
 from repro.faults.policy import RetryPolicy
+from repro.kvstore.cache import WatchCache
 from repro.kvstore.locks import LockManager
 from repro.kvstore.store import HyperStore
 from repro.rmi.batching import RequestBatcher
@@ -111,6 +112,11 @@ class RuntimeServices:
     # elsewhere instead of sitting out the drain window.  None when no
     # runtime-made stub batches.
     flush_client_batches: Callable[[], None] | None = None
+    # The runtime's shared WatchCache over ``store``, or None.  Members
+    # and sentinels route coordination reads (elastic fields, epoch
+    # mirrors) through it so steady-state reads are push-invalidated
+    # local hits instead of store round-trips.
+    cache: Any = None
     # The runtime's Observability (repro.obs), or None — pools check this
     # once per event site, so a runtime without one pays a single branch.
     obs: Any = None
@@ -157,6 +163,17 @@ class ElasticRuntime:
         self.rng = rng or RngStreams(0)
         self.store = store or HyperStore(nodes=1)
         self.locks = locks or LockManager(clock=scheduler.clock)
+        # One shared read-through cache over the store: epoch reads,
+        # shard-map fallbacks, and elastic fields all go through it.
+        # Watch-invalidated (the store is in-process here), with the
+        # lease TTL as the fallback when a watch stream degrades; driven
+        # by the scheduler's clock so lease expiry runs on virtual time
+        # under simulation.
+        self.store_cache = WatchCache(
+            self.store,
+            clock=scheduler.clock.now,
+            obs=observability,
+        )
         # Observability fan-out: one repro.obs.Observability (or None)
         # shared by every layer.  Wiring happens here, once, so no layer
         # needs to know whether tracing is on.
@@ -174,6 +191,9 @@ class ElasticRuntime:
                     set_tracer(tracer)
             master.set_tracer(tracer)
             self.locks.set_tracer(tracer)
+            store_obs = getattr(self.store, "set_obs", None)
+            if store_obs is not None:
+                store_obs(observability)
         # Last known sentinel uid per pool, to trace elections exactly
         # when leadership actually moves.
         self._last_sentinel: dict[str, int | None] = {}
@@ -346,6 +366,7 @@ class ElasticRuntime:
             or self._default_utilization,
             flush_client_batches=self._flush_client_batches,
             obs=self.obs,
+            cache=self.store_cache,
         )
         pool = ElasticObjectPool(
             name=pool_name,
@@ -474,7 +495,9 @@ class ElasticRuntime:
         if sharded is not None:
             names = [p.name for p in sharded.shards]
         else:
-            entry = self.store.get(f"{name}$shards", default=None)
+            # The static shard map never changes after publication, so
+            # the cached read makes repeat stub construction free.
+            entry = self.store_cache.get(f"{name}$shards", default=None)
             if not entry:
                 raise KeyError(f"unknown sharded pool: {name}")
             names = list(entry["pools"])
@@ -493,12 +516,19 @@ class ElasticRuntime:
         caller: str = "client",
         retry_policy: RetryPolicy | None = None,
         batcher: RequestBatcher | None = None,
+        epoch_caching: bool = True,
     ) -> ElasticStub:
         """Client stub for a pool: one remote object, load balanced.
 
         The stub caches member identities against the pool's membership
         epoch in the shared store, so its common path is lock-free and
         identities are only re-fetched when the pool actually changed.
+        With ``epoch_caching`` (the default) the epoch itself is read
+        through the runtime's watch cache: membership changes are pushed
+        into the stub's process, and the steady-state invocation path
+        performs **zero** store reads.  ``epoch_caching=False`` restores
+        the one-``get``-per-call poll (the pre-watch behaviour, kept for
+        benchmarking the difference).
 
         Retries are bounded by ``retry_policy`` (defaults apply when
         omitted): the runtime wires the stub to its own clock so the
@@ -512,13 +542,18 @@ class ElasticRuntime:
         """
         epoch_key = f"{name}$epoch"
         live = isinstance(self.scheduler, ThreadScheduler)
+        if epoch_caching:
+            cache = self.store_cache
+            epoch_source = lambda: cache.get(epoch_key, default=0)  # noqa: E731
+        else:
+            epoch_source = lambda: self.store.get(epoch_key, default=0)  # noqa: E731
         stub = ElasticStub(
             transport=self.transport,
             sentinel_resolver=lambda: self.registry.lookup(name),
             mode=mode,
             caller=caller,
             rng=self.rng.stream(f"stub:{name}:{caller}"),
-            epoch_source=lambda: self.store.get(epoch_key, default=0),
+            epoch_source=epoch_source,
             retry_policy=retry_policy,
             clock=self.scheduler.clock,
             sleep=time.sleep if live else None,
@@ -754,6 +789,7 @@ class ElasticRuntime:
                 self.master.release_slice(self.framework_name, sl)
             except Exception:
                 pass
+        self.store_cache.close()
         if isinstance(self.scheduler, ThreadScheduler):
             self.scheduler.shutdown()
         stop_transport = getattr(self.transport, "shutdown", None)

@@ -37,6 +37,16 @@ class SentinelAgent:
         self.rebalancer = rebalancer or FirstFitRebalancer()
         self.broadcasts = 0
         self.last_decision: RebalanceDecision | None = None
+        # Last values actually sent/written, for coalescing: identical
+        # shard-map puts and state broadcasts are skipped so a quiet pool
+        # costs the store and channel nothing per tick.  ``broadcasts``
+        # keeps counting tick cycles (its historical meaning); the
+        # skipped_* counters expose how many sends coalescing saved.
+        self._last_map_entry: dict | None = None
+        self._last_state: dict | None = None
+        self._last_plan_empty = True
+        self.skipped_puts = 0
+        self.skipped_broadcasts = 0
 
     def tick(self) -> RebalanceDecision | None:
         """Broadcast pool state and install redirects where needed.
@@ -64,30 +74,55 @@ class SentinelAgent:
         shard = self.pool.shard_of
         if shard is not None:
             state["shard"] = shard.index
-            # Refresh this shard's live entry in the parent's shard map.
-            # Best effort, like the epoch mirror: the map is a routing
-            # hint, and a partitioned store must never stall the tick.
+            # Refresh this shard's live entry in the parent's shard map —
+            # but only when it actually changed: a quiet shard's tick
+            # must not re-put an identical entry every cadence.  Best
+            # effort, like the epoch mirror: the map is a routing hint,
+            # and a partitioned store must never stall the tick.
             try:
-                store = self.pool.services.store
-                store.put(
-                    shard.map_entry_key(),
-                    {
-                        "pool": self.pool.name,
-                        "sentinel": sentinel.uid,
-                        "size": len(refs),
-                        "epoch": store.get(
-                            self.pool.membership_epoch_key(), default=0
-                        ),
-                    },
+                services = self.pool.services
+                cache = getattr(services, "cache", None)
+                epoch_key = self.pool.membership_epoch_key()
+                epoch = (
+                    cache.get(epoch_key, default=0)
+                    if cache is not None
+                    else services.store.get(epoch_key, default=0)
                 )
+                entry = {
+                    "pool": self.pool.name,
+                    "sentinel": sentinel.uid,
+                    "size": len(refs),
+                    "epoch": epoch,
+                }
+                if entry != self._last_map_entry:
+                    put_many = getattr(services.store, "put_many", None)
+                    if put_many is not None:
+                        put_many({shard.map_entry_key(): entry})
+                    else:
+                        services.store.put(shard.map_entry_key(), entry)
+                    self._last_map_entry = entry
+                else:
+                    self.skipped_puts += 1
             except StoreError:
                 pass
-        self.pool.channel.broadcast(sentinel.address(), state)
+        if state != self._last_state:
+            self.pool.channel.broadcast(sentinel.address(), state)
+            self._last_state = state
+        else:
+            self.skipped_broadcasts += 1
         self.broadcasts += 1
         decision = self.rebalancer.plan(pending, refs)
-        self.pool.channel.broadcast(
-            sentinel.address(), {"kind": "rebalance", "plan": decision.plan}
-        )
+        plan_empty = all(d is None for d in decision.plan.values())
+        # An all-None plan still must go out once after a real plan, so
+        # members clear their redirect policies; after that, repeating
+        # "nothing to rebalance" every tick is pure noise.
+        if not (plan_empty and self._last_plan_empty):
+            self.pool.channel.broadcast(
+                sentinel.address(), {"kind": "rebalance", "plan": decision.plan}
+            )
+        else:
+            self.skipped_broadcasts += 1
+        self._last_plan_empty = plan_empty
         self.last_decision = decision
         obs = self.pool.services.obs
         if obs is not None:

@@ -1047,6 +1047,229 @@ def run_shard_suite(
 
 
 # ----------------------------------------------------------------------
+# the store suite: watched epoch path vs per-call polling
+# ----------------------------------------------------------------------
+
+# Steady-state leg: invocations against a quiet pool, where the only
+# coordination cost difference is how the stub learns the epoch.
+STORE_EPOCH_CALLS = 20_000
+STORE_POOL_MEMBERS = 2
+
+# Convergence leg: how fast STORE_CONVERGE_CLIENTS client-side caches
+# observe an epoch bump.  The poll baseline is lease-mode caching at
+# STORE_CONVERGE_LEASE_MS (the throttled equivalent of per-call polling
+# that also does zero steady-state reads — the honest comparison), the
+# watch mode is push invalidation.
+STORE_CONVERGE_CLIENTS = 256
+STORE_CONVERGE_ROUNDS = 8
+STORE_CONVERGE_LEASE_MS = 25.0
+# Convergence latencies are tens of microseconds (watch) to one lease
+# (poll); a single descheduled combiner thread can shift p50 by 30%+.
+# Best-of-minima over independent repeats keeps the regression gate
+# stable in CI (same discipline as the obs-overhead gate).
+STORE_CONVERGE_REPEATS = 3
+
+
+def _make_epoch_harness() -> tuple[Any, Any, Callable[[], int]]:
+    """A live pool on DirectTransport over a store that counts epoch
+    reads.  Returns ``(runtime, pool, epoch_reads)``.
+
+    DirectTransport keeps dispatch synchronous and cheap, so the
+    epoch-path cost difference is visible instead of drowned in thread
+    handoffs; the burst interval parks the control loop far outside the
+    measured window.
+    """
+    from repro.core.api import ElasticObject
+    from repro.core.runtime import ElasticRuntime
+    from repro.kvstore.store import HyperStore
+    from repro.rmi.transport import DirectTransport
+
+    counts = {"epoch_gets": 0}
+
+    def on_op(op: str, key: str) -> None:
+        if op == "get" and key.endswith("$epoch"):
+            counts["epoch_gets"] += 1
+
+    class EpochEcho(ElasticObject):
+        def __init__(self) -> None:
+            super().__init__()
+            self.set_min_pool_size(STORE_POOL_MEMBERS)
+            self.set_max_pool_size(STORE_POOL_MEMBERS + 4)
+            self.set_burst_interval(3_600.0)
+
+        def echo(self, value: Any) -> Any:
+            return value
+
+    runtime = ElasticRuntime.local(
+        nodes=4,
+        slices_per_node=4,
+        transport=DirectTransport(),
+        store=HyperStore(nodes=1, on_op=on_op),
+    )
+    pool = runtime.new_pool(EpochEcho, name="bench-epoch")
+    return runtime, pool, lambda: counts["epoch_gets"]
+
+
+def _run_epoch_leg(
+    name: str,
+    runtime: Any,
+    epoch_reads: Callable[[], int],
+    cached: bool,
+    calls: int,
+) -> tuple[BenchRecord, dict[str, Any]]:
+    """Measure one epoch-learning discipline on a fresh stub."""
+    stub = runtime.stub("bench-epoch", epoch_caching=cached)
+    stub.echo("prime")  # first call pays the (one) read-through miss
+    warmup = max(1, calls // 10)
+    before = epoch_reads()
+    durations = time_calls(lambda: stub.echo(1), calls, warmup=warmup)
+    reads = epoch_reads() - before
+    reads_per_call = reads / (calls + warmup)
+    record = summarize(
+        name,
+        {
+            "transport": "direct",
+            "members": STORE_POOL_MEMBERS,
+            "concurrency": 1,
+            "epoch_caching": cached,
+        },
+        durations,
+    )
+    return record, {
+        "epoch_reads": reads,
+        "epoch_reads_per_call": round(reads_per_call, 6),
+    }
+
+
+def _run_convergence_leg(
+    name: str, watch: bool, rounds: int
+) -> tuple[BenchRecord, dict[str, Any]]:
+    """Membership-convergence latency for c256 client caches.
+
+    Each round bumps the epoch key once and then sweeps all caches
+    round-robin until every one observes the new value; the per-cache
+    latency is bump-to-observation.  Both modes run the identical sweep
+    loop — the only difference is how the cache learns about the bump
+    (pushed event vs lease expiry + re-read).
+    """
+    from repro.kvstore.cache import WatchCache
+    from repro.kvstore.store import HyperStore
+
+    store = HyperStore(nodes=1)
+    key = "bench-conv$epoch"
+    store.put(key, 0)
+    caches = [
+        WatchCache(
+            store, watch=watch, lease_ms=STORE_CONVERGE_LEASE_MS
+        )
+        for _ in range(STORE_CONVERGE_CLIENTS)
+    ]
+    clock = time.perf_counter
+    try:
+        for cache in caches:
+            cache.get(key)  # prime: attach watches / start leases
+        durations: list[float] = []
+        wall = 0.0
+        for _ in range(rounds):
+            target = store.incr(key)
+            started = clock()
+            waiting = dict(enumerate(caches))
+            while waiting:
+                for index, cache in list(waiting.items()):
+                    if cache.get(key) == target:
+                        durations.append(clock() - started)
+                        del waiting[index]
+            wall += clock() - started
+        record = summarize_wall(
+            name,
+            {
+                "clients": STORE_CONVERGE_CLIENTS,
+                "rounds": rounds,
+                "lease_ms": STORE_CONVERGE_LEASE_MS,
+                "watch": watch,
+            },
+            durations,
+            wall,
+        )
+        extra = {
+            "convergence_p50_ms": round(percentile(durations, 0.50) * 1e3, 4),
+            "convergence_p99_ms": round(percentile(durations, 0.99) * 1e3, 4),
+            "store_reads": store.total_ops(),
+        }
+        return record, extra
+    finally:
+        for cache in caches:
+            cache.close()
+
+
+def run_store_suite(
+    scale: float | None = None, extra_out: dict[str, Any] | None = None
+) -> list[BenchRecord]:
+    """Coordination-read cost: watched cache vs per-call store polling.
+
+    Two contrasts, both from PR 8's tentpole:
+
+    - ``epoch-poll-c1`` vs ``epoch-watch-c1`` — invocation latency on a
+      quiet pool with the epoch polled per call (the pre-watch baseline,
+      exactly one store ``get`` per invocation) vs read through the
+      runtime's WatchCache (zero steady-state store reads).  Headline:
+      ``extra["steady-state"]`` epoch reads per call.
+    - ``churn-poll-c256`` vs ``churn-watch-c256`` — how fast 256 client
+      caches observe an epoch bump: lease expiry (bounded staleness,
+      zero steady-state reads — the best a poll-flavoured design does)
+      vs push invalidation.  Headline: ``extra["convergence"]`` p50
+      latency ratio.
+
+    Anchor record for normalized regression checks: ``epoch-poll-c1``.
+    """
+    if scale is None:
+        scale = bench_scale()
+    extra: dict[str, Any] = {} if extra_out is None else extra_out
+
+    records = []
+    calls = _scaled(STORE_EPOCH_CALLS, scale)
+    runtime, _pool, epoch_reads = _make_epoch_harness()
+    try:
+        steady: dict[str, Any] = {"calls_per_leg": calls}
+        for name, cached in (("epoch-poll-c1", False), ("epoch-watch-c1", True)):
+            record, leg_extra = _run_epoch_leg(
+                name, runtime, epoch_reads, cached, calls
+            )
+            records.append(record)
+            mode = "watch" if cached else "poll"
+            steady[f"{mode}_epoch_reads_per_call"] = leg_extra[
+                "epoch_reads_per_call"
+            ]
+        extra["steady-state"] = steady
+    finally:
+        runtime.shutdown()
+
+    rounds = max(2, int(STORE_CONVERGE_ROUNDS * scale))
+    convergence: dict[str, Any] = {
+        "clients": STORE_CONVERGE_CLIENTS,
+        "rounds": rounds,
+        "lease_ms": STORE_CONVERGE_LEASE_MS,
+    }
+    for name, watch in (("churn-poll-c256", False), ("churn-watch-c256", True)):
+        record, leg_extra = _run_convergence_leg(name, watch, rounds)
+        for _ in range(STORE_CONVERGE_REPEATS - 1):
+            candidate = _run_convergence_leg(name, watch, rounds)
+            if candidate[1]["convergence_p50_ms"] < leg_extra["convergence_p50_ms"]:
+                record, leg_extra = candidate
+        records.append(record)
+        mode = "watch" if watch else "poll"
+        for stat, value in leg_extra.items():
+            convergence[f"{mode}_{stat}"] = value
+    watch_p50 = convergence["watch_convergence_p50_ms"]
+    poll_p50 = convergence["poll_convergence_p50_ms"]
+    convergence["speedup_p50"] = round(
+        poll_p50 / watch_p50 if watch_p50 > 0 else float("inf"), 2
+    )
+    extra["convergence"] = convergence
+    return records
+
+
+# ----------------------------------------------------------------------
 # BENCH_*.json reporting
 # ----------------------------------------------------------------------
 

@@ -22,12 +22,24 @@ same capabilities:
 from repro.kvstore.ring import HashRing
 from repro.kvstore.store import HyperStore, Partition, VersionedValue
 from repro.kvstore.locks import Lease, LockManager
+from repro.kvstore.cache import WatchCache
+from repro.kvstore.watch import (
+    AsyncWatchQueue,
+    WatchEvent,
+    WatchHub,
+    WatchSubscription,
+)
 
 __all__ = [
+    "AsyncWatchQueue",
     "HashRing",
     "HyperStore",
     "Lease",
     "LockManager",
     "Partition",
     "VersionedValue",
+    "WatchCache",
+    "WatchEvent",
+    "WatchHub",
+    "WatchSubscription",
 ]

@@ -29,6 +29,7 @@ from repro.errors import (
     StoreUnavailableError,
 )
 from repro.kvstore.ring import HashRing
+from repro.kvstore.watch import WatchHub, WatchSubscription
 
 _MISSING = object()
 
@@ -73,6 +74,11 @@ class Partition:
             raise ValueError(f"stripes must be a power of two: {stripes}")
         self.node = node
         self.data: dict[str, VersionedValue] = {}
+        # Last version a deleted key held (plus one for the delete event
+        # itself): recreating the key resumes from here, keeping per-key
+        # versions monotonic across delete/recreate so watch subscribers
+        # and CAS callers can order events by version alone.
+        self.tombstones: dict[str, int] = {}
         self.alive = True
         self._mask = stripes - 1
         self._stripes = [threading.RLock() for _ in range(stripes)]
@@ -142,6 +148,10 @@ class HyperStore:
         # plain lock-guarded counter is fine here).
         self._keys_visited = 0
         self._scan_lock = threading.Lock()
+        # Push-based change notifications.  The hub is always present;
+        # mutations check its (lock-free) ``active`` flag, so a store
+        # nobody watches pays a single branch per write.
+        self._hub = WatchHub()
         for i in range(nodes):
             self._add_partition(f"store-{i}")
 
@@ -164,6 +174,11 @@ class HyperStore:
                 for part in self._partitions.values()
                 for key in part.data
             }
+            tombstone_owner = {
+                key: part.node
+                for part in self._partitions.values()
+                for key in part.tombstones
+            }
             self._add_partition(node)
             for key, owner in old_owner.items():
                 new_owner = self._ring.owner(key)
@@ -179,6 +194,17 @@ class HyperStore:
                             dst.data[key] = entry
                             src.index_discard(key)
                             dst.index_add(key)
+            # Tombstoned versions follow their keys so a recreate on the
+            # new owner still resumes the version sequence.
+            for key, owner in tombstone_owner.items():
+                new_owner = self._ring.owner(key)
+                if new_owner != owner:
+                    src = self._partitions[owner]
+                    dst = self._partitions[new_owner]
+                    with src.lock_for(key), dst.lock_for(key):
+                        version = src.tombstones.pop(key, None)
+                        if version is not None:
+                            dst.tombstones[key] = version
             return node
 
     def node_count(self) -> int:
@@ -206,11 +232,31 @@ class HyperStore:
 
     def fail_node(self, node: str) -> None:
         """Make one store node unavailable.  Per the paper's fault model,
-        operations on its keys then *propagate* StoreUnavailableError."""
+        operations on its keys then *propagate* StoreUnavailableError.
+
+        Watch subscribers whose keys the node owns receive an ``error``
+        event so they can fall back to direct (leased) reads instead of
+        trusting a silent stream."""
         self._partition_by_name(node).alive = False
+        if self._hub.active:
+            self._hub.broadcast_error(
+                StoreUnavailableError(f"store node {node} is down"),
+                owner=self._ring.owner,
+                node=node,
+            )
 
     def recover_node(self, node: str) -> None:
+        """Bring a failed node back.  Subscribers get an ``error`` event
+        carrying ``None`` semantics via :class:`StoreUnavailableError`'s
+        recovery message: anything cached across the outage must be
+        re-validated against the store before being trusted again."""
         self._partition_by_name(node).alive = True
+        if self._hub.active:
+            self._hub.broadcast_error(
+                StoreUnavailableError(f"store node {node} recovered"),
+                owner=self._ring.owner,
+                node=node,
+            )
 
     # -- core operations ----------------------------------------------------------
 
@@ -237,17 +283,61 @@ class HyperStore:
                 raise KeyNotFoundError(key)
             return VersionedValue(entry.value, entry.version)
 
+    def read_versioned(self, key: str) -> tuple[bool, Any, int]:
+        """Read ``(present, value, version)`` where an absent key still
+        reports a meaningful version: the tombstone left by its last
+        delete (0 when never written).  This is what lets a cache order
+        an "absent" observation against racing put/delete events."""
+        part = self._owner(key)
+        with part.lock_for(key):
+            self._account("get", key, part)
+            entry = part.data.get(key)
+            if entry is None:
+                return (False, None, part.tombstones.get(key, 0))
+            return (True, entry.value, entry.version)
+
     def put(self, key: str, value: Any) -> int:
         """Write ``value``; returns the new version."""
         part = self._owner(key)
         with part.lock_for(key):
             self._account("put", key, part)
             entry = part.data.get(key)
-            version = 1 if entry is None else entry.version + 1
+            version = self._next_version(part, key, entry)
             part.data[key] = VersionedValue(value, version)
             if entry is None:
                 part.index_add(key)
-            return version
+            pending = self._notify(key, "put", value, version)
+        self._deliver(pending)
+        return version
+
+    def put_many(self, items: dict[str, Any]) -> dict[str, int]:
+        """Write several keys in one call; returns ``key -> new version``.
+
+        Each key is written under its own stripe lock (no cross-key
+        atomicity — same contract as issuing the puts individually), but
+        watch delivery for the whole batch is coalesced after the last
+        lock is released, so subscribers that watch several of the keys
+        see the batch back-to-back instead of interleaved with their own
+        redeliveries.
+        """
+        versions: dict[str, int] = {}
+        kicks: list[WatchSubscription] = []
+        for key, value in items.items():
+            part = self._owner(key)
+            with part.lock_for(key):
+                self._account("put", key, part)
+                entry = part.data.get(key)
+                version = self._next_version(part, key, entry)
+                part.data[key] = VersionedValue(value, version)
+                if entry is None:
+                    part.index_add(key)
+                pending = self._notify(key, "put", value, version)
+            if pending:
+                kicks.extend(pending)
+            versions[key] = version
+        if kicks:
+            self._hub.kick(kicks)
+        return versions
 
     def cas(self, key: str, expected: Any, value: Any) -> int:
         """Compare-and-swap on the *value*; raises on mismatch.
@@ -263,11 +353,13 @@ class HyperStore:
                 raise CASMismatchError(
                     f"cas({key!r}): expected {expected!r}, found {current!r}"
                 )
-            version = 1 if entry is None else entry.version + 1
+            version = self._next_version(part, key, entry)
             part.data[key] = VersionedValue(value, version)
             if entry is None:
                 part.index_add(key)
-            return version
+            pending = self._notify(key, "put", value, version)
+        self._deliver(pending)
+        return version
 
     def incr(self, key: str, delta: int = 1) -> int:
         """Atomic integer add; missing keys start at zero.  Returns the
@@ -279,21 +371,31 @@ class HyperStore:
             current = 0 if entry is None else entry.value
             if not isinstance(current, int):
                 raise TypeError(f"incr on non-integer key {key!r}: {current!r}")
-            version = 1 if entry is None else entry.version + 1
+            version = self._next_version(part, key, entry)
             part.data[key] = VersionedValue(current + delta, version)
             if entry is None:
                 part.index_add(key)
-            return current + delta
+            pending = self._notify(key, "put", current + delta, version)
+        self._deliver(pending)
+        return current + delta
 
     def delete(self, key: str) -> bool:
         """Remove ``key``; True if it existed."""
         part = self._owner(key)
+        pending = None
         with part.lock_for(key):
             self._account("delete", key, part)
-            existed = part.data.pop(key, None) is not None
+            entry = part.data.pop(key, None)
+            existed = entry is not None
             if existed:
                 part.index_discard(key)
-            return existed
+                # The delete itself consumes a version so a subsequent
+                # recreate is ordered strictly after it.
+                version = entry.version + 1
+                part.tombstones[key] = version
+                pending = self._notify(key, "delete", None, version)
+        self._deliver(pending)
+        return existed
 
     def exists(self, key: str) -> bool:
         part = self._owner(key)
@@ -313,11 +415,13 @@ class HyperStore:
             entry = part.data.get(key)
             current = default if entry is None else entry.value
             new = fn(current)
-            version = 1 if entry is None else entry.version + 1
+            version = self._next_version(part, key, entry)
             part.data[key] = VersionedValue(new, version)
             if entry is None:
                 part.index_add(key)
-            return new
+            pending = self._notify(key, "put", new, version)
+        self._deliver(pending)
+        return new
 
     # -- scans and search -----------------------------------------------------------
 
@@ -331,17 +435,24 @@ class HyperStore:
         entries, not the whole partition.  Completeness holds because a
         matching key's token and the query prefix are both prefixes of
         that key, hence one is always a prefix of the other.
+
+        The candidate set is snapshotted eagerly — at call time, under
+        each partition's index lock — so the returned iterator never
+        races with concurrent ``put``/``delete``: callers see the keys
+        that existed at the call, not a live view that can skip or
+        duplicate entries while they iterate.
         """
+        snapshot: list[str] = []
         if not prefix:
             for part in list(self._partitions.values()):
                 self._check_alive(part)
                 # list(dict) is a single C-level operation under the GIL,
                 # so this snapshot is safe against concurrent striped
                 # writers without taking (and stalling) every stripe lock.
-                snapshot = list(part.data)
-                self._note_scan(len(snapshot))
-                yield from iter(snapshot)
-            return
+                keys = list(part.data)
+                self._note_scan(len(keys))
+                snapshot.extend(keys)
+            return iter(snapshot)
         for part in list(self._partitions.values()):
             self._check_alive(part)
             with part.index_lock:
@@ -352,7 +463,8 @@ class HyperStore:
                     for key in bucket
                 ]
             self._note_scan(len(candidates))
-            yield from (k for k in candidates if k.startswith(prefix))
+            snapshot.extend(k for k in candidates if k.startswith(prefix))
+        return iter(snapshot)
 
     def search(self, prefix: str, **predicates: Any) -> list[tuple[str, Any]]:
         """HyperDex-style secondary-attribute search over dict values.
@@ -385,6 +497,30 @@ class HyperStore:
             if ok:
                 hits.append((key, value))
         return hits
+
+    # -- watches ------------------------------------------------------------------
+
+    def watch(
+        self, key: str, callback: Callable[[Any], None]
+    ) -> WatchSubscription:
+        """Subscribe to changes of ``key``.  ``callback`` receives a
+        :class:`~repro.kvstore.watch.WatchEvent` per mutation, in version
+        order, strictly after the mutating stripe lock is released."""
+        return self._hub.watch(key, callback)
+
+    def watch_prefix(
+        self, prefix: str, callback: Callable[[Any], None]
+    ) -> WatchSubscription:
+        """Subscribe to changes of every key starting with ``prefix``."""
+        return self._hub.watch_prefix(prefix, callback)
+
+    def watch_stats(self) -> dict[str, int]:
+        return {"subscriptions": self._hub.subscription_count()}
+
+    def set_obs(self, obs: Any) -> None:
+        """Wire an observability registry: watch delivery counters land
+        on ``kvstore.watch.delivered`` / ``kvstore.watch.dropped``."""
+        self._hub.set_obs(obs)
 
     # -- statistics ---------------------------------------------------------------
 
@@ -424,6 +560,33 @@ class HyperStore:
     def _check_alive(self, part: Partition) -> None:
         if not part.alive:
             raise StoreUnavailableError(f"store node {part.node} is down")
+
+    @staticmethod
+    def _next_version(
+        part: Partition, key: str, entry: VersionedValue | None
+    ) -> int:
+        """Next write version for ``key`` (stripe lock held): continue
+        from the live entry, or from the tombstone left by a delete."""
+        if entry is not None:
+            return entry.version + 1
+        return part.tombstones.pop(key, 0) + 1
+
+    def _notify(
+        self, key: str, kind: str, value: Any, version: int
+    ) -> list[WatchSubscription] | None:
+        """Enqueue a watch event (stripe lock held — this is what makes
+        event order equal version order).  Returns subscriptions this
+        thread must drain once the lock is released."""
+        hub = self._hub
+        if not hub.active:
+            return None
+        return hub.enqueue(key, kind, value, version)
+
+    def _deliver(self, pending: list[WatchSubscription] | None) -> None:
+        """Run watch callbacks for ``pending``.  Callers must hold no
+        stripe lock here — subscribers may re-enter the store."""
+        if pending:
+            self._hub.kick(pending)
 
     def _account(self, op: str, key: str, part: Partition) -> None:
         # Called with the key's stripe lock held: the stripe's cell has a

@@ -1,0 +1,144 @@
+"""Multi-thread contention on cas/update, and scan-vs-writer safety.
+
+The store's whole value is per-key linearizability under concurrency;
+these tests hammer the primitives from many threads and assert nothing
+is lost, duplicated, or version-reordered.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import CASMismatchError
+from repro.kvstore import HyperStore
+
+THREADS = 8
+ROUNDS = 250
+
+
+@pytest.fixture
+def store():
+    return HyperStore(nodes=2)
+
+
+def run_threads(fn, n=THREADS):
+    threads = [threading.Thread(target=fn, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestUpdateContention:
+    def test_no_lost_updates(self, store):
+        store.put("ctr", 0)
+
+        def worker(_):
+            for _ in range(ROUNDS):
+                store.update("ctr", lambda v: v + 1)
+
+        run_threads(worker)
+        assert store.get("ctr") == THREADS * ROUNDS
+        # One version per write: the initial put plus every update.
+        assert store.get_versioned("ctr").version == THREADS * ROUNDS + 1
+
+    def test_update_creates_exactly_once_under_race(self, store):
+        # All threads update a missing key concurrently; the default
+        # must be applied exactly once, not once per thread.
+        def worker(_):
+            store.update("race", lambda v: v + 1, default=0)
+
+        run_threads(worker)
+        assert store.get("race") == THREADS
+
+
+class TestCasContention:
+    def test_cas_loop_serializes_all_writers(self, store):
+        failures = [0] * THREADS
+
+        def worker(i):
+            for _ in range(ROUNDS):
+                while True:
+                    current = store.get("acc", default=None)
+                    try:
+                        store.cas(
+                            "acc", current, (current or 0) + 1
+                        )
+                        break
+                    except CASMismatchError:
+                        failures[i] += 1
+
+        run_threads(worker, n=4)
+        assert store.get("acc") == 4 * ROUNDS
+        # Versions count successful writes only.
+        assert store.get_versioned("acc").version == 4 * ROUNDS
+
+    def test_only_one_create_if_absent_wins(self, store):
+        winners = []
+
+        def worker(i):
+            try:
+                store.cas("slot", None, f"thread-{i}")
+                winners.append(i)
+            except CASMismatchError:
+                pass
+
+        run_threads(worker)
+        assert len(winners) == 1
+        assert store.get("slot") == f"thread-{winners[0]}"
+
+
+class TestScanSafety:
+    def test_keys_snapshot_is_immune_to_concurrent_mutation(self, store):
+        """The satellite fix: `keys(prefix)` snapshots candidates at
+        call time, so a racing writer can neither crash the iteration
+        (set changed size during iteration) nor leak into it."""
+        for i in range(50):
+            store.put(f"scan$k{i}", i)
+        stop = threading.Event()
+
+        def churn():
+            i = 50
+            while not stop.is_set():
+                store.put(f"scan$k{i}", i)
+                store.delete(f"scan$k{i - 25}")
+                i += 1
+
+        t = threading.Thread(target=churn)
+        t.start()
+        try:
+            for _ in range(100):
+                listed = list(store.keys("scan$"))
+                assert all(k.startswith("scan$") for k in listed)
+        finally:
+            stop.set()
+            t.join()
+
+    def test_snapshot_taken_at_call_not_first_next(self, store):
+        store.put("snap$a", 1)
+        it = store.keys("snap$")
+        store.put("snap$b", 2)  # after the call: not in the snapshot
+        assert list(it) == ["snap$a"]
+
+
+class TestWatchedContention:
+    def test_watched_counter_under_contention_stays_exact(self, store):
+        """Watches riding on contended writes: every version delivered
+        exactly once, in order, while 8 threads fight for the key."""
+        events = []
+        lock = threading.Lock()
+
+        def record(event):
+            with lock:
+                events.append(event.version)
+
+        store.watch("hot", record)
+
+        def worker(_):
+            for _ in range(ROUNDS):
+                store.incr("hot")
+
+        run_threads(worker)
+        assert events == list(range(1, THREADS * ROUNDS + 1))

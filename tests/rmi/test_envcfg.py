@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.kvstore.cache import store_lease_ms_from_env
+from repro.kvstore.watch import watch_queue_from_env
 from repro.rmi.aio import aio_inflight_from_env
 from repro.rmi.batching import (
     batch_inflight_from_env,
@@ -22,6 +24,8 @@ KNOBS = [
     ("ERMI_BATCH_LINGER_MS", batch_linger_from_env),
     ("ERMI_BATCH_INFLIGHT", batch_inflight_from_env),
     ("ERMI_AIO_INFLIGHT", aio_inflight_from_env),
+    ("ERMI_STORE_LEASE_MS", store_lease_ms_from_env),
+    ("ERMI_WATCH_QUEUE", watch_queue_from_env),
 ]
 
 
@@ -85,6 +89,32 @@ class TestKnobReaders:
     def test_batch_linger_is_seconds_from_ms(self, monkeypatch):
         monkeypatch.setenv("ERMI_BATCH_LINGER_MS", "2")
         assert batch_linger_from_env() == pytest.approx(0.002)
+
+    def test_store_lease_parses_ms(self, monkeypatch):
+        monkeypatch.setenv("ERMI_STORE_LEASE_MS", "125.5")
+        assert store_lease_ms_from_env() == pytest.approx(125.5)
+
+    def test_store_lease_rejects_nan(self, monkeypatch):
+        monkeypatch.setenv("ERMI_STORE_LEASE_MS", "nan")
+        with pytest.raises(ValueError, match="ERMI_STORE_LEASE_MS"):
+            store_lease_ms_from_env()
+
+    def test_watch_queue_parses_and_clamps(self, monkeypatch):
+        monkeypatch.setenv("ERMI_WATCH_QUEUE", "16")
+        assert watch_queue_from_env() == 16
+        # A zero-depth queue could never deliver anything: clamp to 1.
+        monkeypatch.setenv("ERMI_WATCH_QUEUE", "0")
+        assert watch_queue_from_env() == 1
+
+    def test_malformed_watch_queue_fails_at_subscription(self, monkeypatch):
+        """Same contract as the stub knobs: a typo'd queue depth fails
+        when the first watch is registered, naming the variable."""
+        from repro.kvstore import HyperStore
+
+        monkeypatch.setenv("ERMI_WATCH_QUEUE", "4k")
+        store = HyperStore()
+        with pytest.raises(ValueError, match="ERMI_WATCH_QUEUE"):
+            store.watch("k", lambda event: None)
 
     def test_malformed_knob_fails_at_stub_construction(self, monkeypatch):
         """The contract the fix exists for: a stub built under a typo'd
