@@ -23,6 +23,11 @@ Commands:
   run) into the ``repro.obs/v1`` summary document, whose agility /
   provisioning / QoS numbers come from the same ``repro.metrics``
   trackers the experiments use.
+- ``scenario`` — run one scenario from the open-loop matrix (or
+  ``all``/``list``): seeded, replayable, emitting a ``repro.obs/v1``
+  summary with tail-latency, agility, and QoS sections.  The same
+  matrix feeds ``bench --suite scenario`` and its committed
+  ``BENCH_scenario_*.json`` baselines.
 """
 
 from __future__ import annotations
@@ -169,7 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument(
         "--suite",
-        choices=("all", "hotpath", "batching", "async", "shard", "store"),
+        choices=(
+            "all", "hotpath", "batching", "async", "shard", "store",
+            "scenario",
+        ),
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -217,6 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--check-store", metavar="BASELINE", default=None,
         help="compare the store watch/cache run against a committed baseline",
+    )
+    bench_cmd.add_argument(
+        "--scenario-dir", metavar="DIR", default=".",
+        help="directory for BENCH_scenario_*.json reports (default: .)",
+    )
+    bench_cmd.add_argument(
+        "--check-scenario", metavar="DIR", default=None,
+        help="compare the scenario matrix against the committed "
+        "BENCH_scenario_*.json baselines in DIR (raw comparison — "
+        "scenario metrics are virtual-time and machine-independent)",
     )
     bench_cmd.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -280,6 +298,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the summary JSON here instead of stdout",
     )
     metrics_cmd.set_defaults(fn=_cmd_metrics)
+
+    scenario_cmd = sub.add_parser(
+        "scenario",
+        help="run an open-loop load scenario (seeded, replayable)",
+    )
+    scenario_cmd.add_argument(
+        "name",
+        help="scenario name, 'all' for the whole matrix, or 'list'",
+    )
+    scenario_cmd.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's committed seed",
+    )
+    scenario_cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="rate x scale, service / scale: same dynamics, fewer "
+        "simulated events (default 1.0)",
+    )
+    scenario_cmd.add_argument(
+        "--mode", choices=("sim", "live"), default="sim",
+        help="virtual-time simulation (default) or wall-clock live run "
+        "on the asyncio transport",
+    )
+    scenario_cmd.add_argument(
+        "--live-duration", type=float, default=8.0,
+        help="wall seconds the compressed live replay runs (default 8)",
+    )
+    scenario_cmd.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the repro.obs/v1 summary JSON here (single scenario)",
+    )
+    scenario_cmd.add_argument(
+        "--summary-dir", default=None, metavar="DIR",
+        help="write each scenario's summary to DIR/SCENARIO_<name>.json",
+    )
+    scenario_cmd.set_defaults(fn=_cmd_scenario)
 
     return parser
 
@@ -395,6 +449,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             status = 1
         else:
             print(f"bench check OK ({suite})")
+
+    # The scenario suite writes one deterministic report per scenario
+    # (BENCH_scenario_<name>.json under --scenario-dir), so it runs as
+    # its own block rather than through the single-file loop above.
+    if args.suite in ("all", "scenario"):
+        from repro.scenarios.bench import (
+            check_scenario_reports,
+            run_scenario_suite,
+            scenario_report_path,
+        )
+
+        results = run_scenario_suite(
+            scale=args.scale, out_dir=args.scenario_dir
+        )
+        for name, result, _doc in results:
+            print(result.describe())
+            print(f"wrote {scenario_report_path(args.scenario_dir, name)}")
+        if args.check_scenario is not None:
+            ok, lines = check_scenario_reports(
+                results, args.check_scenario, tolerance=args.tolerance
+            )
+            for line in lines:
+                print(line)
+            if ok:
+                print("bench check OK (scenario)")
+            else:
+                print(
+                    "REGRESSION (scenario): drift beyond "
+                    f"-{args.tolerance:.0%} vs {args.check_scenario}",
+                    file=sys.stderr,
+                )
+                status = 1
     return status
 
 
@@ -454,6 +540,66 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.obs.export import validate_summary
+    from repro.scenarios import SCENARIOS, run_scenario
+
+    if args.name == "list":
+        print(f"{'name':<18} {'tenants':<28} {'users':>10} {'dur s':>7}")
+        for spec in SCENARIOS.values():
+            tenants = ",".join(t.name for t in spec.tenants)
+            print(
+                f"{spec.name:<18} {tenants:<28} {spec.users:>10} "
+                f"{spec.duration_s:>7.0f}  {spec.title}"
+            )
+        return 0
+    names = list(SCENARIOS) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(known: {', '.join(SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.output is not None and len(names) > 1:
+        print("-o works with a single scenario; use --summary-dir",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for name in names:
+        result = run_scenario(
+            name,
+            seed=args.seed,
+            scale=args.scale,
+            mode=args.mode,
+            live_duration_s=args.live_duration,
+        )
+        print(result.describe())
+        summary = result.summary()
+        problems = validate_summary(summary)
+        for problem in problems:
+            print(f"invalid summary ({name}): {problem}", file=sys.stderr)
+            status = 1
+        text = json.dumps(summary, indent=2, sort_keys=True)
+        if args.output is not None:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}")
+        if args.summary_dir is not None:
+            os.makedirs(args.summary_dir, exist_ok=True)
+            path = os.path.join(
+                args.summary_dir, f"SCENARIO_{name}.json"
+            )
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {path}")
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1275,17 +1275,29 @@ def run_store_suite(
 
 
 def build_report(
-    suite: str, records: list[BenchRecord], extra: dict[str, Any] | None = None
+    suite: str,
+    records: list[BenchRecord],
+    extra: dict[str, Any] | None = None,
+    deterministic: bool = False,
 ) -> dict[str, Any]:
-    """The JSON document for one suite run (schema in README.md)."""
+    """The JSON document for one suite run (schema in README.md).
+
+    ``deterministic`` omits the environment stamps (``created_unix``,
+    ``python``, ``platform``) so two runs with identical measurements
+    serialize byte-identically — the scenario suite's replay contract,
+    where every metric is virtual-time and therefore machine-independent.
+    """
     doc: dict[str, Any] = {
         "schema": SCHEMA,
         "suite": suite,
-        "created_unix": time.time(),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "records": [asdict(record) for record in records],
     }
+    if deterministic:
+        doc["deterministic"] = True
+    else:
+        doc["created_unix"] = time.time()
+        doc["python"] = platform.python_version()
+        doc["platform"] = platform.platform()
+    doc["records"] = [asdict(record) for record in records]
     if extra:
         doc["extra"] = extra
     return doc
@@ -1296,9 +1308,12 @@ def write_report(
     suite: str,
     records: list[BenchRecord],
     extra: dict[str, Any] | None = None,
+    deterministic: bool = False,
 ) -> dict[str, Any]:
     """Write (and return) the ``BENCH_*.json`` document."""
-    doc = build_report(suite, records, extra=extra)
+    doc = build_report(
+        suite, records, extra=extra, deterministic=deterministic
+    )
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=False)
         handle.write("\n")

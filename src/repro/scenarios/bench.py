@@ -1,0 +1,134 @@
+"""The ``scenario`` bench suite: one ``BENCH_scenario_*.json`` per
+scenario, regression-gated in CI.
+
+Unlike the wall-clock suites, scenario reports are **deterministic**:
+every metric is virtual-time (identical on any machine for a given
+seed), so reports carry no environment stamps, replay byte-identically,
+and the regression gate compares raw values — no normalization anchor
+needed.  A drift outside tolerance means the PR changed the *modeled
+system's* behavior at scale (tail latency, throughput, elasticity), not
+that the runner got a slower machine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.experiments.benchreport import (
+    CompareResult,
+    bench_scale,
+    build_report,
+    compare_reports,
+    load_report,
+    write_report,
+)
+from repro.scenarios.catalog import SCENARIOS
+from repro.scenarios.runner import ScenarioResult, run_scenario
+
+SUITE = "scenario"
+
+
+def scenario_report_name(name: str) -> str:
+    return f"BENCH_scenario_{name.replace('-', '_')}.json"
+
+
+def scenario_report_path(out_dir: str, name: str) -> str:
+    return os.path.join(out_dir, scenario_report_name(name))
+
+
+def run_scenario_suite(
+    scale: float | None = None,
+    out_dir: str | None = None,
+    names: list[str] | None = None,
+    seed: int | None = None,
+) -> list[tuple[str, ScenarioResult, dict[str, Any]]]:
+    """Run the matrix (or ``names``); write one report per scenario when
+    ``out_dir`` is given.  ``scale`` defaults to ``ERMI_BENCH_SCALE``.
+    Returns (name, result, report doc) triples."""
+    if scale is None:
+        scale = bench_scale()
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+    out: list[tuple[str, ScenarioResult, dict[str, Any]]] = []
+    for name in names or list(SCENARIOS):
+        result = run_scenario(name, seed=seed, scale=scale)
+        records, extra = result.bench_records()
+        if out_dir is not None:
+            doc = write_report(
+                scenario_report_path(out_dir, name),
+                SUITE,
+                records,
+                extra=extra,
+                deterministic=True,
+            )
+        else:
+            doc = build_report(
+                SUITE, records, extra=extra, deterministic=True
+            )
+        out.append((name, result, doc))
+    return out
+
+
+def _latency_drift(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance: float,
+) -> list[str]:
+    """Per-record tail-latency regressions (p50/p99 grew > tolerance).
+
+    The generic gate compares throughput only; for scenarios the
+    deterministic virtual-time percentiles are the headline metric, so
+    upward drift is gated at the same tolerance.  (Downward drift — an
+    improvement — passes; refresh the baseline to lock it in.)
+    """
+    base = {r["name"]: r for r in baseline.get("records", [])}
+    cur = {r["name"]: r for r in current.get("records", [])}
+    problems = []
+    for name, base_record in base.items():
+        record = cur.get(name)
+        if record is None:
+            continue  # compare_reports already reports it as missing
+        for field in ("p50_us", "p99_us"):
+            base_value = float(base_record[field])
+            if base_value <= 0:
+                continue
+            delta = (float(record[field]) - base_value) / base_value
+            if delta > tolerance:
+                problems.append(
+                    f"{name} {field} {base_value:.1f} -> "
+                    f"{float(record[field]):.1f} ({delta:+.1%})  REGRESSION"
+                )
+    return problems
+
+
+def check_scenario_reports(
+    results: list[tuple[str, ScenarioResult, dict[str, Any]]],
+    baseline_dir: str,
+    tolerance: float = 0.30,
+) -> tuple[bool, list[str]]:
+    """Compare each scenario's run against its committed baseline.
+
+    Raw comparison on throughput plus tail-latency drift (see module
+    docstring).  A missing baseline file is a failure: every scenario
+    in the matrix must be committed.
+    """
+    ok = True
+    lines: list[str] = []
+    for name, _result, doc in results:
+        path = scenario_report_path(baseline_dir, name)
+        lines.append(f"--- scenario {name} vs {path}")
+        if not os.path.exists(path):
+            lines.append(f"baseline missing: {path}")
+            ok = False
+            continue
+        baseline = load_report(path)
+        outcome: CompareResult = compare_reports(
+            baseline, doc, tolerance=tolerance, normalize=False
+        )
+        lines.extend(outcome.lines)
+        drift = _latency_drift(baseline, doc, tolerance)
+        lines.extend(drift)
+        if not outcome.ok or drift:
+            ok = False
+    return ok, lines

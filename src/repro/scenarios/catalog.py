@@ -1,0 +1,357 @@
+"""The scenario matrix: seeded, replayable million-user load scenarios.
+
+Each scenario is a declarative :class:`ScenarioSpec`: per-tenant workload
+pattern, service model, pool/shard configuration, key distribution, and
+fault schedule, plus the seed that makes the run byte-replayable.  The
+``users`` field states the modeled population; ``ops_per_user_s`` turns
+it into an offered rate, and ``model_factor`` collapses that rate into a
+tractable simulated stream (one simulated arrival stands for a block of
+users; service time is stretched by the same factor, so utilization,
+capacity demand, and pool trajectories are those of the full population
+— see :mod:`repro.scenarios.engine`).
+
+Adding a scenario is adding one :class:`ScenarioSpec` to
+:data:`SCENARIOS` (DESIGN.md "Scenario suite" walks through the fields)
+and committing its baseline with ``python -m repro bench --suite
+scenario``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.patterns import (
+    ConstantPattern,
+    CyclicPattern,
+    FlashCrowdPattern,
+    WorkloadPattern,
+)
+
+
+def zipf_sampler(
+    keys: int, s: float = 1.0, prefix: str = "key"
+) -> Callable[[random.Random], str]:
+    """A Zipf(s) key sampler over ``keys`` ranked keys.
+
+    Rank *r* is drawn with probability proportional to ``1 / r**s`` —
+    the classic hot-key skew (a few symbols/topics take most traffic).
+    Cumulative weights are precomputed once; sampling is a bisect per
+    draw on the caller's rng, so streams stay seed-deterministic.
+    """
+    if keys < 1:
+        raise ValueError(f"need at least one key: {keys}")
+    population = [f"{prefix}-{rank:04d}" for rank in range(1, keys + 1)]
+    cum_weights = list(
+        itertools.accumulate(1.0 / rank**s for rank in range(1, keys + 1))
+    )
+
+    def sample(rng: random.Random) -> str:
+        return rng.choices(population, cum_weights=cum_weights, k=1)[0]
+
+    return sample
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Pool/shard configuration for one tenant.
+
+    With ``shards`` > 1 the tenant runs on a sharded pool and
+    ``min_size``/``max_size`` bound each shard individually (the
+    runtime's per-shard contract).  Thresholds feed the coarse-grained
+    policy: grow when the sampled busy fraction exceeds ``cpu_incr``,
+    shrink below ``cpu_decr``, at most ±1 member per ``burst_interval_s``.
+    """
+
+    min_size: int = 2
+    max_size: int = 8
+    shards: int = 1
+    burst_interval_s: float = 5.0
+    cpu_incr: float = 75.0
+    cpu_decr: float = 30.0
+
+    def total_min(self) -> int:
+        return self.min_size * self.shards
+
+    def total_max(self) -> int:
+        return self.max_size * self.shards
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """Key population and skew for a tenant's operations."""
+
+    keys: int
+    zipf_s: float = 1.0
+    affinity: bool = False  # route by key to the owning shard
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: kill members, clients reconnect.
+
+    ``kill_members`` lowest-uid active members are crashed at ``at_s``.
+    Their in-flight operations re-dispatch after ``reconnect_delay_s``
+    (jittered over ``reconnect_spread_s``), and ``herd_burst`` fresh
+    arrivals — the thundering herd of reconnecting clients — pile in
+    over the same window.  ``herd_burst`` is stated at full scale and
+    shrinks with the run's model factor.
+    """
+
+    at_s: float
+    kill_members: int = 1
+    reconnect_delay_s: float = 0.05
+    reconnect_spread_s: float = 2.0
+    herd_burst: int = 0
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """Per-tenant QoS targets the summary grades against.
+
+    ``max_p99_x_service`` bounds p99 latency as a multiple of the
+    tenant's base service time (scale-invariant); ``min_completion``
+    bounds the fraction of arrivals completed by the end of the drain.
+    """
+
+    max_p99_x_service: float = 50.0
+    min_completion: float = 0.95
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One application tenant: pattern + service + pool + keys + faults."""
+
+    name: str
+    app: str
+    pattern: Callable[[], WorkloadPattern]
+    service: "ServiceSpec"
+    pool: PoolSpec = PoolSpec()
+    keys: KeySpec | None = None
+    faults: tuple[FaultSpec, ...] = ()
+    qos: QoSSpec = QoSSpec()
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Virtual-time service cost (mirrors engine.ServiceModel fields)."""
+
+    base_s: float
+    hit_s: float = 0.0
+    cache_capacity: int = 0
+    target_utilization: float = 0.7
+    nominal_s: float | None = None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, seeded scenario."""
+
+    name: str
+    title: str
+    users: int                 # modeled population ("million-user" scale)
+    ops_per_user_s: float      # each user's steady per-second op rate
+    model_factor: float        # simulated arrivals per modeled arrival
+    duration_s: float
+    tenants: tuple[TenantSpec, ...]
+    seed: int = 0
+    drain_s: float = 30.0
+    sample_interval_s: float = 5.0
+    nodes: int = 16
+    slices_per_node: int = 4
+
+    def modeled_rate(self, simulated_rate: float) -> float:
+        """Full-population ops/s a simulated rate stands for."""
+        return simulated_rate / self.model_factor
+
+
+def _diurnal() -> ScenarioSpec:
+    # Two diurnal cycles: a raised-cosine swing between 25% and 100% of
+    # the peak.  The pool should track the cycle — grow toward the peak,
+    # shrink through the trough — with agility staying near zero.
+    return ScenarioSpec(
+        name="diurnal",
+        title="Diurnal cycle on the DCS app",
+        users=1_500_000,
+        ops_per_user_s=0.06,  # 90k updates/s at peak
+        model_factor=0.001,   # 90 simulated ops/s at peak
+        duration_s=600.0,
+        seed=1009,
+        tenants=(
+            TenantSpec(
+                name="dcs",
+                app="dcs",
+                pattern=lambda: CyclicPattern(
+                    90.0, cycles=2, duration_min=10.0, base_fraction=0.25
+                ),
+                service=ServiceSpec(base_s=0.05),
+                pool=PoolSpec(min_size=2, max_size=12),
+            ),
+        ),
+    )
+
+
+def _flash_crowd() -> ScenarioSpec:
+    # A 5× spike strictly inside the trace: offered rate jumps from 30
+    # to 150 ops/s in two seconds and holds for a minute.  Growth is
+    # ±1 member per burst interval, so the provisioning lag shows up as
+    # a p999 spike before capacity catches up.
+    return ScenarioSpec(
+        name="flash-crowd",
+        title="Flash crowd on the Marketcetera app",
+        users=3_000_000,
+        ops_per_user_s=0.05,  # 150k orders/s at the spike
+        model_factor=0.001,
+        duration_s=330.0,
+        seed=1013,
+        tenants=(
+            TenantSpec(
+                name="marketcetera",
+                app="marketcetera",
+                pattern=lambda: FlashCrowdPattern(
+                    base_rate=30.0,
+                    spike_rate=150.0,
+                    spike_start_s=120.0,
+                    spike_duration_s=60.0,
+                    duration_s=330.0,
+                    ramp_s=2.0,
+                ),
+                service=ServiceSpec(base_s=0.04),
+                pool=PoolSpec(min_size=2, max_size=12),
+                qos=QoSSpec(max_p99_x_service=400.0, min_completion=0.99),
+            ),
+        ),
+    )
+
+
+def _thundering_herd() -> ScenarioSpec:
+    # Steady load, then half the pool is crashed at t=120: in-flight
+    # operations reconnect and a herd of fresh retries arrives within
+    # ~2 s, while repair re-provisions capacity on a 1 s detection
+    # cadence.  The tail shows the reconnect storm; completion ratio
+    # shows nothing was lost.
+    return ScenarioSpec(
+        name="thundering-herd",
+        title="Thundering-herd reconnect on the Hedwig app",
+        users=2_000_000,
+        ops_per_user_s=0.04,  # 80k messages/s
+        model_factor=0.001,
+        duration_s=300.0,
+        drain_s=40.0,
+        seed=1019,
+        tenants=(
+            TenantSpec(
+                name="hedwig",
+                app="hedwig",
+                pattern=lambda: ConstantPattern(80.0, 300.0),
+                service=ServiceSpec(base_s=0.03),
+                pool=PoolSpec(min_size=2, max_size=10),
+                faults=(
+                    FaultSpec(
+                        at_s=120.0,
+                        kill_members=2,
+                        herd_burst=900_000,
+                        reconnect_spread_s=2.0,
+                    ),
+                ),
+                qos=QoSSpec(max_p99_x_service=600.0, min_completion=0.99),
+            ),
+        ),
+    )
+
+
+def _hot_key() -> ScenarioSpec:
+    # Zipf(1.2) over 512 symbols on a 4-shard pool with key-affinity
+    # routing and a per-member LRU: the hot shard runs hot (and grows)
+    # while cold shards idle at min — per-shard elasticity under skew.
+    return ScenarioSpec(
+        name="hot-key",
+        title="Zipfian hot-key skew on a sharded Hedwig pool",
+        users=2_500_000,
+        ops_per_user_s=0.144,  # 360k topic ops/s
+        model_factor=0.001,
+        duration_s=240.0,
+        seed=1021,
+        tenants=(
+            TenantSpec(
+                name="hedwig-sharded",
+                app="hedwig",
+                pattern=lambda: ConstantPattern(360.0, 240.0),
+                service=ServiceSpec(
+                    base_s=0.06,
+                    hit_s=0.004,
+                    cache_capacity=96,
+                    nominal_s=0.012,
+                ),
+                pool=PoolSpec(min_size=2, max_size=6, shards=4),
+                keys=KeySpec(keys=512, zipf_s=1.2, affinity=True),
+            ),
+        ),
+    )
+
+
+def _multi_tenant() -> ScenarioSpec:
+    # Two apps share one cluster: a flash crowd on Marketcetera lands
+    # mid-trace while Hedwig rides its cycle.  Both pools draw slices
+    # from the same master, so the spike's scale-out happens alongside
+    # a neighbour's steady churn.
+    return ScenarioSpec(
+        name="multi-tenant",
+        title="Mixed multi-app tenancy on one cluster",
+        users=2_200_000,
+        ops_per_user_s=0.05,
+        model_factor=0.001,
+        duration_s=420.0,
+        seed=1031,
+        nodes=12,
+        tenants=(
+            TenantSpec(
+                name="marketcetera",
+                app="marketcetera",
+                pattern=lambda: FlashCrowdPattern(
+                    base_rate=25.0,
+                    spike_rate=100.0,
+                    spike_start_s=150.0,
+                    spike_duration_s=50.0,
+                    duration_s=420.0,
+                    ramp_s=5.0,
+                ),
+                service=ServiceSpec(base_s=0.04),
+                pool=PoolSpec(min_size=2, max_size=8),
+                qos=QoSSpec(max_p99_x_service=400.0, min_completion=0.99),
+            ),
+            TenantSpec(
+                name="hedwig",
+                app="hedwig",
+                pattern=lambda: CyclicPattern(
+                    70.0, cycles=2, duration_min=7.0, base_fraction=0.30
+                ),
+                service=ServiceSpec(base_s=0.03),
+                pool=PoolSpec(min_size=2, max_size=8),
+            ),
+        ),
+    )
+
+
+_BUILDERS: tuple[Callable[[], ScenarioSpec], ...] = (
+    _diurnal,
+    _flash_crowd,
+    _thundering_herd,
+    _hot_key,
+    _multi_tenant,
+)
+
+#: name → spec, in canonical matrix order.
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in (build() for build in _BUILDERS)
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

@@ -1,0 +1,414 @@
+"""The open-loop load engine: arrival-rate-driven load in virtual time.
+
+Closed-loop drivers (each caller waits for its previous call) hide
+overload: when the system slows down, the offered load politely slows
+with it, so tail latency looks flat exactly when a real population of
+independent users would be piling up.  This engine is **open-loop**:
+arrivals come from an :class:`~repro.workloads.generator.ArrivalGenerator`
+at the pattern's rate whether or not earlier operations have finished,
+so queueing delay — the thing elasticity exists to bound — is actually
+observable.  One simulated arrival stands for a block of real users
+(``rate_factor`` scales the modeled population down, ``service_factor``
+scales per-operation cost up by the same amount, keeping utilization,
+capacity demand, and pool-size trajectories scale-invariant).
+
+Each pool member is modeled as a deterministic FIFO server in virtual
+time: an operation dispatched to member *m* completes at
+``max(now, m.busy_until) + service`` and its recorded latency is
+completion minus *original* arrival — queueing and retries included.
+The member set is live: the routing table is re-read from the pool on
+every dispatch, so scale-out absorbs load the moment a member activates
+and scale-in stops receiving work immediately.  Killing members requeues
+their in-flight operations through :meth:`OpenLoopEngine.on_members_lost`
+(the reconnect), optionally with a thundering-herd burst of fresh
+arrivals as every disconnected client retries at once.
+
+Two drivers share this module: :class:`OpenLoopEngine` runs on the
+simulation :class:`~repro.sim.kernel.Kernel` (virtual-time accurate,
+byte-replayable), and :class:`LiveLoadDriver` paces the same arrival
+streams in wall-clock time against a live runtime stub — the asyncio
+transport sustains the in-flight counts an open-loop burst produces.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.sim.kernel import Kernel, ScheduledCall
+from repro.workloads.generator import ArrivalGenerator
+from repro.workloads.patterns import ScaledPattern, WorkloadPattern
+
+MemberKey = Hashable
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Deterministic virtual-time cost of one operation on one member.
+
+    ``base_s`` is the plain (or cache-miss) service time.  With
+    ``cache_capacity`` > 0 each member keeps an LRU set of recently
+    served keys: a hit costs ``hit_s``, a miss costs ``base_s`` and
+    inserts the key — the per-member locality model behind the hot-key
+    scenarios.  ``target_utilization`` is the sizing constant used for
+    the scenario's ground-truth capacity demand (the paper's req_min):
+    one member counts as ``target_utilization / nominal_s`` ops/s, where
+    ``nominal_s`` defaults to ``base_s`` (override it when caching makes
+    the expected cost differ from the miss cost).
+    """
+
+    base_s: float
+    hit_s: float = 0.0
+    cache_capacity: int = 0
+    target_utilization: float = 0.7
+    nominal_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError(f"base service time must be positive: {self.base_s}")
+        if self.cache_capacity > 0 and self.hit_s <= 0:
+            raise ValueError(f"hit service time must be positive: {self.hit_s}")
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ValueError(
+                f"target utilization must be in (0, 1]: {self.target_utilization}"
+            )
+
+    def capacity_per_member(self, service_factor: float = 1.0) -> float:
+        """Ops/s one member is sized to serve at target utilization."""
+        nominal = self.nominal_s if self.nominal_s is not None else self.base_s
+        return self.target_utilization / (nominal * service_factor)
+
+
+@dataclass
+class _Op:
+    """One in-flight operation (its timer dies with its member)."""
+
+    seq: int
+    key: str
+    arrival_s: float
+    attempts: int = 1
+    timer: ScheduledCall | None = None
+
+
+class _MemberServer:
+    """One member's FIFO server state in virtual time."""
+
+    __slots__ = ("busy_until", "outstanding", "cache")
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.outstanding: dict[int, _Op] = {}
+        self.cache: OrderedDict[str, None] = OrderedDict()
+
+
+@dataclass
+class EngineStats:
+    """Counters + raw latencies accumulated over one engine run."""
+
+    arrivals: int = 0
+    completed: int = 0
+    redispatched: int = 0      # ops moved off a failed member (reconnects)
+    herd_arrivals: int = 0     # extra arrivals injected by a herd burst
+    parked: int = 0            # dispatch attempts that found no live member
+    cache_hits: int = 0
+    cache_misses: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+
+class OpenLoopEngine:
+    """Arrival-rate-driven load against one pool, in virtual time.
+
+    ``members_fn`` returns the live routing table as ``(member_key,
+    shard_index)`` pairs; ``member_key`` is opaque (the runner uses
+    ``(pool_name, uid)``).  With ``shard_for`` set, each operation's key
+    is routed to its owning shard's members (key affinity); otherwise
+    dispatch is round-robin over all members.  All randomness — arrival
+    thinning, key sampling, reconnect jitter — draws from the single
+    ``rng``, so one seeded stream replays the whole tenant.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        pattern: WorkloadPattern,
+        service: ServiceModel,
+        rng: random.Random,
+        members_fn: Callable[[], list[tuple[MemberKey, int]]],
+        shard_for: Callable[[str], int] | None = None,
+        key_sampler: Callable[[random.Random], str] | None = None,
+        rate_factor: float = 1.0,
+        service_factor: float = 1.0,
+        window_s: float = 1.0,
+        park_retry_s: float = 0.1,
+    ) -> None:
+        if rate_factor <= 0 or service_factor <= 0:
+            raise ValueError("rate and service factors must be positive")
+        if window_s <= 0:
+            raise ValueError(f"window must be positive: {window_s}")
+        self.kernel = kernel
+        self.pattern: WorkloadPattern = (
+            ScaledPattern(pattern, rate_factor)
+            if rate_factor != 1.0
+            else pattern
+        )
+        self.service = service
+        self.service_factor = service_factor
+        self.members_fn = members_fn
+        self.shard_for = shard_for
+        self.key_sampler = key_sampler
+        self.window_s = window_s
+        self.park_retry_s = park_retry_s
+        self.stats = EngineStats()
+        self._rng = rng
+        self._gen = ArrivalGenerator(self.pattern, rng)
+        # Peak scanned once at sub-second resolution: thinning needs a
+        # bound that dominates the rate *inside* every window, and the
+        # default 60 s scan can step right over a short flash spike.
+        self._peak = self._gen.peak_rate(resolution_s=0.5)
+        self._servers: dict[MemberKey, _MemberServer] = {}
+        self._cursors: dict[int, int] = {}
+        self._seq = 0
+        self._until = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, until: float | None = None) -> None:
+        """Begin generating arrivals from virtual now until ``until``
+        (default: the pattern's duration), window by window so the
+        schedule never holds more than one window of future arrivals."""
+        if until is None:
+            until = self.pattern.duration_s
+        self._until = until
+        self.kernel.call_at(self.kernel.clock.now(), self._open_window)
+
+    def offered_rate(self, t: float) -> float:
+        """The (scaled) offered rate at pattern time ``t``."""
+        return self.pattern.rate(t)
+
+    def capacity_per_member(self) -> float:
+        return self.service.capacity_per_member(self.service_factor)
+
+    # -- arrival generation ----------------------------------------------
+
+    def _open_window(self) -> None:
+        start = self.kernel.clock.now()
+        end = min(start + self.window_s, self._until)
+        for at in self._gen.arrival_times(start, end, peak=self._peak):
+            self.kernel.call_at(at, self._arrive)
+        if end < self._until:
+            self.kernel.call_at(end, self._open_window)
+
+    def _next_op(self) -> _Op:
+        self._seq += 1
+        key = self.key_sampler(self._rng) if self.key_sampler else ""
+        return _Op(
+            seq=self._seq, key=key, arrival_s=self.kernel.clock.now()
+        )
+
+    def _arrive(self) -> None:
+        self.stats.arrivals += 1
+        self._dispatch(self._next_op())
+
+    def _herd_arrive(self) -> None:
+        self.stats.arrivals += 1
+        self.stats.herd_arrivals += 1
+        self._dispatch(self._next_op())
+
+    # -- dispatch and service model --------------------------------------
+
+    def _dispatch(self, op: _Op) -> None:
+        members = self.members_fn()
+        shard = -1
+        if self.shard_for is not None:
+            shard = self.shard_for(op.key)
+            candidates = [key for key, s in members if s == shard]
+            if not candidates:  # shard fully down: any member serves
+                candidates = [key for key, _ in members]
+        else:
+            candidates = [key for key, _ in members]
+        if not candidates:
+            self.stats.parked += 1
+            self.kernel.call_after(
+                self.park_retry_s, lambda: self._dispatch(op)
+            )
+            return
+        cursor = self._cursors.get(shard, 0)
+        self._cursors[shard] = cursor + 1
+        target = candidates[cursor % len(candidates)]
+        server = self._servers.setdefault(target, _MemberServer())
+        now = self.kernel.clock.now()
+        done = max(now, server.busy_until) + self._service_s(server, op.key)
+        server.busy_until = done
+        server.outstanding[op.seq] = op
+        op.timer = self.kernel.call_at(
+            done, lambda: self._complete(server, op)
+        )
+
+    def _service_s(self, server: _MemberServer, key: str) -> float:
+        base = self.service.base_s * self.service_factor
+        if self.service.cache_capacity <= 0 or not key:
+            return base
+        cache = server.cache
+        if key in cache:
+            cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return self.service.hit_s * self.service_factor
+        self.stats.cache_misses += 1
+        cache[key] = None
+        if len(cache) > self.service.cache_capacity:
+            cache.popitem(last=False)
+        return base
+
+    def _complete(self, server: _MemberServer, op: _Op) -> None:
+        server.outstanding.pop(op.seq, None)
+        self.stats.completed += 1
+        self.stats.latencies.append(
+            self.kernel.clock.now() - op.arrival_s
+        )
+
+    # -- faults ----------------------------------------------------------
+
+    def on_members_lost(
+        self,
+        member_keys: list[MemberKey],
+        reconnect_delay_s: float = 0.05,
+        reconnect_spread_s: float = 1.0,
+        herd_burst: int = 0,
+    ) -> int:
+        """Model the client side of a member crash.
+
+        Every operation in flight on a lost member is cancelled and
+        re-dispatched (the reconnect), jittered over
+        ``reconnect_spread_s`` after ``reconnect_delay_s``; its latency
+        clock keeps running from the original arrival.  ``herd_burst``
+        injects that many *fresh* arrivals over the same spread — the
+        thundering herd of disconnected clients all retrying at once.
+        Returns the number of operations re-dispatched.
+        """
+        moved: list[_Op] = []
+        for key in member_keys:
+            server = self._servers.pop(key, None)
+            if server is None:
+                continue
+            for op in server.outstanding.values():
+                if op.timer is not None:
+                    op.timer.cancel()
+                op.attempts += 1
+                moved.append(op)
+        self.stats.redispatched += len(moved)
+        for op in moved:
+            delay = reconnect_delay_s + self._rng.uniform(
+                0.0, reconnect_spread_s
+            )
+            self.kernel.call_after(
+                delay, lambda op=op: self._dispatch(op)
+            )
+        for _ in range(herd_burst):
+            delay = reconnect_delay_s + self._rng.uniform(
+                0.0, reconnect_spread_s
+            )
+            self.kernel.call_after(delay, self._herd_arrive)
+        return len(moved)
+
+    # -- utilization feedback --------------------------------------------
+
+    def busy(self, member_key: MemberKey) -> bool:
+        """Is the member's modeled server busy at virtual now?
+
+        Sampled every second into each member's
+        :class:`~repro.core.monitor.ManualUtilization` (as 0 or 100),
+        the pool's monitoring window averages these into a busy
+        *fraction* — classic utilization sampling, which is what the
+        coarse-grained policy's CPU thresholds expect.
+        """
+        server = self._servers.get(member_key)
+        if server is None:
+            return False
+        return server.busy_until > self.kernel.clock.now()
+
+    def utilization_pct(self, member_key: MemberKey) -> float:
+        return 100.0 if self.busy(member_key) else 0.0
+
+    def backlog_s(self, member_key: MemberKey) -> float:
+        """Seconds of queued work ahead of a new arrival on the member."""
+        server = self._servers.get(member_key)
+        if server is None:
+            return 0.0
+        return max(0.0, server.busy_until - self.kernel.clock.now())
+
+
+class LiveLoadDriver:
+    """Wall-clock open-loop driver against a live runtime stub.
+
+    Paces the same seeded arrival stream in real time and fires each
+    operation through ``stub.invoke_async`` without waiting for earlier
+    completions (open loop); latencies are measured issue-to-callback.
+    The asyncio transport's single event loop is what makes the
+    resulting in-flight counts sustainable (PR 5).
+    """
+
+    def __init__(
+        self,
+        stub: Any,
+        pattern: WorkloadPattern,
+        rng: random.Random,
+        method: str = "op",
+        key_sampler: Callable[[random.Random], str] | None = None,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        self.stub = stub
+        self.pattern = pattern
+        self.method = method
+        self.key_sampler = key_sampler
+        self.drain_timeout_s = drain_timeout_s
+        self.stats = EngineStats()
+        self.errors = 0
+        self._rng = rng
+
+    def run(self, duration_s: float | None = None) -> EngineStats:
+        """Issue the full arrival stream, then wait for stragglers."""
+        if duration_s is None:
+            duration_s = self.pattern.duration_s
+        gen = ArrivalGenerator(self.pattern, self._rng)
+        times = gen.arrival_times(
+            0.0, duration_s, peak=gen.peak_rate(resolution_s=0.5)
+        )
+        latencies = self.stats.latencies
+        futures = []
+        started = time.perf_counter()
+        for at in times:
+            delay = started + at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            key = (
+                self.key_sampler(self._rng) if self.key_sampler else ""
+            )
+            issued = time.perf_counter()
+            try:
+                future = self.stub.invoke_async(self.method, key)
+            except Exception:
+                self.errors += 1
+                continue
+            self.stats.arrivals += 1
+            future.add_done_callback(
+                lambda f, issued=issued: latencies.append(
+                    time.perf_counter() - issued
+                )
+            )
+            futures.append(future)
+        deadline = time.perf_counter() + self.drain_timeout_s
+        for future in futures:
+            remaining = max(0.01, deadline - time.perf_counter())
+            try:
+                future.result(timeout=remaining)
+                self.stats.completed += 1
+            except Exception:
+                self.errors += 1
+        return self.stats

@@ -17,11 +17,16 @@ Hedwig, and point B (the cyclic peak) is 20% above A.
 from repro.workloads.patterns import (
     POINT_A,
     AbruptPattern,
+    CompressedPattern,
+    ConstantPattern,
     CyclicPattern,
+    FlashCrowdPattern,
     PiecewiseLinearPattern,
+    ScaledPattern,
     WorkloadPattern,
     abrupt_for,
     cyclic_for,
+    integrate_rate,
     point_b,
 )
 from repro.workloads.generator import ArrivalGenerator
@@ -31,11 +36,16 @@ __all__ = [
     "AbruptPattern",
     "ArrivalGenerator",
     "ReplayDriver",
+    "CompressedPattern",
+    "ConstantPattern",
     "CyclicPattern",
+    "FlashCrowdPattern",
     "POINT_A",
     "PiecewiseLinearPattern",
+    "ScaledPattern",
     "WorkloadPattern",
     "abrupt_for",
     "cyclic_for",
+    "integrate_rate",
     "point_b",
 ]

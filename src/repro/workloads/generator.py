@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import random
 
-from repro.workloads.patterns import WorkloadPattern
+from repro.workloads.patterns import WorkloadPattern, integrate_rate
 
 
 class ArrivalGenerator:
@@ -29,22 +29,33 @@ class ArrivalGenerator:
             self.pattern.rate(i * resolution_s) for i in range(steps)
         )
 
-    def arrivals_between(self, start: float, end: float) -> int:
-        """Number of arrivals in [start, end): Poisson with the integral
-        of the rate (trapezoidal approximation)."""
+    def arrivals_between(
+        self, start: float, end: float, max_step_s: float = 1.0
+    ) -> int:
+        """Number of arrivals in [start, end): Poisson with the pattern's
+        rate integral, accumulated at sub-step resolution (``max_step_s``)
+        so that a burst strictly inside the window is counted.  A
+        two-endpoint trapezoid sampled only at ``start`` and ``end``
+        would miss it entirely."""
         if end < start:
             raise ValueError(f"end {end} before start {start}")
         if end == start:
             return 0
-        mean = (self.pattern.rate(start) + self.pattern.rate(end)) / 2.0
-        lam = mean * (end - start)
+        lam = integrate_rate(self.pattern, start, end, max_step_s=max_step_s)
         return self._poisson(lam)
 
-    def arrival_times(self, start: float, end: float) -> list[float]:
-        """Exact arrival instants in [start, end) via thinning."""
+    def arrival_times(
+        self, start: float, end: float, peak: float | None = None
+    ) -> list[float]:
+        """Exact arrival instants in [start, end) via thinning.
+
+        ``peak`` may supply a precomputed upper bound on the rate (callers
+        generating window-by-window pass it to avoid rescanning the
+        pattern; it must dominate the rate over [start, end))."""
         if end < start:
             raise ValueError(f"end {end} before start {start}")
-        peak = self.peak_rate()
+        if peak is None:
+            peak = self.peak_rate()
         if peak <= 0:
             return []
         times = []
@@ -58,10 +69,16 @@ class ArrivalGenerator:
         return times
 
     def _poisson(self, lam: float) -> int:
-        """Poisson sample; normal approximation above 1e3 for speed."""
+        """Poisson sample; normal approximation above 500 for speed.
+
+        The crossover must stay below ~745: beyond that ``exp(-lam)``
+        underflows to 0.0 and Knuth's product loop terminates on float
+        underflow (at ~745 multiplications) instead of the true mean,
+        silently undercounting arrivals for large windows.
+        """
         if lam <= 0:
             return 0
-        if lam > 1000.0:
+        if lam > 500.0:
             return max(0, int(round(self._rng.gauss(lam, math.sqrt(lam)))))
         # Knuth's algorithm.
         limit = math.exp(-lam)

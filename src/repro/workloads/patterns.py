@@ -131,6 +131,118 @@ class CyclicPattern:
         return fraction * self.magnitude
 
 
+class ConstantPattern:
+    """A flat offered rate for ``duration_s`` seconds."""
+
+    def __init__(self, rate: float, duration_s: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative: {rate}")
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        self._rate = float(rate)
+        self.duration_s = float(duration_s)
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+
+class FlashCrowdPattern(PiecewiseLinearPattern):
+    """A steady base rate with one sharp spike strictly inside the trace.
+
+    The spike ramps from ``base_rate`` to ``spike_rate`` over ``ramp_s``
+    seconds, holds for ``spike_duration_s``, and ramps back down.  This is
+    the canonical pattern that a two-endpoint trapezoidal integral gets
+    wrong: sampled only at a window's edges, the spike is invisible.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        spike_rate: float,
+        spike_start_s: float,
+        spike_duration_s: float,
+        duration_s: float,
+        ramp_s: float = 2.0,
+    ) -> None:
+        if spike_rate <= base_rate:
+            raise ValueError("spike rate must exceed the base rate")
+        if ramp_s <= 0:
+            raise ValueError(f"ramp must be positive: {ramp_s}")
+        if spike_start_s - ramp_s < 0:
+            raise ValueError("spike ramp starts before the trace")
+        if spike_start_s + spike_duration_s + ramp_s > duration_s:
+            raise ValueError("spike must end strictly inside the trace")
+        base = base_rate / spike_rate
+        to_min = 1.0 / 60.0
+        points = [
+            (0.0, base),
+            ((spike_start_s - ramp_s) * to_min, base),
+            (spike_start_s * to_min, 1.0),
+            ((spike_start_s + spike_duration_s) * to_min, 1.0),
+            ((spike_start_s + spike_duration_s + ramp_s) * to_min, base),
+            (duration_s * to_min, base),
+        ]
+        super().__init__(points, magnitude=spike_rate)
+
+
+class ScaledPattern:
+    """``factor`` × another pattern's rate, over the same duration."""
+
+    def __init__(self, inner: WorkloadPattern, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive: {factor}")
+        self.inner = inner
+        self.factor = float(factor)
+        self.duration_s = inner.duration_s
+
+    def rate(self, t: float) -> float:
+        return self.inner.rate(t) * self.factor
+
+
+class CompressedPattern:
+    """Another pattern played back ``compress`` × faster (same rates,
+    shorter duration).  Live scenario runs use this to replay a long
+    virtual-time trace in a few wall-clock seconds."""
+
+    def __init__(self, inner: WorkloadPattern, compress: float) -> None:
+        if compress <= 0:
+            raise ValueError(f"compression must be positive: {compress}")
+        self.inner = inner
+        self.compress = float(compress)
+        self.duration_s = inner.duration_s / compress
+
+    def rate(self, t: float) -> float:
+        return self.inner.rate(t * self.compress)
+
+
+def integrate_rate(
+    pattern: WorkloadPattern,
+    start: float,
+    end: float,
+    max_step_s: float = 1.0,
+    max_steps: int = 4096,
+) -> float:
+    """Trapezoidal integral of ``pattern.rate`` over [start, end] at a
+    bounded sub-step resolution.
+
+    Steps are at most ``max_step_s`` wide so a burst strictly inside the
+    window contributes; ``max_steps`` bounds the work for very wide
+    windows (the step widens past ``max_step_s`` rather than looping
+    without bound).
+    """
+    if end < start:
+        raise ValueError(f"end {end} before start {start}")
+    span = end - start
+    if span == 0:
+        return 0.0
+    steps = min(max_steps, max(1, math.ceil(span / max_step_s)))
+    step = span / steps
+    total = (pattern.rate(start) + pattern.rate(end)) / 2.0
+    for i in range(1, steps):
+        total += pattern.rate(start + i * step)
+    return total * step
+
+
 def abrupt_for(app: str) -> AbruptPattern:
     """The abrupt pattern at the application's point A magnitude."""
     return AbruptPattern(POINT_A[app])

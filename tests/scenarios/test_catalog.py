@@ -1,0 +1,124 @@
+"""Tests for the scenario matrix and its building blocks."""
+
+import random
+
+import pytest
+
+from repro.scenarios.catalog import (
+    SCENARIOS,
+    FaultSpec,
+    KeySpec,
+    PoolSpec,
+    get_scenario,
+    zipf_sampler,
+)
+
+
+class TestMatrix:
+    def test_at_least_four_scenarios(self):
+        assert len(SCENARIOS) >= 4
+
+    def test_names_match_keys(self):
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+
+    def test_required_shapes_present(self):
+        # The issue's matrix: diurnal, flash crowd, thundering herd,
+        # hot-key skew on shards, multi-tenant.
+        assert "diurnal" in SCENARIOS
+        assert "flash-crowd" in SCENARIOS
+        assert "thundering-herd" in SCENARIOS
+        assert "hot-key" in SCENARIOS
+        assert "multi-tenant" in SCENARIOS
+
+    def test_every_scenario_is_million_user_scale(self):
+        for spec in SCENARIOS.values():
+            assert spec.users >= 1_000_000
+
+    def test_specs_are_internally_consistent(self):
+        for spec in SCENARIOS.values():
+            assert spec.seed > 0
+            assert spec.duration_s > 0
+            assert spec.tenants
+            for tenant in spec.tenants:
+                pattern = tenant.pattern()
+                assert pattern.duration_s <= spec.duration_s
+                assert tenant.service.base_s > 0
+                assert 2 <= tenant.pool.min_size <= tenant.pool.max_size
+                for fault in tenant.faults:
+                    assert 0 < fault.at_s < spec.duration_s
+
+    def test_pattern_builders_return_fresh_objects(self):
+        # Patterns are built per run; a shared mutable pattern would
+        # couple replays.
+        tenant = SCENARIOS["diurnal"].tenants[0]
+        assert tenant.pattern() is not tenant.pattern()
+
+    def test_thundering_herd_has_a_herd(self):
+        faults = SCENARIOS["thundering-herd"].tenants[0].faults
+        assert any(f.herd_burst > 0 and f.kill_members > 0 for f in faults)
+
+    def test_hot_key_is_sharded_with_affinity(self):
+        tenant = SCENARIOS["hot-key"].tenants[0]
+        assert tenant.pool.shards > 1
+        assert tenant.keys is not None and tenant.keys.affinity
+        assert tenant.service.cache_capacity > 0
+
+    def test_multi_tenant_has_multiple_apps(self):
+        apps = {t.app for t in SCENARIOS["multi-tenant"].tenants}
+        assert len(apps) > 1
+
+    def test_get_scenario_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="diurnal"):
+            get_scenario("nope")
+
+    def test_modeled_rate_inverts_model_factor(self):
+        spec = SCENARIOS["diurnal"]
+        assert spec.modeled_rate(90.0) == pytest.approx(
+            90.0 / spec.model_factor
+        )
+
+
+class TestPoolSpec:
+    def test_totals_multiply_by_shards(self):
+        pool = PoolSpec(min_size=2, max_size=6, shards=4)
+        assert pool.total_min() == 8
+        assert pool.total_max() == 24
+
+
+class TestZipfSampler:
+    def test_deterministic_per_seed(self):
+        sample = zipf_sampler(64, s=1.2)
+        rng1, rng2 = random.Random(7), random.Random(7)
+        assert [sample(rng1) for _ in range(200)] == [
+            sample(rng2) for _ in range(200)
+        ]
+
+    def test_skew_favors_low_ranks(self):
+        sample = zipf_sampler(100, s=1.2)
+        rng = random.Random(3)
+        draws = [sample(rng) for _ in range(5000)]
+        top = sum(1 for d in draws if d in {"key-0001", "key-0002"})
+        bottom = sum(1 for d in draws if d in {"key-0099", "key-0100"})
+        assert top > bottom * 10
+
+    def test_keys_cover_population_bounds(self):
+        sample = zipf_sampler(8, s=0.5, prefix="sym")
+        rng = random.Random(1)
+        draws = {sample(rng) for _ in range(2000)}
+        assert draws <= {f"sym-{r:04d}" for r in range(1, 9)}
+        assert "sym-0001" in draws
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            zipf_sampler(0)
+
+
+class TestSpecDefaults:
+    def test_fault_defaults(self):
+        fault = FaultSpec(at_s=10.0)
+        assert fault.kill_members == 1
+        assert fault.herd_burst == 0
+
+    def test_key_spec_defaults_to_no_affinity(self):
+        assert KeySpec(keys=16).affinity is False

@@ -1,0 +1,262 @@
+"""Tests for the open-loop engine's service model, on a bare kernel."""
+
+import random
+
+import pytest
+
+from repro.scenarios.engine import OpenLoopEngine, ServiceModel
+from repro.sim.kernel import Kernel
+from repro.workloads.patterns import ConstantPattern
+
+
+def make_engine(
+    kernel,
+    members,
+    rate=50.0,
+    duration=20.0,
+    service=None,
+    seed=1,
+    **kwargs,
+):
+    """Engine over a mutable members list (uid, shard) pairs."""
+    return OpenLoopEngine(
+        kernel,
+        ConstantPattern(rate, duration),
+        service or ServiceModel(base_s=0.01),
+        random.Random(seed),
+        lambda: list(members),
+        **kwargs,
+    )
+
+
+class TestOpenLoopSemantics:
+    def test_all_arrivals_complete_with_capacity(self):
+        kernel = Kernel()
+        members = [("a", 0), ("b", 0)]
+        engine = make_engine(kernel, members, rate=50.0, duration=20.0)
+        engine.start()
+        kernel.run_until(30.0)
+        assert engine.stats.arrivals > 500
+        assert engine.stats.completed == engine.stats.arrivals
+        # 50 ops/s over 2 members at 10 ms -> 25% busy: no queueing, so
+        # latency stays near the bare service time.
+        assert max(engine.stats.latencies) < 0.2
+
+    def test_overload_grows_queueing_delay(self):
+        # Open loop: 200 ops/s against one member that can do 100/s.
+        # Arrivals keep coming; the backlog (and the latency of later
+        # completions) must grow with time, not plateau.
+        kernel = Kernel()
+        engine = make_engine(
+            kernel, [("only", 0)], rate=200.0, duration=30.0
+        )
+        engine.start()
+        kernel.run_until(30.0)
+        assert engine.backlog_s("only") > 10.0
+        lat = engine.stats.latencies
+        early = lat[: len(lat) // 4]
+        late = lat[-len(lat) // 4 :]
+        assert max(late) > max(early) * 3
+
+    def test_round_robin_balances_members(self):
+        kernel = Kernel()
+        members = [("a", 0), ("b", 0), ("c", 0)]
+        engine = make_engine(kernel, members, rate=60.0, duration=30.0)
+        engine.start()
+        kernel.run_until(40.0)
+        # Every member was routed to, and none hogged the work: with RR
+        # at 33% utilization each server's busy clock advanced.
+        assert set(engine._servers) == {"a", "b", "c"}
+        for server in engine._servers.values():
+            assert server.busy_until > 5.0
+
+    def test_new_member_absorbs_load_immediately(self):
+        kernel = Kernel()
+        members = [("a", 0)]
+        engine = make_engine(kernel, members, rate=40.0, duration=30.0)
+        engine.start()
+        kernel.call_at(10.0, lambda: members.append(("late", 0)))
+        kernel.run_until(40.0)
+        assert "late" in engine._servers  # routed to as soon as listed
+
+
+class TestShardAffinity:
+    def test_keys_route_to_owning_shard(self):
+        kernel = Kernel()
+        members = [("s0-a", 0), ("s0-b", 0), ("s1-a", 1)]
+        keys = ["even", "odd"]
+        engine = make_engine(
+            kernel,
+            members,
+            rate=50.0,
+            duration=20.0,
+            shard_for=lambda key: 0 if key == "even" else 1,
+            key_sampler=lambda rng: keys[rng.randrange(2)],
+            service=ServiceModel(base_s=0.01, hit_s=0.001, cache_capacity=4),
+        )
+        engine.start()
+        kernel.run_until(30.0)
+        # Shard-0 members only ever saw "even"; shard 1 only "odd".
+        assert set(engine._servers["s0-a"].cache) <= {"even"}
+        assert set(engine._servers["s0-b"].cache) <= {"even"}
+        assert set(engine._servers["s1-a"].cache) <= {"odd"}
+
+    def test_downed_shard_falls_back_to_survivors(self):
+        kernel = Kernel()
+        members = [("s0", 0)]
+        engine = make_engine(
+            kernel,
+            members,
+            rate=20.0,
+            duration=10.0,
+            shard_for=lambda key: 1,  # owning shard has no members
+            key_sampler=lambda rng: "k",
+        )
+        engine.start()
+        kernel.run_until(15.0)
+        assert engine.stats.completed == engine.stats.arrivals > 0
+
+
+class TestCacheModel:
+    def test_lru_hits_cost_less(self):
+        kernel = Kernel()
+        engine = make_engine(
+            kernel,
+            [("m", 0)],
+            rate=40.0,
+            duration=20.0,
+            service=ServiceModel(
+                base_s=0.02, hit_s=0.001, cache_capacity=8
+            ),
+            key_sampler=lambda rng: f"k{rng.randrange(4)}",
+        )
+        engine.start()
+        kernel.run_until(30.0)
+        # 4 keys, capacity 8: everything beyond the first touches hits.
+        assert engine.stats.cache_misses <= 8
+        assert engine.stats.cache_hits > engine.stats.cache_misses * 10
+        assert engine.stats.cache_hit_rate() > 0.9
+
+    def test_lru_evicts_beyond_capacity(self):
+        kernel = Kernel()
+        engine = make_engine(
+            kernel,
+            [("m", 0)],
+            rate=40.0,
+            duration=20.0,
+            service=ServiceModel(
+                base_s=0.02, hit_s=0.001, cache_capacity=2
+            ),
+            key_sampler=lambda rng: f"k{rng.randrange(16)}",
+        )
+        engine.start()
+        kernel.run_until(30.0)
+        # 16 keys cycling through 2 slots: mostly misses.
+        assert engine.stats.cache_misses > engine.stats.cache_hits
+        assert len(engine._servers["m"].cache) <= 2
+
+
+class TestFaults:
+    def test_lost_member_requeues_in_flight_ops(self):
+        kernel = Kernel()
+        members = [("a", 0), ("b", 0)]
+        engine = make_engine(kernel, members, rate=300.0, duration=30.0)
+        engine.start()
+
+        def crash():
+            members.remove(("a", 0))
+            moved = engine.on_members_lost(["a"], herd_burst=50)
+            assert moved > 0  # overloaded member had a queue
+
+        kernel.call_at(10.0, crash)
+        kernel.run_until(120.0)
+        assert engine.stats.redispatched > 0
+        assert engine.stats.herd_arrivals == 50
+        # Nothing is lost: every arrival (incl. the herd) completes.
+        assert engine.stats.completed == engine.stats.arrivals
+        assert "a" not in engine._servers
+
+    def test_latency_keeps_running_across_reconnect(self):
+        kernel = Kernel()
+        members = [("a", 0)]
+        engine = make_engine(kernel, members, rate=100.0, duration=5.0)
+        engine.start()
+
+        def crash():
+            members.append(("b", 0))
+            members.remove(("a", 0))
+            engine.on_members_lost(
+                ["a"], reconnect_delay_s=2.0, reconnect_spread_s=0.5
+            )
+
+        kernel.call_at(4.0, crash)
+        kernel.run_until(60.0)
+        # Ops queued on "a" at t=4 restart after >= 2 s on "b"; their
+        # recorded latency spans the crash, so the tail shows it.
+        assert max(engine.stats.latencies) > 2.0
+
+    def test_no_members_parks_and_retries(self):
+        kernel = Kernel()
+        members = []
+        engine = make_engine(kernel, members, rate=10.0, duration=5.0)
+        engine.start()
+        kernel.call_at(8.0, lambda: members.append(("late", 0)))
+        kernel.run_until(30.0)
+        assert engine.stats.parked > 0
+        assert engine.stats.completed == engine.stats.arrivals > 0
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_stats(self):
+        runs = []
+        for _ in range(2):
+            kernel = Kernel()
+            members = [("a", 0), ("b", 0)]
+            engine = make_engine(
+                kernel,
+                members,
+                rate=120.0,
+                duration=20.0,
+                seed=42,
+                service=ServiceModel(
+                    base_s=0.015, hit_s=0.002, cache_capacity=4
+                ),
+                key_sampler=lambda rng: f"k{rng.randrange(8)}",
+            )
+            engine.start()
+            kernel.call_at(
+                5.0,
+                lambda m=members, e=engine: (
+                    m.remove(("a", 0)),
+                    e.on_members_lost(["a"], herd_burst=20),
+                ),
+            )
+            kernel.run_until(60.0)
+            runs.append(engine.stats)
+        a, b = runs
+        assert a.latencies == b.latencies
+        assert (a.arrivals, a.completed, a.redispatched, a.cache_hits) == (
+            b.arrivals, b.completed, b.redispatched, b.cache_hits
+        )
+
+
+class TestServiceModel:
+    def test_capacity_per_member(self):
+        svc = ServiceModel(base_s=0.05, target_utilization=0.7)
+        assert svc.capacity_per_member() == pytest.approx(14.0)
+        # Scaled runs: service / k -> capacity x k.
+        assert svc.capacity_per_member(0.5) == pytest.approx(28.0)
+
+    def test_nominal_overrides_capacity_math(self):
+        svc = ServiceModel(
+            base_s=0.06, hit_s=0.004, cache_capacity=8, nominal_s=0.012
+        )
+        assert svc.capacity_per_member() == pytest.approx(0.7 / 0.012)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceModel(base_s=0.0)
+        with pytest.raises(ValueError):
+            ServiceModel(base_s=0.01, cache_capacity=4)  # hit_s unset
+        with pytest.raises(ValueError):
+            ServiceModel(base_s=0.01, target_utilization=1.5)

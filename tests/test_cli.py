@@ -103,3 +103,95 @@ class TestTransformCommand:
         src.write_text(self.SOURCE)
         assert main(["transform", str(src), "-o", str(dst)]) == 0
         assert "elastic_field(default=0)" in dst.read_text()
+
+
+class TestScenarioCommand:
+    def test_list_shows_the_matrix(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("diurnal", "flash-crowd", "thundering-herd",
+                     "hot-key", "multi-tenant"):
+            assert name in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "diurnal" in err
+
+    def test_output_with_all_rejected(self, capsys, tmp_path):
+        out_file = tmp_path / "s.json"
+        assert main(["scenario", "all", "-o", str(out_file)]) == 2
+        assert "--summary-dir" in capsys.readouterr().err
+
+    def test_run_writes_valid_summary(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "s.json"
+        code = main([
+            "scenario", "diurnal", "--scale", "0.05",
+            "-o", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario diurnal" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro.obs/v1"
+        assert doc["scenario"]["name"] == "diurnal"
+        assert doc["scenario"]["scale"] == 0.05
+
+    def test_summary_dir_replays_byte_identically(self, capsys, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        for directory in (a, b):
+            code = main([
+                "scenario", "diurnal", "--scale", "0.05",
+                "--summary-dir", str(directory),
+            ])
+            assert code == 0
+        name = "SCENARIO_diurnal.json"
+        assert (a / name).read_bytes() == (b / name).read_bytes()
+
+    def test_seed_override_changes_summary(self, capsys, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert main(["scenario", "diurnal", "--scale", "0.05",
+                     "--summary-dir", str(a)]) == 0
+        assert main(["scenario", "diurnal", "--scale", "0.05",
+                     "--seed", "4242", "--summary-dir", str(b)]) == 0
+        name = "SCENARIO_diurnal.json"
+        assert (a / name).read_bytes() != (b / name).read_bytes()
+
+
+class TestBenchScenarioSuite:
+    def test_suite_writes_reports_and_self_check_passes(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("ERMI_BENCH_SCALE", "0.05")
+        out_dir = tmp_path / "reports"
+        code = main([
+            "bench", "--suite", "scenario",
+            "--scenario-dir", str(out_dir),
+            "--check-scenario", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench check OK (scenario)" in out
+        names = {p.name for p in out_dir.glob("BENCH_scenario_*.json")}
+        assert "BENCH_scenario_diurnal.json" in names
+        assert len(names) >= 4
+
+    def test_check_against_missing_baselines_fails(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("ERMI_BENCH_SCALE", "0.05")
+        out_dir = tmp_path / "reports"
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main([
+            "bench", "--suite", "scenario",
+            "--scenario-dir", str(out_dir),
+            "--check-scenario", str(empty),
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "baseline missing" in captured.out
+        assert "REGRESSION (scenario)" in captured.err

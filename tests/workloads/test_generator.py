@@ -5,7 +5,11 @@ import random
 import pytest
 
 from repro.workloads.generator import ArrivalGenerator
-from repro.workloads.patterns import PiecewiseLinearPattern
+from repro.workloads.patterns import (
+    FlashCrowdPattern,
+    PiecewiseLinearPattern,
+    integrate_rate,
+)
 
 
 def flat_pattern(rate):
@@ -39,6 +43,48 @@ class TestArrivalsBetween:
         gen = ArrivalGenerator(flat_pattern(100_000.0), random.Random(2))
         count = gen.arrivals_between(0.0, 1.0)
         assert 98_000 < count < 102_000
+
+    def test_spike_inside_window_is_counted(self):
+        # Regression: a two-endpoint trapezoid sampled at start and end
+        # sees rate 1.0 at both and misses the 60 s spike at 500/s
+        # entirely (~120 expected arrivals over the window).  The
+        # sub-stepped integral must count it.
+        spike = FlashCrowdPattern(
+            base_rate=1.0,
+            spike_rate=500.0,
+            spike_start_s=120.0,
+            spike_duration_s=60.0,
+            duration_s=300.0,
+            ramp_s=2.0,
+        )
+        gen = ArrivalGenerator(spike, random.Random(7))
+        total = gen.arrivals_between(0.0, 300.0)
+        lam = integrate_rate(spike, 0.0, 300.0)
+        assert lam > 30_000  # the spike dominates the integral
+        assert total > 0.8 * lam  # not the endpoint-only ~300
+
+    def test_window_count_matches_subintervals(self):
+        # One wide window and the same span cut into sub-windows must
+        # agree in expectation (both integrate the same rate).
+        spike = FlashCrowdPattern(
+            base_rate=5.0,
+            spike_rate=100.0,
+            spike_start_s=40.0,
+            spike_duration_s=20.0,
+            duration_s=120.0,
+            ramp_s=2.0,
+        )
+        wide = ArrivalGenerator(spike, random.Random(11))
+        narrow = ArrivalGenerator(spike, random.Random(12))
+        one = wide.arrivals_between(0.0, 120.0)
+        many = sum(
+            narrow.arrivals_between(i * 10.0, (i + 1) * 10.0)
+            for i in range(12)
+        )
+        lam = integrate_rate(spike, 0.0, 120.0)
+        sd = lam**0.5
+        assert abs(one - lam) < 6 * sd
+        assert abs(many - lam) < 6 * sd
 
 
 class TestArrivalTimes:
