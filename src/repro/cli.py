@@ -170,13 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd = sub.add_parser(
         "bench",
         help="run the RMI benchmark suites "
-        "(hot-path + batching + async + shard + store)",
+        "(hot-path + batching + async + shard + store + cpu)",
     )
     bench_cmd.add_argument(
         "--suite",
         choices=(
             "all", "hotpath", "batching", "async", "shard", "store",
-            "scenario",
+            "cpu", "scenario",
         ),
         default="all",
         help="which suite(s) to run (default: all)",
@@ -202,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="store watch/cache report path (default: BENCH_rmi_store.json)",
     )
     bench_cmd.add_argument(
+        "--cpu-output", default="BENCH_rmi_cpu.json",
+        help="cpu process-pool report path (default: BENCH_rmi_cpu.json)",
+    )
+    bench_cmd.add_argument(
         "--scale", type=float, default=None,
         help="iteration scale factor (default: ERMI_BENCH_SCALE or 1.0)",
     )
@@ -225,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--check-store", metavar="BASELINE", default=None,
         help="compare the store watch/cache run against a committed baseline",
+    )
+    bench_cmd.add_argument(
+        "--check-cpu", metavar="BASELINE", default=None,
+        help="compare the cpu process-pool run against a committed "
+        "baseline (always normalized per gate family — thread / process "
+        "/ payload — so 1-core and 4-core machines compare cleanly)",
     )
     bench_cmd.add_argument(
         "--scenario-dir", metavar="DIR", default=".",
@@ -354,11 +364,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.benchreport import (
+        compare_cpu_reports,
         compare_reports,
         format_table,
         load_report,
         run_async_suite,
         run_batching_suite,
+        run_cpu_suite,
         run_hotpath_suite,
         run_shard_suite,
         run_store_suite,
@@ -419,6 +431,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ("rmi_store", records, extra, args.store_output, baseline,
              "epoch-poll-c1")
         )
+    if args.suite in ("all", "cpu"):
+        baseline = (
+            None if args.check_cpu is None
+            else load_report(args.check_cpu)
+        )
+        extra = {}
+        records = run_cpu_suite(scale=args.scale, extra_out=extra)
+        # anchor=None marks the family-normalized cpu comparison below.
+        runs.append(
+            ("rmi_cpu", records, extra, args.cpu_output, baseline, None)
+        )
 
     status = 0
     for suite, records, extra, output, baseline, anchor in runs:
@@ -427,13 +450,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {output}")
         if baseline is None:
             continue
-        result = compare_reports(
-            baseline,
-            records,
-            tolerance=args.tolerance,
-            normalize=args.normalize,
-            anchor=anchor,
-        )
+        if anchor is None:
+            # The cpu suite's thread-vs-process ratios depend on the
+            # machine's core count, so its gate always normalizes
+            # within each record family (--normalize is implied).
+            result = compare_cpu_reports(
+                baseline, records, tolerance=args.tolerance
+            )
+        else:
+            result = compare_reports(
+                baseline,
+                records,
+                tolerance=args.tolerance,
+                normalize=args.normalize,
+                anchor=anchor,
+            )
         for line in result.lines:
             print(line)
         if not result.ok:

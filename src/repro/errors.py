@@ -35,6 +35,18 @@ class ConnectError(RemoteError):
     """The target endpoint could not be reached (dead skeleton / JVM)."""
 
 
+class CpuWorkerLostError(ConnectError):
+    """A cpu-pool worker process died while executing the call.
+
+    Subclasses :class:`ConnectError` on purpose: worker death is a
+    process-level transport failure, not an application error, so it
+    must reach the client's retry loop (charged one attempt, then
+    :class:`~repro.faults.RetryPolicy` takes over against the respawned
+    worker) instead of being folded into an error Response by the
+    skeleton's generic exception handler.
+    """
+
+
 class MarshalError(RemoteError):
     """A value could not be serialized for transmission."""
 

@@ -79,6 +79,20 @@ class Gauge:
             if at is not None:
                 self.series.append((at, value))
 
+    def add(self, delta: float, at: float | None = None) -> float:
+        """Atomically adjust the gauge by ``delta``; returns the new value.
+
+        ``set`` is a lost-update hazard for level gauges written from
+        several threads (read outside the lock, write inside) — in-flight
+        tracking from concurrent dispatchers needs the read-modify-write
+        under one lock.
+        """
+        with self._lock:
+            self._value += delta
+            if at is not None:
+                self.series.append((at, self._value))
+            return self._value
+
     @property
     def value(self) -> float:
         return self._value

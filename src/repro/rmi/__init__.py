@@ -26,6 +26,7 @@ machinery; this package rebuilds that machinery in Python:
 
 from repro.rmi.aio import AsyncioTransport, blocking
 from repro.rmi.batching import BatcherStats, RequestBatcher
+from repro.rmi.cpu import CpuExecutor, cpu_bound
 from repro.rmi.fastpath import (
     FastPayload,
     MarshalCache,
@@ -63,6 +64,7 @@ __all__ = [
     "BatchResponse",
     "BatcherStats",
     "CallStats",
+    "CpuExecutor",
     "DirectTransport",
     "Endpoint",
     "FastPayload",
@@ -79,6 +81,7 @@ __all__ = [
     "ThreadedTransport",
     "Transport",
     "blocking",
+    "cpu_bound",
     "gather",
     "is_immutable",
     "is_zero_copy",

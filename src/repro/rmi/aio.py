@@ -74,6 +74,16 @@ def aio_inflight_from_env() -> int:
     return env_int("ERMI_AIO_INFLIGHT", DEFAULT_INFLIGHT_WINDOW)
 
 
+def blocking_workers_from_env() -> int:
+    """Offload-pool size from ``ERMI_BLOCKING_WORKERS`` (default 8).
+
+    Sizes the shared default executor that ``@blocking`` handlers run
+    on.  Read once, when the process-wide loop runtime is created —
+    raising here (malformed value) is deliberate and names the variable.
+    """
+    return env_int("ERMI_BLOCKING_WORKERS", DEFAULT_OFFLOAD_WORKERS)
+
+
 def blocking(fn: Callable[..., Any]) -> Callable[..., Any]:
     """Mark a remote method as genuinely blocking (file/socket/sleep).
 
@@ -131,7 +141,7 @@ def loop_runtime() -> _LoopRuntime:
     if _runtime is None:
         with _runtime_lock:
             if _runtime is None:
-                _runtime = _LoopRuntime(DEFAULT_OFFLOAD_WORKERS)
+                _runtime = _LoopRuntime(blocking_workers_from_env())
     return _runtime
 
 
@@ -471,14 +481,20 @@ class AsyncioTransport(_TransportBase):
 
     # -- lifecycle ----------------------------------------------------------
 
+    def cpu_executor(self):
+        return self._ensure_cpu_executor()
+
     def shutdown(self) -> None:
         """Cancel this transport's outstanding dispatches.
 
         The shared loop and offload executor keep running — they are
-        process infrastructure, reused by the next transport.
+        process infrastructure, reused by the next transport.  The cpu
+        pool, by contrast, is transport-owned: its worker processes stop
+        here so a finished session never strands children.
         """
         self._closed = True
         self._runtime.call_soon(self._cancel_all)
+        self._shutdown_cpu_executor()
 
     def _cancel_all(self) -> None:  # loop thread
         if self._lag_task is not None:

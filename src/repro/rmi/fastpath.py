@@ -310,3 +310,126 @@ def unmarshal_result(payload: Any) -> Any:
     if type(payload) is FastPayload:
         return payload.value
     return unmarshal_value(payload)
+
+
+# ----------------------------------------------------------------------
+# protocol-5 out-of-band buffers (the cross-process zero-copy path)
+# ----------------------------------------------------------------------
+#
+# pickle protocol 5 only emits *PickleBuffer* objects out-of-band — a
+# plain ``bytes``/``bytearray`` still serializes in-band even when a
+# ``buffer_callback`` is supplied.  :func:`dumps_oob` therefore
+# *promotes* large byte payloads to PickleBuffer wrappers first (a
+# shallow walk over the common container shapes), so their storage is
+# handed to the caller as raw buffer views instead of being copied into
+# the pickle body.  :mod:`repro.rmi.cpu` packs those views into one
+# shared-memory segment per message; the receiving process maps the
+# segment and feeds slices back to :func:`loads_oob`.
+#
+# Semantics are preserved either way: promotion wraps the payload in
+# :class:`_OobBuffer`, whose reconstructor (``bytes``/``bytearray``)
+# copies out of whatever buffer the unpickler is handed — a bare
+# PickleBuffer would reconstruct as a *memoryview over the supplied
+# buffer*, pinning the shared-memory segment for the value's lifetime
+# and leaking a view of someone else's storage into the handler.  The
+# one copy-out restores pass-by-value exactly, and pickling a promoted
+# payload *without* a buffer callback falls back to in-band data with
+# the same reconstruction.
+
+# Containers are walked at most this deep when hunting for promotable
+# byte payloads; anything deeper rides in-band (correct, just copied).
+_OOB_WALK_DEPTH = 3
+
+
+class _OobBuffer:
+    """A byte payload marked for out-of-band transfer.
+
+    Reduces to ``factory(<buffer>)``: under a ``buffer_callback`` the
+    inner :class:`pickle.PickleBuffer` travels out-of-band and the
+    factory copies the receiver-side view into an owned ``bytes`` /
+    ``bytearray``; without one, pickle inlines the data and the factory
+    is a cheap no-op copy.  Either way the caller may release the
+    backing buffer the moment ``loads`` returns.
+    """
+
+    __slots__ = ("buffer", "factory")
+
+    def __init__(self, data: Any, factory: type) -> None:
+        import pickle
+
+        self.buffer = pickle.PickleBuffer(data)
+        self.factory = factory
+
+    def __reduce_ex__(self, protocol: int) -> Any:
+        return (self.factory, (self.buffer,))
+
+
+def _promote_buffers(value: Any, min_bytes: int, depth: int) -> Any:
+    """Rebuild ``value`` with large byte payloads wrapped for out-of-band
+    transfer; returns ``value`` itself when nothing qualified."""
+    t = type(value)
+    if t is bytes or t is bytearray:
+        if len(value) >= min_bytes:
+            return _OobBuffer(value, t)
+        return value
+    if depth <= 0:
+        return value
+    if t is tuple or t is list:
+        promoted = [
+            _promote_buffers(item, min_bytes, depth - 1) for item in value
+        ]
+        if all(new is old for new, old in zip(promoted, value)):
+            return value
+        return t(promoted)
+    if t is dict:
+        promoted_dict = {
+            key: _promote_buffers(item, min_bytes, depth - 1)
+            for key, item in value.items()
+        }
+        if all(
+            promoted_dict[key] is item for key, item in value.items()
+        ):
+            return value
+        return promoted_dict
+    return value
+
+
+def dumps_oob(value: Any, min_bytes: int) -> "tuple[bytes, list]":
+    """Pickle ``value`` with large byte payloads split out-of-band.
+
+    Returns ``(body, buffers)`` where ``buffers`` is the list of
+    :class:`pickle.PickleBuffer` views (in stream order) that
+    :func:`loads_oob` must be handed back.  ``bytes``/``bytearray``
+    payloads of at least ``min_bytes`` are promoted; everything else
+    rides in the body.  Raises :class:`MarshalError` like
+    :func:`~repro.rmi.marshal.marshal_value`.
+    """
+    import pickle
+
+    from repro.errors import MarshalError
+
+    buffers: list = []
+    try:
+        body = pickle.dumps(
+            _promote_buffers(value, min_bytes, _OOB_WALK_DEPTH),
+            protocol=5,
+            buffer_callback=buffers.append,
+        )
+    except Exception as exc:
+        raise MarshalError(
+            f"cannot marshal {type(value).__name__}: {exc}"
+        ) from exc
+    return body, buffers
+
+
+def loads_oob(body: bytes, buffers: "list | None") -> Any:
+    """Inverse of :func:`dumps_oob`; ``buffers`` may hold any
+    buffer-likes (bytes, memoryviews over shared memory, ...)."""
+    import pickle
+
+    from repro.errors import UnmarshalError
+
+    try:
+        return pickle.loads(body, buffers=buffers or ())
+    except Exception as exc:
+        raise UnmarshalError(f"cannot unmarshal payload: {exc}") from exc

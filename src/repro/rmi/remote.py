@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.concurrency import ThreadStripes
-from repro.errors import ApplicationError, MemberDrainedError, NoSuchObjectError
+from repro.errors import (
+    ApplicationError,
+    CpuWorkerLostError,
+    MemberDrainedError,
+    NoSuchObjectError,
+)
 from repro.rmi.fastpath import (
     marshal_call,
     marshal_error,
@@ -162,6 +167,14 @@ class CallStats:
         return total
 
 
+def _declares_cpu_bound(cls: type) -> bool:
+    """Does any method in the class's surface carry ``@cpu_bound``?"""
+    for name in dir(cls):
+        if getattr(getattr(cls, name, None), "__ermi_cpu_bound__", False):
+            return True
+    return False
+
+
 class Skeleton:
     """Server-side dispatcher for one exported object."""
 
@@ -184,6 +197,16 @@ class Skeleton:
         # Observability (repro.obs.Observability): None keeps dispatch
         # at one extra branch per call.
         self._obs = obs
+        # Cpu-bound dispatch, resolved once: implementations without a
+        # single @cpu_bound method leave this None (no pool is created,
+        # dispatch pays one identity check), and transports that decline
+        # to provide a pool — DirectTransport — keep cpu-bound methods
+        # inline and deterministic.
+        self._cpu = None
+        if _declares_cpu_bound(type(impl)):
+            cpu_factory = getattr(transport, "cpu_executor", None)
+            if cpu_factory is not None:
+                self._cpu = cpu_factory()
         self.stats = CallStats()
         self.draining = False
         self.pending = 0
@@ -306,12 +329,31 @@ class Skeleton:
                 return refusal
             args, kwargs = unmarshal_call(request.payload)
             try:
-                result = method(*args, **kwargs)
-                if inspect.iscoroutine(result):
-                    # Coroutine remote methods stay invocable on the sync
-                    # transports: the dispatch thread owns no loop, so a
-                    # private one drives the coroutine to completion.
-                    result = asyncio.run(result)
+                if self._cpu is not None and getattr(
+                    method, "__ermi_cpu_bound__", False
+                ):
+                    result = self._cpu.run_call(
+                        self.impl, request.method, args, kwargs
+                    )
+                else:
+                    result = method(*args, **kwargs)
+                    if inspect.iscoroutine(result):
+                        # Coroutine remote methods stay invocable on the
+                        # sync transports: the dispatch thread owns no
+                        # loop, so a private one drives the coroutine to
+                        # completion.
+                        result = asyncio.run(result)
+            except CpuWorkerLostError:
+                # Worker death is a transport-level failure, not an
+                # application error: let it propagate past the error-
+                # Response fold below so the client's retry loop sees a
+                # ConnectError (one attempt charged, then retried
+                # against the respawned worker).
+                elapsed = self.clock.now() - started
+                self.stats.record(request.method, elapsed, error=True)
+                if self._obs is not None:
+                    self._observe(request.method, elapsed, error=True)
+                raise
             except Exception as exc:
                 elapsed = self.clock.now() - started
                 self.stats.record(request.method, elapsed, error=True)
@@ -352,7 +394,17 @@ class Skeleton:
                 return refusal
             args, kwargs = unmarshal_call(request.payload)
             try:
-                if getattr(method, "__ermi_blocking__", False):
+                if self._cpu is not None and getattr(
+                    method, "__ermi_cpu_bound__", False
+                ):
+                    # Hand the call to a worker process and await its
+                    # future without blocking the loop.
+                    result = await asyncio.wrap_future(
+                        self._cpu.submit_call(
+                            self.impl, request.method, args, kwargs
+                        )
+                    )
+                elif getattr(method, "__ermi_blocking__", False):
                     loop = asyncio.get_running_loop()
                     result = await loop.run_in_executor(
                         None, lambda: method(*args, **kwargs)
@@ -361,6 +413,14 @@ class Skeleton:
                     result = method(*args, **kwargs)
                     if inspect.iscoroutine(result):
                         result = await result
+            except CpuWorkerLostError:
+                # Same contract as the sync path: propagate as a
+                # transport-level ConnectError for the retry machinery.
+                elapsed = self.clock.now() - started
+                self.stats.record(request.method, elapsed, error=True)
+                if self._obs is not None:
+                    self._observe(request.method, elapsed, error=True)
+                raise
             except Exception as exc:
                 elapsed = self.clock.now() - started
                 self.stats.record(request.method, elapsed, error=True)

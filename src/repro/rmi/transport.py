@@ -211,6 +211,10 @@ class _TransportBase:
         # Observability: None keeps the invoke path at one extra branch.
         self._tracer = None
         self._obs = None
+        # Process pool for @cpu_bound methods; created lazily by the
+        # concurrent transports, permanently None on DirectTransport so
+        # deterministic tests stay single-process.
+        self._cpu_executor = None
 
     def set_tracer(self, tracer) -> None:
         """Attach (or detach, with None) a :class:`repro.obs.Tracer`.
@@ -228,6 +232,50 @@ class _TransportBase:
         trace-only consumers (determinism tests)."""
         self._obs = obs
         self.set_tracer(None if obs is None else obs.tracer)
+        executor = self._cpu_executor
+        if executor is not None:
+            executor.set_obs(obs)
+
+    def cpu_executor(self):
+        """The transport's :class:`~repro.rmi.cpu.CpuExecutor`, or None.
+
+        The base returns whatever was injected with
+        :meth:`set_cpu_executor`; skeletons treat None as "run
+        ``@cpu_bound`` methods inline" (the DirectTransport behaviour).
+        """
+        return self._cpu_executor
+
+    def set_cpu_executor(self, executor) -> None:
+        """Inject a (possibly shared) cpu executor; None detaches it.
+
+        The transport does not take ownership of an injected executor —
+        :meth:`shutdown` only stops pools the transport created itself.
+        """
+        self._cpu_executor = executor
+        self._owns_cpu_executor = False
+
+    def _ensure_cpu_executor(self):
+        """Create the pool on first use — endpoints that never export a
+        ``@cpu_bound`` method never pay for worker processes."""
+        executor = self._cpu_executor
+        if executor is None:
+            with self._admin_lock:
+                executor = self._cpu_executor
+                if executor is None:
+                    from repro.rmi.cpu import CpuExecutor
+
+                    executor = CpuExecutor(obs=self._obs)
+                    self._cpu_executor = executor
+                    self._owns_cpu_executor = True
+        return executor
+
+    def _shutdown_cpu_executor(self) -> None:
+        with self._admin_lock:
+            executor = self._cpu_executor
+            owned = getattr(self, "_owns_cpu_executor", False)
+            self._cpu_executor = None
+        if executor is not None and owned:
+            executor.shutdown()
 
     def install_fault_hook(self, hook: FaultHook | None) -> None:
         """Install (or clear, with None) a fault-injection hook.
@@ -592,10 +640,14 @@ class ThreadedTransport(_TransportBase):
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
+    def cpu_executor(self):
+        return self._ensure_cpu_executor()
+
     def shutdown(self) -> None:
-        """Stop every dispatcher (end of a live session)."""
+        """Stop every dispatcher and the cpu pool (end of a session)."""
         with self._admin_lock:
             executors = list(self._executors.values())
             self._executors = {}
         for executor in executors:
             executor.shutdown(wait=False, cancel_futures=True)
+        self._shutdown_cpu_executor()

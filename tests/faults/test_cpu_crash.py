@@ -1,0 +1,126 @@
+"""Worker-crash semantics for cpu-bound dispatch (satellite of the
+multi-core execution PR).
+
+The contract under test: a worker process dying mid-call is a
+*transport-level* failure — the call fails with
+:class:`~repro.errors.CpuWorkerLostError` (a ConnectError), the elastic
+stub's retry machinery charges exactly one attempt for it and retries,
+the pool respawns the worker, and the retried call succeeds there.  No
+shared-memory segment may outlive the crash.
+
+Implementation classes are module-level so the *spawned* workers can
+import them by reference.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from repro.core.balancer import ElasticStub
+from repro.obs import Observability
+from repro.rmi.cpu import CpuExecutor, cpu_bound, live_segments
+from repro.rmi.remote import Remote, Skeleton
+from repro.rmi.transport import ThreadedTransport
+
+
+class _CrashyWork(Remote):
+    """First execution parks forever (after signalling via the marker
+    file); any later execution returns immediately.  Killing the worker
+    while it is parked makes 'worker died mid-call' deterministic."""
+
+    @cpu_bound
+    def flaky(self, marker: str, blob: bytes) -> str:
+        if os.path.exists(marker):
+            return f"done:{len(blob)}"
+        with open(marker, "w"):
+            pass
+        time.sleep(300)  # parked until the test kills this worker
+        return "unreachable"
+
+
+class _FixedSentinel(Remote):
+    def __init__(self, members):
+        self.members = members
+
+    def ermi_member_identities(self):
+        return list(self.members)
+
+
+def _wait_for(predicate, timeout: float = 60.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestCpuWorkerCrash:
+    def test_mid_call_death_charges_one_attempt_and_retries(self, tmp_path):
+        marker = str(tmp_path / "first-attempt.marker")
+        obs = Observability()
+        transport = ThreadedTransport()
+        # One worker, injected up front: the only pid is the busy one.
+        executor = CpuExecutor(workers=1, obs=obs)
+        transport.set_cpu_executor(executor)
+        try:
+            member = Skeleton(
+                _CrashyWork(),
+                transport,
+                transport.add_endpoint("member-0").endpoint_id,
+            ).ref()
+            sentinel = Skeleton(
+                _FixedSentinel([member]),
+                transport,
+                transport.add_endpoint("sentinel").endpoint_id,
+            ).ref()
+            stub = ElasticStub(transport, lambda: sentinel, obs=obs)
+
+            # A payload above the crossover, so the request crosses via
+            # shared memory and the crash path must clean the segment up.
+            blob = os.urandom(512 * 1024)
+            outcome: dict = {}
+
+            def call():
+                try:
+                    outcome["result"] = stub.flaky(marker, blob)
+                except Exception as exc:  # surfaced by the join below
+                    outcome["error"] = exc
+
+            caller = threading.Thread(target=call, daemon=True)
+            caller.start()
+
+            # The marker appears only once the worker is inside the
+            # call; kill it there.
+            assert _wait_for(lambda: os.path.exists(marker)), (
+                "worker never reached the parked call"
+            )
+            (victim,) = executor.worker_pids()
+            os.kill(victim, signal.SIGKILL)
+
+            caller.join(timeout=120)
+            assert not caller.is_alive(), "retried call never completed"
+            assert outcome.get("result") == f"done:{len(blob)}", outcome
+
+            # Exactly one logical call; the death charged one attempt
+            # and the respawned worker served the second.
+            registry = obs.registry
+            assert registry.counter("rmi.client.calls").value == 1
+            assert registry.counter("rmi.client.attempts").value == 2
+            assert registry.counter("rmi.client.retried_calls").value == 1
+            assert registry.counter("rmi.client.retries").value == 1
+
+            # The pool recovered: one respawn, a different live pid.
+            assert executor.respawns == 1
+            assert registry.gauge("rmi.cpu.respawns").value == 1.0
+            assert _wait_for(lambda: executor.worker_pids() != [])
+            assert executor.worker_pids() != [victim]
+
+            # No shared-memory segment survived the crash.
+            assert live_segments() == []
+        finally:
+            transport.shutdown()
+            executor.shutdown()

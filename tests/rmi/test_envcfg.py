@@ -11,13 +11,14 @@ import pytest
 
 from repro.kvstore.cache import store_lease_ms_from_env
 from repro.kvstore.watch import watch_queue_from_env
-from repro.rmi.aio import aio_inflight_from_env
+from repro.rmi.aio import aio_inflight_from_env, blocking_workers_from_env
 from repro.rmi.batching import (
     batch_inflight_from_env,
     batch_linger_from_env,
     batch_max_from_env,
 )
-from repro.rmi.envcfg import env_float, env_int
+from repro.rmi.cpu import cpu_shm_min_from_env, cpu_workers_from_env
+from repro.rmi.envcfg import env_bytes, env_float, env_int
 
 KNOBS = [
     ("ERMI_BATCH_MAX", batch_max_from_env),
@@ -26,6 +27,9 @@ KNOBS = [
     ("ERMI_AIO_INFLIGHT", aio_inflight_from_env),
     ("ERMI_STORE_LEASE_MS", store_lease_ms_from_env),
     ("ERMI_WATCH_QUEUE", watch_queue_from_env),
+    ("ERMI_CPU_WORKERS", cpu_workers_from_env),
+    ("ERMI_CPU_SHM_MIN", cpu_shm_min_from_env),
+    ("ERMI_BLOCKING_WORKERS", blocking_workers_from_env),
 ]
 
 
@@ -66,6 +70,39 @@ class TestEnvHelpers:
         monkeypatch.setenv("ERMI_TEST_KNOB", "nan")
         with pytest.raises(ValueError, match="ERMI_TEST_KNOB"):
             env_float("ERMI_TEST_KNOB", 0.0)
+
+    def test_bytes_plain_integer(self, monkeypatch):
+        monkeypatch.setenv("ERMI_TEST_KNOB", "262144")
+        assert env_bytes("ERMI_TEST_KNOB", 0) == 262144
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("256k", 256 * 1024),
+            ("256kb", 256 * 1024),
+            ("256kib", 256 * 1024),
+            ("1m", 1024**2),
+            ("1MiB", 1024**2),
+            ("2g", 2 * 1024**3),
+            (" 4 mib ", 4 * 1024**2),
+        ],
+    )
+    def test_bytes_suffixes_mean_powers_of_1024(
+        self, monkeypatch, raw, expected
+    ):
+        monkeypatch.setenv("ERMI_TEST_KNOB", raw)
+        assert env_bytes("ERMI_TEST_KNOB", 0) == expected
+
+    def test_bytes_default_and_minimum(self, monkeypatch):
+        monkeypatch.delenv("ERMI_TEST_KNOB", raising=False)
+        assert env_bytes("ERMI_TEST_KNOB", 99) == 99
+        monkeypatch.setenv("ERMI_TEST_KNOB", "-1")
+        assert env_bytes("ERMI_TEST_KNOB", 0, minimum=0) == 0
+
+    def test_bytes_malformed_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("ERMI_TEST_KNOB", "fast")
+        with pytest.raises(ValueError, match="ERMI_TEST_KNOB"):
+            env_bytes("ERMI_TEST_KNOB", 0)
 
 
 class TestKnobReaders:
@@ -115,6 +152,31 @@ class TestKnobReaders:
         store = HyperStore()
         with pytest.raises(ValueError, match="ERMI_WATCH_QUEUE"):
             store.watch("k", lambda event: None)
+
+    def test_cpu_workers_parses(self, monkeypatch):
+        monkeypatch.setenv("ERMI_CPU_WORKERS", "3")
+        assert cpu_workers_from_env() == 3
+
+    def test_cpu_shm_min_accepts_suffixes(self, monkeypatch):
+        monkeypatch.setenv("ERMI_CPU_SHM_MIN", "256k")
+        assert cpu_shm_min_from_env() == 256 * 1024
+        # 0 disables the shm path entirely (everything goes inline).
+        monkeypatch.setenv("ERMI_CPU_SHM_MIN", "0")
+        assert cpu_shm_min_from_env() == 0
+
+    def test_blocking_workers_sizes_the_offload_pool(self, monkeypatch):
+        from repro.rmi.aio import _LoopRuntime
+
+        monkeypatch.setenv("ERMI_BLOCKING_WORKERS", "2")
+        assert blocking_workers_from_env() == 2
+        runtime = _LoopRuntime(blocking_workers_from_env())
+        try:
+            assert runtime.offload._max_workers == 2
+        finally:
+            runtime.loop.call_soon_threadsafe(runtime.loop.stop)
+            runtime.thread.join(timeout=5)
+            runtime.offload.shutdown(wait=False)
+            runtime.loop.close()
 
     def test_malformed_knob_fails_at_stub_construction(self, monkeypatch):
         """The contract the fix exists for: a stub built under a typo'd

@@ -41,3 +41,25 @@ class TestMarshalling:
     def test_corrupt_payload_raises(self):
         with pytest.raises(UnmarshalError):
             unmarshal_value(b"\x80garbage")
+
+
+class TestWireProtocol:
+    def test_marshals_at_highest_protocol(self):
+        """Protocol 5 frames start with ``\\x80\\x05``: out-of-band
+        buffer support is what the cpu fastpath builds on, so the
+        marshal layer must not silently fall back to an older protocol.
+        """
+        import pickle
+
+        assert pickle.HIGHEST_PROTOCOL >= 5
+        payload = marshal_value({"k": b"v" * 64})
+        assert payload[:2] == b"\x80\x05"
+
+    def test_accepts_older_protocol_payloads(self):
+        """Wire compatibility: peers that still emit protocol-2 frames
+        (the previous default) must stay readable."""
+        import pickle
+
+        value = {"a": [1, 2], "b": b"bytes"}
+        for protocol in (2, 3, 4):
+            assert unmarshal_value(pickle.dumps(value, protocol)) == value
